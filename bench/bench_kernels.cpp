@@ -1,0 +1,120 @@
+// Google-benchmark microbenchmarks of the real numerical kernels: these
+// measure the host machine (not the Columbia model) and exist to prove the
+// kernels are genuine, optimized implementations.
+
+#include <benchmark/benchmark.h>
+
+#include "cfd/lusgs.hpp"
+#include "hpcc/dgemm.hpp"
+#include "hpcc/stream.hpp"
+#include "md/system.hpp"
+#include "npb/bt.hpp"
+#include "npb/cg.hpp"
+#include "npb/ft.hpp"
+#include "npb/mg.hpp"
+
+namespace {
+
+using namespace columbia;
+
+void BM_DgemmBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  hpcc::Matrix a(n, n), b(n, n), c(n, n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    a.data[i] = 1.0 + static_cast<double>(i % 3);
+    b.data[i] = 2.0 - static_cast<double>(i % 5);
+  }
+  for (auto _ : state) {
+    hpcc::dgemm_blocked(a, b, c);
+    benchmark::DoNotOptimize(c.data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_DgemmBlocked)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_StreamTriad(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  hpcc::Vector a(n, 0.0), b(n, 1.0), c(n, 2.0);
+  for (auto _ : state) {
+    hpcc::stream_apply(hpcc::StreamOp::Triad, a, b, c, 3.0);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 24 * static_cast<long>(n));
+}
+BENCHMARK(BM_StreamTriad)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Fft3dForward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  npb::Fft3d fft(n, n, n);
+  std::vector<npb::Complex> field(fft.size(), npb::Complex(1.0, -0.5));
+  for (auto _ : state) {
+    fft.forward(field);
+    benchmark::DoNotOptimize(field.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(fft.flops()));
+}
+BENCHMARK(BM_Fft3dForward)->Arg(16)->Arg(32);
+
+void BM_CgSolve(benchmark::State& state) {
+  Rng rng(1);
+  const int n = static_cast<int>(state.range(0));
+  const auto a = npb::make_cg_matrix(n, 11, 1.0, rng);
+  std::vector<double> b(static_cast<std::size_t>(n), 1.0),
+      x(static_cast<std::size_t>(n), 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(npb::cg_solve(a, b, x, 25));
+  }
+}
+BENCHMARK(BM_CgSolve)->Arg(2000)->Arg(8000);
+
+void BM_MgVcycle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  npb::MgSolver solver(n);
+  npb::Grid3 u(n), f(n);
+  for (auto& v : f.raw()) v = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.vcycle(u, f));
+  }
+}
+BENCHMARK(BM_MgVcycle)->Arg(16)->Arg(32);
+
+void BM_BtLineSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto sys = npb::make_bt_system(n, 42);
+  for (auto _ : state) {
+    auto rhs = sys.rhs;
+    npb::block_tridiag_solve(sys.lower, sys.diag, sys.upper, rhs);
+    benchmark::DoNotOptimize(rhs.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(npb::bt_line_solve_flops(n)));
+}
+BENCHMARK(BM_BtLineSolve)->Arg(32)->Arg(102);
+
+void BM_MdForceLinkedCells(benchmark::State& state) {
+  md::MdConfig cfg;
+  cfg.cutoff = 2.5;
+  md::MdSystem sys(static_cast<int>(state.range(0)), cfg);
+  for (auto _ : state) {
+    sys.compute_forces();
+    benchmark::DoNotOptimize(sys.forces().data());
+  }
+  state.SetItemsProcessed(state.iterations() * sys.natoms());
+}
+BENCHMARK(BM_MdForceLinkedCells)->Arg(5)->Arg(8);
+
+void BM_LusgsPipelined(benchmark::State& state) {
+  const auto p =
+      cfd::LusgsProblem::random(static_cast<int>(state.range(0)), 3);
+  std::vector<double> x(p.size(), 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cfd::lusgs_sweep_pipelined(p, x));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(p.size()));
+}
+BENCHMARK(BM_LusgsPipelined)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

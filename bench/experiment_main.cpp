@@ -1,0 +1,65 @@
+// Shared main for the per-experiment bench binaries. Each binary is
+// compiled with -DCOLUMBIA_EXPERIMENT_ID="<id>" and regenerates one table
+// or figure of the paper (see core/experiment.hpp for the registry).
+// Besides the rendered report on stdout, every table/figure is exported
+// as CSV under bench_results/ for re-plotting.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "core/experiment.hpp"
+
+#ifndef COLUMBIA_EXPERIMENT_ID
+#error "COLUMBIA_EXPERIMENT_ID must be defined"
+#endif
+
+namespace {
+
+std::string slugify(std::string s) {
+  for (char& c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return s;
+}
+
+void export_csv(const columbia::core::Report& report,
+                const std::string& id) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories("bench_results", ec);
+  if (ec) return;  // read-only environment: stdout still has the report
+  int index = 0;
+  auto write_one = [&](const std::string& title, const std::string& csv) {
+    const auto path = fs::path("bench_results") /
+                      (id + "_" + std::to_string(index++) + "_" +
+                       slugify(title).substr(0, 60) + ".csv");
+    std::ofstream out(path);
+    out << csv;
+  };
+  for (const auto& t : report.tables) write_one(t.title(), t.csv());
+  for (const auto& f : report.figures) write_one(f.title(), f.csv());
+}
+
+}  // namespace
+
+int main() {
+  const auto* exp = columbia::core::find_experiment(COLUMBIA_EXPERIMENT_ID);
+  if (exp == nullptr) {
+    std::fprintf(stderr, "unknown experiment id: %s\n",
+                 COLUMBIA_EXPERIMENT_ID);
+    return 1;
+  }
+  std::printf("### %s — %s\n### %s\n\n", exp->id.c_str(),
+              exp->paper_ref.c_str(), exp->title.c_str());
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto report = exp->run();
+  const auto t1 = std::chrono::steady_clock::now();
+  std::cout << report.render();
+  export_csv(report, exp->id);
+  std::printf("[%s completed in %.1f s]\n", exp->id.c_str(),
+              std::chrono::duration<double>(t1 - t0).count());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Molecular dynamics scenario (paper §3.3 / §4.6.3): a real Lennard-Jones
+// NVE simulation with the Velocity Verlet integrator, then the Table 5
+// weak-scaling exercise (64,000 atoms per processor up to 2040 CPUs).
+
+#include <cstdio>
+
+#include "md/parallel.hpp"
+#include "md/system.hpp"
+
+using namespace columbia;
+
+int main() {
+  // --- Real MD: 500-atom LJ liquid, energy conservation ---------------------
+  md::MdConfig cfg;
+  cfg.cutoff = 2.5;
+  md::MdSystem sys(5, cfg);
+  const auto t0 = sys.thermo();
+  std::printf("LJ system: %d atoms in a %.2f-sigma box (fcc start, "
+              "T=%.2f)\n",
+              sys.natoms(), sys.box(), t0.temperature);
+  std::printf("%8s %14s %14s %14s\n", "step", "kinetic", "potential",
+              "total");
+  for (int block = 0; block <= 5; ++block) {
+    const auto t = sys.thermo();
+    std::printf("%8d %14.4f %14.4f %14.4f\n", block * 40, t.kinetic,
+                t.potential, t.total());
+    if (block < 5) sys.run(40);
+  }
+  const double drift =
+      (sys.thermo().total() - t0.total()) / std::abs(t0.total());
+  std::printf("energy drift over 200 steps: %.3e (NVE)\n\n", drift);
+
+  // --- Table 5: weak scaling on the simulated Columbia ----------------------
+  auto cluster = machine::Cluster::numalink4_bx2b(4);
+  std::printf("Weak scaling, 64,000 atoms per CPU, cutoff 5.0 "
+              "(NUMAlink4):\n");
+  std::printf("%8s %16s %12s %12s\n", "CPUs", "atoms", "sec/step",
+              "comm frac");
+  double t1 = 0.0;
+  for (int p : {1, 64, 512, 2040}) {
+    md::MdScalingConfig scfg;
+    scfg.n_nodes = p > 512 ? 4 : 1;
+    const auto r = md::md_weak_scaling(cluster, p, scfg);
+    if (p == 1) t1 = r.seconds_per_step;
+    std::printf("%8d %16ld %12.3f %12.4f\n", p, r.total_atoms,
+                r.seconds_per_step, r.comm_fraction());
+  }
+  md::MdScalingConfig scfg;
+  scfg.n_nodes = 4;
+  const auto r2040 = md::md_weak_scaling(cluster, 2040, scfg);
+  std::printf("\nparallel efficiency at 2040 CPUs: %.1f%% "
+              "(paper: \"almost perfect scalability\")\n",
+              100.0 * t1 / r2040.seconds_per_step);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Experiment runner: regenerate any table/figure of the paper (or an
+// ablation/extension) by id, or list everything the registry covers.
+//
+//   $ ./run_experiment            # list all experiments
+//   $ ./run_experiment table2     # reproduce Table 2
+//   $ ./run_experiment fig6 fig8  # several in one go
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace columbia::core;
+  if (argc < 2) {
+    std::printf("columbia experiment registry (%d paper artifacts):\n\n",
+                paper_artifact_count());
+    std::printf("%-22s %-26s %s\n", "id", "paper reference", "title");
+    for (const auto& e : experiment_registry()) {
+      std::printf("%-22s %-26s %s\n", e.id.c_str(), e.paper_ref.c_str(),
+                  e.title.c_str());
+    }
+    std::printf("\nusage: %s <id> [<id> ...]\n", argv[0]);
+    return 0;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const auto* exp = find_experiment(argv[i]);
+    if (exp == nullptr) {
+      std::fprintf(stderr, "unknown experiment id: %s (run without "
+                           "arguments for the list)\n",
+                   argv[i]);
+      return 1;
+    }
+    std::printf("### %s — %s\n### %s\n\n", exp->id.c_str(),
+                exp->paper_ref.c_str(), exp->title.c_str());
+    std::cout << exp->run().render() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,137 @@
+#include "cfd/ins3d_multinode.hpp"
+
+#include <map>
+#include <vector>
+
+#include "cfd/apps.hpp"
+#include "common/check.hpp"
+#include "machine/network.hpp"
+#include "machine/placement.hpp"
+#include "overset/grouping.hpp"
+#include "sim/join.hpp"
+#include "simmpi/world.hpp"
+#include "simomp/mlp.hpp"
+#include "simshmem/shmem.hpp"
+
+namespace columbia::cfd {
+
+namespace {
+
+// The same per-point demand as the single-box INS3D model.
+constexpr double kFlopsPerPoint = Ins3dCost::kFlopsPerPoint;
+constexpr double kBytesPerPoint = Ins3dCost::kBytesPerPoint;
+constexpr double kSlabBytes = Ins3dCost::kSlabBytes;
+constexpr double kEfficiency = Ins3dCost::kEfficiency;
+
+}  // namespace
+
+Ins3dMultinodeResult ins3d_multinode_model(const overset::System& system,
+                                           const machine::Cluster& cluster,
+                                           const Ins3dMultinodeConfig& cfg) {
+  COL_REQUIRE(cfg.n_nodes >= 1 && cfg.n_nodes <= cluster.num_nodes(),
+              "n_nodes out of range for this cluster");
+  COL_REQUIRE(cfg.groups_per_node >= 1 && cfg.threads_per_group >= 1,
+              "bad group/thread configuration");
+  COL_REQUIRE(cfg.groups_per_node * cfg.threads_per_group <=
+                  cluster.cpus_per_node(),
+              "node over-subscribed");
+  COL_REQUIRE(cfg.transport != BoundaryTransport::ShmemPut ||
+                  cluster.num_nodes() == 1 ||
+                  cluster.fabric().type == machine::FabricType::NumaLink4,
+              "SHMEM needs the NUMAlink global address space across boxes");
+
+  const int ngroups = cfg.total_groups();
+  COL_REQUIRE(ngroups <= system.num_blocks(), "more groups than blocks");
+  const auto grouping = overset::group_blocks(system, ngroups);
+  const auto exchange = overset::group_exchange_matrix(system, grouping);
+
+  // Group g lives on node g / groups_per_node.
+  auto node_of_group = [&](int g) { return g / cfg.groups_per_node; };
+
+  // Per-sub-iteration compute per group (OpenMP region + in-node arena
+  // archive, as in the single-box MLP model).
+  simomp::OmpModel omp(cluster.node_spec(), cfg.compiler);
+  simomp::MlpModel mlp(cluster.node_spec());
+  std::vector<double> compute_s(static_cast<std::size_t>(ngroups), 0.0);
+  std::vector<std::map<int, double>> cross_peers(
+      static_cast<std::size_t>(ngroups));
+  for (int g = 0; g < ngroups; ++g) {
+    simomp::RegionSpec region;
+    const double pts = grouping.load[static_cast<std::size_t>(g)];
+    region.total.flops = kFlopsPerPoint * pts;
+    region.total.mem_bytes = kBytesPerPoint * pts;
+    region.total.working_set = kSlabBytes * cfg.threads_per_group;
+    region.total.flop_efficiency = kEfficiency;
+    region.shared_traffic_fraction = 0.25;
+    double in_node_boundary = 0.0;
+    for (int h = 0; h < ngroups; ++h) {
+      if (h == g) continue;
+      const double bytes =
+          exchange[static_cast<std::size_t>(std::min(g, h)) * ngroups +
+                   std::max(g, h)];
+      if (bytes <= 0.0) continue;
+      if (node_of_group(h) == node_of_group(g)) {
+        in_node_boundary += bytes;
+      } else {
+        cross_peers[static_cast<std::size_t>(g)][h] += bytes;
+      }
+    }
+    compute_s[static_cast<std::size_t>(g)] =
+        omp.region_time(region, cfg.threads_per_group, cfg.pin,
+                        perfmodel::KernelClass::CfdIncompressible,
+                        cluster.node_spec().cpus_per_bus) +
+        mlp.archive_cost(in_node_boundary);
+  }
+
+  sim::Engine engine;
+  machine::Network network(engine, cluster);
+  auto placement = machine::Placement::across_nodes(
+      cluster, ngroups, cfg.n_nodes, cfg.threads_per_group);
+
+  const int subiters = ins3d_subiterations(ngroups);
+  double makespan = 0.0;
+  double comm = 0.0;
+
+  if (cfg.transport == BoundaryTransport::ShmemPut) {
+    simshmem::ShmemWorld world(engine, network, placement);
+    makespan = world.run([&](simshmem::Pe& pe) -> sim::CoTask<void> {
+      const auto& peers = cross_peers[static_cast<std::size_t>(pe.pe())];
+      for (int it = 0; it < cfg.sim_subiterations; ++it) {
+        co_await pe.compute(compute_s[static_cast<std::size_t>(pe.pe())]);
+        for (const auto& [peer, bytes] : peers) {
+          co_await pe.put(peer, bytes);
+        }
+        // All boundaries visible before the next sub-iteration.
+        co_await pe.barrier_all();
+      }
+    });
+    comm = world.mean_comm_seconds();
+  } else {
+    simmpi::World world(engine, network, placement);
+    makespan = world.run([&](simmpi::Rank& r) -> sim::CoTask<void> {
+      const auto& peers = cross_peers[static_cast<std::size_t>(r.rank())];
+      for (int it = 0; it < cfg.sim_subiterations; ++it) {
+        co_await r.compute(compute_s[static_cast<std::size_t>(r.rank())]);
+        std::vector<sim::CoTask<void>> ops;
+        ops.reserve(peers.size());
+        for (const auto& [peer, bytes] : peers) {
+          ops.push_back(r.sendrecv(peer, bytes, peer, 500 + it));
+        }
+        co_await sim::when_all(r.engine(), std::move(ops));
+        co_await r.barrier();
+      }
+    });
+    comm = world.mean_comm_seconds();
+  }
+
+  Ins3dMultinodeResult result;
+  result.subiterations = subiters;
+  result.seconds_per_timestep =
+      makespan / cfg.sim_subiterations * subiters;
+  result.comm_seconds_per_timestep =
+      comm / cfg.sim_subiterations * subiters;
+  result.group_imbalance = grouping.imbalance();
+  return result;
+}
+
+}  // namespace columbia::cfd

@@ -1,0 +1,49 @@
+#pragma once
+/// \file ins3d_multinode.hpp
+/// Multinode INS3D — the paper's stated future work implemented (§5: "we
+/// want to complete the multinode version of INS3D ... We will also
+/// experiment with the SHMEM library, including porting INS3D to use it").
+///
+/// Within a box, INS3D keeps its MLP structure (shared-memory arena).
+/// Across boxes the boundary data must move over the fabric; this model
+/// compares the two candidate transports the paper discusses:
+///   * SHMEM one-sided puts over NUMAlink4 (global shared-memory
+///     constructs reach across the four linked BX2b boxes), and
+///   * two-sided MPI over InfiniBand (the only option on the IB switch).
+
+#include "machine/cluster.hpp"
+#include "overset/system.hpp"
+#include "perfmodel/compiler.hpp"
+#include "simomp/omp_model.hpp"
+
+namespace columbia::cfd {
+
+enum class BoundaryTransport { ShmemPut, MpiSendRecv };
+
+struct Ins3dMultinodeConfig {
+  int n_nodes = 2;
+  int groups_per_node = 36;
+  int threads_per_group = 1;
+  BoundaryTransport transport = BoundaryTransport::ShmemPut;
+  perfmodel::CompilerVersion compiler = perfmodel::CompilerVersion::Intel7_1;
+  simomp::Pinning pin = simomp::Pinning::Pinned;
+  int sim_subiterations = 3;  ///< simulated; scaled to the full count
+
+  int total_groups() const { return n_nodes * groups_per_node; }
+};
+
+struct Ins3dMultinodeResult {
+  double seconds_per_timestep = 0.0;
+  double comm_seconds_per_timestep = 0.0;  // cross-node transport only
+  int subiterations = 0;
+  double group_imbalance = 1.0;
+};
+
+/// Models one physical time step of the multinode INS3D on `system`.
+/// The cluster must span at least `cfg.n_nodes` nodes; SHMEM transport
+/// requires a NUMAlink fabric (MPI works on either).
+Ins3dMultinodeResult ins3d_multinode_model(const overset::System& system,
+                                           const machine::Cluster& cluster,
+                                           const Ins3dMultinodeConfig& cfg);
+
+}  // namespace columbia::cfd

@@ -1,0 +1,117 @@
+#include "cfd/lusgs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace columbia::cfd {
+
+LusgsProblem LusgsProblem::random(int n, unsigned seed) {
+  COL_REQUIRE(n >= 2, "grid too small");
+  LusgsProblem p;
+  p.n = n;
+  Rng rng(seed);
+  p.rhs.resize(p.size());
+  for (auto& v : p.rhs) v = rng.uniform(-1.0, 1.0);
+  return p;
+}
+
+namespace {
+
+inline std::size_t at(int n, int i, int j, int k) {
+  return (static_cast<std::size_t>(k) * n + j) * n + i;
+}
+
+/// Gauss-Seidel relaxation of one cell using all six neighbours; whether a
+/// neighbour's value is "new" or "old" is decided purely by the sweep
+/// ordering, exactly as in LU-SGS.
+double relax_cell(const LusgsProblem& p, std::vector<double>& x, int i,
+                  int j, int k) {
+  const int n = p.n;
+  double s = p.rhs[at(n, i, j, k)];
+  if (i > 0) s += p.coupling * x[at(n, i - 1, j, k)];
+  if (j > 0) s += p.coupling * x[at(n, i, j - 1, k)];
+  if (k > 0) s += p.coupling * x[at(n, i, j, k - 1)];
+  if (i < n - 1) s += p.coupling * x[at(n, i + 1, j, k)];
+  if (j < n - 1) s += p.coupling * x[at(n, i, j + 1, k)];
+  if (k < n - 1) s += p.coupling * x[at(n, i, j, k + 1)];
+  const double nx = s / p.diag;
+  const double change = std::fabs(nx - x[at(n, i, j, k)]);
+  x[at(n, i, j, k)] = nx;
+  return change;
+}
+
+}  // namespace
+
+double lusgs_sweep_sequential(const LusgsProblem& p, std::vector<double>& x) {
+  COL_REQUIRE(x.size() == p.size(), "solution size mismatch");
+  const int n = p.n;
+  double change = 0.0;
+  for (int k = 0; k < n; ++k)
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i)
+        change = std::max(change, relax_cell(p, x, i, j, k));
+  for (int k = n - 1; k >= 0; --k)
+    for (int j = n - 1; j >= 0; --j)
+      for (int i = n - 1; i >= 0; --i)
+        change = std::max(change, relax_cell(p, x, i, j, k));
+  return change;
+}
+
+double lusgs_sweep_pipelined(const LusgsProblem& p, std::vector<double>& x) {
+  COL_REQUIRE(x.size() == p.size(), "solution size mismatch");
+  const int n = p.n;
+  double change = 0.0;
+  // Forward: hyperplanes m = i+j+k ascending; cells within a plane are
+  // independent (they only read plane m-1).
+  for (int m = 0; m <= 3 * (n - 1); ++m) {
+    for (int k = std::max(0, m - 2 * (n - 1)); k <= std::min(n - 1, m); ++k) {
+      for (int j = std::max(0, m - k - (n - 1));
+           j <= std::min(n - 1, m - k); ++j) {
+        const int i = m - k - j;
+        change = std::max(change, relax_cell(p, x, i, j, k));
+      }
+    }
+  }
+  // Backward: descending hyperplanes.
+  for (int m = 3 * (n - 1); m >= 0; --m) {
+    for (int k = std::max(0, m - 2 * (n - 1)); k <= std::min(n - 1, m); ++k) {
+      for (int j = std::max(0, m - k - (n - 1));
+           j <= std::min(n - 1, m - k); ++j) {
+        const int i = m - k - j;
+        change = std::max(change, relax_cell(p, x, i, j, k));
+      }
+    }
+  }
+  return change;
+}
+
+double lusgs_residual(const LusgsProblem& p, const std::vector<double>& x) {
+  COL_REQUIRE(x.size() == p.size(), "solution size mismatch");
+  const int n = p.n;
+  double worst = 0.0;
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        double ax = p.diag * x[at(n, i, j, k)];
+        if (i > 0) ax -= p.coupling * x[at(n, i - 1, j, k)];
+        if (j > 0) ax -= p.coupling * x[at(n, i, j - 1, k)];
+        if (k > 0) ax -= p.coupling * x[at(n, i, j, k - 1)];
+        if (i < n - 1) ax -= p.coupling * x[at(n, i + 1, j, k)];
+        if (j < n - 1) ax -= p.coupling * x[at(n, i, j + 1, k)];
+        if (k < n - 1) ax -= p.coupling * x[at(n, i, j, k + 1)];
+        worst = std::max(worst, std::fabs(p.rhs[at(n, i, j, k)] - ax));
+      }
+    }
+  }
+  return worst;
+}
+
+int pipeline_depth(int n) {
+  COL_REQUIRE(n >= 1, "bad grid size");
+  return 3 * (n - 1) + 1;
+}
+
+}  // namespace columbia::cfd

@@ -1,0 +1,45 @@
+#pragma once
+/// \file lusgs.hpp
+/// LU-SGS (Lower-Upper Symmetric Gauss-Seidel) relaxation and its
+/// hyperplane-pipelined reimplementation (paper §3.5: "The linear solver
+/// of the application, called LU-SGS, was reimplemented using a pipeline
+/// algorithm [4] to enhance efficiency").
+///
+/// The forward sweep updates x(i,j,k) from already-updated upwind
+/// neighbours (i-1, j-1, k-1); cells on a hyperplane i+j+k = m depend only
+/// on plane m-1, so the pipelined (hyperplane-ordered) sweep computes the
+/// *bit-identical* result while exposing plane-level parallelism — the
+/// property tests verify.
+
+#include <vector>
+
+namespace columbia::cfd {
+
+/// Scalar model problem on an n^3 grid: (D + L + U) x = b with constant
+/// upwind couplings; diagonally dominant by construction.
+struct LusgsProblem {
+  int n = 16;
+  double diag = 6.0;
+  double coupling = 0.9;  // |L|+|U| contributions per direction
+  std::vector<double> rhs;
+
+  static LusgsProblem random(int n, unsigned seed);
+  std::size_t size() const {
+    return static_cast<std::size_t>(n) * n * n;
+  }
+};
+
+/// One symmetric sweep (forward then backward), lexicographic ordering.
+/// x is updated in place; returns the max-norm change.
+double lusgs_sweep_sequential(const LusgsProblem& p, std::vector<double>& x);
+
+/// The same sweep in hyperplane (pipelined) order.
+double lusgs_sweep_pipelined(const LusgsProblem& p, std::vector<double>& x);
+
+/// Residual max-norm ||b - (D+L+U)x||_inf.
+double lusgs_residual(const LusgsProblem& p, const std::vector<double>& x);
+
+/// Number of hyperplanes a forward sweep traverses (pipeline depth).
+int pipeline_depth(int n);
+
+}  // namespace columbia::cfd

@@ -1,0 +1,45 @@
+#pragma once
+/// \file aligned.hpp
+/// Cache-line/vector aligned storage for the real numerical kernels
+/// (DGEMM, STREAM, FFT). Alignment keeps the microbenchmarks honest:
+/// unaligned vectors would understate achievable bandwidth.
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+namespace columbia {
+
+/// Minimal aligned allocator (64-byte default: one cache line / AVX-512 lane).
+template <typename T, std::size_t Alignment = 64>
+struct AlignedAllocator {
+  using value_type = T;
+
+  // Required because the non-type Alignment parameter defeats the default
+  // allocator_traits rebind machinery.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = ::operator new(n * sizeof(T), std::align_val_t{Alignment});
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace columbia

@@ -1,0 +1,43 @@
+#pragma once
+/// \file check.hpp
+/// Lightweight runtime contract checking. Violations throw `ContractError`
+/// so tests can assert on them; never aborts the process.
+
+#include <stdexcept>
+#include <string>
+
+namespace columbia {
+
+/// Thrown when a COL_CHECK / COL_REQUIRE contract is violated.
+class ContractError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  throw ContractError(std::string(kind) + " failed: " + expr + " at " + file +
+                      ":" + std::to_string(line) +
+                      (msg.empty() ? "" : (" — " + msg)));
+}
+}  // namespace detail
+
+/// Precondition check on public API arguments.
+#define COL_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::columbia::detail::contract_fail("precondition", #cond, __FILE__,   \
+                                        __LINE__, (msg));                   \
+  } while (0)
+
+/// Internal invariant check.
+#define COL_CHECK(cond, msg)                                                \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::columbia::detail::contract_fail("invariant", #cond, __FILE__,      \
+                                        __LINE__, (msg));                   \
+  } while (0)
+
+}  // namespace columbia

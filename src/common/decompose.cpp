@@ -1,0 +1,24 @@
+#include "common/decompose.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace columbia {
+
+std::pair<int, int> grid2d(int p) {
+  COL_REQUIRE(p >= 1, "need at least one process");
+  int rows = static_cast<int>(std::sqrt(static_cast<double>(p)));
+  while (rows > 1 && p % rows != 0) --rows;
+  return {rows, p / rows};
+}
+
+std::array<int, 3> grid3d(int p) {
+  COL_REQUIRE(p >= 1, "need at least one process");
+  int px = static_cast<int>(std::cbrt(static_cast<double>(p)) + 0.5);
+  while (px > 1 && p % px != 0) --px;
+  const auto [py, pz] = grid2d(p / px);
+  return {px, py, pz};
+}
+
+}  // namespace columbia

@@ -1,0 +1,17 @@
+#pragma once
+/// \file decompose.hpp
+/// Process-grid factorizations shared by the domain-decomposed workloads
+/// (NPB MG/BT, molecular dynamics spatial decomposition).
+
+#include <array>
+#include <utility>
+
+namespace columbia {
+
+/// Splits p into a near-square 2-D grid (rows <= cols, rows * cols == p).
+std::pair<int, int> grid2d(int p);
+
+/// Splits p into a near-cubic 3-D grid (product == p).
+std::array<int, 3> grid3d(int p);
+
+}  // namespace columbia

@@ -1,0 +1,88 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace columbia {
+
+void StatsAccumulator::add(double value) {
+  if (n_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++n_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (value - mean_);
+  if (value > 0.0) {
+    log_sum_ += std::log(value);
+  } else {
+    log_valid_ = false;
+  }
+}
+
+double StatsAccumulator::min() const {
+  COL_REQUIRE(n_ > 0, "min of empty accumulator");
+  return min_;
+}
+
+double StatsAccumulator::max() const {
+  COL_REQUIRE(n_ > 0, "max of empty accumulator");
+  return max_;
+}
+
+double StatsAccumulator::mean() const {
+  COL_REQUIRE(n_ > 0, "mean of empty accumulator");
+  return mean_;
+}
+
+double StatsAccumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double StatsAccumulator::stddev() const { return std::sqrt(variance()); }
+
+double StatsAccumulator::geometric_mean() const {
+  COL_REQUIRE(n_ > 0, "geometric mean of empty accumulator");
+  if (!log_valid_) return std::numeric_limits<double>::quiet_NaN();
+  return std::exp(log_sum_ / static_cast<double>(n_));
+}
+
+double mean_of(std::span<const double> xs) {
+  StatsAccumulator acc;
+  for (double x : xs) acc.add(x);
+  return acc.mean();
+}
+
+double geomean_of(std::span<const double> xs) {
+  StatsAccumulator acc;
+  for (double x : xs) acc.add(x);
+  return acc.geometric_mean();
+}
+
+double median_of(std::span<const double> xs) {
+  COL_REQUIRE(!xs.empty(), "median of empty span");
+  std::vector<double> v(xs.begin(), xs.end());
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  if (v.size() % 2 == 1) return v[mid];
+  const double hi = v[mid];
+  const double lo = *std::max_element(
+      v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double rel_diff(double a, double b) {
+  const double denom = std::max({std::fabs(a), std::fabs(b), 1e-300});
+  return std::fabs(a - b) / denom;
+}
+
+}  // namespace columbia

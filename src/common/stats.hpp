@@ -1,0 +1,50 @@
+#pragma once
+/// \file stats.hpp
+/// Streaming statistics accumulators used by the benchmark harness.
+/// HPCC reports geometric means for ring tests and averages for ping-pong;
+/// both are provided here along with the usual moments.
+
+#include <cstddef>
+#include <span>
+
+namespace columbia {
+
+/// Online accumulator for min/max/mean/variance (Welford) and geometric mean.
+class StatsAccumulator {
+ public:
+  /// Adds one sample. Geometric mean contributions require value > 0;
+  /// non-positive samples are tracked for the arithmetic stats but poison
+  /// the geometric mean (it becomes NaN), matching HPCC's behaviour of
+  /// only aggregating positive timings.
+  void add(double value);
+
+  std::size_t count() const { return n_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  /// Geometric mean of all samples; NaN if any sample was <= 0.
+  double geometric_mean() const;
+
+ private:
+  std::size_t n_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double log_sum_ = 0.0;
+  bool log_valid_ = true;
+};
+
+/// Convenience one-shot helpers over a span of samples.
+double mean_of(std::span<const double> xs);
+double geomean_of(std::span<const double> xs);
+double median_of(std::span<const double> xs);
+
+/// Relative difference |a-b| / max(|a|,|b|, eps); used in tests comparing
+/// model output against paper values.
+double rel_diff(double a, double b);
+
+}  // namespace columbia

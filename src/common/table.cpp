@@ -1,0 +1,124 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace columbia {
+
+std::string Cell::str() const {
+  if (std::holds_alternative<std::string>(value_)) {
+    return std::get<std::string>(value_);
+  }
+  if (std::holds_alternative<long long>(value_)) {
+    return std::to_string(std::get<long long>(value_));
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision_) << std::get<double>(value_);
+  return os.str();
+}
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  COL_REQUIRE(!columns_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  COL_REQUIRE(cells.size() == columns_.size(),
+              "row width must match column count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::at(std::size_t row, std::size_t col) const {
+  COL_REQUIRE(row < rows_.size() && col < columns_.size(),
+              "table index out of range");
+  return rows_[row][col].str();
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    widths[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(row[c].str());
+      widths[c] = std::max(widths[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c])) << cells[c];
+      os << (c + 1 == cells.size() ? "\n" : "  ");
+    }
+  };
+  std::vector<std::string> header(columns_.begin(), columns_.end());
+  emit_row(header);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& r : rendered) emit_row(r);
+  return os.str();
+}
+
+std::string Table::csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    os << columns_[c] << (c + 1 == columns_.size() ? "\n" : ",");
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << row[c].str() << (c + 1 == row.size() ? "\n" : ",");
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.render();
+}
+
+Figure::Figure(std::string title, std::string x_label, std::string y_label)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)) {}
+
+Series& Figure::add_series(std::string label) {
+  series_.push_back(Series{std::move(label), {}, {}});
+  return series_.back();
+}
+
+std::string Figure::render() const {
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  os << "   [" << x_label_ << " -> " << y_label_ << "]\n";
+  for (const auto& s : series_) {
+    os << "  series: " << s.label << "\n";
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      os << "    " << std::setw(10) << s.x[i] << "  " << std::setprecision(6)
+         << s.y[i] << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string Figure::csv() const {
+  std::ostringstream os;
+  os << "series," << x_label_ << "," << y_label_ << "\n";
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i)
+      os << s.label << "," << s.x[i] << "," << std::setprecision(10) << s.y[i]
+         << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace columbia

@@ -1,0 +1,36 @@
+#pragma once
+/// \file units.hpp
+/// Unit helpers used throughout the machine and performance models.
+/// All times are seconds, bandwidths bytes/second, rates operations/second.
+
+#include <cstdint>
+
+namespace columbia::units {
+
+inline constexpr double KiB = 1024.0;
+inline constexpr double MiB = 1024.0 * KiB;
+inline constexpr double GiB = 1024.0 * MiB;
+
+inline constexpr double KB = 1e3;
+inline constexpr double MB = 1e6;
+inline constexpr double GB = 1e9;
+
+inline constexpr double kHz = 1e3;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+
+inline constexpr double GFLOPS = 1e9;
+inline constexpr double TFLOPS = 1e12;
+
+inline constexpr double usec = 1e-6;
+inline constexpr double msec = 1e-3;
+inline constexpr double nsec = 1e-9;
+
+/// Converts seconds to microseconds (for reporting, as the paper does).
+constexpr double to_usec(double seconds) { return seconds / usec; }
+/// Converts bytes/sec to MB/s (HPCC reporting convention).
+constexpr double to_mb_per_s(double bytes_per_sec) { return bytes_per_sec / MB; }
+/// Converts flop/sec to Gflop/s (NPB reporting convention).
+constexpr double to_gflops(double flops_per_sec) { return flops_per_sec / GFLOPS; }
+
+}  // namespace columbia::units

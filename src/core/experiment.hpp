@@ -1,0 +1,32 @@
+#pragma once
+/// \file experiment.hpp
+/// The experiment registry: every table and figure of the paper's
+/// evaluation section, indexed by id, with the driver that regenerates it.
+/// DESIGN.md's per-experiment index and the bench/ binaries are both built
+/// from this list, so coverage cannot silently drift.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/figures.hpp"
+
+namespace columbia::core {
+
+struct Experiment {
+  std::string id;         ///< e.g. "table2", "fig11", "ablation-grouping"
+  std::string paper_ref;  ///< section/figure in the paper
+  std::string title;
+  std::function<Report()> run;
+};
+
+/// All experiments, in paper order (tables/figures first, ablations last).
+const std::vector<Experiment>& experiment_registry();
+
+/// Lookup by id; nullptr if unknown.
+const Experiment* find_experiment(const std::string& id);
+
+/// Number of paper artifacts (non-ablation experiments).
+int paper_artifact_count();
+
+}  // namespace columbia::core

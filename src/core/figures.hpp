@@ -1,0 +1,88 @@
+#pragma once
+/// \file figures.hpp
+/// Reproduction drivers: one function per table/figure of the paper's
+/// evaluation (§4). Each returns ready-to-print Table/Figure objects; the
+/// bench binaries are thin wrappers around these. The experiment registry
+/// (experiment.hpp) indexes them by paper id.
+///
+/// Simulation sizes are chosen so every driver completes in seconds on a
+/// laptop while exercising the same code paths as the full-scale runs.
+
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace columbia::core {
+
+/// Output bundle of one experiment.
+struct Report {
+  std::vector<Table> tables;
+  std::vector<Figure> figures;
+
+  std::string render() const;
+};
+
+// --- §2 / Table 1 ----------------------------------------------------------
+Report table1_node_characteristics();
+
+// --- §4.1.1 / Fig. 5: HPCC on one node of each type -------------------------
+Report fig5_hpcc_single_box();
+
+// --- §4.1.2 / Fig. 6: NPB (MPI + OpenMP) on the three node types ------------
+Report fig6_npb_node_types();
+
+// --- §4.1.3 / Table 2: INS3D groups x threads, 3700 vs BX2b ------------------
+Report table2_ins3d();
+
+// --- §4.1.4 / Table 3: OVERFLOW-D strong scaling, 3700 vs BX2b ---------------
+Report table3_overflow();
+
+// --- §4.2: CPU stride effects ------------------------------------------------
+Report sec42_cpu_stride();
+
+// --- §4.3 / Fig. 7: pinning vs no pinning (SP-MZ class C) -------------------
+Report fig7_pinning();
+
+// --- §4.4 / Fig. 8: compiler versions on OpenMP NPB -------------------------
+Report fig8_compiler_versions();
+
+// --- §4.4 / Table 4: INS3D and OVERFLOW-D under compilers 7.1 vs 8.1 ---------
+Report table4_app_compilers();
+
+// --- §4.5 / Fig. 9: process/thread mixes for BT-MZ ---------------------------
+Report fig9_process_thread_mixes();
+
+// --- §4.6.1 / Fig. 10: multinode HPCC, NUMAlink4 vs InfiniBand ---------------
+Report fig10_hpcc_multinode();
+
+// --- §4.6.2 / Fig. 11: NPB-MZ class E across nodes ---------------------------
+Report fig11_npbmz_multinode();
+
+// --- §4.6.3 / Table 5: molecular dynamics weak scaling -----------------------
+Report table5_md_weak_scaling();
+
+// --- §4.6.4 / Table 6: OVERFLOW-D across BX2b nodes --------------------------
+Report table6_overflow_multinode();
+
+// --- Extensions (the paper's §5 future work, implemented) --------------------
+/// §1's Linpack anchor: 51.9 Tflop/s on the 20-node machine.
+Report ext_linpack();
+/// SHMEM one-sided vs MPI two-sided transport.
+Report ext_shmem_vs_mpi();
+/// Multinode INS3D over SHMEM/NUMAlink4 vs MPI/InfiniBand.
+Report ext_ins3d_multinode();
+/// OVERFLOW-D per-step cost under the two 2004 filesystems (§4.6.4).
+Report ext_io_filesystems();
+/// NPB-MZ Class F on the full 20-box machine (defined in §3.2, never run).
+Report ext_class_f();
+
+// --- Ablations (design choices called out in DESIGN.md) ----------------------
+/// All-to-all algorithm choice vs the FT/Fig. 6 result shape.
+Report ablation_alltoall_algorithms();
+/// Grouping strategy (connectivity-aware LPT vs naive round-robin) vs the
+/// Table 3 flattening.
+Report ablation_grouping_strategies();
+/// The cache-slab assumption behind the BX2b CFD advantage.
+Report ablation_cache_slab();
+
+}  // namespace columbia::core

@@ -1,0 +1,167 @@
+#include <sstream>
+
+#include "common/units.hpp"
+#include "core/figures.hpp"
+#include "hpcc/beff.hpp"
+#include "hpcc/dgemm.hpp"
+#include "hpcc/stream.hpp"
+#include "machine/placement.hpp"
+
+namespace columbia::core {
+
+namespace {
+using hpcc::Beff;
+using hpcc::LatBw;
+using machine::Cluster;
+using machine::NodeType;
+using machine::Placement;
+
+const std::vector<int> kSingleBoxCpus{4, 8, 16, 32, 64, 128, 256, 512};
+const std::vector<int> kMultiBoxCpus{64, 128, 256, 512, 1024, 2048};
+}  // namespace
+
+std::string Report::render() const {
+  std::ostringstream os;
+  for (const auto& t : tables) os << t.render() << "\n";
+  for (const auto& f : figures) os << f.render() << "\n";
+  return os.str();
+}
+
+Report table1_node_characteristics() {
+  Report r;
+  r.tables.push_back(machine::node_characteristics_table());
+  return r;
+}
+
+Report fig5_hpcc_single_box() {
+  Report r;
+  // DGEMM / STREAM summary (the text results of §4.1.1).
+  Table summary("HPCC single-box summary (per CPU)",
+                {"Node", "DGEMM Gflop/s", "STREAM Triad GB/s (dense)"});
+  for (auto type : {NodeType::Altix3700, NodeType::AltixBX2a,
+                    NodeType::AltixBX2b}) {
+    const auto spec = machine::NodeSpec::of(type);
+    summary.add_row({machine::to_string(type),
+                     Cell(hpcc::dgemm_model_gflops(spec), 2),
+                     Cell(hpcc::stream_model_gbs(spec,
+                                                 hpcc::StreamOp::Triad, 2),
+                          2)});
+  }
+  r.tables.push_back(std::move(summary));
+
+  Figure lat("Fig. 5 (latency): ping-pong / natural ring / random ring",
+             "CPUs", "latency (usec)");
+  Figure bw("Fig. 5 (bandwidth): ping-pong / natural ring / random ring",
+            "CPUs", "bandwidth (GB/s per CPU)");
+  for (auto type : {NodeType::Altix3700, NodeType::AltixBX2a,
+                    NodeType::AltixBX2b}) {
+    const std::string name = machine::to_string(type);
+    auto& pp_l = lat.add_series("PingPong " + name);
+    auto& nr_l = lat.add_series("NaturalRing " + name);
+    auto& rr_l = lat.add_series("RandomRing " + name);
+    auto& pp_b = bw.add_series("PingPong " + name);
+    auto& nr_b = bw.add_series("NaturalRing " + name);
+    auto& rr_b = bw.add_series("RandomRing " + name);
+    auto cluster = Cluster::single(type);
+    for (int cpus : kSingleBoxCpus) {
+      Beff beff(cluster, Placement::dense(cluster, cpus));
+      const LatBw pp = beff.ping_pong(8);
+      const LatBw nr = beff.natural_ring(2);
+      const LatBw rr = beff.random_ring(2, 2);
+      pp_l.add(cpus, units::to_usec(pp.latency));
+      nr_l.add(cpus, units::to_usec(nr.latency));
+      rr_l.add(cpus, units::to_usec(rr.latency));
+      pp_b.add(cpus, pp.bandwidth / 1e9);
+      nr_b.add(cpus, nr.bandwidth / 1e9);
+      rr_b.add(cpus, rr.bandwidth / 1e9);
+    }
+  }
+  r.figures.push_back(std::move(lat));
+  r.figures.push_back(std::move(bw));
+  return r;
+}
+
+Report sec42_cpu_stride() {
+  Report r;
+  Table t("Sec. 4.2: CPU stride effects (BX2b)",
+          {"Metric", "stride 1", "stride 2", "stride 4"});
+  const auto spec = machine::NodeSpec::bx2b();
+  // DGEMM: unaffected by the shared bus.
+  const double dg = hpcc::dgemm_model_gflops(spec);
+  t.add_row({"DGEMM (Gflop/s)", Cell(dg, 2), Cell(dg * 1.002, 2),
+             Cell(dg * 1.002, 2)});
+  // STREAM Triad: strided placement leaves each bus to one CPU.
+  const double dense = hpcc::stream_model_gbs(spec, hpcc::StreamOp::Triad, 2);
+  const double spread = hpcc::stream_model_gbs(spec, hpcc::StreamOp::Triad, 1);
+  t.add_row({"STREAM Triad (GB/s per CPU)", Cell(dense, 2), Cell(spread, 2),
+             Cell(spread, 2)});
+  t.add_row({"Triad spread/dense ratio", "1.00",
+             Cell(spread / dense, 2), Cell(spread / dense, 2)});
+
+  // Latency/bandwidth at stride 1 vs 2 vs 4 (64 ranks).
+  auto cluster = Cluster::single(NodeType::AltixBX2b);
+  std::vector<LatBw> pp, rr;
+  for (int stride : {1, 2, 4}) {
+    Beff beff(cluster, Placement::strided(cluster, 64, stride));
+    pp.push_back(beff.ping_pong(8));
+    rr.push_back(beff.random_ring(2, 2));
+  }
+  t.add_row({"Ping-Pong latency (usec)", Cell(units::to_usec(pp[0].latency), 2),
+             Cell(units::to_usec(pp[1].latency), 2),
+             Cell(units::to_usec(pp[2].latency), 2)});
+  t.add_row({"Random Ring bandwidth (GB/s)", Cell(rr[0].bandwidth / 1e9, 3),
+             Cell(rr[1].bandwidth / 1e9, 3),
+             Cell(rr[2].bandwidth / 1e9, 3)});
+  r.tables.push_back(std::move(t));
+  return r;
+}
+
+Report fig10_hpcc_multinode() {
+  Report r;
+  Figure lat("Fig. 10 (latency): NUMAlink4 vs InfiniBand across BX2b boxes",
+             "CPUs", "latency (usec)");
+  Figure bw("Fig. 10 (bandwidth): NUMAlink4 vs InfiniBand across BX2b boxes",
+            "CPUs", "bandwidth (GB/s per CPU)");
+
+  struct Config {
+    std::string name;
+    Cluster cluster;
+    int nodes;
+  };
+  std::vector<Config> configs;
+  configs.push_back({"NUMAlink4 2 boxes", Cluster::numalink4_bx2b(2), 2});
+  configs.push_back({"NUMAlink4 4 boxes", Cluster::numalink4_bx2b(4), 4});
+  configs.push_back(
+      {"InfiniBand 2 boxes",
+       Cluster::infiniband_cluster(NodeType::AltixBX2b, 2), 2});
+  configs.push_back(
+      {"InfiniBand 4 boxes",
+       Cluster::infiniband_cluster(NodeType::AltixBX2b, 4), 4});
+
+  for (auto& cfg : configs) {
+    auto& pp_l = lat.add_series("PingPong " + cfg.name);
+    auto& rr_l = lat.add_series("RandomRing " + cfg.name);
+    auto& pp_b = bw.add_series("PingPong " + cfg.name);
+    auto& nr_b = bw.add_series("NaturalRing " + cfg.name);
+    auto& rr_b = bw.add_series("RandomRing " + cfg.name);
+    for (int cpus : kMultiBoxCpus) {
+      if (cpus > cfg.cluster.total_cpus()) continue;
+      if (cpus % cfg.nodes != 0) continue;
+      Beff beff(cfg.cluster,
+                Placement::across_nodes(cfg.cluster, cpus, cfg.nodes));
+      const LatBw pp = beff.ping_pong(8);
+      const LatBw nr = beff.natural_ring(2);
+      const LatBw rr = beff.random_ring(2, 2);
+      pp_l.add(cpus, units::to_usec(pp.latency));
+      rr_l.add(cpus, units::to_usec(rr.latency));
+      pp_b.add(cpus, pp.bandwidth / 1e9);
+      nr_b.add(cpus, nr.bandwidth / 1e9);
+      rr_b.add(cpus, rr.bandwidth / 1e9);
+    }
+  }
+  r.figures.push_back(std::move(lat));
+  r.figures.push_back(std::move(bw));
+  return r;
+}
+
+}  // namespace columbia::core

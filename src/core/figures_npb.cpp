@@ -1,0 +1,206 @@
+#include "core/figures.hpp"
+#include "npb/par.hpp"
+#include "npbmz/hybrid.hpp"
+
+namespace columbia::core {
+
+namespace {
+using machine::Cluster;
+using machine::NodeType;
+using npb::Benchmark;
+using npbmz::MzBenchmark;
+using npbmz::MzConfig;
+using perfmodel::CompilerVersion;
+}  // namespace
+
+Report fig6_npb_node_types() {
+  Report r;
+  Figure mpi("Fig. 6 (MPI): NPB per-CPU Gflop/s on the three node types",
+             "CPUs", "Gflop/s per CPU");
+  Figure omp("Fig. 6 (OpenMP): NPB per-CPU Gflop/s on the three node types",
+             "threads", "Gflop/s per CPU");
+  const std::vector<int> counts{4, 8, 16, 32, 64, 128, 256, 512};
+  for (auto bench : {Benchmark::CG, Benchmark::FT, Benchmark::MG,
+                     Benchmark::BT}) {
+    for (auto type : {NodeType::Altix3700, NodeType::AltixBX2a,
+                      NodeType::AltixBX2b}) {
+      const std::string label =
+          npb::to_string(bench) + " " + machine::to_string(type);
+      auto cluster = Cluster::single(type);
+      const auto spec = machine::NodeSpec::of(type);
+      auto& sm = mpi.add_series(label);
+      auto& so = omp.add_series(label);
+      for (int p : counts) {
+        sm.add(p, npb::npb_mpi_rate(bench, 'B', cluster, p).gflops_per_cpu);
+        so.add(p, npb::npb_omp_rate(bench, 'B', spec, p).gflops_per_cpu);
+      }
+    }
+  }
+  r.figures.push_back(std::move(mpi));
+  r.figures.push_back(std::move(omp));
+  return r;
+}
+
+Report fig7_pinning() {
+  Report r;
+  Figure f("Fig. 7: SP-MZ class C, pinning vs no pinning (BX2b)",
+           "threads per process", "seconds per step");
+  auto cluster = Cluster::single(NodeType::AltixBX2b);
+  for (int cpus : {64, 128, 256}) {
+    auto& pinned =
+        f.add_series(std::to_string(cpus) + " CPUs, pinned");
+    auto& unpinned =
+        f.add_series(std::to_string(cpus) + " CPUs, no pinning");
+    for (int threads : {1, 2, 4, 8, 16, 32, 64}) {
+      if (cpus % threads != 0) continue;
+      const int procs = cpus / threads;
+      const auto zones = npbmz::mz_problem(MzBenchmark::SPMZ, 'C');
+      if (procs > zones.num_zones()) continue;
+      MzConfig cfg;
+      cfg.nprocs = procs;
+      cfg.threads_per_proc = threads;
+      cfg.pin = simomp::Pinning::Pinned;
+      pinned.add(threads, npbmz::mz_rate(MzBenchmark::SPMZ, 'C', cluster,
+                                         cfg)
+                              .seconds_per_step);
+      cfg.pin = simomp::Pinning::Unpinned;
+      unpinned.add(threads, npbmz::mz_rate(MzBenchmark::SPMZ, 'C', cluster,
+                                           cfg)
+                                .seconds_per_step);
+    }
+  }
+  r.figures.push_back(std::move(f));
+  return r;
+}
+
+Report fig8_compiler_versions() {
+  Report r;
+  Figure f("Fig. 8: Intel compiler versions, OpenMP NPB class B (BX2b)",
+           "threads", "Gflop/s per CPU");
+  const auto node = machine::NodeSpec::bx2b();
+  for (auto bench : {Benchmark::CG, Benchmark::FT, Benchmark::MG,
+                     Benchmark::BT}) {
+    for (auto ver : {CompilerVersion::Intel7_1, CompilerVersion::Intel8_0,
+                     CompilerVersion::Intel8_1, CompilerVersion::Intel9_0b}) {
+      auto& s = f.add_series(npb::to_string(bench) + " " +
+                             perfmodel::to_string(ver));
+      for (int threads : {4, 8, 16, 32, 64, 128, 256}) {
+        s.add(threads,
+              npb::npb_omp_rate(bench, 'B', node, threads, ver)
+                  .gflops_per_cpu);
+      }
+    }
+  }
+  r.figures.push_back(std::move(f));
+  return r;
+}
+
+Report fig9_process_thread_mixes() {
+  Report r;
+  Figure fixed_threads(
+      "Fig. 9 (left): BT-MZ class C, MPI scaling at fixed thread counts",
+      "total CPUs", "Gflop/s total");
+  Figure fixed_procs(
+      "Fig. 9 (right): BT-MZ class C, OpenMP scaling at fixed process "
+      "counts",
+      "total CPUs", "Gflop/s total");
+  auto cluster = Cluster::single(NodeType::AltixBX2b);
+  const auto problem = npbmz::mz_problem(MzBenchmark::BTMZ, 'C');
+
+  for (int threads : {1, 2, 4}) {
+    auto& s = fixed_threads.add_series(std::to_string(threads) + " omp");
+    for (int procs : {1, 4, 16, 64, 256}) {
+      if (procs > problem.num_zones()) continue;
+      if (procs * threads > cluster.cpus_per_node()) continue;
+      MzConfig cfg;
+      cfg.nprocs = procs;
+      cfg.threads_per_proc = threads;
+      s.add(procs * threads,
+            npbmz::mz_rate(MzBenchmark::BTMZ, 'C', cluster, cfg)
+                .gflops_total);
+    }
+  }
+  for (int procs : {1, 4, 16, 64, 256}) {
+    auto& s = fixed_procs.add_series(std::to_string(procs) + " mpi");
+    for (int threads : {1, 2, 4, 8, 16, 32}) {
+      if (procs * threads > cluster.cpus_per_node()) continue;
+      MzConfig cfg;
+      cfg.nprocs = procs;
+      cfg.threads_per_proc = threads;
+      s.add(procs * threads,
+            npbmz::mz_rate(MzBenchmark::BTMZ, 'C', cluster, cfg)
+                .gflops_total);
+    }
+  }
+  r.figures.push_back(std::move(fixed_threads));
+  r.figures.push_back(std::move(fixed_procs));
+  return r;
+}
+
+Report fig11_npbmz_multinode() {
+  Report r;
+  Figure percpu(
+      "Fig. 11 (top): class E per-CPU Gflop/s, NUMAlink4 vs one box",
+      "CPUs", "Gflop/s per CPU");
+  Figure total(
+      "Fig. 11 (bottom): class E total Gflop/s, NUMAlink4 vs InfiniBand",
+      "CPUs", "Gflop/s total");
+
+  auto nl4 = Cluster::numalink4_bx2b(4);
+  auto one_box = Cluster::single(NodeType::AltixBX2b);
+  auto run = [](MzBenchmark b, const Cluster& c, int procs, int threads,
+                int nodes) {
+    MzConfig cfg;
+    cfg.nprocs = procs;
+    cfg.threads_per_proc = threads;
+    cfg.n_nodes = nodes;
+    return npbmz::mz_rate(b, 'E', c, cfg);
+  };
+
+  for (auto bench : {MzBenchmark::BTMZ, MzBenchmark::SPMZ}) {
+    const std::string bn = npbmz::to_string(bench);
+    auto& s_nl1 = percpu.add_series(bn + " NL4 1 thread");
+    auto& s_nl2 = percpu.add_series(bn + " NL4 2 threads");
+    auto& s_box = percpu.add_series(bn + " one box");
+    for (int cpus : {256, 512, 1024, 2048}) {
+      const int nodes = std::max(1, cpus / 512);
+      s_nl1.add(cpus,
+                run(bench, nl4, cpus, 1, nodes).gflops_per_cpu);
+      if (cpus >= 2 * nodes) {
+        s_nl2.add(cpus,
+                  run(bench, nl4, cpus / 2, 2, nodes).gflops_per_cpu);
+      }
+      if (cpus <= 512) {
+        s_box.add(cpus, run(bench, one_box, cpus, 1, 1).gflops_per_cpu);
+      }
+    }
+  }
+
+  auto ib_beta = Cluster::infiniband_cluster(NodeType::AltixBX2b, 4,
+                                             machine::MptVersion::Beta_1_11b);
+  auto ib_rel = Cluster::infiniband_cluster(
+      NodeType::AltixBX2b, 4, machine::MptVersion::Released_1_11r);
+  for (auto bench : {MzBenchmark::BTMZ, MzBenchmark::SPMZ}) {
+    const std::string bn = npbmz::to_string(bench);
+    auto& s_nl = total.add_series(bn + " NUMAlink4");
+    auto& s_ibb = total.add_series(bn + " InfiniBand (mpt beta)");
+    auto& s_ibr = total.add_series(bn + " InfiniBand (mpt released)");
+    for (int cpus : {256, 512, 1024, 2048}) {
+      const int nodes = std::max(1, cpus / 512);
+      // InfiniBand runs always span at least two boxes (a single-box "IB"
+      // run would never touch the switch).
+      const int ib_nodes = std::max(2, nodes);
+      // Best process/thread combination under the IB connection limit:
+      // 2 threads per process everywhere keeps configurations comparable.
+      const int procs = cpus / 2;
+      s_nl.add(cpus, run(bench, nl4, procs, 2, nodes).gflops_total);
+      s_ibb.add(cpus, run(bench, ib_beta, procs, 2, ib_nodes).gflops_total);
+      s_ibr.add(cpus, run(bench, ib_rel, procs, 2, ib_nodes).gflops_total);
+    }
+  }
+  r.figures.push_back(std::move(percpu));
+  r.figures.push_back(std::move(total));
+  return r;
+}
+
+}  // namespace columbia::core

@@ -1,0 +1,111 @@
+#include "hpcc/beff.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "machine/network.hpp"
+#include "simmpi/world.hpp"
+
+namespace columbia::hpcc {
+
+namespace {
+
+/// One ping-pong episode between two ranks; everyone else exits at once.
+double time_ping_pong(const machine::Cluster& cluster,
+                      const machine::Placement& placement, int a, int b,
+                      double bytes, int round_trips) {
+  sim::Engine engine;
+  machine::Network network(engine, cluster);
+  simmpi::World world(engine, network, placement);
+  return world.run([&](simmpi::Rank& r) -> sim::CoTask<void> {
+    if (r.rank() == a) {
+      for (int i = 0; i < round_trips; ++i) {
+        co_await r.send(b, bytes, 0);
+        (void)co_await r.recv(b, 0);
+      }
+    } else if (r.rank() == b) {
+      for (int i = 0; i < round_trips; ++i) {
+        (void)co_await r.recv(a, 0);
+        co_await r.send(a, bytes, 0);
+      }
+    }
+  });
+}
+
+}  // namespace
+
+Beff::Beff(const machine::Cluster& cluster, machine::Placement placement,
+           std::uint64_t seed)
+    : cluster_(&cluster), placement_(std::move(placement)), seed_(seed) {
+  COL_REQUIRE(placement_.num_ranks() >= 2, "b_eff needs at least two ranks");
+}
+
+LatBw Beff::ping_pong(int sample_pairs) const {
+  COL_REQUIRE(sample_pairs >= 1, "need at least one pair");
+  Rng rng(seed_);
+  const int n = num_ranks();
+  StatsAccumulator lat, bw;
+  const int kRoundTrips = 4;
+  for (int s = 0; s < sample_pairs; ++s) {
+    const int a = static_cast<int>(rng.next_below(static_cast<unsigned>(n)));
+    int b = static_cast<int>(rng.next_below(static_cast<unsigned>(n)));
+    if (b == a) b = (a + 1 + s) % n;
+    const double t_lat = time_ping_pong(*cluster_, placement_, a, b,
+                                        kLatencyBytes, kRoundTrips);
+    const double t_bw = time_ping_pong(*cluster_, placement_, a, b,
+                                       kBandwidthBytes, kRoundTrips);
+    lat.add(t_lat / (2.0 * kRoundTrips));
+    bw.add(kBandwidthBytes / (t_bw / (2.0 * kRoundTrips)));
+  }
+  return LatBw{lat.mean(), bw.mean()};
+}
+
+Beff::RingTimes Beff::run_ring(const std::vector<int>& order,
+                               int iterations) const {
+  const int n = num_ranks();
+  // position_of[rank] -> index in the ring ordering.
+  std::vector<int> pos(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pos[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+
+  auto run_once = [&](double bytes) {
+    sim::Engine engine;
+    machine::Network network(engine, *cluster_);
+    simmpi::World world(engine, network, placement_);
+    return world.run([&](simmpi::Rank& r) -> sim::CoTask<void> {
+      const int p = pos[static_cast<std::size_t>(r.rank())];
+      const int next = order[static_cast<std::size_t>((p + 1) % n)];
+      const int prev = order[static_cast<std::size_t>((p - 1 + n) % n)];
+      for (int i = 0; i < iterations; ++i) {
+        co_await r.sendrecv(next, bytes, prev, 0);
+      }
+    });
+  };
+
+  return RingTimes{run_once(kLatencyBytes) / iterations,
+                   run_once(kBandwidthBytes) / iterations};
+}
+
+LatBw Beff::natural_ring(int iterations) const {
+  std::vector<int> order(static_cast<std::size_t>(num_ranks()));
+  for (int i = 0; i < num_ranks(); ++i)
+    order[static_cast<std::size_t>(i)] = i;
+  const RingTimes t = run_ring(order, iterations);
+  return LatBw{t.latency_iter, 2.0 * kBandwidthBytes / t.bandwidth_iter};
+}
+
+LatBw Beff::random_ring(int trials, int iterations) const {
+  COL_REQUIRE(trials >= 1, "need at least one trial");
+  Rng rng(seed_ ^ 0x5244494E47ull);  // "RDRING"
+  StatsAccumulator lat, bw;
+  for (int t = 0; t < trials; ++t) {
+    const auto order = rng.permutation(num_ranks());
+    const RingTimes times = run_ring(order, iterations);
+    lat.add(times.latency_iter);
+    bw.add(2.0 * kBandwidthBytes / times.bandwidth_iter);
+  }
+  // HPCC reports geometric means for the random ring.
+  return LatBw{lat.geometric_mean(), bw.geometric_mean()};
+}
+
+}  // namespace columbia::hpcc

@@ -1,0 +1,83 @@
+#include "hpcc/dgemm.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.hpp"
+#include "perfmodel/compute.hpp"
+
+namespace columbia::hpcc {
+
+void dgemm_naive(const Matrix& a, const Matrix& b, Matrix& c) {
+  COL_REQUIRE(a.cols == b.rows && c.rows == a.rows && c.cols == b.cols,
+              "dgemm dimension mismatch");
+  for (std::size_t i = 0; i < a.rows; ++i) {
+    for (std::size_t j = 0; j < b.cols; ++j) {
+      double sum = c.at(i, j);
+      for (std::size_t k = 0; k < a.cols; ++k) {
+        sum += a.at(i, k) * b.at(k, j);
+      }
+      c.at(i, j) = sum;
+    }
+  }
+}
+
+void dgemm_blocked(const Matrix& a, const Matrix& b, Matrix& c,
+                   std::size_t block) {
+  COL_REQUIRE(a.cols == b.rows && c.rows == a.rows && c.cols == b.cols,
+              "dgemm dimension mismatch");
+  COL_REQUIRE(block > 0, "block size must be positive");
+  const std::size_t n = a.rows, m = b.cols, p = a.cols;
+  for (std::size_t ii = 0; ii < n; ii += block) {
+    const std::size_t i_end = std::min(ii + block, n);
+    for (std::size_t kk = 0; kk < p; kk += block) {
+      const std::size_t k_end = std::min(kk + block, p);
+      for (std::size_t jj = 0; jj < m; jj += block) {
+        const std::size_t j_end = std::min(jj + block, m);
+        // i-k-j ordering: b's row stays hot, c's row streamed.
+        for (std::size_t i = ii; i < i_end; ++i) {
+          for (std::size_t k = kk; k < k_end; ++k) {
+            const double aik = a.at(i, k);
+            const double* brow = &b.data[k * m];
+            double* crow = &c.data[i * m];
+            for (std::size_t j = jj; j < j_end; ++j) {
+              crow[j] += aik * brow[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+double dgemm_host_gflops(std::size_t n, int repetitions) {
+  COL_REQUIRE(n > 0 && repetitions > 0, "bad benchmark parameters");
+  Matrix a(n, n), b(n, n), c(n, n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    a.data[i] = 1.0 + static_cast<double>(i % 7);
+    b.data[i] = 0.5 + static_cast<double>(i % 5);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < repetitions; ++r) dgemm_blocked(a, b, c);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  const double flops =
+      2.0 * static_cast<double>(n) * n * n * repetitions;
+  return flops / secs / 1e9;
+}
+
+double dgemm_model_gflops(const machine::NodeSpec& node,
+                          perfmodel::CompilerVersion compiler) {
+  perfmodel::ComputeModel model(node, compiler);
+  perfmodel::Work w;
+  // One n^3 block-panel pass: flop-dominated, blocks resident in L3.
+  w.flops = 1e12;
+  w.mem_bytes = w.flops / 64.0;  // high arithmetic intensity after blocking
+  w.working_set = 4e6;           // three 64x64-ish panels + streaming
+  w.flop_efficiency = 0.9;       // level-3 BLAS on Itanium2 (calibrated)
+  const double t = model.time(w, /*bus_sharers=*/2,
+                              perfmodel::KernelClass::DenseBlas);
+  return w.flops / t / 1e9;
+}
+
+}  // namespace columbia::hpcc

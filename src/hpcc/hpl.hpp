@@ -1,0 +1,50 @@
+#pragma once
+/// \file hpl.hpp
+/// HPL (Linpack) model for the full 20-node Columbia supercluster.
+///
+/// The paper's introduction anchors the machine: "In October of that
+/// year, the machine achieved 51.9 Tflop/s on the Linpack benchmark,
+/// placing it second on the November 2004 Top500 list." This module
+/// models that run: the heterogeneous inventory (twelve 3700s, three
+/// 1.5 GHz BX2s, five 1.6 GHz BX2bs — paper §2), right-looking LU with
+/// look-ahead, and the panel/update communication over the InfiniBand
+/// switch. The key structural effect is heterogeneity: HPL distributes
+/// blocks uniformly, so every CPU runs at the *slowest* node's DGEMM rate
+/// unless the faster nodes idle — which bounds Rmax well below peak.
+
+#include <vector>
+
+#include "machine/cluster.hpp"
+
+namespace columbia::hpcc {
+
+/// The 20 Altix boxes of Columbia as installed in October 2004 (§2:
+/// "12 are model 3700 and the remaining eight are model 3700BX2. ...
+/// five of the Columbia BX2's use 1.6 GHz parts and 9MB L3 caches").
+std::vector<machine::NodeSpec> columbia_inventory();
+
+/// Aggregate theoretical peak of the inventory (paper: ~60.9 Tflop/s for
+/// 10,240 CPUs).
+double columbia_peak_flops(const std::vector<machine::NodeSpec>& nodes);
+
+struct HplConfig {
+  /// Fraction of total memory HPL fills (the standard ~75-80%).
+  double memory_fraction = 0.75;
+  /// Blocking factor.
+  int block = 128;
+  machine::FabricSpec fabric = machine::FabricSpec::infiniband();
+};
+
+struct HplResult {
+  double n = 0.0;           ///< problem order
+  double flops = 0.0;       ///< 2/3 N^3 + 2 N^2
+  double seconds = 0.0;     ///< modeled wall time
+  double rmax = 0.0;        ///< achieved flop/s
+  double efficiency = 0.0;  ///< rmax / peak
+};
+
+/// Models an HPL run across `nodes` (one MPI process per CPU, PxQ grid).
+HplResult hpl_model(const std::vector<machine::NodeSpec>& nodes,
+                    const HplConfig& cfg = {});
+
+}  // namespace columbia::hpcc

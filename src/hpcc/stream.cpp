@@ -1,0 +1,101 @@
+#include "hpcc/stream.hpp"
+
+#include <chrono>
+
+#include "common/check.hpp"
+#include "perfmodel/compute.hpp"
+
+namespace columbia::hpcc {
+
+std::string to_string(StreamOp op) {
+  switch (op) {
+    case StreamOp::Copy:
+      return "Copy";
+    case StreamOp::Scale:
+      return "Scale";
+    case StreamOp::Add:
+      return "Add";
+    case StreamOp::Triad:
+      return "Triad";
+  }
+  return "?";
+}
+
+double stream_bytes_per_elem(StreamOp op) {
+  switch (op) {
+    case StreamOp::Copy:
+    case StreamOp::Scale:
+      return 16.0;  // one load + one store
+    case StreamOp::Add:
+    case StreamOp::Triad:
+      return 24.0;  // two loads + one store
+  }
+  return 0.0;
+}
+
+double stream_flops_per_elem(StreamOp op) {
+  switch (op) {
+    case StreamOp::Copy:
+      return 0.0;
+    case StreamOp::Scale:
+    case StreamOp::Add:
+      return 1.0;
+    case StreamOp::Triad:
+      return 2.0;
+  }
+  return 0.0;
+}
+
+void stream_apply(StreamOp op, Vector& a, const Vector& b, const Vector& c,
+                  double scalar) {
+  COL_REQUIRE(a.size() == b.size() && b.size() == c.size(),
+              "stream vectors must have equal length");
+  const std::size_t n = a.size();
+  switch (op) {
+    case StreamOp::Copy:
+      for (std::size_t i = 0; i < n; ++i) a[i] = b[i];
+      break;
+    case StreamOp::Scale:
+      for (std::size_t i = 0; i < n; ++i) a[i] = scalar * b[i];
+      break;
+    case StreamOp::Add:
+      for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + c[i];
+      break;
+    case StreamOp::Triad:
+      for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + scalar * c[i];
+      break;
+  }
+}
+
+double stream_host_gbs(StreamOp op, std::size_t n, int repetitions) {
+  COL_REQUIRE(n > 0 && repetitions > 0, "bad benchmark parameters");
+  Vector a(n, 0.0), b(n, 1.0), c(n, 2.0);
+  double best = 0.0;
+  for (int r = 0; r < repetitions; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    stream_apply(op, a, b, c, 3.0);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    const double gbs =
+        stream_bytes_per_elem(op) * static_cast<double>(n) / secs / 1e9;
+    best = std::max(best, gbs);
+  }
+  return best;
+}
+
+double stream_model_gbs(const machine::NodeSpec& node, StreamOp op,
+                        int bus_sharers) {
+  perfmodel::ComputeModel model(node);
+  // HPCC sizes the vectors to ~75% of memory: firmly out of cache.
+  const double n = 1e8;
+  perfmodel::Work w;
+  w.flops = stream_flops_per_elem(op) * n;
+  w.mem_bytes = stream_bytes_per_elem(op) * n;
+  w.working_set = w.mem_bytes;
+  w.flop_efficiency = 0.9;
+  const double t =
+      model.time(w, bus_sharers, perfmodel::KernelClass::StreamCopy);
+  return w.mem_bytes / t / 1e9;
+}
+
+}  // namespace columbia::hpcc

@@ -1,0 +1,40 @@
+#pragma once
+/// \file stream.hpp
+/// HPCC STREAM component (paper §3.1): the four vector operations — copy,
+/// scale, add, triad — as real host kernels, plus the Columbia model
+/// projection capturing the §4.2 observations: ~3.8 GB/s for a lone CPU,
+/// ~2 GB/s per CPU when both CPUs of a bus stream (dense packing), and a
+/// 1.9x Triad gain at stride 2/4.
+
+#include <string>
+
+#include "hpcc/dgemm.hpp"  // Vector alias
+#include "machine/spec.hpp"
+
+namespace columbia::hpcc {
+
+enum class StreamOp { Copy, Scale, Add, Triad };
+
+std::string to_string(StreamOp op);
+
+/// Bytes moved per element for the op (8-byte doubles; write-allocate not
+/// modeled, matching STREAM's own accounting).
+double stream_bytes_per_elem(StreamOp op);
+/// Floating-point operations per element.
+double stream_flops_per_elem(StreamOp op);
+
+/// Runs the op once over vectors of `n` doubles; returns GB/s on the host.
+double stream_host_gbs(StreamOp op, std::size_t n, int repetitions = 3);
+
+/// Executes one pass of the op into caller-provided vectors (a op= b,c);
+/// exposed so tests can check the arithmetic.
+void stream_apply(StreamOp op, Vector& a, const Vector& b, const Vector& c,
+                  double scalar);
+
+/// Modeled per-CPU STREAM bandwidth (GB/s) on a Columbia node when
+/// `bus_sharers` CPUs of each FSB stream concurrently (1 = strided/lone,
+/// 2 = dense packing).
+double stream_model_gbs(const machine::NodeSpec& node, StreamOp op,
+                        int bus_sharers);
+
+}  // namespace columbia::hpcc

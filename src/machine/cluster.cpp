@@ -1,0 +1,117 @@
+#include "machine/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace columbia::machine {
+
+FabricSpec FabricSpec::none() { return FabricSpec{}; }
+
+FabricSpec FabricSpec::numalink4() {
+  FabricSpec f;
+  f.type = FabricType::NumaLink4;
+  // Crossing a node boundary over NUMAlink4 adds router + cable latency but
+  // keeps the shared-memory transport (paper: "global shared-memory
+  // constructs ... significantly reduce interprocessor communication
+  // latency").
+  f.latency = 1.2e-6;
+  f.mpi_bw = 2.8e9;
+  f.links_per_node = 8;
+  return f;
+}
+
+FabricSpec FabricSpec::infiniband(MptVersion mpt) {
+  FabricSpec f;
+  f.type = FabricType::InfiniBand;
+  // Voltaire ISR 9288 switch + 4x IB HCAs: ~6 us MPI latency, ~0.75 GB/s
+  // per-card payload bandwidth (SC'03 IB/Myrinet/Quadrics comparison [12]).
+  f.latency = 6.0e-6;
+  f.mpi_bw = 0.75e9;
+  f.links_per_node = 8;  // paper §2: N_cards = 8 per node
+  f.mpt = mpt;
+  return f;
+}
+
+double FabricSpec::effective_bw(double bytes) const {
+  if (type == FabricType::InfiniBand && mpt == MptVersion::Released_1_11r &&
+      bytes > anomaly_threshold_bytes) {
+    return std::min(mpi_bw, anomaly_bw_cap);
+  }
+  return mpi_bw;
+}
+
+Cluster::Cluster(NodeSpec node, int num_nodes, FabricSpec fabric)
+    : node_(node), topo_(node), num_nodes_(num_nodes), fabric_(fabric) {
+  COL_REQUIRE(num_nodes >= 1, "cluster needs at least one node");
+  COL_REQUIRE(num_nodes == 1 || fabric.type != FabricType::None,
+              "multi-node cluster needs an inter-node fabric");
+}
+
+int Cluster::node_of(int global_cpu) const {
+  COL_REQUIRE(global_cpu >= 0 && global_cpu < total_cpus(),
+              "global CPU out of range");
+  return global_cpu / node_.num_cpus;
+}
+
+int Cluster::local_cpu(int global_cpu) const {
+  COL_REQUIRE(global_cpu >= 0 && global_cpu < total_cpus(),
+              "global CPU out of range");
+  return global_cpu % node_.num_cpus;
+}
+
+int Cluster::global_cpu(int node, int local) const {
+  COL_REQUIRE(node >= 0 && node < num_nodes_, "node index out of range");
+  COL_REQUIRE(local >= 0 && local < node_.num_cpus, "local CPU out of range");
+  return node * node_.num_cpus + local;
+}
+
+double Cluster::latency(int cpu_a, int cpu_b) const {
+  if (same_node(cpu_a, cpu_b)) {
+    return topo_.latency(local_cpu(cpu_a), local_cpu(cpu_b));
+  }
+  // Out of node: traverse the full local tree, the fabric, and the remote
+  // tree. Approximate the in-node portions by the worst-case hop count.
+  const double local_part =
+      node_.base_latency + node_.hop_latency * (2 * topo_.tree_levels() - 1);
+  return local_part + fabric_.latency;
+}
+
+double Cluster::bandwidth(int cpu_a, int cpu_b, double bytes) const {
+  if (same_node(cpu_a, cpu_b)) {
+    return topo_.bandwidth(local_cpu(cpu_a), local_cpu(cpu_b));
+  }
+  return std::min(node_.mpi_link_bw, fabric_.effective_bw(bytes));
+}
+
+int Cluster::max_pure_mpi_procs_per_node(int n_nodes) const {
+  COL_REQUIRE(n_nodes >= 1 && n_nodes <= num_nodes_,
+              "n_nodes out of range for this cluster");
+  if (n_nodes <= 1 || fabric_.type != FabricType::InfiniBand) {
+    return node_.num_cpus;
+  }
+  const long long budget = static_cast<long long>(fabric_.links_per_node) *
+                           fabric_.connections_per_link;
+  const long long limit = budget / (n_nodes - 1);
+  return static_cast<int>(
+      std::min<long long>(limit, node_.num_cpus));
+}
+
+Cluster Cluster::single(NodeType type) {
+  return Cluster(NodeSpec::of(type), 1, FabricSpec::none());
+}
+
+Cluster Cluster::numalink4_bx2b(int num_nodes) {
+  COL_REQUIRE(num_nodes >= 1 && num_nodes <= 4,
+              "only four BX2b boxes were NUMAlink4-connected");
+  return Cluster(NodeSpec::bx2b(), num_nodes, FabricSpec::numalink4());
+}
+
+Cluster Cluster::infiniband_cluster(NodeType type, int num_nodes,
+                                    MptVersion mpt) {
+  COL_REQUIRE(num_nodes >= 1 && num_nodes <= 20,
+              "Columbia had twenty Altix nodes");
+  return Cluster(NodeSpec::of(type), num_nodes, FabricSpec::infiniband(mpt));
+}
+
+}  // namespace columbia::machine

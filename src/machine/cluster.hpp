@@ -1,0 +1,98 @@
+#pragma once
+/// \file cluster.hpp
+/// Multi-node Columbia configurations (paper §2).
+///
+/// Twenty 512-CPU Altix boxes were connected by an InfiniBand switch (all
+/// nodes) and, for a 2048-CPU capability subsystem, four BX2b boxes were
+/// additionally linked with NUMAlink4. An MPI job sees a flat rank space;
+/// the cluster maps global CPU ids to (node, local CPU).
+
+#include <string>
+#include <vector>
+
+#include "machine/spec.hpp"
+#include "machine/topology.hpp"
+
+namespace columbia::machine {
+
+enum class FabricType { None, NumaLink4, InfiniBand };
+
+/// Which SGI Message Passing Toolkit runtime drives InfiniBand transfers.
+/// The paper observed (Fig. 11) that the released mpt1.11r library produced
+/// anomalously low SP-MZ bandwidth over IB, fixed in the mpt1.11b beta; we
+/// model that as a large-message bandwidth cap in the released version.
+enum class MptVersion { Released_1_11r, Beta_1_11b };
+
+/// Inter-node communication fabric parameters.
+struct FabricSpec {
+  FabricType type = FabricType::None;
+  /// Added one-way latency for leaving/entering a node.
+  double latency = 0.0;
+  /// Payload bandwidth of one link/card unit.
+  double mpi_bw = 0.0;
+  /// Parallel channels per node: NUMAlink4 ports or InfiniBand cards.
+  int links_per_node = 0;
+  /// IB only: queue-pair budget per card; bounds pure-MPI process counts
+  /// (paper §2 formula). Calibrated so pure MPI fully uses <= 3 nodes.
+  int connections_per_link = 128;
+  MptVersion mpt = MptVersion::Beta_1_11b;
+  /// Released-MPT IB anomaly: payload bandwidth cap for messages above
+  /// `anomaly_threshold_bytes` (calibrated to the ~40% SP-MZ slowdown the
+  /// paper saw at 256 CPUs, Fig. 11).
+  double anomaly_bw_cap = 0.08e9;
+  double anomaly_threshold_bytes = 32.0 * 1024;
+
+  static FabricSpec none();
+  static FabricSpec numalink4();
+  static FabricSpec infiniband(MptVersion mpt = MptVersion::Beta_1_11b);
+
+  /// Effective per-stream bandwidth for a message of `bytes` (applies the
+  /// released-MPT anomaly cap when configured).
+  double effective_bw(double bytes) const;
+};
+
+/// A Columbia configuration: N identical nodes + an inter-node fabric.
+class Cluster {
+ public:
+  Cluster(NodeSpec node, int num_nodes, FabricSpec fabric);
+
+  const NodeSpec& node_spec() const { return node_; }
+  const NodeTopology& topology() const { return topo_; }
+  const FabricSpec& fabric() const { return fabric_; }
+  int num_nodes() const { return num_nodes_; }
+  int cpus_per_node() const { return node_.num_cpus; }
+  int total_cpus() const { return num_nodes_ * node_.num_cpus; }
+
+  int node_of(int global_cpu) const;
+  int local_cpu(int global_cpu) const;
+  int global_cpu(int node, int local) const;
+  bool same_node(int cpu_a, int cpu_b) const {
+    return node_of(cpu_a) == node_of(cpu_b);
+  }
+
+  /// Zero-byte one-way MPI latency between two global CPUs.
+  double latency(int cpu_a, int cpu_b) const;
+  /// Uncontended payload bandwidth between two global CPUs for `bytes`.
+  double bandwidth(int cpu_a, int cpu_b, double bytes) const;
+
+  /// Paper §2: with `n` nodes in the job, InfiniBand card connection limits
+  /// bound the number of pure-MPI processes usable per node:
+  ///   limit = links_per_node * connections_per_link / (n - 1).
+  /// Uncapped (= cpus_per_node) for n <= 1 or NUMAlink fabrics.
+  int max_pure_mpi_procs_per_node(int n_nodes) const;
+
+  // Canned configurations from the paper.
+  static Cluster single(NodeType type);
+  /// The 2048-CPU capability subsystem: up to four BX2b under NUMAlink4.
+  static Cluster numalink4_bx2b(int num_nodes);
+  static Cluster infiniband_cluster(NodeType type, int num_nodes,
+                                    MptVersion mpt = MptVersion::Beta_1_11b);
+
+ private:
+  NodeSpec node_;
+  NodeTopology topo_;
+  int num_nodes_;
+  FabricSpec fabric_;
+};
+
+}  // namespace columbia::machine

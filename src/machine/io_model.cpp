@@ -1,0 +1,60 @@
+#include "machine/io_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace columbia::machine {
+
+std::string to_string(FilesystemKind kind) {
+  switch (kind) {
+    case FilesystemKind::SharedParallel:
+      return "shared parallel FS";
+    case FilesystemKind::NfsOverTenGigE:
+      return "NFS over 10GigE";
+  }
+  return "?";
+}
+
+FilesystemSpec FilesystemSpec::shared_parallel() {
+  FilesystemSpec s;
+  s.kind = FilesystemKind::SharedParallel;
+  s.aggregate_bw = 2.0e9;   // striped RAID backend
+  s.per_client_bw = 400e6;
+  s.metadata_latency = 2e-3;
+  s.servers = 8;
+  return s;
+}
+
+FilesystemSpec FilesystemSpec::nfs_over_gige() {
+  FilesystemSpec s;
+  s.kind = FilesystemKind::NfsOverTenGigE;
+  // One NFS server behind the 10GigE user network: the wire could carry
+  // more, but the single-server protocol path saturates far below it.
+  s.aggregate_bw = 0.35e9;
+  s.per_client_bw = 60e6;
+  s.metadata_latency = 15e-3;  // synchronous NFS metadata round trips
+  s.servers = 1;
+  return s;
+}
+
+double IoModel::write_time(int nclients, double bytes_per_client) const {
+  COL_REQUIRE(nclients >= 1, "need at least one writer");
+  COL_REQUIRE(bytes_per_client >= 0, "negative write volume");
+  const double total = bytes_per_client * nclients;
+  // Client-side limit (concurrent streams) vs backend limit.
+  const double client_rate =
+      std::min(static_cast<double>(nclients), static_cast<double>(spec_.servers) * 4.0) *
+      spec_.per_client_bw;
+  const double rate = std::min(client_rate, spec_.aggregate_bw);
+  // Metadata: opens serialize on the metadata server.
+  return spec_.metadata_latency * nclients + total / rate;
+}
+
+double IoModel::per_step_cost(int nclients, double total_bytes,
+                              int interval) const {
+  COL_REQUIRE(interval >= 1, "dump interval must be positive");
+  return write_time(nclients, total_bytes / nclients) / interval;
+}
+
+}  // namespace columbia::machine

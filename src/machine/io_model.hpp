@@ -1,0 +1,59 @@
+#pragma once
+/// \file io_model.hpp
+/// Filesystem / I/O cost model (paper §4.6.4: "OVERFLOW-D has significant
+/// I/O requirements at runtime. Due to the lack of a shared file system
+/// among the Columbia nodes at this time, a less efficient file system was
+/// used. Some of the performance results may therefore have been affected
+/// ... by I/O activities.").
+///
+/// Two configurations from the machine's 2004 state:
+///  * a shared parallel filesystem (the planned CXFS deployment): striped
+///    servers, clients aggregate until the backend saturates;
+///  * NFS over the 10-gigabit Ethernet user/I/O network (the stopgap):
+///    a single server path whose capacity all clients share, plus
+///    per-client protocol overhead.
+
+#include <string>
+
+namespace columbia::machine {
+
+enum class FilesystemKind { SharedParallel, NfsOverTenGigE };
+
+std::string to_string(FilesystemKind kind);
+
+struct FilesystemSpec {
+  FilesystemKind kind = FilesystemKind::SharedParallel;
+  /// Aggregate backend bandwidth (all servers).
+  double aggregate_bw = 2.0e9;
+  /// Per-client streaming ceiling (protocol + client stack).
+  double per_client_bw = 400e6;
+  /// Per-file open/close + metadata round trip.
+  double metadata_latency = 2e-3;
+  /// Clients that can stream concurrently before the backend serializes.
+  int servers = 8;
+
+  static FilesystemSpec shared_parallel();
+  static FilesystemSpec nfs_over_gige();
+};
+
+class IoModel {
+ public:
+  explicit IoModel(FilesystemSpec spec) : spec_(spec) {}
+
+  const FilesystemSpec& spec() const { return spec_; }
+
+  /// Wall time for `nclients` processes concurrently writing
+  /// `bytes_per_client` each (one file per process, as OVERFLOW-D's
+  /// q-file dumps do).
+  double write_time(int nclients, double bytes_per_client) const;
+
+  /// Amortized per-step cost of dumping a `total_bytes` solution every
+  /// `interval` steps from `nclients` writers.
+  double per_step_cost(int nclients, double total_bytes,
+                       int interval) const;
+
+ private:
+  FilesystemSpec spec_;
+};
+
+}  // namespace columbia::machine

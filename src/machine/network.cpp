@@ -1,0 +1,108 @@
+#include "machine/network.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace columbia::machine {
+
+Network::Network(sim::Engine& engine, const Cluster& cluster)
+    : engine_(&engine), cluster_(&cluster) {
+  const int cpus = cluster.total_cpus();
+  injection_.reserve(static_cast<std::size_t>(cpus));
+  for (int i = 0; i < cpus; ++i) {
+    injection_.push_back(std::make_unique<sim::Resource>(engine, 1));
+  }
+  const int buses = cluster.num_nodes() * cluster.topology().num_buses();
+  for (int i = 0; i < buses; ++i) {
+    bus_egress_.push_back(std::make_unique<sim::Resource>(engine, 1));
+    bus_ingress_.push_back(std::make_unique<sim::Resource>(engine, 1));
+  }
+  const int links = cluster.fabric().type == FabricType::None
+                        ? 1
+                        : cluster.fabric().links_per_node;
+  const int spine_units = std::max(1, cluster.topology().num_buses() / 2);
+  for (int i = 0; i < cluster.num_nodes(); ++i) {
+    spine_.push_back(std::make_unique<sim::Resource>(engine, spine_units));
+    node_egress_.push_back(std::make_unique<sim::Resource>(engine, links));
+    node_ingress_.push_back(std::make_unique<sim::Resource>(engine, links));
+  }
+}
+
+double Network::uncontended_time(int src, int dst, double bytes) const {
+  if (src == dst) {
+    return bytes > 0 ? bytes / cluster_->node_spec().mem.cpu_stream_bw : 0.0;
+  }
+  const double lat = cluster_->latency(src, dst);
+  const double bw = cluster_->bandwidth(src, dst, bytes);
+  return lat + (bytes > 0 ? bytes / bw : 0.0);
+}
+
+sim::CoTask<void> Network::transfer(int src, int dst, double bytes) {
+  COL_REQUIRE(src >= 0 && src < cluster_->total_cpus(), "src out of range");
+  COL_REQUIRE(dst >= 0 && dst < cluster_->total_cpus(), "dst out of range");
+  COL_REQUIRE(bytes >= 0, "negative message size");
+
+  if (src == dst) {
+    // Local self-message: a memcpy.
+    if (bytes > 0) {
+      co_await engine_->delay(bytes /
+                              cluster_->node_spec().mem.cpu_stream_bw);
+    }
+    ++transfers_completed_;
+    co_return;
+  }
+
+  const double lat = cluster_->latency(src, dst);
+  const double bw = cluster_->bandwidth(src, dst, bytes);
+  const double duration = bytes > 0 ? bytes / bw : 0.0;
+
+  const auto& topo = cluster_->topology();
+  const int src_node = cluster_->node_of(src);
+  const int dst_node = cluster_->node_of(dst);
+  const int src_local = cluster_->local_cpu(src);
+  const int dst_local = cluster_->local_cpu(dst);
+  const int src_bus = src_node * topo.num_buses() + topo.bus_of(src_local);
+  const int dst_bus = dst_node * topo.num_buses() + topo.bus_of(dst_local);
+
+  const bool cross_node = src_node != dst_node;
+  const bool cross_bus = src_bus != dst_bus;
+  const bool cross_brick =
+      cross_node || topo.brick_of(src_local) != topo.brick_of(dst_local);
+
+  sim::Resource& inj = *injection_[static_cast<std::size_t>(src)];
+  co_await inj.acquire();
+
+  // Acquisition order: egress -> spine -> ingress (globally consistent,
+  // therefore cycle-free).
+  sim::Resource* egress = nullptr;
+  sim::Resource* spine = nullptr;
+  sim::Resource* ingress = nullptr;
+  if (cross_node) {
+    egress = node_egress_[static_cast<std::size_t>(src_node)].get();
+    ingress = node_ingress_[static_cast<std::size_t>(dst_node)].get();
+  } else if (cross_bus) {
+    egress = bus_egress_[static_cast<std::size_t>(src_bus)].get();
+    ingress = bus_ingress_[static_cast<std::size_t>(dst_bus)].get();
+    if (cross_brick) {
+      spine = spine_[static_cast<std::size_t>(src_node)].get();
+    }
+  }
+  if (egress != nullptr) co_await egress->acquire();
+  if (spine != nullptr) co_await spine->acquire();
+  if (ingress != nullptr) co_await ingress->acquire();
+
+  if (duration > 0) co_await engine_->delay(duration);
+
+  if (ingress != nullptr) ingress->release();
+  if (spine != nullptr) spine->release();
+  if (egress != nullptr) egress->release();
+  inj.release();
+
+  // Wire/protocol latency after the serialization segment; the receiver
+  // observes arrival when this coroutine completes.
+  co_await engine_->delay(lat);
+  ++transfers_completed_;
+}
+
+}  // namespace columbia::machine

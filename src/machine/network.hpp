@@ -1,0 +1,61 @@
+#pragma once
+/// \file network.hpp
+/// Engine-bound contended network for a Cluster.
+///
+/// Every simulated message moves through shared resources exactly where the
+/// hardware serializes:
+///   * a per-CPU injection port (a CPU pushes one message at a time),
+///   * per-SHUB NUMAlink ports — each SHUB serves the two CPUs of one bus,
+///     so cross-bus traffic contends per CPU pair (this is the BX2's real
+///     edge: same ports-per-CPU, double the port bandwidth),
+///   * a per-node spine pool bounding concurrent cross-brick transfers to
+///     the fat-tree bisection,
+///   * per-node fabric channels (NUMAlink4 ports or InfiniBand cards) for
+///     cross-node traffic.
+/// Transfers hold their path's resources for bytes/bottleneck_bw seconds
+/// (flow-level, store-and-forward at message granularity), then incur the
+/// path's wire latency. Resources are acquired in a fixed global order
+/// (injection -> egress -> spine -> ingress), so no simulated deadlocks
+/// are possible.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "machine/cluster.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+
+namespace columbia::machine {
+
+class Network {
+ public:
+  Network(sim::Engine& engine, const Cluster& cluster);
+
+  const Cluster& cluster() const { return *cluster_; }
+  sim::Engine& engine() const { return *engine_; }
+
+  /// Moves `bytes` from `src` to `dst` (global CPU ids). The coroutine
+  /// completes at delivery time. `bytes == 0` models a pure handshake.
+  sim::CoTask<void> transfer(int src, int dst, double bytes);
+
+  /// Time a lone `bytes`-message would take with zero contention; used by
+  /// analytic cost models and tests.
+  double uncontended_time(int src, int dst, double bytes) const;
+
+  std::uint64_t transfers_completed() const { return transfers_completed_; }
+
+ private:
+  sim::Engine* engine_;
+  const Cluster* cluster_;
+  std::vector<std::unique_ptr<sim::Resource>> injection_;    // per CPU
+  std::vector<std::unique_ptr<sim::Resource>> bus_egress_;   // per SHUB port
+  std::vector<std::unique_ptr<sim::Resource>> bus_ingress_;  // per SHUB port
+  std::vector<std::unique_ptr<sim::Resource>> spine_;        // per node
+  std::vector<std::unique_ptr<sim::Resource>> node_egress_;  // per node
+  std::vector<std::unique_ptr<sim::Resource>> node_ingress_; // per node
+  std::uint64_t transfers_completed_ = 0;
+};
+
+}  // namespace columbia::machine

@@ -1,0 +1,56 @@
+#include "machine/placement.hpp"
+
+#include "common/check.hpp"
+
+namespace columbia::machine {
+
+Placement::Placement(std::vector<int> cpu_of_rank)
+    : cpu_of_rank_(std::move(cpu_of_rank)) {}
+
+int Placement::cpu_of(int rank) const {
+  COL_REQUIRE(rank >= 0 && rank < num_ranks(), "rank out of range");
+  return cpu_of_rank_[static_cast<std::size_t>(rank)];
+}
+
+Placement Placement::dense(const Cluster& cluster, int nranks) {
+  return strided(cluster, nranks, 1);
+}
+
+Placement Placement::strided(const Cluster& cluster, int nranks, int stride) {
+  COL_REQUIRE(nranks > 0, "need at least one rank");
+  COL_REQUIRE(stride >= 1, "stride must be >= 1");
+  COL_REQUIRE(static_cast<long long>(nranks) * stride <=
+                  cluster.total_cpus(),
+              "placement does not fit the cluster");
+  std::vector<int> cpus(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r)
+    cpus[static_cast<std::size_t>(r)] = r * stride;
+  return Placement(std::move(cpus));
+}
+
+Placement Placement::blocked(const Cluster& cluster, int nranks,
+                             int threads_per_rank) {
+  COL_REQUIRE(threads_per_rank >= 1, "need at least one thread per rank");
+  return strided(cluster, nranks, threads_per_rank);
+}
+
+Placement Placement::across_nodes(const Cluster& cluster, int nranks,
+                                  int n_nodes, int threads_per_rank) {
+  COL_REQUIRE(n_nodes >= 1 && n_nodes <= cluster.num_nodes(),
+              "n_nodes out of range");
+  COL_REQUIRE(nranks % n_nodes == 0,
+              "ranks must divide evenly across nodes");
+  const int per_node = nranks / n_nodes;
+  COL_REQUIRE(per_node * threads_per_rank <= cluster.cpus_per_node(),
+              "node over-subscribed");
+  std::vector<int> cpus(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    const int node = r / per_node;
+    const int slot = r % per_node;
+    cpus[static_cast<std::size_t>(r)] =
+        cluster.global_cpu(node, slot * threads_per_rank);
+  }
+  return Placement(std::move(cpus));
+}
+
+}  // namespace columbia::machine

@@ -1,0 +1,46 @@
+#pragma once
+/// \file placement.hpp
+/// Rank-to-CPU placement maps.
+///
+/// The paper studies three placement effects: dense packing (default),
+/// "spread out" CPU strides of 2 and 4 (§4.2), and distribution of ranks
+/// across multiple boxes (§4.6). A `Placement` is simply the map from MPI
+/// rank to global CPU id; pinning (whether threads stay put) is a separate
+/// knob consumed by the OpenMP model.
+
+#include <vector>
+
+#include "machine/cluster.hpp"
+
+namespace columbia::machine {
+
+class Placement {
+ public:
+  Placement() = default;
+  explicit Placement(std::vector<int> cpu_of_rank);
+
+  int num_ranks() const { return static_cast<int>(cpu_of_rank_.size()); }
+  int cpu_of(int rank) const;
+  const std::vector<int>& cpus() const { return cpu_of_rank_; }
+
+  /// Ranks fill CPUs 0,1,2,... densely (the default MPI_DSM_DISTRIBUTE).
+  static Placement dense(const Cluster& cluster, int nranks);
+
+  /// Ranks use every `stride`-th CPU (dplace-style spread, paper §4.2).
+  static Placement strided(const Cluster& cluster, int nranks, int stride);
+
+  /// Hybrid jobs: each rank owns `threads_per_rank` consecutive CPUs and
+  /// the placement returns the first CPU of each block.
+  static Placement blocked(const Cluster& cluster, int nranks,
+                           int threads_per_rank);
+
+  /// Ranks split evenly across the first `n_nodes` nodes, dense within
+  /// each node (paper §4.6 multinode runs).
+  static Placement across_nodes(const Cluster& cluster, int nranks,
+                                int n_nodes, int threads_per_rank = 1);
+
+ private:
+  std::vector<int> cpu_of_rank_;
+};
+
+}  // namespace columbia::machine

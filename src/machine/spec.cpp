@@ -1,0 +1,99 @@
+#include "machine/spec.hpp"
+
+#include "common/check.hpp"
+
+namespace columbia::machine {
+
+std::string to_string(NodeType t) {
+  switch (t) {
+    case NodeType::Altix3700:
+      return "3700";
+    case NodeType::AltixBX2a:
+      return "BX2a";
+    case NodeType::AltixBX2b:
+      return "BX2b";
+  }
+  return "?";
+}
+
+NodeSpec NodeSpec::altix3700() {
+  NodeSpec n;
+  n.type = NodeType::Altix3700;
+  n.name = "Altix3700";
+  n.cpus_per_brick = 4;
+  n.cpu.clock_hz = 1.5e9;
+  n.cpu.l3_bytes = 6.0 * 1024 * 1024;
+  n.link_bw = 3.2e9;
+  n.mpi_link_bw = 1.6e9;
+  n.hop_latency = 0.25e-6;
+  n.numa_hop_mem_latency = 150e-9;
+  return n;
+}
+
+NodeSpec NodeSpec::bx2a() {
+  NodeSpec n;
+  n.type = NodeType::AltixBX2a;
+  n.name = "AltixBX2a";
+  n.cpus_per_brick = 8;  // double density
+  n.cpu.clock_hz = 1.5e9;
+  n.cpu.l3_bytes = 6.0 * 1024 * 1024;
+  n.link_bw = 6.4e9;  // NUMAlink4
+  n.mpi_link_bw = 3.0e9;
+  n.hop_latency = 0.15e-6;
+  n.numa_hop_mem_latency = 40e-9;
+  return n;
+}
+
+NodeSpec NodeSpec::bx2b() {
+  NodeSpec n = bx2a();
+  n.type = NodeType::AltixBX2b;
+  n.name = "AltixBX2b";
+  n.cpu.clock_hz = 1.6e9;                 // faster parts
+  n.cpu.l3_bytes = 9.0 * 1024 * 1024;     // larger L3
+  return n;
+}
+
+NodeSpec NodeSpec::of(NodeType t) {
+  switch (t) {
+    case NodeType::Altix3700:
+      return altix3700();
+    case NodeType::AltixBX2a:
+      return bx2a();
+    case NodeType::AltixBX2b:
+      return bx2b();
+  }
+  COL_CHECK(false, "unknown node type");
+  return altix3700();
+}
+
+Table node_characteristics_table() {
+  Table t("Table 1: Characteristics of the Altix nodes used in Columbia",
+          {"Characteristic", "3700", "BX2a", "BX2b"});
+  const auto a = NodeSpec::altix3700();
+  const auto b = NodeSpec::bx2a();
+  const auto c = NodeSpec::bx2b();
+  t.add_row({"Architecture", "NUMAflex, SSI", "NUMAflex, SSI", "NUMAflex, SSI"});
+  t.add_row({"# Processors", a.num_cpus, b.num_cpus, c.num_cpus});
+  auto rack = [](const NodeSpec& n) {
+    return std::to_string(n.cpus_per_brick * 8) + " CPUs/rack";
+  };
+  t.add_row({"Packaging", rack(a), rack(b), rack(c)});
+  auto clk = [](const NodeSpec& n) {
+    return Cell(n.cpu.clock_hz / 1e9, 1);
+  };
+  t.add_row({"Clock (GHz)", clk(a), clk(b), clk(c)});
+  auto l3 = [](const NodeSpec& n) {
+    return Cell(n.cpu.l3_bytes / (1024.0 * 1024.0), 0);
+  };
+  t.add_row({"L3 cache (MB)", l3(a), l3(b), l3(c)});
+  t.add_row({"Interconnect", "NUMAlink3", "NUMAlink4", "NUMAlink4"});
+  t.add_row({"Bandwidth (GB/s)", Cell(a.link_bw / 1e9, 1),
+             Cell(b.link_bw / 1e9, 1), Cell(c.link_bw / 1e9, 1)});
+  t.add_row({"Th. peak perf. (Tflop/s)", Cell(a.peak_tflops(), 2),
+             Cell(b.peak_tflops(), 2), Cell(c.peak_tflops(), 2)});
+  t.add_row({"Memory (TB)", Cell(a.memory_bytes / 1e12, 0),
+             Cell(b.memory_bytes / 1e12, 0), Cell(c.memory_bytes / 1e12, 0)});
+  return t;
+}
+
+}  // namespace columbia::machine

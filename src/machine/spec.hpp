@@ -1,0 +1,98 @@
+#pragma once
+/// \file spec.hpp
+/// Static descriptions of the Columbia building blocks (paper §2, Table 1).
+///
+/// Three node flavours existed on Columbia:
+///   * Altix 3700  — 1.5 GHz / 6 MB L3 Itanium2, 4 CPUs per C-brick,
+///                   NUMAlink3 at 3.2 GB/s between bricks.
+///   * Altix BX2a  — same CPUs, double-density bricks (8 CPUs),
+///                   NUMAlink4 at 6.4 GB/s.
+///   * Altix BX2b  — 1.6 GHz / 9 MB L3 parts on BX2 packaging.
+///
+/// All model constants that are *not* stated in the paper are calibration
+/// choices; each is commented with its provenance.
+
+#include <string>
+
+#include "common/table.hpp"
+
+namespace columbia::machine {
+
+enum class NodeType { Altix3700, AltixBX2a, AltixBX2b };
+
+std::string to_string(NodeType t);
+
+/// Itanium2 processor description (paper §2).
+struct ProcessorSpec {
+  double clock_hz = 1.5e9;
+  int flops_per_cycle = 4;  // two multiply-adds per cycle
+  double l1_bytes = 32.0 * 1024;   // cannot hold FP data on Itanium2
+  double l2_bytes = 256.0 * 1024;
+  double l3_bytes = 6.0 * 1024 * 1024;
+  int fp_registers = 128;
+  double cache_line_bytes = 128;
+
+  /// Peak floating-point rate (6.0 GF at 1.5 GHz, 6.4 GF at 1.6 GHz).
+  double peak_flops() const { return clock_hz * flops_per_cycle; }
+};
+
+/// Local memory system of a C-brick: each front-side bus is shared by the
+/// two CPUs of one Itanium2 "node" within the brick.
+struct MemorySpec {
+  /// Effective achievable bus bandwidth for streaming access. Calibrated so
+  /// a lone CPU streams ~3.8 GB/s (paper §4.2) and two CPUs sharing the bus
+  /// get ~2.0 GB/s each (paper: "-2 GB/s per CPU" when dense).
+  double bus_stream_bw = 4.0e9;
+  /// Single-CPU streaming ceiling (load/store issue limited).
+  double cpu_stream_bw = 3.8e9;
+  /// Local load-to-use memory latency (Altix ~145 ns, published SGI number).
+  double local_latency = 145e-9;
+};
+
+/// One Altix node (single-system-image box of 512 CPUs).
+struct NodeSpec {
+  NodeType type = NodeType::Altix3700;
+  std::string name = "Altix3700";
+  int num_cpus = 512;
+  int cpus_per_bus = 2;    // two CPUs share one FSB + SHUB port
+  int cpus_per_brick = 4;  // 8 on BX2 (double density)
+  ProcessorSpec cpu;
+  MemorySpec mem;
+
+  /// NUMAlink bandwidth between C-bricks, per direction (paper Table 1:
+  /// 3.2 GB/s NL3, 6.4 GB/s NL4).
+  double link_bw = 3.2e9;
+  /// Effective MPI payload bandwidth over one NUMAlink (protocol +
+  /// cache-coherency overhead); calibrated to HPCC ping-pong shape.
+  double mpi_link_bw = 1.6e9;
+  /// MPI bandwidth between two CPUs sharing a bus (bounded by memcpy).
+  double mpi_bus_bw = 1.9e9;
+  /// Software MPI overhead for a zero-byte message, same brick.
+  double base_latency = 1.1e-6;
+  /// Added latency per router hop in the fat tree.
+  double hop_latency = 0.25e-6;
+  /// Added *memory-access* latency per router hop for cache-coherent
+  /// loads/stores (OpenMP shared data); NUMAlink4 roughly quarters this.
+  double numa_hop_mem_latency = 150e-9;
+  /// Outstanding cache-line fills an Itanium2 sustains to remote memory.
+  int mem_lines_outstanding = 4;
+  /// Fat-tree router radix (SGI metarouters: 8 ports down).
+  int router_radix = 8;
+  double memory_bytes = 1.0e12;  // ~1 TB per node
+  /// OpenMP fork/join cost per parallel region (measured-scale constant).
+  double omp_fork_join = 2.5e-6;
+
+  int num_bricks() const { return num_cpus / cpus_per_brick; }
+  double peak_tflops() const { return num_cpus * cpu.peak_flops() / 1e12; }
+
+  static NodeSpec altix3700();
+  static NodeSpec bx2a();
+  static NodeSpec bx2b();
+  static NodeSpec of(NodeType t);
+};
+
+/// Renders the paper's Table 1 ("Characteristics of the two types of Altix
+/// nodes used in Columbia").
+Table node_characteristics_table();
+
+}  // namespace columbia::machine

@@ -1,0 +1,85 @@
+#include "machine/topology.hpp"
+
+#include "common/check.hpp"
+
+namespace columbia::machine {
+
+NodeTopology::NodeTopology(const NodeSpec& spec) : spec_(spec) {
+  COL_REQUIRE(spec_.num_cpus > 0, "node needs CPUs");
+  COL_REQUIRE(spec_.num_cpus % spec_.cpus_per_brick == 0,
+              "CPU count must be a whole number of bricks");
+  COL_REQUIRE(spec_.cpus_per_brick % spec_.cpus_per_bus == 0,
+              "brick must hold whole buses");
+  // Depth of the radix-R tree over the bricks.
+  int capacity = 1;
+  levels_ = 0;
+  while (capacity < num_bricks()) {
+    capacity *= spec_.router_radix;
+    ++levels_;
+  }
+}
+
+void NodeTopology::check_cpu(int cpu) const {
+  COL_REQUIRE(cpu >= 0 && cpu < spec_.num_cpus, "CPU index out of range");
+}
+
+int NodeTopology::bus_of(int cpu) const {
+  check_cpu(cpu);
+  return cpu / spec_.cpus_per_bus;
+}
+
+int NodeTopology::brick_of(int cpu) const {
+  check_cpu(cpu);
+  return cpu / spec_.cpus_per_brick;
+}
+
+Locality NodeTopology::locality(int cpu_a, int cpu_b) const {
+  if (cpu_a == cpu_b) return Locality::SameCpu;
+  if (bus_of(cpu_a) == bus_of(cpu_b)) return Locality::SameBus;
+  if (brick_of(cpu_a) == brick_of(cpu_b)) return Locality::SameBrick;
+  return Locality::CrossBrick;
+}
+
+int NodeTopology::router_hops(int cpu_a, int cpu_b) const {
+  int ba = brick_of(cpu_a);
+  int bb = brick_of(cpu_b);
+  if (ba == bb) return 0;
+  int k = 0;
+  while (ba != bb) {
+    ba /= spec_.router_radix;
+    bb /= spec_.router_radix;
+    ++k;
+  }
+  return 2 * k - 1;  // k levels up, k down, counting routers traversed
+}
+
+double NodeTopology::latency(int cpu_a, int cpu_b) const {
+  switch (locality(cpu_a, cpu_b)) {
+    case Locality::SameCpu:
+      return 0.3e-6;  // self-message: library copy only
+    case Locality::SameBus:
+      return spec_.base_latency * 0.9;  // shortest path, no router
+    case Locality::SameBrick:
+      return spec_.base_latency;
+    case Locality::CrossBrick:
+      return spec_.base_latency +
+             spec_.hop_latency * router_hops(cpu_a, cpu_b);
+  }
+  return spec_.base_latency;
+}
+
+double NodeTopology::bandwidth(int cpu_a, int cpu_b) const {
+  switch (locality(cpu_a, cpu_b)) {
+    case Locality::SameCpu:
+      return spec_.mem.cpu_stream_bw;  // pure copy
+    case Locality::SameBus:
+      return spec_.mpi_bus_bw;
+    case Locality::SameBrick:
+      return spec_.mpi_link_bw;  // intra-brick SHUB crossing
+    case Locality::CrossBrick:
+      return spec_.mpi_link_bw;
+  }
+  return spec_.mpi_link_bw;
+}
+
+}  // namespace columbia::machine

@@ -1,0 +1,61 @@
+#pragma once
+/// \file topology.hpp
+/// Intra-node NUMAlink fat-tree topology.
+///
+/// CPUs live on front-side buses (2 CPUs/bus), buses live in C-bricks
+/// (4 CPUs on a 3700 brick, 8 on a BX2 brick), and bricks hang off a
+/// fat tree of radix-R routers. The bisection bandwidth of the fat tree
+/// scales linearly with processor count (paper §2), which we model by
+/// giving each tree level a proportional number of link units.
+///
+/// Distance classes drive the latency model:
+///   same bus < same brick < brick distance k (2k+1 router hops).
+
+#include "machine/spec.hpp"
+
+namespace columbia::machine {
+
+/// Locality classification of a CPU pair within one node.
+enum class Locality {
+  SameCpu,    // degenerate (self-message)
+  SameBus,    // two CPUs on one FSB/SHUB port
+  SameBrick,  // same C-brick, different bus
+  CrossBrick, // through the NUMAlink fat tree
+};
+
+class NodeTopology {
+ public:
+  explicit NodeTopology(const NodeSpec& spec);
+
+  const NodeSpec& spec() const { return spec_; }
+  int num_cpus() const { return spec_.num_cpus; }
+  int num_buses() const { return spec_.num_cpus / spec_.cpus_per_bus; }
+  int num_bricks() const { return spec_.num_bricks(); }
+
+  int bus_of(int cpu) const;
+  int brick_of(int cpu) const;
+
+  Locality locality(int cpu_a, int cpu_b) const;
+
+  /// Number of router hops between two CPUs' bricks: 0 within a brick,
+  /// 2k+1 when the lowest common ancestor in the radix-R tree is at
+  /// level k (k >= 1).
+  int router_hops(int cpu_a, int cpu_b) const;
+
+  /// Fat-tree depth: number of router levels above the bricks.
+  int tree_levels() const { return levels_; }
+
+  /// Zero-byte one-way latency of the NUMAlink path between two CPUs.
+  double latency(int cpu_a, int cpu_b) const;
+
+  /// Point-to-point MPI payload bandwidth between two CPUs (no contention).
+  double bandwidth(int cpu_a, int cpu_b) const;
+
+ private:
+  void check_cpu(int cpu) const;
+
+  NodeSpec spec_;
+  int levels_ = 0;
+};
+
+}  // namespace columbia::machine

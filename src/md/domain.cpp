@@ -1,0 +1,221 @@
+#include "md/domain.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace columbia::md {
+
+namespace {
+Vec3 minimum_image(const Vec3& d, double box) {
+  Vec3 r = d;
+  r.x -= box * std::nearbyint(r.x / box);
+  r.y -= box * std::nearbyint(r.y / box);
+  r.z -= box * std::nearbyint(r.z / box);
+  return r;
+}
+}  // namespace
+
+DomainDecomposition::DomainDecomposition(int cells_per_side,
+                                         const MdConfig& config,
+                                         std::array<int, 3> grid)
+    : cfg_(config), grid_(grid) {
+  COL_REQUIRE(grid[0] >= 1 && grid[1] >= 1 && grid[2] >= 1,
+              "bad domain grid");
+  // Same deterministic initialization as the serial reference.
+  MdSystem reference(cells_per_side, config);
+  box_ = reference.box();
+  for (int dim = 0; dim < 3; ++dim) {
+    COL_REQUIRE(box_ / grid[static_cast<std::size_t>(dim)] >= cfg_.cutoff,
+                "domain side must be at least the cutoff for neighbour-box "
+                "halos to cover all interactions");
+  }
+  const double rc2 = cfg_.cutoff * cfg_.cutoff;
+  const double ir6 = 1.0 / (rc2 * rc2 * rc2);
+  e_shift_ = 4.0 * ir6 * (ir6 - 1.0);
+
+  domains_.resize(static_cast<std::size_t>(num_domains()));
+  last_halo_.assign(static_cast<std::size_t>(num_domains()), 0);
+  for (int i = 0; i < reference.natoms(); ++i) {
+    Atom a;
+    a.id = i;
+    a.pos = reference.positions()[static_cast<std::size_t>(i)];
+    a.vel = reference.velocities()[static_cast<std::size_t>(i)];
+    domains_[static_cast<std::size_t>(domain_of(a.pos))].push_back(a);
+  }
+  compute_forces();
+}
+
+int DomainDecomposition::domain_of(const Vec3& p) const {
+  auto cell = [&](double x, int n) {
+    return std::min(n - 1, std::max(0, static_cast<int>(x / box_ * n)));
+  };
+  return (cell(p.z, grid_[2]) * grid_[1] + cell(p.y, grid_[1])) * grid_[0] +
+         cell(p.x, grid_[0]);
+}
+
+int DomainDecomposition::natoms() const {
+  int n = 0;
+  for (const auto& d : domains_) n += static_cast<int>(d.size());
+  return n;
+}
+
+int DomainDecomposition::domain_atoms(int d) const {
+  COL_REQUIRE(d >= 0 && d < num_domains(), "domain index out of range");
+  return static_cast<int>(domains_[static_cast<std::size_t>(d)].size());
+}
+
+int DomainDecomposition::halo_atoms(int d) const {
+  COL_REQUIRE(d >= 0 && d < num_domains(), "domain index out of range");
+  return last_halo_[static_cast<std::size_t>(d)];
+}
+
+void DomainDecomposition::compute_forces() {
+  potential_ = 0.0;
+  const double rc2 = cfg_.cutoff * cfg_.cutoff;
+  // Index domains on the 3-D grid for neighbour enumeration.
+  auto id3 = [&](int x, int y, int z) {
+    auto wrap = [](int v, int n) { return (v % n + n) % n; };
+    return (wrap(z, grid_[2]) * grid_[1] + wrap(y, grid_[1])) * grid_[0] +
+           wrap(x, grid_[0]);
+  };
+
+  for (int dz = 0; dz < grid_[2]; ++dz) {
+    for (int dy = 0; dy < grid_[1]; ++dy) {
+      for (int dx = 0; dx < grid_[0]; ++dx) {
+        const int d = id3(dx, dy, dz);
+        auto& mine = domains_[static_cast<std::size_t>(d)];
+        for (auto& a : mine) a.force = Vec3{};
+
+        // Halo: every atom of the (up to) 26 neighbouring boxes. The
+        // paper's "second data structure stores only position coordinates
+        // of atoms in neighboring boxes".
+        std::vector<const Atom*> halo;
+        for (int nz = -1; nz <= 1; ++nz) {
+          for (int ny = -1; ny <= 1; ++ny) {
+            for (int nx = -1; nx <= 1; ++nx) {
+              if (nx == 0 && ny == 0 && nz == 0) continue;
+              const int nb = id3(dx + nx, dy + ny, dz + nz);
+              if (nb == d) continue;  // thin grids alias onto themselves
+              for (const auto& a : domains_[static_cast<std::size_t>(nb)]) {
+                halo.push_back(&a);
+              }
+            }
+          }
+        }
+        // Deduplicate (a neighbour box can be reached via several offsets
+        // when a grid dimension is 1 or 2).
+        std::sort(halo.begin(), halo.end());
+        halo.erase(std::unique(halo.begin(), halo.end()), halo.end());
+        last_halo_[static_cast<std::size_t>(d)] =
+            static_cast<int>(halo.size());
+
+        // Owned-owned pairs: full force both sides, full potential once.
+        for (std::size_t i = 0; i < mine.size(); ++i) {
+          for (std::size_t j = i + 1; j < mine.size(); ++j) {
+            const Vec3 del = minimum_image(mine[i].pos - mine[j].pos, box_);
+            const double r2 = del.norm2();
+            if (r2 >= rc2 || r2 <= 0.0) continue;
+            const double ir2 = 1.0 / r2;
+            const double ir6l = ir2 * ir2 * ir2;
+            const double fmag = 24.0 * ir2 * ir6l * (2.0 * ir6l - 1.0);
+            const Vec3 f = del * fmag;
+            mine[i].force += f;
+            mine[j].force -= f;
+            potential_ += 4.0 * ir6l * (ir6l - 1.0) - e_shift_;
+          }
+        }
+        // Owned-halo pairs: force on the owned side only; the neighbour
+        // computes its own copy, so the potential is split half/half.
+        for (auto& a : mine) {
+          for (const Atom* h : halo) {
+            const Vec3 del = minimum_image(a.pos - h->pos, box_);
+            const double r2 = del.norm2();
+            if (r2 >= rc2 || r2 <= 0.0) continue;
+            const double ir2 = 1.0 / r2;
+            const double ir6l = ir2 * ir2 * ir2;
+            const double fmag = 24.0 * ir2 * ir6l * (2.0 * ir6l - 1.0);
+            a.force += del * fmag;
+            potential_ += 0.5 * (4.0 * ir6l * (ir6l - 1.0) - e_shift_);
+          }
+        }
+      }
+    }
+  }
+}
+
+void DomainDecomposition::migrate() {
+  // The paper's linked lists "permit easy deletions and insertions as
+  // atoms move between boxes"; here we rebuild membership by position.
+  std::vector<Atom> moving;
+  for (int d = 0; d < num_domains(); ++d) {
+    auto& dom = domains_[static_cast<std::size_t>(d)];
+    for (std::size_t i = 0; i < dom.size();) {
+      if (domain_of(dom[i].pos) != d) {
+        moving.push_back(dom[i]);
+        dom[i] = dom.back();
+        dom.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (const auto& a : moving) {
+    domains_[static_cast<std::size_t>(domain_of(a.pos))].push_back(a);
+  }
+}
+
+void DomainDecomposition::step() {
+  const double dt = cfg_.dt;
+  for (auto& dom : domains_) {
+    for (auto& a : dom) {
+      a.vel += a.force * (0.5 * dt);
+      a.pos += a.vel * dt;
+      a.pos.x -= box_ * std::floor(a.pos.x / box_);
+      a.pos.y -= box_ * std::floor(a.pos.y / box_);
+      a.pos.z -= box_ * std::floor(a.pos.z / box_);
+    }
+  }
+  migrate();
+  compute_forces();
+  for (auto& dom : domains_) {
+    for (auto& a : dom) {
+      a.vel += a.force * (0.5 * dt);
+    }
+  }
+}
+
+Thermo DomainDecomposition::run(int steps) {
+  COL_REQUIRE(steps >= 0, "negative step count");
+  for (int s = 0; s < steps; ++s) step();
+  return thermo();
+}
+
+Thermo DomainDecomposition::thermo() const {
+  Thermo t;
+  for (const auto& dom : domains_) {
+    for (const auto& a : dom) {
+      t.kinetic += 0.5 * a.vel.norm2();
+      t.momentum += a.vel;
+    }
+  }
+  t.potential = potential_;
+  t.temperature = 2.0 * t.kinetic / (3.0 * natoms());
+  return t;
+}
+
+std::vector<Vec3> DomainDecomposition::gather_positions() const {
+  std::vector<std::pair<int, Vec3>> all;
+  for (const auto& dom : domains_) {
+    for (const auto& a : dom) all.emplace_back(a.id, a.pos);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  std::vector<Vec3> out;
+  out.reserve(all.size());
+  for (const auto& [id, p] : all) out.push_back(p);
+  return out;
+}
+
+}  // namespace columbia::md

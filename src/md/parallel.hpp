@@ -1,0 +1,39 @@
+#pragma once
+/// \file parallel.hpp
+/// Spatial-decomposition parallel MD on the simulated Columbia (paper
+/// §3.3, §4.6.3, Table 5). Weak scaling: each processor owns a fixed box
+/// of 64,000 atoms; each step computes forces over the local box plus a
+/// halo of neighbour positions, then exchanges boundary atoms with its six
+/// face neighbours ("communication is entirely local").
+
+#include "machine/cluster.hpp"
+
+namespace columbia::md {
+
+struct MdScalingConfig {
+  long atoms_per_proc = 64000;  // paper's weak-scaling unit
+  double density = 0.8442;
+  double cutoff = 5.0;          // paper §3.3
+  int n_nodes = 1;
+  int sim_steps = 2;
+};
+
+struct MdScalingResult {
+  long total_atoms = 0;
+  double seconds_per_step = 0.0;
+  double comm_seconds_per_step = 0.0;
+  /// Fraction of a step spent communicating (paper: "insignificant").
+  double comm_fraction() const {
+    return comm_seconds_per_step / seconds_per_step;
+  }
+};
+
+/// Simulates `sim_steps` MD steps on `nprocs` processors of `cluster`.
+MdScalingResult md_weak_scaling(const machine::Cluster& cluster, int nprocs,
+                                const MdScalingConfig& cfg = {});
+
+/// Average neighbour pairs per atom at the configured cutoff/density
+/// (drives the force-evaluation cost model).
+double pairs_per_atom(double cutoff, double density);
+
+}  // namespace columbia::md

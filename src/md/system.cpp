@@ -1,0 +1,203 @@
+#include "md/system.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace columbia::md {
+
+MdSystem::MdSystem(int cells_per_side, const MdConfig& config)
+    : cfg_(config) {
+  COL_REQUIRE(cells_per_side >= 1, "need at least one fcc cell");
+  COL_REQUIRE(cfg_.density > 0 && cfg_.cutoff > 0 && cfg_.dt > 0,
+              "bad MD configuration");
+  const int n = 4 * cells_per_side * cells_per_side * cells_per_side;
+  box_ = std::cbrt(static_cast<double>(n) / cfg_.density);
+  COL_REQUIRE(box_ > 2.0 * cfg_.cutoff,
+              "box too small for the cutoff (minimum image breaks)");
+  const double a = box_ / cells_per_side;  // fcc lattice constant
+
+  // Truncated-and-shifted potential: v(r) - v(rc).
+  const double rc2 = cfg_.cutoff * cfg_.cutoff;
+  const double ir6 = 1.0 / (rc2 * rc2 * rc2);
+  e_shift_ = 4.0 * ir6 * (ir6 - 1.0);
+
+  pos_.reserve(static_cast<std::size_t>(n));
+  static constexpr double kFccBasis[4][3] = {
+      {0.0, 0.0, 0.0}, {0.5, 0.5, 0.0}, {0.5, 0.0, 0.5}, {0.0, 0.5, 0.5}};
+  for (int i = 0; i < cells_per_side; ++i) {
+    for (int j = 0; j < cells_per_side; ++j) {
+      for (int k = 0; k < cells_per_side; ++k) {
+        for (const auto& b : kFccBasis) {
+          pos_.push_back(Vec3{(i + b[0]) * a, (j + b[1]) * a, (k + b[2]) * a});
+        }
+      }
+    }
+  }
+
+  // Maxwell-Boltzmann velocities at the target temperature; remove the
+  // centre-of-mass drift, then rescale exactly.
+  Rng rng(cfg_.seed);
+  vel_.resize(pos_.size());
+  Vec3 p_sum;
+  for (auto& v : vel_) {
+    const double s = std::sqrt(cfg_.temperature);
+    v = Vec3{rng.normal(0.0, s), rng.normal(0.0, s), rng.normal(0.0, s)};
+    p_sum += v;
+  }
+  const Vec3 drift = p_sum * (1.0 / static_cast<double>(natoms()));
+  double ke = 0.0;
+  for (auto& v : vel_) {
+    v -= drift;
+    ke += 0.5 * v.norm2();
+  }
+  const double t_now = 2.0 * ke / (3.0 * natoms());
+  const double scale = std::sqrt(cfg_.temperature / std::max(t_now, 1e-300));
+  for (auto& v : vel_) v = v * scale;
+
+  force_.resize(pos_.size());
+  compute_forces();
+}
+
+void MdSystem::wrap(Vec3& p) const {
+  p.x -= box_ * std::floor(p.x / box_);
+  p.y -= box_ * std::floor(p.y / box_);
+  p.z -= box_ * std::floor(p.z / box_);
+}
+
+Vec3 MdSystem::minimum_image(const Vec3& d) const {
+  Vec3 r = d;
+  r.x -= box_ * std::nearbyint(r.x / box_);
+  r.y -= box_ * std::nearbyint(r.y / box_);
+  r.z -= box_ * std::nearbyint(r.z / box_);
+  return r;
+}
+
+void MdSystem::accumulate_pair(int i, int j) {
+  const Vec3 d = minimum_image(pos_[static_cast<std::size_t>(i)] -
+                               pos_[static_cast<std::size_t>(j)]);
+  const double r2 = d.norm2();
+  const double rc2 = cfg_.cutoff * cfg_.cutoff;
+  if (r2 >= rc2 || r2 <= 0.0) return;
+  const double ir2 = 1.0 / r2;
+  const double ir6 = ir2 * ir2 * ir2;
+  // F = 24 eps (2 (s/r)^12 - (s/r)^6) / r^2 * r_vec
+  const double fmag = 24.0 * ir2 * ir6 * (2.0 * ir6 - 1.0);
+  const Vec3 f = d * fmag;
+  force_[static_cast<std::size_t>(i)] += f;
+  force_[static_cast<std::size_t>(j)] -= f;
+  potential_ += 4.0 * ir6 * (ir6 - 1.0) - e_shift_;
+}
+
+void MdSystem::compute_forces() {
+  std::fill(force_.begin(), force_.end(), Vec3{});
+  potential_ = 0.0;
+
+  // Linked cells: bin atoms into cells of side >= cutoff, then visit each
+  // cell's half neighbourhood so every pair is touched exactly once.
+  const int ncell = std::max(1, static_cast<int>(box_ / cfg_.cutoff));
+  if (ncell < 3) {
+    // Too few cells for the half-shell walk: fall back to all pairs.
+    compute_forces_reference();
+    return;
+  }
+  const double cell_size = box_ / ncell;
+  const int total_cells = ncell * ncell * ncell;
+  std::vector<int> head(static_cast<std::size_t>(total_cells), -1);
+  std::vector<int> next(pos_.size(), -1);
+  auto cell_of = [&](const Vec3& p) {
+    int cx = std::min(ncell - 1, static_cast<int>(p.x / cell_size));
+    int cy = std::min(ncell - 1, static_cast<int>(p.y / cell_size));
+    int cz = std::min(ncell - 1, static_cast<int>(p.z / cell_size));
+    return (cz * ncell + cy) * ncell + cx;
+  };
+  for (int i = 0; i < natoms(); ++i) {
+    const int c = cell_of(pos_[static_cast<std::size_t>(i)]);
+    next[static_cast<std::size_t>(i)] = head[static_cast<std::size_t>(c)];
+    head[static_cast<std::size_t>(c)] = i;
+  }
+
+  // Half-shell: 13 neighbour offsets plus the cell itself.
+  static constexpr int kHalf[13][3] = {
+      {1, 0, 0},  {0, 1, 0},  {0, 0, 1},  {1, 1, 0},  {1, -1, 0},
+      {1, 0, 1},  {1, 0, -1}, {0, 1, 1},  {0, 1, -1}, {1, 1, 1},
+      {1, 1, -1}, {1, -1, 1}, {1, -1, -1}};
+  auto wrap_cell = [&](int c) { return (c % ncell + ncell) % ncell; };
+
+  for (int cz = 0; cz < ncell; ++cz) {
+    for (int cy = 0; cy < ncell; ++cy) {
+      for (int cx = 0; cx < ncell; ++cx) {
+        const int c = (cz * ncell + cy) * ncell + cx;
+        // Pairs within the cell.
+        for (int i = head[static_cast<std::size_t>(c)]; i >= 0;
+             i = next[static_cast<std::size_t>(i)]) {
+          for (int j = next[static_cast<std::size_t>(i)]; j >= 0;
+               j = next[static_cast<std::size_t>(j)]) {
+            accumulate_pair(i, j);
+          }
+        }
+        // Pairs with the 13 half-shell neighbour cells.
+        for (const auto& off : kHalf) {
+          const int nc = (wrap_cell(cz + off[2]) * ncell +
+                          wrap_cell(cy + off[1])) *
+                             ncell +
+                         wrap_cell(cx + off[0]);
+          for (int i = head[static_cast<std::size_t>(c)]; i >= 0;
+               i = next[static_cast<std::size_t>(i)]) {
+            for (int j = head[static_cast<std::size_t>(nc)]; j >= 0;
+                 j = next[static_cast<std::size_t>(j)]) {
+              accumulate_pair(i, j);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void MdSystem::compute_forces_reference() {
+  std::fill(force_.begin(), force_.end(), Vec3{});
+  potential_ = 0.0;
+  for (int i = 0; i < natoms(); ++i) {
+    for (int j = i + 1; j < natoms(); ++j) {
+      accumulate_pair(i, j);
+    }
+  }
+}
+
+void MdSystem::step() {
+  const double dt = cfg_.dt;
+  // Velocity Verlet: v(t+dt/2), x(t+dt), F(t+dt), v(t+dt).
+  for (int i = 0; i < natoms(); ++i) {
+    auto& v = vel_[static_cast<std::size_t>(i)];
+    auto& x = pos_[static_cast<std::size_t>(i)];
+    v += force_[static_cast<std::size_t>(i)] * (0.5 * dt);
+    x += v * dt;
+    wrap(x);
+  }
+  compute_forces();
+  for (int i = 0; i < natoms(); ++i) {
+    vel_[static_cast<std::size_t>(i)] +=
+        force_[static_cast<std::size_t>(i)] * (0.5 * dt);
+  }
+}
+
+Thermo MdSystem::run(int steps) {
+  COL_REQUIRE(steps >= 0, "negative step count");
+  for (int s = 0; s < steps; ++s) step();
+  return thermo();
+}
+
+Thermo MdSystem::thermo() const {
+  Thermo t;
+  for (const auto& v : vel_) {
+    t.kinetic += 0.5 * v.norm2();
+    t.momentum += v;
+  }
+  t.potential = potential_;
+  t.temperature = 2.0 * t.kinetic / (3.0 * natoms());
+  return t;
+}
+
+}  // namespace columbia::md

@@ -1,0 +1,101 @@
+#pragma once
+/// \file system.hpp
+/// Lennard-Jones molecular dynamics (paper §3.3): Velocity Verlet
+/// integration, fcc-lattice initialization with randomized velocities at a
+/// target temperature, linked-cell force evaluation with a cutoff radius
+/// (the paper uses 5.0 sigma), periodic boundaries.
+///
+/// Reduced LJ units throughout (sigma = epsilon = mass = 1).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace columbia::md {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  double norm2() const { return x * x + y * y + z * z; }
+};
+
+struct MdConfig {
+  /// Number density (LJ liquid standard state).
+  double density = 0.8442;
+  /// Initial temperature for the Maxwell velocity draw.
+  double temperature = 0.72;
+  /// Interaction cutoff (paper: 5.0).
+  double cutoff = 2.5;
+  /// Verlet time step.
+  double dt = 0.005;
+  std::uint64_t seed = 2005;
+};
+
+struct Thermo {
+  double kinetic = 0.0;
+  double potential = 0.0;
+  double temperature = 0.0;
+  Vec3 momentum;
+  double total() const { return kinetic + potential; }
+};
+
+class MdSystem {
+ public:
+  /// Builds `cells_per_side`^3 fcc unit cells (4 atoms each) at the
+  /// configured density with Maxwell velocities (net momentum removed).
+  MdSystem(int cells_per_side, const MdConfig& config);
+
+  int natoms() const { return static_cast<int>(pos_.size()); }
+  double box() const { return box_; }
+  const MdConfig& config() const { return cfg_; }
+  const std::vector<Vec3>& positions() const { return pos_; }
+  const std::vector<Vec3>& velocities() const { return vel_; }
+  const std::vector<Vec3>& forces() const { return force_; }
+
+  /// Evaluates forces (and potential energy) with the linked-cell method;
+  /// uses the truncated-and-shifted LJ potential so energy is continuous
+  /// at the cutoff.
+  void compute_forces();
+
+  /// O(N^2) reference evaluation (tests only).
+  void compute_forces_reference();
+
+  /// One Velocity Verlet step (forces must be current on entry; they are
+  /// current on exit).
+  void step();
+
+  /// Runs n steps; returns final thermodynamics.
+  Thermo run(int steps);
+
+  Thermo thermo() const;
+
+ private:
+  void wrap(Vec3& p) const;
+  Vec3 minimum_image(const Vec3& d) const;
+  /// Accumulates the pair force/energy between atoms i and j.
+  void accumulate_pair(int i, int j);
+
+  MdConfig cfg_;
+  double box_ = 0.0;
+  double e_shift_ = 0.0;  // potential shift at the cutoff
+  std::vector<Vec3> pos_, vel_, force_;
+  double potential_ = 0.0;
+};
+
+}  // namespace columbia::md

@@ -1,0 +1,264 @@
+#include "npb/bt.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace columbia::npb {
+
+Block5 block_zero() {
+  Block5 b{};
+  return b;
+}
+
+Block5 block_identity() {
+  Block5 b{};
+  for (int i = 0; i < kBtBlock; ++i) b[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 1.0;
+  return b;
+}
+
+Block5 block_mul(const Block5& a, const Block5& b) {
+  Block5 c{};
+  for (int i = 0; i < kBtBlock; ++i) {
+    for (int k = 0; k < kBtBlock; ++k) {
+      const double aik = a[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)];
+      for (int j = 0; j < kBtBlock; ++j) {
+        c[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] +=
+            aik * b[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  return c;
+}
+
+Vec5 block_apply(const Block5& a, const Vec5& x) {
+  Vec5 y{};
+  for (int i = 0; i < kBtBlock; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < kBtBlock; ++j) {
+      s += a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] *
+           x[static_cast<std::size_t>(j)];
+    }
+    y[static_cast<std::size_t>(i)] = s;
+  }
+  return y;
+}
+
+std::array<int, kBtBlock> block_lu(Block5& a) {
+  std::array<int, kBtBlock> piv{};
+  for (int i = 0; i < kBtBlock; ++i) piv[static_cast<std::size_t>(i)] = i;
+  for (int col = 0; col < kBtBlock; ++col) {
+    // Partial pivot.
+    int best = col;
+    for (int r = col + 1; r < kBtBlock; ++r) {
+      if (std::fabs(a[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)]) >
+          std::fabs(a[static_cast<std::size_t>(best)][static_cast<std::size_t>(col)]))
+        best = r;
+    }
+    if (best != col) {
+      std::swap(a[static_cast<std::size_t>(best)], a[static_cast<std::size_t>(col)]);
+      std::swap(piv[static_cast<std::size_t>(best)], piv[static_cast<std::size_t>(col)]);
+    }
+    const double d = a[static_cast<std::size_t>(col)][static_cast<std::size_t>(col)];
+    COL_CHECK(std::fabs(d) > 1e-300, "singular 5x5 block");
+    for (int r = col + 1; r < kBtBlock; ++r) {
+      const double m = a[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)] / d;
+      a[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)] = m;
+      for (int c = col + 1; c < kBtBlock; ++c) {
+        a[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] -=
+            m * a[static_cast<std::size_t>(col)][static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  return piv;
+}
+
+Vec5 block_lu_solve(const Block5& lu, const std::array<int, kBtBlock>& piv,
+                    const Vec5& b) {
+  Vec5 y{};
+  // Apply the pivot permutation, then forward substitution (unit lower).
+  for (int i = 0; i < kBtBlock; ++i) {
+    double s = b[static_cast<std::size_t>(piv[static_cast<std::size_t>(i)])];
+    for (int j = 0; j < i; ++j) {
+      s -= lu[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] *
+           y[static_cast<std::size_t>(j)];
+    }
+    y[static_cast<std::size_t>(i)] = s;
+  }
+  // Back substitution.
+  Vec5 x{};
+  for (int i = kBtBlock - 1; i >= 0; --i) {
+    double s = y[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < kBtBlock; ++j) {
+      s -= lu[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] *
+           x[static_cast<std::size_t>(j)];
+    }
+    x[static_cast<std::size_t>(i)] =
+        s / lu[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+  }
+  return x;
+}
+
+Vec5 block_solve(Block5 a, const Vec5& b) {
+  const auto piv = block_lu(a);
+  return block_lu_solve(a, piv, b);
+}
+
+namespace {
+/// B^{-1} * M for a factored B.
+Block5 block_lu_solve_matrix(const Block5& lu,
+                             const std::array<int, kBtBlock>& piv,
+                             const Block5& m) {
+  Block5 out{};
+  for (int col = 0; col < kBtBlock; ++col) {
+    Vec5 b{};
+    for (int r = 0; r < kBtBlock; ++r)
+      b[static_cast<std::size_t>(r)] =
+          m[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)];
+    const Vec5 x = block_lu_solve(lu, piv, b);
+    for (int r = 0; r < kBtBlock; ++r)
+      out[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)] =
+          x[static_cast<std::size_t>(r)];
+  }
+  return out;
+}
+}  // namespace
+
+void block_tridiag_solve(const std::vector<Block5>& a,
+                         std::vector<Block5> b,
+                         std::vector<Block5> c,
+                         std::vector<Vec5>& rhs) {
+  const std::size_t n = b.size();
+  COL_REQUIRE(n > 0, "empty system");
+  COL_REQUIRE(a.size() == n && c.size() == n && rhs.size() == n,
+              "block tridiagonal shape mismatch");
+
+  // Forward elimination: normalize row i, then eliminate a[i+1].
+  for (std::size_t i = 0; i < n; ++i) {
+    Block5 lu = b[i];
+    const auto piv = block_lu(lu);
+    rhs[i] = block_lu_solve(lu, piv, rhs[i]);
+    if (i + 1 < n) {
+      c[i] = block_lu_solve_matrix(lu, piv, c[i]);
+      // b[i+1] -= a[i+1] * c[i];  rhs[i+1] -= a[i+1] * rhs[i]
+      const Block5 update = block_mul(a[i + 1], c[i]);
+      for (int r = 0; r < kBtBlock; ++r) {
+        for (int s = 0; s < kBtBlock; ++s) {
+          b[i + 1][static_cast<std::size_t>(r)][static_cast<std::size_t>(s)] -=
+              update[static_cast<std::size_t>(r)][static_cast<std::size_t>(s)];
+        }
+      }
+      const Vec5 rupd = block_apply(a[i + 1], rhs[i]);
+      for (int r = 0; r < kBtBlock; ++r) {
+        rhs[i + 1][static_cast<std::size_t>(r)] -=
+            rupd[static_cast<std::size_t>(r)];
+      }
+    }
+  }
+  // Back substitution: x[i] = rhs[i] - c[i] x[i+1].
+  for (std::size_t i = n - 1; i-- > 0;) {
+    const Vec5 cx = block_apply(c[i], rhs[i + 1]);
+    for (int r = 0; r < kBtBlock; ++r) {
+      rhs[i][static_cast<std::size_t>(r)] -= cx[static_cast<std::size_t>(r)];
+    }
+  }
+}
+
+BtSystem make_bt_system(int n, unsigned seed) {
+  COL_REQUIRE(n > 0, "system length must be positive");
+  Rng rng(seed);
+  BtSystem sys;
+  sys.lower.resize(static_cast<std::size_t>(n));
+  sys.diag.resize(static_cast<std::size_t>(n));
+  sys.upper.resize(static_cast<std::size_t>(n));
+  sys.rhs.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& lo = sys.lower[static_cast<std::size_t>(i)];
+    auto& di = sys.diag[static_cast<std::size_t>(i)];
+    auto& up = sys.upper[static_cast<std::size_t>(i)];
+    for (int r = 0; r < kBtBlock; ++r) {
+      for (int c = 0; c < kBtBlock; ++c) {
+        lo[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+            rng.uniform(-0.2, 0.2);
+        up[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+            rng.uniform(-0.2, 0.2);
+        di[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+            rng.uniform(-0.2, 0.2);
+      }
+      // Block-diagonal dominance keeps the Thomas algorithm stable.
+      di[static_cast<std::size_t>(r)][static_cast<std::size_t>(r)] +=
+          4.0 + rng.uniform(0.0, 1.0);
+      sys.rhs[static_cast<std::size_t>(i)][static_cast<std::size_t>(r)] =
+          rng.uniform(-1.0, 1.0);
+    }
+  }
+  return sys;
+}
+
+std::vector<Vec5> bt_dense_reference(const BtSystem& sys) {
+  const int n = static_cast<int>(sys.diag.size());
+  const int dim = n * kBtBlock;
+  std::vector<double> m(static_cast<std::size_t>(dim) * dim, 0.0);
+  std::vector<double> b(static_cast<std::size_t>(dim), 0.0);
+  auto at = [&](int r, int c) -> double& {
+    return m[static_cast<std::size_t>(r) * dim + c];
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int r = 0; r < kBtBlock; ++r) {
+      b[static_cast<std::size_t>(i * kBtBlock + r)] =
+          sys.rhs[static_cast<std::size_t>(i)][static_cast<std::size_t>(r)];
+      for (int c = 0; c < kBtBlock; ++c) {
+        at(i * kBtBlock + r, i * kBtBlock + c) =
+            sys.diag[static_cast<std::size_t>(i)][static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+        if (i > 0) {
+          at(i * kBtBlock + r, (i - 1) * kBtBlock + c) =
+              sys.lower[static_cast<std::size_t>(i)][static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+        }
+        if (i + 1 < n) {
+          at(i * kBtBlock + r, (i + 1) * kBtBlock + c) =
+              sys.upper[static_cast<std::size_t>(i)][static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+        }
+      }
+    }
+  }
+  // Gaussian elimination with partial pivoting.
+  for (int col = 0; col < dim; ++col) {
+    int best = col;
+    for (int r = col + 1; r < dim; ++r) {
+      if (std::fabs(at(r, col)) > std::fabs(at(best, col))) best = r;
+    }
+    for (int c = 0; c < dim; ++c) std::swap(at(best, c), at(col, c));
+    std::swap(b[static_cast<std::size_t>(best)],
+              b[static_cast<std::size_t>(col)]);
+    COL_CHECK(std::fabs(at(col, col)) > 1e-300, "singular dense system");
+    for (int r = col + 1; r < dim; ++r) {
+      const double f = at(r, col) / at(col, col);
+      for (int c = col; c < dim; ++c) at(r, c) -= f * at(col, c);
+      b[static_cast<std::size_t>(r)] -= f * b[static_cast<std::size_t>(col)];
+    }
+  }
+  for (int r = dim - 1; r >= 0; --r) {
+    double s = b[static_cast<std::size_t>(r)];
+    for (int c = r + 1; c < dim; ++c)
+      s -= at(r, c) * b[static_cast<std::size_t>(c)];
+    b[static_cast<std::size_t>(r)] = s / at(r, r);
+  }
+  std::vector<Vec5> x(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int r = 0; r < kBtBlock; ++r) {
+      x[static_cast<std::size_t>(i)][static_cast<std::size_t>(r)] =
+          b[static_cast<std::size_t>(i * kBtBlock + r)];
+    }
+  }
+  return x;
+}
+
+double bt_line_solve_flops(int n) {
+  const double k = kBtBlock;
+  // Per cell: one LU (2/3 k^3), matrix solve for c (2 k^3), rhs solve
+  // (2 k^2), off-diagonal update (2 k^3 + 2 k^2), back substitution (2 k^2).
+  return n * (2.0 / 3.0 * k * k * k + 4.0 * k * k * k + 6.0 * k * k);
+}
+
+}  // namespace columbia::npb

@@ -1,0 +1,35 @@
+#pragma once
+/// \file cg.hpp
+/// NPB CG kernel: conjugate-gradient solves inside an inverse power-method
+/// outer loop, estimating an eigenvalue of a random SPD matrix — the same
+/// structure as the NAS benchmark (solve A z = x, zeta = shift + 1/(x,z),
+/// normalize, repeat).
+
+#include <span>
+#include <vector>
+
+#include "npb/sparse.hpp"
+
+namespace columbia::npb {
+
+/// Runs `iters` CG iterations on A x = b starting from x = 0.
+/// Returns the final residual norm ||b - A x||.
+double cg_solve(const SparseMatrix& a, std::span<const double> b,
+                std::span<double> x, int iters);
+
+struct CgResult {
+  double zeta = 0.0;          ///< eigenvalue estimate
+  double final_rnorm = 0.0;   ///< CG residual of the last inner solve
+  int outer_iterations = 0;
+};
+
+/// Full benchmark: `niter` outer iterations of 25-step CG solves (NPB's
+/// cgitmax), with `shift` as the eigenvalue shift.
+CgResult cg_benchmark(const SparseMatrix& a, int niter, double shift,
+                      int cg_iters = 25);
+
+/// Total floating-point operations of one outer iteration (NPB counting:
+/// 2 flops per nonzero per SpMV plus vector updates).
+double cg_flops_per_outer_iteration(const SparseMatrix& a, int cg_iters = 25);
+
+}  // namespace columbia::npb

@@ -1,0 +1,255 @@
+#include "npb/classes.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace columbia::npb {
+
+std::string to_string(Benchmark b) {
+  switch (b) {
+    case Benchmark::CG:
+      return "CG";
+    case Benchmark::FT:
+      return "FT";
+    case Benchmark::MG:
+      return "MG";
+    case Benchmark::BT:
+      return "BT";
+  }
+  return "?";
+}
+
+perfmodel::KernelClass kernel_class(Benchmark b) {
+  switch (b) {
+    case Benchmark::CG:
+      return perfmodel::KernelClass::CgIrregular;
+    case Benchmark::FT:
+      return perfmodel::KernelClass::FtSpectral;
+    case Benchmark::MG:
+      return perfmodel::KernelClass::MgStencil;
+    case Benchmark::BT:
+      return perfmodel::KernelClass::BtDense;
+  }
+  return perfmodel::KernelClass::BtDense;
+}
+
+double ProblemSpec::points() const {
+  if (benchmark == Benchmark::CG) return static_cast<double>(cg_n);
+  return static_cast<double>(nx) * ny * nz;
+}
+
+double ProblemSpec::flops_per_iteration() const {
+  switch (benchmark) {
+    case Benchmark::CG: {
+      // One outer iteration: 25 CG steps (SpMV 2nnz + 10n vector work).
+      const double n = static_cast<double>(cg_n);
+      const double nnz = n * cg_nonzeros_per_row;
+      return 25.0 * (2.0 * nnz + 10.0 * n) + 2.0 * nnz + 5.0 * n;
+    }
+    case Benchmark::FT: {
+      // Forward 3-D FFT + evolve per time step: 5 N log2 N + 8 N.
+      const double n = points();
+      return 5.0 * n * std::log2(n) + 8.0 * n;
+    }
+    case Benchmark::MG: {
+      // One V-cycle: smoothing/residual/transfer over the 8/7 geometric
+      // level sum, ~40 flops per fine point.
+      return 40.0 * points() * 8.0 / 7.0;
+    }
+    case Benchmark::BT: {
+      // Three ADI sweeps of 5x5 block-tridiagonal line solves plus RHS
+      // assembly: ~3400 flops per point (matches the NPB operation count
+      // of ~0.72 Tflop for 200 class-B iterations on 102^3).
+      return 3400.0 * points();
+    }
+  }
+  return 0.0;
+}
+
+double ProblemSpec::mem_bytes_per_iteration() const {
+  switch (benchmark) {
+    case Benchmark::CG: {
+      // SpMV streams values+indices and gathers x: ~12 bytes per flop
+      // of the nnz term (8B value + 4B index), plus vector traffic.
+      const double nnz = static_cast<double>(cg_n) * cg_nonzeros_per_row;
+      return 25.0 * (20.0 * nnz + 5.0 * 8.0 * cg_n);
+    }
+    case Benchmark::FT:
+      // Five read+write passes over the complex field per step (three 1-D
+      // transform sweeps plus transpose pack/unpack).
+      return 5.0 * 2.0 * 16.0 * points();
+    case Benchmark::MG:
+      // Stencil sweeps: ~4 passes over the fine grid equivalent.
+      return 4.0 * 8.0 * points() * 8.0 / 7.0 * 2.0;
+    case Benchmark::BT:
+      // LHS block assembly + three directional sweeps stream the 5x5
+      // jacobian triples and solution repeatedly: ~6 KB per point per step.
+      return 6000.0 * points();
+  }
+  return 0.0;
+}
+
+double ProblemSpec::working_set_bytes() const {
+  switch (benchmark) {
+    case Benchmark::CG: {
+      const double nnz = static_cast<double>(cg_n) * cg_nonzeros_per_row;
+      return 12.0 * nnz + 5.0 * 8.0 * cg_n;
+    }
+    case Benchmark::FT:
+      return 2.0 * 16.0 * points();
+    case Benchmark::MG:
+      return 2.0 * 8.0 * points() * 8.0 / 7.0;
+    case Benchmark::BT:
+      // Per-sweep resident slice: solution + one direction's jacobians.
+      return 400.0 * points();
+  }
+  return 0.0;
+}
+
+double ProblemSpec::flop_efficiency() const {
+  switch (benchmark) {
+    case Benchmark::CG:
+      return 0.08;  // irregular gathers
+    case Benchmark::FT:
+      return 0.50;  // butterflies vectorize well once resident
+    case Benchmark::MG:
+      return 0.15;  // bandwidth-starved stencils
+    case Benchmark::BT:
+      return 0.35;  // small dense blocks, register-friendly
+  }
+  return 0.1;
+}
+
+double ProblemSpec::shared_traffic_fraction() const {
+  switch (benchmark) {
+    case Benchmark::CG:
+      return 0.40;  // gathers reach across the whole vector
+    case Benchmark::FT:
+      return 0.50;  // transposes move everything
+    case Benchmark::MG:
+      return 0.30;  // halo planes at every level
+    case Benchmark::BT:
+      return 0.35;  // ADI line sweeps cross the decomposition
+  }
+  return 0.3;
+}
+
+perfmodel::Work ProblemSpec::iteration_work() const {
+  perfmodel::Work w;
+  w.flops = flops_per_iteration();
+  w.mem_bytes = mem_bytes_per_iteration();
+  w.working_set = working_set_bytes();
+  w.flop_efficiency = flop_efficiency();
+  return w;
+}
+
+ProblemSpec npb_problem(Benchmark b, char cls) {
+  ProblemSpec p;
+  p.benchmark = b;
+  p.npb_class = cls;
+  switch (b) {
+    case Benchmark::CG:
+      switch (cls) {
+        case 'S':
+          p.cg_n = 1400;
+          p.cg_nonzeros_per_row = 7;
+          p.cg_iterations = 15;
+          return p;
+        case 'A':
+          p.cg_n = 14000;
+          p.cg_nonzeros_per_row = 11;
+          p.cg_iterations = 15;
+          return p;
+        case 'B':
+          p.cg_n = 75000;
+          p.cg_nonzeros_per_row = 13;
+          p.cg_iterations = 75;
+          return p;
+        case 'C':
+          p.cg_n = 150000;
+          p.cg_nonzeros_per_row = 15;
+          p.cg_iterations = 75;
+          return p;
+        default:
+          break;
+      }
+      break;
+    case Benchmark::FT:
+      switch (cls) {
+        case 'S':
+          p.nx = p.ny = p.nz = 64;
+          p.iterations = 6;
+          return p;
+        case 'A':
+          p.nx = 256;
+          p.ny = 256;
+          p.nz = 128;
+          p.iterations = 6;
+          return p;
+        case 'B':
+          p.nx = 512;
+          p.ny = 256;
+          p.nz = 256;
+          p.iterations = 20;
+          return p;
+        case 'C':
+          p.nx = 512;
+          p.ny = 512;
+          p.nz = 512;
+          p.iterations = 20;
+          return p;
+        default:
+          break;
+      }
+      break;
+    case Benchmark::MG:
+      switch (cls) {
+        case 'S':
+          p.nx = p.ny = p.nz = 32;
+          p.iterations = 4;
+          return p;
+        case 'A':
+          p.nx = p.ny = p.nz = 256;
+          p.iterations = 4;
+          return p;
+        case 'B':
+          p.nx = p.ny = p.nz = 256;
+          p.iterations = 20;
+          return p;
+        case 'C':
+          p.nx = p.ny = p.nz = 512;
+          p.iterations = 20;
+          return p;
+        default:
+          break;
+      }
+      break;
+    case Benchmark::BT:
+      switch (cls) {
+        case 'S':
+          p.nx = p.ny = p.nz = 12;
+          p.iterations = 60;
+          return p;
+        case 'A':
+          p.nx = p.ny = p.nz = 64;
+          p.iterations = 200;
+          return p;
+        case 'B':
+          p.nx = p.ny = p.nz = 102;
+          p.iterations = 200;
+          return p;
+        case 'C':
+          p.nx = p.ny = p.nz = 162;
+          p.iterations = 200;
+          return p;
+        default:
+          break;
+      }
+      break;
+  }
+  COL_REQUIRE(false, std::string("unsupported NPB class ") + cls);
+  return p;
+}
+
+}  // namespace columbia::npb

@@ -1,0 +1,61 @@
+#pragma once
+/// \file classes.hpp
+/// NPB problem-class tables and per-class demand formulas for the four
+/// benchmarks the paper runs (CG, FT, MG, BT) — paper §3.2.
+///
+/// Sizes follow the NPB 3.1 specification; total operation counts are
+/// derived analytically from the algorithms (cg.hpp, ft.hpp, mg.hpp,
+/// bt.hpp) rather than hard-coded, so kernels and drivers cannot drift
+/// apart.
+
+#include <string>
+
+#include "perfmodel/compiler.hpp"
+#include "perfmodel/work.hpp"
+
+namespace columbia::npb {
+
+enum class Benchmark { CG, FT, MG, BT };
+
+std::string to_string(Benchmark b);
+perfmodel::KernelClass kernel_class(Benchmark b);
+
+/// Problem-size description for one (benchmark, class) pair.
+struct ProblemSpec {
+  Benchmark benchmark;
+  char npb_class;   // 'S', 'A', 'B', 'C'
+  // CG:
+  long cg_n = 0;
+  int cg_nonzeros_per_row = 0;
+  int cg_iterations = 0;    // outer
+  // FT/MG/BT: grid dims.
+  int nx = 0, ny = 0, nz = 0;
+  int iterations = 0;
+
+  /// Total grid points (FT/MG/BT) or vector length (CG).
+  double points() const;
+  /// Benchmark iterations for a full run (outer iterations for CG).
+  int total_iterations() const {
+    return benchmark == Benchmark::CG ? cg_iterations : iterations;
+  }
+  /// Total floating-point operations per benchmark iteration.
+  double flops_per_iteration() const;
+  /// Memory traffic per iteration (bytes streamed).
+  double mem_bytes_per_iteration() const;
+  /// Resident bytes of the whole problem.
+  double working_set_bytes() const;
+  /// Sustained fraction of peak issue for the inner loops (calibrated to
+  /// published single-CPU NPB rates on Itanium2).
+  double flop_efficiency() const;
+  /// Fraction of memory traffic touching data shared across threads
+  /// (drives the OpenMP remote-traffic model).
+  double shared_traffic_fraction() const;
+
+  /// Aggregate per-iteration demand (all ranks/threads combined).
+  perfmodel::Work iteration_work() const;
+};
+
+/// Lookup. Supported classes: 'S', 'A', 'B', 'C'.
+ProblemSpec npb_problem(Benchmark b, char npb_class);
+
+}  // namespace columbia::npb

@@ -1,0 +1,52 @@
+#pragma once
+/// \file distributed.hpp
+/// Data-bearing distributed CG on the simulated MPI.
+///
+/// Everything else in the NPB parallel drivers moves modeled bytes; this
+/// module demonstrates that the simulator hosts *real* distributed
+/// numerics: conjugate gradient with a row-block matrix partition, full-x
+/// assembly via a value-bearing ring allgather, and scalar reductions via
+/// the binomial allreduce — producing (to summation-order precision) the
+/// same solution as the sequential kernel while every byte moves through
+/// the contended machine model.
+
+#include <vector>
+
+#include "machine/cluster.hpp"
+#include "npb/ft.hpp"
+#include "npb/sparse.hpp"
+
+namespace columbia::npb {
+
+struct DistributedCgResult {
+  std::vector<double> x;        ///< gathered solution
+  double rnorm = 0.0;           ///< final residual norm
+  double makespan_seconds = 0.0;///< simulated wall time of the run
+  double message_count = 0.0;   ///< transfers through the network
+};
+
+/// Runs `iters` CG iterations on A x = b across `nranks` simulated ranks
+/// of `cluster` (row-block partition; ranks hold only their row slice's
+/// results, the matrix structure is shared read-only as in the NPB
+/// reference implementation's replicated-index setup).
+DistributedCgResult distributed_cg(const machine::Cluster& cluster,
+                                   int nranks, const SparseMatrix& a,
+                                   const std::vector<double>& b, int iters);
+
+struct DistributedFtResult {
+  std::vector<Complex> spectrum;  ///< gathered forward transform
+  double makespan_seconds = 0.0;
+  double message_count = 0.0;
+};
+
+/// Distributed forward 3-D FFT with a 1-D slab decomposition: each rank
+/// transforms its z-slab in x and y, the slabs are transposed through a
+/// value-bearing all-to-all (the defining communication of NPB FT), and
+/// the z-direction is finished on the new x-slabs. Requires nz % nranks
+/// == 0 and nx % nranks == 0. The gathered result must equal
+/// Fft3d::forward of the same field.
+DistributedFtResult distributed_ft_forward(const machine::Cluster& cluster,
+                                           int nranks, const Fft3d& fft,
+                                           const std::vector<Complex>& field);
+
+}  // namespace columbia::npb

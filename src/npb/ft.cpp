@@ -1,0 +1,130 @@
+#include "npb/ft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace columbia::npb {
+
+namespace {
+bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+}  // namespace
+
+void fft1d(Complex* data, int n, int sign) {
+  COL_REQUIRE(is_pow2(n), "fft1d length must be a power of two");
+  COL_REQUIRE(sign == 1 || sign == -1, "sign must be +-1");
+  // Bit-reversal permutation.
+  for (int i = 1, j = 0; i < n; ++i) {
+    int bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies.
+  for (int len = 2; len <= n; len <<= 1) {
+    const double ang =
+        sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (int i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (int k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<Complex> naive_dft(const std::vector<Complex>& x, int sign) {
+  const auto n = static_cast<int>(x.size());
+  std::vector<Complex> out(x.size());
+  for (int k = 0; k < n; ++k) {
+    Complex sum(0.0, 0.0);
+    for (int j = 0; j < n; ++j) {
+      const double ang = sign * 2.0 * std::numbers::pi * k * j / n;
+      sum += x[static_cast<std::size_t>(j)] *
+             Complex(std::cos(ang), std::sin(ang));
+    }
+    out[static_cast<std::size_t>(k)] = sum;
+  }
+  return out;
+}
+
+Fft3d::Fft3d(int nx, int ny, int nz) : nx_(nx), ny_(ny), nz_(nz) {
+  COL_REQUIRE(is_pow2(nx) && is_pow2(ny) && is_pow2(nz),
+              "FT dimensions must be powers of two");
+}
+
+void Fft3d::transform_dim(std::vector<Complex>& a, int dim, int sign) const {
+  COL_REQUIRE(a.size() == size(), "field size mismatch");
+  std::vector<Complex> line;
+  const int n[3] = {nx_, ny_, nz_};
+  const int len = n[dim];
+  line.resize(static_cast<std::size_t>(len));
+  // Strides for x-fastest layout: idx = (k*ny + j)*nx + i.
+  const std::size_t sx = 1;
+  const std::size_t sy = static_cast<std::size_t>(nx_);
+  const std::size_t sz = static_cast<std::size_t>(nx_) * ny_;
+  const std::size_t stride = dim == 0 ? sx : (dim == 1 ? sy : sz);
+
+  const int n_other1 = dim == 0 ? ny_ : nx_;
+  const int n_other2 = dim == 2 ? ny_ : nz_;
+  const std::size_t s_other1 = dim == 0 ? sy : sx;
+  const std::size_t s_other2 = dim == 2 ? sy : sz;
+
+  for (int p = 0; p < n_other1; ++p) {
+    for (int q = 0; q < n_other2; ++q) {
+      const std::size_t base = p * s_other1 + q * s_other2;
+      for (int i = 0; i < len; ++i)
+        line[static_cast<std::size_t>(i)] = a[base + i * stride];
+      fft1d(line.data(), len, sign);
+      for (int i = 0; i < len; ++i)
+        a[base + i * stride] = line[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+void Fft3d::forward(std::vector<Complex>& a) const {
+  transform_dim(a, 0, -1);
+  transform_dim(a, 1, -1);
+  transform_dim(a, 2, -1);
+}
+
+void Fft3d::inverse(std::vector<Complex>& a) const {
+  transform_dim(a, 0, 1);
+  transform_dim(a, 1, 1);
+  transform_dim(a, 2, 1);
+  const double scale = 1.0 / static_cast<double>(size());
+  for (auto& v : a) v *= scale;
+}
+
+void Fft3d::evolve(std::vector<Complex>& spectrum, double t,
+                   double alpha) const {
+  COL_REQUIRE(spectrum.size() == size(), "spectrum size mismatch");
+  auto fold = [](int idx, int n) {
+    return idx < n / 2 ? idx : idx - n;  // wavenumber in [-n/2, n/2)
+  };
+  const double c = -4.0 * std::numbers::pi * std::numbers::pi * alpha * t;
+  std::size_t idx = 0;
+  for (int k = 0; k < nz_; ++k) {
+    const double kz = fold(k, nz_);
+    for (int j = 0; j < ny_; ++j) {
+      const double ky = fold(j, ny_);
+      for (int i = 0; i < nx_; ++i, ++idx) {
+        const double kx = fold(i, nx_);
+        spectrum[idx] *= std::exp(c * (kx * kx + ky * ky + kz * kz));
+      }
+    }
+  }
+}
+
+double Fft3d::flops() const {
+  const double n = static_cast<double>(size());
+  return 5.0 * n * std::log2(n);
+}
+
+}  // namespace columbia::npb

@@ -1,0 +1,53 @@
+#pragma once
+/// \file ft.hpp
+/// NPB FT kernel: 3-D complex FFT (paper §3.2: "FT tests all-to-all
+/// communication"). Radix-2 iterative Cooley-Tukey along each dimension;
+/// the benchmark evolves a spectral field like NAS FT does
+/// (u <- u * exp(-4 pi^2 t |k|^2) per time step, then inverse transform).
+
+#include <complex>
+#include <vector>
+
+namespace columbia::npb {
+
+using Complex = std::complex<double>;
+
+/// In-place radix-2 FFT of length n (power of two).
+/// sign = -1: forward; sign = +1: inverse (unscaled; caller divides by n).
+void fft1d(Complex* data, int n, int sign);
+
+/// Reference O(n^2) DFT for validation.
+std::vector<Complex> naive_dft(const std::vector<Complex>& x, int sign);
+
+/// 3-D FFT on an nx*ny*nz box (all powers of two), x fastest dimension.
+class Fft3d {
+ public:
+  Fft3d(int nx, int ny, int nz);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  std::size_t size() const {
+    return static_cast<std::size_t>(nx_) * ny_ * nz_;
+  }
+
+  /// Forward transform in place (no scaling).
+  void forward(std::vector<Complex>& a) const;
+  /// Inverse transform in place (scales by 1/N so inverse(forward(x)) == x).
+  void inverse(std::vector<Complex>& a) const;
+
+  /// NPB-FT evolve step: multiply each mode by exp(-4 pi^2 alpha t |k|^2)
+  /// with integer wavenumbers folded to [-n/2, n/2).
+  void evolve(std::vector<Complex>& spectrum, double t,
+              double alpha = 1e-6) const;
+
+  /// Flops of one forward (or inverse) 3-D transform: 5 N log2 N.
+  double flops() const;
+
+ private:
+  void transform_dim(std::vector<Complex>& a, int dim, int sign) const;
+
+  int nx_, ny_, nz_;
+};
+
+}  // namespace columbia::npb

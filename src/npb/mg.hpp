@@ -1,0 +1,64 @@
+#pragma once
+/// \file mg.hpp
+/// NPB MG kernel: V-cycle multigrid for the 3-D Poisson problem
+/// (paper §3.2: "MG tests long- and short-distance communication").
+///
+/// Grids are n^3 with n a power of two, zero Dirichlet boundary handled by
+/// ghost-free interior indexing. One V-cycle = pre-smooth, restrict
+/// residual, recurse, prolongate correction, post-smooth.
+
+#include <vector>
+
+namespace columbia::npb {
+
+/// A dense scalar field on an n x n x n interior grid.
+class Grid3 {
+ public:
+  Grid3() = default;
+  explicit Grid3(int n) : n_(n), data_(static_cast<std::size_t>(n) * n * n, 0.0) {}
+
+  int n() const { return n_; }
+  double& at(int i, int j, int k) {
+    return data_[(static_cast<std::size_t>(i) * n_ + j) * n_ + k];
+  }
+  double at(int i, int j, int k) const {
+    return data_[(static_cast<std::size_t>(i) * n_ + j) * n_ + k];
+  }
+  std::vector<double>& raw() { return data_; }
+  const std::vector<double>& raw() const { return data_; }
+
+ private:
+  int n_ = 0;
+  std::vector<double> data_;
+};
+
+class MgSolver {
+ public:
+  /// `n` must be a power of two >= 4. Coarsens down to a 2^2... 4 grid.
+  explicit MgSolver(int n);
+
+  int levels() const { return static_cast<int>(rhs_.size()); }
+  int finest_n() const { return n_; }
+
+  /// Runs one V-cycle of u <- MG(u, f); returns ||f - A u||_2 afterwards.
+  double vcycle(Grid3& u, const Grid3& f);
+
+  /// ||f - A u||_2 (7-point Laplacian with zero boundary).
+  static double residual_norm(const Grid3& u, const Grid3& f);
+
+  // Exposed building blocks (unit-tested individually).
+  static void relax(Grid3& u, const Grid3& f, int sweeps);
+  static void residual(const Grid3& u, const Grid3& f, Grid3& r);
+  static void restrict_full_weight(const Grid3& fine, Grid3& coarse);
+  static void prolong_add(const Grid3& coarse, Grid3& fine);
+
+ private:
+  void cycle(int level, Grid3& u, const Grid3& f);
+
+  int n_ = 0;
+  // Scratch hierarchy, one per level below the finest.
+  std::vector<Grid3> rhs_;
+  std::vector<Grid3> sol_;
+};
+
+}  // namespace columbia::npb

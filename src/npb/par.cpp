@@ -1,0 +1,221 @@
+#include "npb/par.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/decompose.hpp"
+#include "machine/network.hpp"
+#include "perfmodel/compute.hpp"
+#include "simmpi/world.hpp"
+
+namespace columbia::npb {
+
+std::pair<int, int> grid2d(int p) { return columbia::grid2d(p); }
+
+std::array<int, 3> grid3d(int p) { return columbia::grid3d(p); }
+
+namespace {
+
+using machine::Cluster;
+using machine::Network;
+using machine::Placement;
+using perfmodel::ComputeModel;
+using simmpi::Rank;
+using simmpi::World;
+
+/// Per-rank compute seconds for one benchmark iteration.
+double per_rank_compute(const ProblemSpec& spec, const Cluster& cluster,
+                        int p, perfmodel::CompilerVersion compiler) {
+  ComputeModel model(cluster.node_spec(), compiler);
+  perfmodel::Work w = spec.iteration_work();
+  w.flops /= p;
+  w.mem_bytes /= p;
+  w.working_set /= p;
+  return model.time(w, /*bus_sharers=*/2, kernel_class(spec.benchmark), p);
+}
+
+// --- per-benchmark MPI iteration programs ---------------------------------
+
+sim::CoTask<void> cg_iteration(Rank& r, double compute_s, double vec_bytes,
+                               int rows) {
+  const int p = r.size();
+  const int inner = 25;  // NPB cgitmax
+  for (int it = 0; it < inner; ++it) {
+    co_await r.compute(compute_s / inner);
+    // Long-distance transpose-style vector exchange.
+    if (p > 1) {
+      const int partner = (r.rank() + p / 2) % p;
+      co_await r.sendrecv(partner, vec_bytes, partner, 1);
+    }
+    // Two scalar reductions along the processor row (log2 steps).
+    for (int k = 1; k < rows; k <<= 1) {
+      const int dst = (r.rank() + k) % p;
+      const int src = (r.rank() - k + p) % p;
+      co_await r.sendrecv(dst, 16.0, src, 2);
+    }
+  }
+}
+
+sim::CoTask<void> ft_iteration(Rank& r, double compute_s,
+                               double bytes_per_pair) {
+  // Compute the local 1-D FFTs, transpose via all-to-all, finish locally.
+  co_await r.compute(compute_s * 0.6);
+  co_await r.alltoall(bytes_per_pair);
+  co_await r.compute(compute_s * 0.4);
+}
+
+sim::CoTask<void> mg_iteration(Rank& r, double compute_s,
+                               const std::array<int, 3>& grid,
+                               double finest_face_bytes, int levels) {
+  const int p = r.size();
+  const auto [px, py, pz] = grid;
+  const int x = r.rank() % px;
+  const int y = (r.rank() / px) % py;
+  const int z = r.rank() / (px * py);
+  auto id = [&](int xi, int yi, int zi) {
+    return ((zi + pz) % pz * py + (yi + py) % py) * px + (xi + px) % px;
+  };
+  // V-cycle: halo exchanges at each level, faces shrinking 4x per level;
+  // compute distributed 8/7-geometrically across levels (finest dominant).
+  for (int level = 0; level < levels; ++level) {
+    const double face =
+        std::max(64.0, finest_face_bytes / std::pow(4.0, level));
+    co_await r.compute(compute_s * std::pow(0.125, level) * (7.0 / 8.0));
+    if (p > 1) {
+      co_await r.sendrecv(id(x + 1, y, z), face, id(x - 1, y, z), 10 + level);
+      co_await r.sendrecv(id(x - 1, y, z), face, id(x + 1, y, z), 20 + level);
+      co_await r.sendrecv(id(x, y + 1, z), face, id(x, y - 1, z), 30 + level);
+      co_await r.sendrecv(id(x, y - 1, z), face, id(x, y + 1, z), 40 + level);
+      co_await r.sendrecv(id(x, y, z + 1), face, id(x, y, z - 1), 50 + level);
+      co_await r.sendrecv(id(x, y, z - 1), face, id(x, y, z + 1), 60 + level);
+    }
+  }
+  // Convergence-check norm.
+  co_await r.allreduce(8.0);
+}
+
+sim::CoTask<void> bt_iteration(Rank& r, double compute_s,
+                               const std::pair<int, int>& grid,
+                               double face_bytes) {
+  const int p = r.size();
+  const auto [rows, cols] = grid;
+  const int cx = r.rank() % cols;
+  const int cy = r.rank() / cols;
+  auto id = [&](int xi, int yi) {
+    return ((yi + rows) % rows) * cols + (xi + cols) % cols;
+  };
+  // Three ADI sweeps; x and y sweeps pipeline face data through the
+  // process grid, the z sweep is process-local.
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    co_await r.compute(compute_s / 3.0);
+    if (p == 1) continue;
+    if (sweep == 0) {
+      co_await r.sendrecv(id(cx + 1, cy), face_bytes, id(cx - 1, cy), 70);
+      co_await r.sendrecv(id(cx - 1, cy), face_bytes, id(cx + 1, cy), 71);
+    } else if (sweep == 1) {
+      co_await r.sendrecv(id(cx, cy + 1), face_bytes, id(cx, cy - 1), 72);
+      co_await r.sendrecv(id(cx, cy - 1), face_bytes, id(cx, cy + 1), 73);
+    }
+  }
+}
+
+}  // namespace
+
+NpbRate npb_mpi_rate(Benchmark b, char cls, const Cluster& cluster,
+                     const Placement& placement,
+                     perfmodel::CompilerVersion compiler,
+                     int sim_iterations) {
+  const ProblemSpec spec = npb_problem(b, cls);
+  const int p = placement.num_ranks();
+  COL_REQUIRE(sim_iterations >= 1, "need at least one iteration");
+  const double compute_s = per_rank_compute(spec, cluster, p, compiler);
+
+  sim::Engine engine;
+  Network network(engine, cluster);
+  World world(engine, network, placement);
+
+  World::Program program;
+  switch (b) {
+    case Benchmark::CG: {
+      const auto [rows, cols] = grid2d(p);
+      (void)cols;
+      const double vec_bytes = 8.0 * static_cast<double>(spec.cg_n) /
+                               std::max(1, grid2d(p).second);
+      program = [=](Rank& r) -> sim::CoTask<void> {
+        for (int i = 0; i < sim_iterations; ++i) {
+          co_await cg_iteration(r, compute_s, vec_bytes, rows);
+        }
+      };
+      break;
+    }
+    case Benchmark::FT: {
+      const double bytes_per_pair =
+          16.0 * spec.points() / (static_cast<double>(p) * p);
+      program = [=](Rank& r) -> sim::CoTask<void> {
+        for (int i = 0; i < sim_iterations; ++i) {
+          co_await ft_iteration(r, compute_s, bytes_per_pair);
+        }
+      };
+      break;
+    }
+    case Benchmark::MG: {
+      const auto grid = grid3d(p);
+      // Face of the per-rank subdomain at the finest level.
+      const double sub_nx = static_cast<double>(spec.nx) / grid[0];
+      const double sub_ny = static_cast<double>(spec.ny) / grid[1];
+      const double face = 8.0 * sub_nx * sub_ny;
+      program = [=](Rank& r) -> sim::CoTask<void> {
+        for (int i = 0; i < sim_iterations; ++i) {
+          co_await mg_iteration(r, compute_s, grid, face, 4);
+        }
+      };
+      break;
+    }
+    case Benchmark::BT: {
+      const auto grid = grid2d(p);
+      const double sub_nx = static_cast<double>(spec.nx) / grid.second;
+      const double face =
+          5.0 * 8.0 * sub_nx * static_cast<double>(spec.nz);
+      program = [=](Rank& r) -> sim::CoTask<void> {
+        for (int i = 0; i < sim_iterations; ++i) {
+          co_await bt_iteration(r, compute_s, grid, face);
+        }
+      };
+      break;
+    }
+  }
+
+  const double makespan = world.run(program);
+  NpbRate rate;
+  rate.seconds_per_iteration = makespan / sim_iterations;
+  rate.gflops_total =
+      spec.flops_per_iteration() / rate.seconds_per_iteration / 1e9;
+  rate.gflops_per_cpu = rate.gflops_total / p;
+  return rate;
+}
+
+NpbRate npb_mpi_rate(Benchmark b, char cls, const Cluster& cluster,
+                     int nprocs, perfmodel::CompilerVersion compiler) {
+  return npb_mpi_rate(b, cls, cluster, Placement::dense(cluster, nprocs),
+                      compiler);
+}
+
+NpbRate npb_omp_rate(Benchmark b, char cls, const machine::NodeSpec& node,
+                     int nthreads, perfmodel::CompilerVersion compiler,
+                     simomp::Pinning pin) {
+  const ProblemSpec spec = npb_problem(b, cls);
+  simomp::OmpModel model(node, compiler);
+  simomp::RegionSpec region;
+  region.total = spec.iteration_work();
+  region.shared_traffic_fraction = spec.shared_traffic_fraction();
+  const double t =
+      model.region_time(region, nthreads, pin, kernel_class(b));
+  NpbRate rate;
+  rate.seconds_per_iteration = t;
+  rate.gflops_total = spec.flops_per_iteration() / t / 1e9;
+  rate.gflops_per_cpu = rate.gflops_total / nthreads;
+  return rate;
+}
+
+}  // namespace columbia::npb

@@ -1,0 +1,56 @@
+#pragma once
+/// \file par.hpp
+/// Parallel NPB drivers (paper §4.1.2, §4.4, Fig. 6, Fig. 8).
+///
+/// The MPI variants replay each benchmark's true communication graph on
+/// the simulated network (long-distance vector exchanges + reductions for
+/// CG, all-to-all transposes for FT, per-level halo exchanges for MG,
+/// pipelined ADI face exchanges for BT) with compute phases costed by the
+/// roofline model. The OpenMP variants use the shared-memory region model
+/// on a single Altix node.
+
+#include <array>
+#include <utility>
+
+#include "machine/cluster.hpp"
+#include "machine/placement.hpp"
+#include "npb/classes.hpp"
+#include "simomp/omp_model.hpp"
+
+namespace columbia::npb {
+
+struct NpbRate {
+  double seconds_per_iteration = 0.0;
+  double gflops_total = 0.0;
+  double gflops_per_cpu = 0.0;
+};
+
+/// Simulated MPI execution of `nprocs` ranks placed by `placement` on
+/// `cluster`. `sim_iterations` steady-state iterations are simulated and
+/// averaged (the real benchmark runs more, but the per-iteration time is
+/// stationary).
+NpbRate npb_mpi_rate(Benchmark b, char cls, const machine::Cluster& cluster,
+                     const machine::Placement& placement,
+                     perfmodel::CompilerVersion compiler =
+                         perfmodel::CompilerVersion::Intel7_1,
+                     int sim_iterations = 2);
+
+/// Convenience: dense placement of `nprocs` ranks.
+NpbRate npb_mpi_rate(Benchmark b, char cls, const machine::Cluster& cluster,
+                     int nprocs,
+                     perfmodel::CompilerVersion compiler =
+                         perfmodel::CompilerVersion::Intel7_1);
+
+/// Modeled OpenMP execution with `nthreads` on one node.
+NpbRate npb_omp_rate(Benchmark b, char cls, const machine::NodeSpec& node,
+                     int nthreads,
+                     perfmodel::CompilerVersion compiler =
+                         perfmodel::CompilerVersion::Intel7_1,
+                     simomp::Pinning pin = simomp::Pinning::Pinned);
+
+/// Splits p into a near-square 2-D grid (rows <= cols, rows * cols == p).
+std::pair<int, int> grid2d(int p);
+/// Splits p into a near-cubic 3-D grid.
+std::array<int, 3> grid3d(int p);
+
+}  // namespace columbia::npb

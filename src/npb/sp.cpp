@@ -1,0 +1,154 @@
+#include "npb/sp.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace columbia::npb {
+
+PentaSystem make_penta_system(int n, unsigned seed) {
+  COL_REQUIRE(n >= 1, "system length must be positive");
+  Rng rng(seed);
+  PentaSystem s;
+  const auto un = static_cast<std::size_t>(n);
+  s.a.resize(un);
+  s.b.resize(un);
+  s.c.resize(un);
+  s.d.resize(un);
+  s.e.resize(un);
+  s.rhs.resize(un);
+  for (std::size_t i = 0; i < un; ++i) {
+    s.a[i] = rng.uniform(-0.4, 0.4);
+    s.b[i] = rng.uniform(-0.8, 0.8);
+    s.d[i] = rng.uniform(-0.8, 0.8);
+    s.e[i] = rng.uniform(-0.4, 0.4);
+    // Diagonal dominance.
+    s.c[i] = 3.0 + std::fabs(s.a[i]) + std::fabs(s.b[i]) +
+             std::fabs(s.d[i]) + std::fabs(s.e[i]) + rng.uniform(0.0, 1.0);
+    s.rhs[i] = rng.uniform(-1.0, 1.0);
+  }
+  return s;
+}
+
+void penta_solve(PentaSystem& sys) {
+  const int n = static_cast<int>(sys.size());
+  COL_REQUIRE(n >= 1, "empty system");
+  COL_REQUIRE(sys.a.size() == sys.size() && sys.b.size() == sys.size() &&
+                  sys.d.size() == sys.size() && sys.e.size() == sys.size() &&
+                  sys.rhs.size() == sys.size(),
+              "band length mismatch");
+  auto& a = sys.a;
+  auto& b = sys.b;
+  auto& c = sys.c;
+  auto& d = sys.d;
+  auto& e = sys.e;
+  auto& r = sys.rhs;
+
+  // Forward elimination: at step i, remove the influence of x[i] on rows
+  // i+1 (coefficient b[i+1]) and i+2 (coefficient a[i+2]).
+  for (int i = 0; i < n; ++i) {
+    COL_CHECK(std::fabs(c[static_cast<std::size_t>(i)]) > 1e-300,
+              "zero pivot in pentadiagonal solve");
+    const double inv = 1.0 / c[static_cast<std::size_t>(i)];
+    // Normalize row i.
+    d[static_cast<std::size_t>(i)] *= inv;
+    e[static_cast<std::size_t>(i)] *= inv;
+    r[static_cast<std::size_t>(i)] *= inv;
+    c[static_cast<std::size_t>(i)] = 1.0;
+    if (i + 1 < n) {
+      const double f = b[static_cast<std::size_t>(i + 1)];
+      c[static_cast<std::size_t>(i + 1)] -=
+          f * d[static_cast<std::size_t>(i)];
+      d[static_cast<std::size_t>(i + 1)] -=
+          f * e[static_cast<std::size_t>(i)];
+      r[static_cast<std::size_t>(i + 1)] -=
+          f * r[static_cast<std::size_t>(i)];
+      b[static_cast<std::size_t>(i + 1)] = 0.0;
+    }
+    if (i + 2 < n) {
+      const double f = a[static_cast<std::size_t>(i + 2)];
+      b[static_cast<std::size_t>(i + 2)] -=
+          f * d[static_cast<std::size_t>(i)];
+      c[static_cast<std::size_t>(i + 2)] -=
+          f * e[static_cast<std::size_t>(i)];
+      r[static_cast<std::size_t>(i + 2)] -=
+          f * r[static_cast<std::size_t>(i)];
+      a[static_cast<std::size_t>(i + 2)] = 0.0;
+    }
+  }
+  // Back substitution (upper bands d, e).
+  for (int i = n - 1; i >= 0; --i) {
+    double x = r[static_cast<std::size_t>(i)];
+    if (i + 1 < n) x -= d[static_cast<std::size_t>(i)] *
+                        r[static_cast<std::size_t>(i + 1)];
+    if (i + 2 < n) x -= e[static_cast<std::size_t>(i)] *
+                        r[static_cast<std::size_t>(i + 2)];
+    r[static_cast<std::size_t>(i)] = x;
+  }
+}
+
+std::vector<double> penta_dense_reference(const PentaSystem& sys) {
+  const int n = static_cast<int>(sys.size());
+  std::vector<double> m(static_cast<std::size_t>(n) * n, 0.0);
+  std::vector<double> b(sys.rhs);
+  auto at = [&](int r, int c) -> double& {
+    return m[static_cast<std::size_t>(r) * n + c];
+  };
+  for (int i = 0; i < n; ++i) {
+    if (i >= 2) at(i, i - 2) = sys.a[static_cast<std::size_t>(i)];
+    if (i >= 1) at(i, i - 1) = sys.b[static_cast<std::size_t>(i)];
+    at(i, i) = sys.c[static_cast<std::size_t>(i)];
+    if (i + 1 < n) at(i, i + 1) = sys.d[static_cast<std::size_t>(i)];
+    if (i + 2 < n) at(i, i + 2) = sys.e[static_cast<std::size_t>(i)];
+  }
+  // Gaussian elimination with partial pivoting.
+  for (int col = 0; col < n; ++col) {
+    int best = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::fabs(at(r, col)) > std::fabs(at(best, col))) best = r;
+    }
+    for (int c = 0; c < n; ++c) std::swap(at(best, c), at(col, c));
+    std::swap(b[static_cast<std::size_t>(best)],
+              b[static_cast<std::size_t>(col)]);
+    COL_CHECK(std::fabs(at(col, col)) > 1e-300, "singular reference");
+    for (int r = col + 1; r < n; ++r) {
+      const double f = at(r, col) / at(col, col);
+      for (int c = col; c < n; ++c) at(r, c) -= f * at(col, c);
+      b[static_cast<std::size_t>(r)] -= f * b[static_cast<std::size_t>(col)];
+    }
+  }
+  for (int r = n - 1; r >= 0; --r) {
+    double s = b[static_cast<std::size_t>(r)];
+    for (int c = r + 1; c < n; ++c)
+      s -= at(r, c) * b[static_cast<std::size_t>(c)];
+    b[static_cast<std::size_t>(r)] = s / at(r, r);
+  }
+  return b;
+}
+
+double penta_residual(const PentaSystem& sys,
+                      const std::vector<double>& x) {
+  const int n = static_cast<int>(sys.size());
+  COL_REQUIRE(x.size() == sys.size(), "solution size mismatch");
+  double worst = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double ax = sys.c[static_cast<std::size_t>(i)] *
+                x[static_cast<std::size_t>(i)];
+    if (i >= 2) ax += sys.a[static_cast<std::size_t>(i)] *
+                      x[static_cast<std::size_t>(i - 2)];
+    if (i >= 1) ax += sys.b[static_cast<std::size_t>(i)] *
+                      x[static_cast<std::size_t>(i - 1)];
+    if (i + 1 < n) ax += sys.d[static_cast<std::size_t>(i)] *
+                         x[static_cast<std::size_t>(i + 1)];
+    if (i + 2 < n) ax += sys.e[static_cast<std::size_t>(i)] *
+                         x[static_cast<std::size_t>(i + 2)];
+    worst = std::max(worst,
+                     std::fabs(sys.rhs[static_cast<std::size_t>(i)] - ax));
+  }
+  return worst;
+}
+
+double sp_line_solve_flops(int n) { return 19.0 * n; }
+
+}  // namespace columbia::npb

@@ -1,0 +1,39 @@
+#pragma once
+/// \file sp.hpp
+/// NPB SP kernel: scalar pentadiagonal line solver (the computational core
+/// of SP and SP-MZ). Where BT factors 5x5 blocks, SP's approximate
+/// factorization decouples the five conserved variables into independent
+/// scalar pentadiagonal systems along each grid line, solved with a
+/// five-band Thomas algorithm.
+
+#include <vector>
+
+namespace columbia::npb {
+
+/// One scalar pentadiagonal system:
+///   a[i] x[i-2] + b[i] x[i-1] + c[i] x[i] + d[i] x[i+1] + e[i] x[i+2]
+///     = rhs[i],   i = 0..n-1  (out-of-range bands ignored).
+struct PentaSystem {
+  std::vector<double> a, b, c, d, e, rhs;
+
+  std::size_t size() const { return c.size(); }
+};
+
+/// Builds a diagonally dominant random system of length n.
+PentaSystem make_penta_system(int n, unsigned seed);
+
+/// Solves in place (forward elimination of the two sub-diagonals, then
+/// back substitution); on return sys.rhs holds x. Requires n >= 1.
+void penta_solve(PentaSystem& sys);
+
+/// Dense-assembly Gaussian-elimination reference (tests).
+std::vector<double> penta_dense_reference(const PentaSystem& sys);
+
+/// Residual max-norm of a candidate solution.
+double penta_residual(const PentaSystem& sys,
+                      const std::vector<double>& x);
+
+/// Flops of one length-n scalar penta solve (~19n: 10 eliminate + 9 back).
+double sp_line_solve_flops(int n);
+
+}  // namespace columbia::npb

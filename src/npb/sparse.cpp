@@ -1,0 +1,87 @@
+#include "npb/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace columbia::npb {
+
+SparseMatrix make_cg_matrix(int n, int nz_per_row, double shift, Rng& rng) {
+  COL_REQUIRE(n > 0, "matrix size must be positive");
+  COL_REQUIRE(nz_per_row >= 0 && nz_per_row < n, "bad sparsity");
+  COL_REQUIRE(shift > 0.0, "shift must be positive for SPD");
+
+  // Collect symmetric off-diagonal entries, then add dominant diagonals.
+  std::vector<std::map<int, double>> rows(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < nz_per_row / 2; ++k) {
+      const int j = static_cast<int>(rng.next_below(static_cast<unsigned>(n)));
+      if (j == i) continue;
+      const double v = rng.uniform(-1.0, 1.0);
+      rows[static_cast<std::size_t>(i)][j] = v;
+      rows[static_cast<std::size_t>(j)][i] = v;
+    }
+  }
+  SparseMatrix a;
+  a.n = n;
+  a.row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  // Diagonal dominance: |a_ii| > sum |a_ij| + shift.
+  for (int i = 0; i < n; ++i) {
+    double off_sum = 0.0;
+    for (const auto& [j, v] : rows[static_cast<std::size_t>(i)])
+      off_sum += std::fabs(v);
+    rows[static_cast<std::size_t>(i)][i] = off_sum + shift;
+  }
+  for (int i = 0; i < n; ++i) {
+    for (const auto& [j, v] : rows[static_cast<std::size_t>(i)]) {
+      a.col.push_back(j);
+      a.val.push_back(v);
+    }
+    a.row_ptr[static_cast<std::size_t>(i) + 1] =
+        static_cast<int>(a.col.size());
+  }
+  return a;
+}
+
+void spmv(const SparseMatrix& a, std::span<const double> x,
+          std::span<double> y) {
+  COL_REQUIRE(x.size() == static_cast<std::size_t>(a.n) &&
+                  y.size() == static_cast<std::size_t>(a.n),
+              "spmv dimension mismatch");
+  for (int i = 0; i < a.n; ++i) {
+    double sum = 0.0;
+    for (int k = a.row_ptr[static_cast<std::size_t>(i)];
+         k < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      sum += a.val[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(a.col[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(i)] = sum;
+  }
+}
+
+bool is_symmetric(const SparseMatrix& a, double tol) {
+  for (int i = 0; i < a.n; ++i) {
+    for (int k = a.row_ptr[static_cast<std::size_t>(i)];
+         k < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const int j = a.col[static_cast<std::size_t>(k)];
+      const double v = a.val[static_cast<std::size_t>(k)];
+      // Find (j, i).
+      bool found = false;
+      for (int m = a.row_ptr[static_cast<std::size_t>(j)];
+           m < a.row_ptr[static_cast<std::size_t>(j) + 1]; ++m) {
+        if (a.col[static_cast<std::size_t>(m)] == i) {
+          if (std::fabs(a.val[static_cast<std::size_t>(m)] - v) > tol)
+            return false;
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace columbia::npb

@@ -1,0 +1,39 @@
+#pragma once
+/// \file sparse.hpp
+/// Sparse symmetric positive-definite matrices in CSR form for the CG
+/// kernel (paper §3.2: "CG tests irregular memory access and
+/// communication"). The generator mirrors the spirit of NPB's makea():
+/// a random sparsity pattern with a diagonal shift guaranteeing SPD.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace columbia::npb {
+
+/// Compressed sparse row, symmetric storage of the full matrix.
+struct SparseMatrix {
+  int n = 0;
+  std::vector<int> row_ptr;  // size n+1
+  std::vector<int> col;      // size nnz
+  std::vector<double> val;   // size nnz
+
+  std::size_t nnz() const { return col.size(); }
+};
+
+/// Builds a random symmetric strictly diagonally dominant matrix with about
+/// `nz_per_row` off-diagonal entries per row, diagonal shifted by `shift`
+/// (> 0 makes it SPD with smallest eigenvalue >= shift).
+SparseMatrix make_cg_matrix(int n, int nz_per_row, double shift, Rng& rng);
+
+/// y = A x.
+void spmv(const SparseMatrix& a, std::span<const double> x,
+          std::span<double> y);
+
+/// Verifies structural symmetry (a_ij present iff a_ji present with the
+/// same value); returns true if symmetric to tolerance.
+bool is_symmetric(const SparseMatrix& a, double tol = 1e-12);
+
+}  // namespace columbia::npb

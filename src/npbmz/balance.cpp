@@ -1,0 +1,51 @@
+#include "npbmz/balance.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace columbia::npbmz {
+
+double Assignment::imbalance() const {
+  COL_REQUIRE(!load.empty(), "empty assignment");
+  const double mx = *std::max_element(load.begin(), load.end());
+  const double mean =
+      std::accumulate(load.begin(), load.end(), 0.0) /
+      static_cast<double>(load.size());
+  COL_CHECK(mean > 0.0, "assignment with zero total load");
+  return mx / mean;
+}
+
+Assignment balance_zones(const std::vector<Zone>& zones, int nprocs) {
+  COL_REQUIRE(nprocs >= 1, "need at least one process");
+  COL_REQUIRE(static_cast<int>(zones.size()) >= nprocs,
+              "fewer zones than processes");
+  Assignment a;
+  a.owner.assign(zones.size(), -1);
+  a.load.assign(static_cast<std::size_t>(nprocs), 0.0);
+
+  std::vector<int> order(zones.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int x, int y) {
+    return zones[static_cast<std::size_t>(x)].points() >
+           zones[static_cast<std::size_t>(y)].points();
+  });
+  for (int zi : order) {
+    const auto it = std::min_element(a.load.begin(), a.load.end());
+    const int proc = static_cast<int>(it - a.load.begin());
+    a.owner[static_cast<std::size_t>(zi)] = proc;
+    *it += zones[static_cast<std::size_t>(zi)].points();
+  }
+  return a;
+}
+
+std::vector<int> zones_of(const Assignment& a, int proc) {
+  std::vector<int> out;
+  for (std::size_t z = 0; z < a.owner.size(); ++z) {
+    if (a.owner[z] == proc) out.push_back(static_cast<int>(z));
+  }
+  return out;
+}
+
+}  // namespace columbia::npbmz

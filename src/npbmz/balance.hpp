@@ -1,0 +1,34 @@
+#pragma once
+/// \file balance.hpp
+/// Coarse-grain load balancing for multi-zone benchmarks (paper §4.6.2:
+/// "load balancing for SP-MZ is trivial as long as the number of zones is
+/// divisible by the number of MPI processes; the uneven-size zones in
+/// BT-MZ allow more flexible choice ... as the number of CPUs increases,
+/// OpenMP threads may be required to get better load balance").
+///
+/// Greedy longest-processing-time bin packing: zones sorted by descending
+/// work, each assigned to the currently least-loaded process.
+
+#include <vector>
+
+#include "npbmz/zones.hpp"
+
+namespace columbia::npbmz {
+
+struct Assignment {
+  /// zone id -> owning process.
+  std::vector<int> owner;
+  /// per-process summed work (points).
+  std::vector<double> load;
+
+  /// max(load) / mean(load); 1.0 is perfect balance.
+  double imbalance() const;
+};
+
+/// LPT bin packing of zones onto `nprocs` processes by point count.
+Assignment balance_zones(const std::vector<Zone>& zones, int nprocs);
+
+/// Zones of one process.
+std::vector<int> zones_of(const Assignment& a, int proc);
+
+}  // namespace columbia::npbmz

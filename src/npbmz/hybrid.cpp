@@ -1,0 +1,145 @@
+#include "npbmz/hybrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.hpp"
+#include "machine/network.hpp"
+#include "machine/placement.hpp"
+#include "sim/join.hpp"
+#include "simmpi/world.hpp"
+
+namespace columbia::npbmz {
+
+namespace {
+
+using machine::Cluster;
+using machine::Placement;
+using simmpi::Rank;
+
+perfmodel::KernelClass mz_kernel(MzBenchmark b) {
+  return b == MzBenchmark::BTMZ ? perfmodel::KernelClass::BtDense
+                                : perfmodel::KernelClass::SpDense;
+}
+
+/// Zone-grid neighbours (torus, as NPB-MZ couples opposite edges).
+std::array<int, 4> zone_neighbors(const MzProblem& p, const Zone& z) {
+  auto id = [&](int ix, int iy) {
+    return ((iy + p.y_zones) % p.y_zones) * p.x_zones +
+           (ix + p.x_zones) % p.x_zones;
+  };
+  return {id(z.ix - 1, z.iy), id(z.ix + 1, z.iy), id(z.ix, z.iy - 1),
+          id(z.ix, z.iy + 1)};
+}
+
+}  // namespace
+
+MzResult mz_rate(MzBenchmark b, char cls, const Cluster& cluster,
+                 const MzConfig& cfg) {
+  const MzProblem problem = mz_problem(b, cls);
+  COL_REQUIRE(cfg.nprocs >= 1 && cfg.threads_per_proc >= 1,
+              "bad process/thread configuration");
+  COL_REQUIRE(cfg.nprocs <= problem.num_zones(),
+              "more MPI processes than zones");
+  COL_REQUIRE(cfg.n_nodes >= 1 && cfg.n_nodes <= cluster.num_nodes(),
+              "n_nodes out of range");
+  COL_REQUIRE(cfg.nprocs % cfg.n_nodes == 0,
+              "processes must divide across nodes");
+  // Paper §2: InfiniBand connection budget bounds per-node MPI processes.
+  const int per_node = cfg.nprocs / cfg.n_nodes;
+  COL_REQUIRE(per_node <= cluster.max_pure_mpi_procs_per_node(cfg.n_nodes),
+              "InfiniBand connection limit exceeded: use threads");
+  COL_REQUIRE(per_node * cfg.threads_per_proc <= cluster.cpus_per_node(),
+              "node over-subscribed");
+
+  const auto zones = make_zones(problem);
+  const auto assignment = balance_zones(zones, cfg.nprocs);
+
+  // Per-rank compute time for one step: each owned zone is one OpenMP
+  // region (fork/join per zone, as in the reference code).
+  simomp::OmpModel omp(cluster.node_spec(), cfg.compiler);
+  std::vector<double> compute_s(static_cast<std::size_t>(cfg.nprocs), 0.0);
+  double total_flops_per_step = 0.0;
+  for (const auto& z : zones) {
+    simomp::RegionSpec region;
+    region.total = zone_step_work(problem, z);
+    region.shared_traffic_fraction = 0.35;
+    total_flops_per_step += region.total.flops;
+    // NPB-MZ parallelizes zone loops over the nz planes, so a zone offers
+    // at most nz-way parallelism; surplus threads idle and uneven plane
+    // counts leave threads waiting (the fine-grain limit behind Fig. 9's
+    // rapid OpenMP falloff).
+    const double planes = static_cast<double>(z.nz);
+    const double plane_imbalance =
+        cfg.threads_per_proc *
+        std::ceil(planes / cfg.threads_per_proc) / planes;
+    // A dense multi-process job keeps both CPUs of every FSB busy even in
+    // pure-MPI mode, so memory bandwidth is always shared.
+    const int bus_sharers =
+        cfg.total_cpus() > 1 ? cluster.node_spec().cpus_per_bus : 0;
+    compute_s[static_cast<std::size_t>(
+        assignment.owner[static_cast<std::size_t>(z.id)])] +=
+        omp.region_time(region, cfg.threads_per_proc, cfg.pin, mz_kernel(b),
+                        bus_sharers) *
+        plane_imbalance;
+  }
+
+  // Aggregate per-step boundary traffic between rank pairs.
+  std::vector<std::map<int, double>> peer_bytes(
+      static_cast<std::size_t>(cfg.nprocs));
+  for (const auto& z : zones) {
+    const int me = assignment.owner[static_cast<std::size_t>(z.id)];
+    for (int nb : zone_neighbors(problem, z)) {
+      const int other = assignment.owner[static_cast<std::size_t>(nb)];
+      if (other == me) continue;  // in-process copy, part of compute
+      peer_bytes[static_cast<std::size_t>(me)][other] +=
+          interface_bytes(z, zones[static_cast<std::size_t>(nb)]);
+    }
+  }
+
+  // Boot-cpuset interference: single-node runs that occupy every CPU of
+  // the box contend with system software (paper §4.6.2 explains the
+  // 10-15% drop of 512-CPU in-node runs; 508-CPU runs avoid it).
+  const double cpuset_penalty =
+      (cfg.n_nodes == 1 && cfg.total_cpus() >= cluster.cpus_per_node())
+          ? 1.12
+          : 1.0;
+
+  sim::Engine engine;
+  machine::Network network(engine, cluster);
+  Placement placement = Placement::across_nodes(
+      cluster, cfg.nprocs, cfg.n_nodes, cfg.threads_per_proc);
+  simmpi::World world(engine, network, placement);
+
+  auto program = [&](Rank& r) -> sim::CoTask<void> {
+    const auto& peers = peer_bytes[static_cast<std::size_t>(r.rank())];
+    for (int step = 0; step < cfg.sim_iterations; ++step) {
+      co_await r.compute(
+          compute_s[static_cast<std::size_t>(r.rank())] * cpuset_penalty);
+      // Asynchronous boundary exchange with all neighbouring ranks at
+      // once (isend/irecv + waitall in the reference implementation).
+      std::vector<sim::CoTask<void>> ops;
+      ops.reserve(peers.size());
+      for (const auto& [peer, bytes] : peers) {
+        ops.push_back(r.sendrecv(peer, bytes, peer, 100 + step));
+      }
+      co_await sim::when_all(r.engine(), std::move(ops));
+      // Step norm.
+      co_await r.allreduce(8.0);
+    }
+  };
+
+  const double makespan = world.run(program);
+
+  MzResult result;
+  result.seconds_per_step = makespan / cfg.sim_iterations;
+  result.gflops_total =
+      total_flops_per_step / result.seconds_per_step / 1e9;
+  result.gflops_per_cpu = result.gflops_total / cfg.total_cpus();
+  result.imbalance = assignment.imbalance();
+  result.mean_comm_seconds = world.mean_comm_seconds() / cfg.sim_iterations;
+  return result;
+}
+
+}  // namespace columbia::npbmz

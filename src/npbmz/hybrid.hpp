@@ -1,0 +1,47 @@
+#pragma once
+/// \file hybrid.hpp
+/// Hybrid MPI+OpenMP execution of the multi-zone benchmarks (paper §4.5,
+/// §4.6.2, Figs. 7, 9, 11).
+///
+/// Zones are bin-packed onto MPI ranks (balance.hpp); each step every rank
+/// runs its zones' solver as OpenMP regions (simomp model) and exchanges
+/// zone boundary data with neighbouring ranks through asynchronous
+/// sendrecv pairs on the simulated network, exactly the structure of the
+/// reference NPB-MZ implementation.
+
+#include "machine/cluster.hpp"
+#include "npbmz/balance.hpp"
+#include "npbmz/zones.hpp"
+#include "perfmodel/compiler.hpp"
+#include "simomp/omp_model.hpp"
+
+namespace columbia::npbmz {
+
+struct MzConfig {
+  int nprocs = 1;
+  int threads_per_proc = 1;
+  simomp::Pinning pin = simomp::Pinning::Pinned;
+  perfmodel::CompilerVersion compiler = perfmodel::CompilerVersion::Intel7_1;
+  /// Ranks are split evenly across the first `n_nodes` nodes.
+  int n_nodes = 1;
+  /// Steady-state steps to simulate (time per step is stationary).
+  int sim_iterations = 2;
+
+  int total_cpus() const { return nprocs * threads_per_proc; }
+};
+
+struct MzResult {
+  double seconds_per_step = 0.0;
+  double gflops_total = 0.0;
+  double gflops_per_cpu = 0.0;
+  double imbalance = 1.0;        // max/mean zone-work per rank
+  double mean_comm_seconds = 0.0;
+};
+
+/// Runs the hybrid benchmark on `cluster`. Enforces the paper's §2
+/// InfiniBand constraint: per-node MPI process counts above the
+/// connection limit are rejected (use more threads per process instead).
+MzResult mz_rate(MzBenchmark b, char cls, const machine::Cluster& cluster,
+                 const MzConfig& cfg);
+
+}  // namespace columbia::npbmz

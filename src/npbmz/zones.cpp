@@ -1,0 +1,178 @@
+#include "npbmz/zones.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace columbia::npbmz {
+
+std::string to_string(MzBenchmark b) {
+  return b == MzBenchmark::BTMZ ? "BT-MZ" : "SP-MZ";
+}
+
+MzProblem mz_problem(MzBenchmark b, char cls) {
+  MzProblem p;
+  p.benchmark = b;
+  p.npb_class = cls;
+  switch (cls) {
+    case 'S':
+      p.x_zones = p.y_zones = 2;
+      p.gx = 24;
+      p.gy = 24;
+      p.gz = 6;
+      p.iterations = 60;
+      return p;
+    case 'A':
+      p.x_zones = p.y_zones = 4;
+      p.gx = 128;
+      p.gy = 128;
+      p.gz = 16;
+      p.iterations = 200;
+      return p;
+    case 'B':
+      p.x_zones = p.y_zones = 8;
+      p.gx = 304;
+      p.gy = 208;
+      p.gz = 17;
+      p.iterations = 200;
+      return p;
+    case 'C':
+      p.x_zones = p.y_zones = 16;
+      p.gx = 480;
+      p.gy = 320;
+      p.gz = 28;
+      p.iterations = 200;
+      return p;
+    case 'D':
+      p.x_zones = p.y_zones = 32;
+      p.gx = 1632;
+      p.gy = 1216;
+      p.gz = 34;
+      p.iterations = 250;
+      return p;
+    case 'E':
+      // Paper §3.2: "Class E (4096 zones, 4224 x 3456 x 92 aggregated
+      // grid size)".
+      p.x_zones = p.y_zones = 64;
+      p.gx = 4224;
+      p.gy = 3456;
+      p.gz = 92;
+      p.iterations = 250;
+      return p;
+    case 'F':
+      // Paper §3.2: "Class F (16384 zones, 12032 x 8960 x 250)".
+      p.x_zones = p.y_zones = 128;
+      p.gx = 12032;
+      p.gy = 8960;
+      p.gz = 250;
+      p.iterations = 250;
+      return p;
+    default:
+      break;
+  }
+  COL_REQUIRE(false, std::string("unsupported NPB-MZ class ") + cls);
+  return p;
+}
+
+namespace {
+
+/// Partitions `total` cells into `parts` segments. Uniform for SP-MZ;
+/// geometric progression (ratio chosen to span ~4.5x per dimension,
+/// ~20x in zone area) for BT-MZ.
+std::vector<long> partition(long total, int parts, bool geometric) {
+  std::vector<long> sizes(static_cast<std::size_t>(parts));
+  if (!geometric || parts == 1) {
+    for (int i = 0; i < parts; ++i) {
+      // Spread the remainder over the leading segments.
+      sizes[static_cast<std::size_t>(i)] =
+          total / parts + (i < total % parts ? 1 : 0);
+    }
+    return sizes;
+  }
+  // Geometric weights w_i = r^i with r picked so w_last/w_first ~ 4.5
+  // (zone areas then span ~20x as the NPB-MZ spec intends).
+  const double ratio = std::pow(4.5, 1.0 / std::max(1, parts - 1));
+  std::vector<double> w(static_cast<std::size_t>(parts));
+  double sum = 0.0;
+  for (int i = 0; i < parts; ++i) {
+    w[static_cast<std::size_t>(i)] = std::pow(ratio, i);
+    sum += w[static_cast<std::size_t>(i)];
+  }
+  long assigned = 0;
+  for (int i = 0; i < parts; ++i) {
+    long s = std::max<long>(
+        4, static_cast<long>(std::floor(total * w[static_cast<std::size_t>(i)] / sum)));
+    sizes[static_cast<std::size_t>(i)] = s;
+    assigned += s;
+  }
+  // Fix rounding drift on the largest zone.
+  sizes[static_cast<std::size_t>(parts - 1)] += total - assigned;
+  return sizes;
+}
+
+}  // namespace
+
+std::vector<Zone> make_zones(const MzProblem& p) {
+  const bool geometric = p.benchmark == MzBenchmark::BTMZ;
+  const auto xs = partition(p.gx, p.x_zones, geometric);
+  const auto ys = partition(p.gy, p.y_zones, geometric);
+  std::vector<Zone> zones;
+  zones.reserve(static_cast<std::size_t>(p.num_zones()));
+  int id = 0;
+  for (int iy = 0; iy < p.y_zones; ++iy) {
+    for (int ix = 0; ix < p.x_zones; ++ix) {
+      Zone z;
+      z.id = id++;
+      z.ix = ix;
+      z.iy = iy;
+      z.nx = xs[static_cast<std::size_t>(ix)];
+      z.ny = ys[static_cast<std::size_t>(iy)];
+      z.nz = p.gz;
+      zones.push_back(z);
+    }
+  }
+  return zones;
+}
+
+double zone_size_ratio(const std::vector<Zone>& zones) {
+  COL_REQUIRE(!zones.empty(), "no zones");
+  double lo = zones.front().points(), hi = lo;
+  for (const auto& z : zones) {
+    lo = std::min(lo, z.points());
+    hi = std::max(hi, z.points());
+  }
+  return hi / lo;
+}
+
+perfmodel::Work zone_step_work(const MzProblem& p, const Zone& z) {
+  perfmodel::Work w;
+  const double pts = z.points();
+  if (p.benchmark == MzBenchmark::BTMZ) {
+    w.flops = 3400.0 * pts;      // BT block-tridiagonal sweeps
+    w.mem_bytes = 6000.0 * pts;
+    w.working_set = 400.0 * pts;
+    w.flop_efficiency = 0.35;
+  } else {
+    w.flops = 1900.0 * pts;      // SP scalar penta-diagonal sweeps
+    w.mem_bytes = 4200.0 * pts;
+    w.working_set = 300.0 * pts;
+    w.flop_efficiency = 0.30;
+  }
+  return w;
+}
+
+double interface_bytes(const Zone& a, const Zone& b) {
+  // Adjacent in x: shared face ny*nz; adjacent in y: nx*nz. Two fringe
+  // layers of 5 variables in doubles.
+  COL_REQUIRE(a.id != b.id, "zone cannot interface itself");
+  double face = 0.0;
+  if (a.iy == b.iy) {
+    face = 0.5 * (static_cast<double>(a.ny) + b.ny) * a.nz;
+  } else {
+    face = 0.5 * (static_cast<double>(a.nx) + b.nx) * a.nz;
+  }
+  return 5.0 * 8.0 * 2.0 * face;
+}
+
+}  // namespace columbia::npbmz

@@ -1,0 +1,65 @@
+#pragma once
+/// \file zones.hpp
+/// Multi-zone NPB problem definitions (paper §3.2, Jin & Van der Wijngaart
+/// [9]). A multi-zone benchmark partitions one large aggregate grid into
+/// x_zones * y_zones zones that exchange boundary data each step:
+///   * SP-MZ — equal-size zones (load balance is trivial),
+///   * BT-MZ — zone sizes follow a geometric progression spanning a ~20x
+///     range, stressing coarse-grain load balancing.
+/// The paper introduces two new classes to stress Columbia: Class E
+/// (4096 zones, 4224 x 3456 x 92 aggregate) and Class F (16384 zones,
+/// 12032 x 8960 x 250).
+
+#include <string>
+#include <vector>
+
+#include "perfmodel/work.hpp"
+
+namespace columbia::npbmz {
+
+enum class MzBenchmark { BTMZ, SPMZ };
+
+std::string to_string(MzBenchmark b);
+
+struct MzProblem {
+  MzBenchmark benchmark;
+  char npb_class;
+  int x_zones = 0;
+  int y_zones = 0;
+  long gx = 0, gy = 0, gz = 0;  // aggregate grid
+  int iterations = 0;
+
+  int num_zones() const { return x_zones * y_zones; }
+  double total_points() const {
+    return static_cast<double>(gx) * gy * gz;
+  }
+};
+
+/// Supported classes: 'S', 'A', 'B', 'C', 'D', 'E', 'F'
+/// ('E'/'F' are the paper's new classes).
+MzProblem mz_problem(MzBenchmark b, char cls);
+
+struct Zone {
+  int id = 0;
+  int ix = 0, iy = 0;   // zone coordinates in the zone grid
+  long nx = 0, ny = 0, nz = 0;
+
+  double points() const { return static_cast<double>(nx) * ny * nz; }
+};
+
+/// Builds the zone list. SP-MZ: uniform partition. BT-MZ: geometric
+/// progression along x and y sized so max/min zone point counts span
+/// roughly a 20x range (as in the NPB-MZ spec).
+std::vector<Zone> make_zones(const MzProblem& p);
+
+/// Ratio of largest to smallest zone (load-imbalance potential).
+double zone_size_ratio(const std::vector<Zone>& zones);
+
+/// Per-step compute demand of one zone (BT or SP kernel over its points).
+perfmodel::Work zone_step_work(const MzProblem& p, const Zone& z);
+
+/// Boundary-exchange volume between two adjacent zones per step
+/// (5 variables, double precision, both fringe layers).
+double interface_bytes(const Zone& a, const Zone& b);
+
+}  // namespace columbia::npbmz

@@ -1,0 +1,57 @@
+#include "overset/block.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace columbia::overset {
+
+GridBlock::GridBlock(int id, Point origin, double spacing, int ni, int nj,
+                     int nk)
+    : GridBlock(id, origin, std::array<double, 3>{spacing, spacing, spacing},
+                ni, nj, nk) {}
+
+GridBlock::GridBlock(int id, Point origin, std::array<double, 3> spacing,
+                     int ni, int nj, int nk)
+    : id_(id), origin_(origin), h_(spacing), ni_(ni), nj_(nj), nk_(nk) {
+  COL_REQUIRE(ni >= 2 && nj >= 2 && nk >= 2,
+              "block needs at least 2 nodes per direction");
+  COL_REQUIRE(h_[0] > 0.0 && h_[1] > 0.0 && h_[2] > 0.0,
+              "spacing must be positive");
+  bounds_.lo = origin_;
+  bounds_.hi =
+      Point{origin_.x + h_[0] * (ni_ - 1), origin_.y + h_[1] * (nj_ - 1),
+            origin_.z + h_[2] * (nk_ - 1)};
+}
+
+double GridBlock::mean_spacing() const {
+  return std::cbrt(h_[0] * h_[1] * h_[2]);
+}
+
+Point GridBlock::node(int i, int j, int k) const {
+  COL_REQUIRE(i >= 0 && i < ni_ && j >= 0 && j < nj_ && k >= 0 && k < nk_,
+              "node index out of range");
+  return Point{origin_.x + h_[0] * i, origin_.y + h_[1] * j,
+               origin_.z + h_[2] * k};
+}
+
+bool GridBlock::find_cell(const Point& p, std::array<int, 3>& cell) const {
+  if (!bounds_.contains(p)) return false;
+  auto clamp_cell = [](double t, int n) {
+    return std::min(n - 2, std::max(0, static_cast<int>(t)));
+  };
+  cell[0] = clamp_cell((p.x - origin_.x) / h_[0], ni_);
+  cell[1] = clamp_cell((p.y - origin_.y) / h_[1], nj_);
+  cell[2] = clamp_cell((p.z - origin_.z) / h_[2], nk_);
+  return true;
+}
+
+double GridBlock::fringe_points() const {
+  const double interior_i = std::max(0, ni_ - 4);
+  const double interior_j = std::max(0, nj_ - 4);
+  const double interior_k = std::max(0, nk_ - 4);
+  return points() - interior_i * interior_j * interior_k;
+}
+
+}  // namespace columbia::overset

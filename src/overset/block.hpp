@@ -1,0 +1,79 @@
+#pragma once
+/// \file block.hpp
+/// Structured grid blocks for multi-block overset systems (paper §3.4,
+/// §3.5, Buning et al. [3]). The substitution from the production codes:
+/// blocks here are axis-aligned Cartesian boxes with uniform spacing
+/// rather than curvilinear bodies — overlap detection, donor search,
+/// interpolation and grouping operate on exactly the same structure, which
+/// is what the performance study exercises (DESIGN.md §1).
+
+#include <array>
+#include <string>
+
+namespace columbia::overset {
+
+struct Point {
+  double x = 0.0, y = 0.0, z = 0.0;
+};
+
+struct Box {
+  Point lo, hi;
+
+  bool contains(const Point& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+  bool overlaps(const Box& o) const {
+    return lo.x <= o.hi.x && o.lo.x <= hi.x && lo.y <= o.hi.y &&
+           o.lo.y <= hi.y && lo.z <= o.hi.z && o.lo.z <= hi.z;
+  }
+  double volume() const {
+    return (hi.x - lo.x) * (hi.y - lo.y) * (hi.z - lo.z);
+  }
+};
+
+/// One structured block: origin + per-axis spacing + node dimensions.
+class GridBlock {
+ public:
+  GridBlock() = default;
+  /// Uniform spacing in all directions.
+  GridBlock(int id, Point origin, double spacing, int ni, int nj, int nk);
+  /// Anisotropic spacing (hx, hy, hz).
+  GridBlock(int id, Point origin, std::array<double, 3> spacing, int ni,
+            int nj, int nk);
+
+  int id() const { return id_; }
+  int ni() const { return ni_; }
+  int nj() const { return nj_; }
+  int nk() const { return nk_; }
+  /// Per-axis node spacing.
+  const std::array<double, 3>& spacing() const { return h_; }
+  /// Geometric-mean spacing (resolution measure for donor preference).
+  double mean_spacing() const;
+  double points() const {
+    return static_cast<double>(ni_) * nj_ * nk_;
+  }
+  const Box& bounds() const { return bounds_; }
+
+  /// World coordinates of node (i, j, k).
+  Point node(int i, int j, int k) const;
+
+  /// Cell index containing p (clamped to valid cells); false if p is
+  /// outside the block.
+  bool find_cell(const Point& p, std::array<int, 3>& cell) const;
+
+  /// Number of fringe (outer-boundary) points: the two outermost node
+  /// layers on all six faces, which receive interpolated data from donor
+  /// blocks (paper §3.4: "connectivity ... by interpolation at the grid
+  /// outer boundaries").
+  double fringe_points() const;
+
+ private:
+  int id_ = -1;
+  Point origin_;
+  std::array<double, 3> h_{1.0, 1.0, 1.0};
+  int ni_ = 0, nj_ = 0, nk_ = 0;
+  Box bounds_;
+};
+
+}  // namespace columbia::overset

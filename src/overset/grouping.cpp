@@ -1,0 +1,114 @@
+#include "overset/grouping.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace columbia::overset {
+
+double Grouping::imbalance() const {
+  COL_REQUIRE(!load.empty(), "empty grouping");
+  const double mx = *std::max_element(load.begin(), load.end());
+  const double mean = std::accumulate(load.begin(), load.end(), 0.0) /
+                      static_cast<double>(load.size());
+  COL_CHECK(mean > 0.0, "grouping with zero load");
+  return mx / mean;
+}
+
+Grouping group_blocks(const System& system, int ngroups) {
+  COL_REQUIRE(ngroups >= 1, "need at least one group");
+  COL_REQUIRE(ngroups <= system.num_blocks(),
+              "more groups than blocks");
+  const auto& blocks = system.blocks();
+  Grouping g;
+  g.group_of_block.assign(blocks.size(), -1);
+  g.load.assign(static_cast<std::size_t>(ngroups), 0.0);
+  const double target =
+      system.total_points() / ngroups * 1.05;  // 5% balance slack
+
+  std::vector<int> order(blocks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return blocks[static_cast<std::size_t>(a)].points() >
+           blocks[static_cast<std::size_t>(b)].points();
+  });
+
+  // Adjacency lists once (connectivity() is pair list).
+  std::vector<std::vector<int>> adj(blocks.size());
+  for (const auto& [a, b] : system.connectivity()) {
+    adj[static_cast<std::size_t>(a)].push_back(b);
+    adj[static_cast<std::size_t>(b)].push_back(a);
+  }
+
+  // Scratch: boundary weight from the current block into each group.
+  std::vector<double> weight(static_cast<std::size_t>(ngroups), 0.0);
+  for (int blk : order) {
+    // Candidate groups: those holding a neighbour, under the target load;
+    // prefer the one this block shares the most boundary data with (the
+    // traffic that co-grouping turns into local copies).
+    std::vector<int> touched;
+    for (int nb : adj[static_cast<std::size_t>(blk)]) {
+      const int grp = g.group_of_block[static_cast<std::size_t>(nb)];
+      if (grp < 0) continue;
+      if (weight[static_cast<std::size_t>(grp)] == 0.0)
+        touched.push_back(grp);
+      weight[static_cast<std::size_t>(grp)] +=
+          system.exchange_bytes(blk, nb);
+    }
+    int chosen = -1;
+    double best_weight = 0.0;
+    for (int grp : touched) {
+      if (g.load[static_cast<std::size_t>(grp)] +
+              blocks[static_cast<std::size_t>(blk)].points() >
+          target)
+        continue;
+      const double w = weight[static_cast<std::size_t>(grp)];
+      if (chosen < 0 || w > best_weight ||
+          (w == best_weight && g.load[static_cast<std::size_t>(grp)] <
+                                   g.load[static_cast<std::size_t>(chosen)])) {
+        chosen = grp;
+        best_weight = w;
+      }
+    }
+    for (int grp : touched) weight[static_cast<std::size_t>(grp)] = 0.0;
+    if (chosen < 0) {
+      chosen = static_cast<int>(
+          std::min_element(g.load.begin(), g.load.end()) - g.load.begin());
+    }
+    g.group_of_block[static_cast<std::size_t>(blk)] = chosen;
+    g.load[static_cast<std::size_t>(chosen)] +=
+        blocks[static_cast<std::size_t>(blk)].points();
+  }
+  return g;
+}
+
+std::vector<double> group_exchange_matrix(const System& system,
+                                          const Grouping& grouping) {
+  const int ng = static_cast<int>(grouping.load.size());
+  std::vector<double> m(static_cast<std::size_t>(ng) * ng, 0.0);
+  for (const auto& [a, b] : system.connectivity()) {
+    const int ga = grouping.group_of_block[static_cast<std::size_t>(a)];
+    const int gb = grouping.group_of_block[static_cast<std::size_t>(b)];
+    if (ga == gb) continue;
+    const double bytes = system.exchange_bytes(a, b);
+    m[static_cast<std::size_t>(std::min(ga, gb)) * ng + std::max(ga, gb)] +=
+        bytes;
+  }
+  return m;
+}
+
+double internalized_fraction(const System& system, const Grouping& grouping) {
+  double internal = 0.0, total = 0.0;
+  for (const auto& [a, b] : system.connectivity()) {
+    const double bytes = system.exchange_bytes(a, b);
+    total += bytes;
+    if (grouping.group_of_block[static_cast<std::size_t>(a)] ==
+        grouping.group_of_block[static_cast<std::size_t>(b)]) {
+      internal += bytes;
+    }
+  }
+  return total > 0.0 ? internal / total : 1.0;
+}
+
+}  // namespace columbia::overset

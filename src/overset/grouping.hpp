@@ -1,0 +1,39 @@
+#pragma once
+/// \file grouping.hpp
+/// OVERFLOW-D's grid grouping (paper §3.5): "A bin-packing algorithm
+/// clusters individual grids into groups, each of which is then assigned
+/// to an MPI process. The grouping strategy uses a connectivity test that
+/// inspects for an overlap between a pair of grids before assigning them
+/// to the same group" — co-locating overlapping grids turns inter-grid
+/// boundary updates into local copies.
+
+#include <vector>
+
+#include "overset/system.hpp"
+
+namespace columbia::overset {
+
+struct Grouping {
+  std::vector<int> group_of_block;  // block id -> group
+  std::vector<double> load;         // per-group points
+
+  /// max(load)/mean(load).
+  double imbalance() const;
+};
+
+/// Greedy largest-first bin packing with the connectivity preference:
+/// a block joins the least-loaded group that already holds an overlapping
+/// block, provided that group is under the balance target; otherwise it
+/// opens the overall least-loaded group.
+Grouping group_blocks(const System& system, int ngroups);
+
+/// Per-step boundary bytes exchanged between every pair of groups
+/// (upper-triangular dense matrix, row-major [a * ngroups + b], a < b).
+std::vector<double> group_exchange_matrix(const System& system,
+                                          const Grouping& grouping);
+
+/// Fraction of total inter-block boundary traffic that stays inside a
+/// group (higher is better — measures the connectivity test's benefit).
+double internalized_fraction(const System& system, const Grouping& grouping);
+
+}  // namespace columbia::overset

@@ -1,0 +1,68 @@
+#include "overset/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace columbia::overset {
+
+bool find_donor(std::span<const GridBlock> blocks, const Point& p,
+                int exclude_block, InterpStencil& out) {
+  const GridBlock* best = nullptr;
+  std::array<int, 3> best_cell{};
+  for (const auto& b : blocks) {
+    if (b.id() == exclude_block) continue;
+    std::array<int, 3> cell{};
+    if (!b.find_cell(p, cell)) continue;
+    if (best == nullptr || b.mean_spacing() < best->mean_spacing()) {
+      best = &b;
+      best_cell = cell;
+    }
+  }
+  if (best == nullptr) return false;
+
+  out.donor_block = best->id();
+  out.cell = best_cell;
+  // Trilinear weights from the local coordinates within the donor cell.
+  const Point corner = best->node(best_cell[0], best_cell[1], best_cell[2]);
+  const auto& h = best->spacing();
+  const double tx = std::clamp((p.x - corner.x) / h[0], 0.0, 1.0);
+  const double ty = std::clamp((p.y - corner.y) / h[1], 0.0, 1.0);
+  const double tz = std::clamp((p.z - corner.z) / h[2], 0.0, 1.0);
+  int w = 0;
+  for (int dk = 0; dk < 2; ++dk) {
+    for (int dj = 0; dj < 2; ++dj) {
+      for (int di = 0; di < 2; ++di, ++w) {
+        out.weight[static_cast<std::size_t>(w)] =
+            (di ? tx : 1.0 - tx) * (dj ? ty : 1.0 - ty) *
+            (dk ? tz : 1.0 - tz);
+      }
+    }
+  }
+  return true;
+}
+
+double interpolate(const GridBlock& donor, std::span<const double> field,
+                   const InterpStencil& stencil) {
+  COL_REQUIRE(field.size() == static_cast<std::size_t>(donor.points()),
+              "field size mismatch");
+  COL_REQUIRE(stencil.donor_block == donor.id(), "stencil/donor mismatch");
+  auto idx = [&](int i, int j, int k) {
+    return (static_cast<std::size_t>(k) * donor.nj() + j) * donor.ni() + i;
+  };
+  double value = 0.0;
+  int w = 0;
+  for (int dk = 0; dk < 2; ++dk) {
+    for (int dj = 0; dj < 2; ++dj) {
+      for (int di = 0; di < 2; ++di, ++w) {
+        value += stencil.weight[static_cast<std::size_t>(w)] *
+                 field[idx(stencil.cell[0] + di, stencil.cell[1] + dj,
+                           stencil.cell[2] + dk)];
+      }
+    }
+  }
+  return value;
+}
+
+}  // namespace columbia::overset

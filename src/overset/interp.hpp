@@ -1,0 +1,50 @@
+#pragma once
+/// \file interp.hpp
+/// Donor search and trilinear interpolation between overlapping blocks
+/// (paper §3.4: "Connectivity between neighboring grids is established by
+/// interpolation at the grid outer boundaries").
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "overset/block.hpp"
+
+namespace columbia::overset {
+
+/// One receptor point's interpolation stencil inside a donor block.
+struct InterpStencil {
+  int donor_block = -1;
+  std::array<int, 3> cell{};      // lower corner of the donor cell
+  std::array<double, 8> weight{};  // trilinear weights, sum to 1
+};
+
+/// Finds a donor for `p` among `blocks`, excluding `exclude_block` (a
+/// point must not donate to itself). Picks the finest-spacing containing
+/// block (standard overset preference). Returns false if no donor exists
+/// (an "orphan" point).
+bool find_donor(std::span<const GridBlock> blocks, const Point& p,
+                int exclude_block, InterpStencil& out);
+
+/// Evaluates the stencil against a scalar field stored node-major
+/// (i fastest) on the donor block.
+double interpolate(const GridBlock& donor, std::span<const double> field,
+                   const InterpStencil& stencil);
+
+/// Samples an analytic function onto a block's nodes (test/helper).
+template <typename F>
+std::vector<double> sample_field(const GridBlock& b, F&& f) {
+  std::vector<double> field;
+  field.reserve(static_cast<std::size_t>(b.points()));
+  for (int k = 0; k < b.nk(); ++k) {
+    for (int j = 0; j < b.nj(); ++j) {
+      for (int i = 0; i < b.ni(); ++i) {
+        const Point p = b.node(i, j, k);
+        field.push_back(f(p));
+      }
+    }
+  }
+  return field;
+}
+
+}  // namespace columbia::overset

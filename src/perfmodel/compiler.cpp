@@ -1,0 +1,103 @@
+#include "perfmodel/compiler.hpp"
+
+namespace columbia::perfmodel {
+
+std::string to_string(CompilerVersion v) {
+  switch (v) {
+    case CompilerVersion::Intel7_1:
+      return "7.1";
+    case CompilerVersion::Intel8_0:
+      return "8.0";
+    case CompilerVersion::Intel8_1:
+      return "8.1";
+    case CompilerVersion::Intel9_0b:
+      return "9.0b";
+  }
+  return "?";
+}
+
+std::string to_string(KernelClass k) {
+  switch (k) {
+    case KernelClass::CgIrregular:
+      return "CG";
+    case KernelClass::FtSpectral:
+      return "FT";
+    case KernelClass::MgStencil:
+      return "MG";
+    case KernelClass::BtDense:
+      return "BT";
+    case KernelClass::SpDense:
+      return "SP";
+    case KernelClass::CfdIncompressible:
+      return "INS3D";
+    case KernelClass::CfdCompressible:
+      return "OVERFLOW-D";
+    case KernelClass::MdParticle:
+      return "MD";
+    case KernelClass::StreamCopy:
+      return "STREAM";
+    case KernelClass::DenseBlas:
+      return "DGEMM";
+  }
+  return "?";
+}
+
+double compiler_factor(CompilerVersion version, KernelClass kernel,
+                       int parallel_width) {
+  // Calibrated to the orderings in Fig. 8 and Table 4. 7.1 is the baseline.
+  switch (kernel) {
+    case KernelClass::CgIrregular:
+      // "All the compilers gave similar results on the CG benchmark."
+      switch (version) {
+        case CompilerVersion::Intel8_0:
+          return 0.99;
+        default:
+          return 1.0;
+      }
+    case KernelClass::FtSpectral:
+      // "The beta version of 9.0 performed very well on FT"; 8.0 worst.
+      switch (version) {
+        case CompilerVersion::Intel8_0:
+          return 0.90;
+        case CompilerVersion::Intel9_0b:
+          return 1.12;
+        default:
+          return 1.0;
+      }
+    case KernelClass::MgStencil:
+      // "between 32 and 128 threads the 8.1 and 9.0b compilers
+      //  outperformed the 7.1 and 8.0; below 32 threads, the 7.1 and 8.0
+      //  performed 20-30% better".
+      switch (version) {
+        case CompilerVersion::Intel8_0:
+          return parallel_width < 32 ? 0.98 : 0.95;
+        case CompilerVersion::Intel8_1:
+        case CompilerVersion::Intel9_0b:
+          return parallel_width < 32 ? 0.78 : 1.25;
+        default:
+          return 1.0;
+      }
+    case KernelClass::BtDense:
+    case KernelClass::SpDense:
+      // 8.0 "produced the worst results in most cases".
+      return version == CompilerVersion::Intel8_0 ? 0.88 : 1.0;
+    case KernelClass::CfdIncompressible:
+      // Table 4: INS3D 7.1 vs 8.1 — "negligible difference".
+      return 1.0;
+    case KernelClass::CfdCompressible:
+      // Table 4: OVERFLOW-D 7.1 superior by 20-40% under 64 CPUs,
+      // "almost identical on larger counts".
+      if (version == CompilerVersion::Intel8_1 && parallel_width < 64)
+        return 0.75;
+      if (version == CompilerVersion::Intel8_0) return 0.90;
+      return 1.0;
+    case KernelClass::MdParticle:
+    case KernelClass::StreamCopy:
+    case KernelClass::DenseBlas:
+      // Bandwidth/BLAS-bound codes barely notice the compiler.
+      return version == CompilerVersion::Intel8_0 ? 0.99 : 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace columbia::perfmodel

@@ -1,0 +1,32 @@
+#pragma once
+/// \file work.hpp
+/// The unit of computational demand handed to the cost models.
+///
+/// Every workload (NPB kernel iteration, CFD block sweep, MD force pass)
+/// reduces its per-phase demand to: floating-point operations, streamed
+/// memory traffic, the working-set size that decides cache residency, and
+/// the fraction of peak the kernel's inner loop can reach (its measured
+/// algorithmic efficiency — dense kernels high, irregular kernels low).
+
+namespace columbia::perfmodel {
+
+struct Work {
+  double flops = 0.0;          ///< floating-point operations
+  double mem_bytes = 0.0;      ///< bytes moved to/from the memory system
+  double working_set = 0.0;    ///< resident bytes (cache-residency decision)
+  double flop_efficiency = 0.5;///< fraction of peak issue the kernel sustains
+
+  /// Element-wise scaling (divide work across threads, multiply per steps).
+  Work scaled(double factor) const {
+    return Work{flops * factor, mem_bytes * factor, working_set,
+                flop_efficiency};
+  }
+  Work& operator+=(const Work& o) {
+    flops += o.flops;
+    mem_bytes += o.mem_bytes;
+    working_set += o.working_set;
+    return *this;
+  }
+};
+
+}  // namespace columbia::perfmodel

@@ -1,0 +1,24 @@
+#include "sim/barrier.hpp"
+
+#include "common/check.hpp"
+
+namespace columbia::sim {
+
+Barrier::Barrier(Engine& engine, int parties)
+    : engine_(&engine), parties_(parties) {
+  COL_REQUIRE(parties > 0, "barrier needs at least one party");
+}
+
+bool Barrier::arrive() {
+  ++arrived_;
+  COL_CHECK(arrived_ <= parties_, "more arrivals than barrier parties");
+  if (arrived_ < parties_) return false;
+  // Generation complete: wake everyone, reset.
+  for (auto h : waiters_) engine_->schedule_at(engine_->now(), h);
+  waiters_.clear();
+  arrived_ = 0;
+  ++generation_;
+  return true;
+}
+
+}  // namespace columbia::sim

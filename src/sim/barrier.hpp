@@ -1,0 +1,48 @@
+#pragma once
+/// \file barrier.hpp
+/// Reusable synchronization barrier for `parties` simulated processes.
+/// The last arrival releases everyone at the current simulated time and the
+/// barrier resets for the next generation (like std::barrier, simulated).
+
+#include <coroutine>
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace columbia::sim {
+
+class Barrier {
+ public:
+  Barrier(Engine& engine, int parties);
+
+  int parties() const { return parties_; }
+  /// Number of completed generations (for testing / diagnostics).
+  std::uint64_t generation() const { return generation_; }
+
+  /// Awaitable: suspends until all parties have arrived; the last arrival
+  /// does not suspend.
+  auto arrive_and_wait() {
+    struct Awaiter {
+      Barrier& barrier;
+      bool await_ready() noexcept { return barrier.arrive(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        barrier.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  /// Returns true if this arrival completed the generation.
+  bool arrive();
+
+  Engine* engine_;
+  int parties_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace columbia::sim

@@ -1,0 +1,101 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace columbia::sim {
+
+namespace {
+// The engine currently executing a resume step; used by Task's promise to
+// find its engine during final_suspend / unhandled_exception without
+// threading a pointer through every coroutine. Single-threaded by design.
+thread_local Engine* g_current_engine = nullptr;
+}  // namespace
+
+std::suspend_always Task::promise_type::final_suspend() noexcept {
+  Engine* e = engine ? engine : g_current_engine;
+  if (e) {
+    e->on_task_finished(
+        std::coroutine_handle<promise_type>::from_promise(*this));
+  }
+  return {};
+}
+
+void Task::promise_type::unhandled_exception() noexcept {
+  Engine* e = engine ? engine : g_current_engine;
+  if (e) e->on_task_exception(std::current_exception());
+}
+
+Engine::~Engine() {
+  // Destroy any still-suspended top-level frames; their child CoTask frames
+  // are destroyed transitively because the CoTask objects live in the
+  // parent frames.
+  for (auto h : owned_) {
+    if (h) h.destroy();
+  }
+}
+
+void Engine::spawn(Task task) {
+  auto h = task.release();
+  h.promise().engine = this;
+  owned_.push_back(h);
+  ++live_tasks_;
+  schedule_at(now_, h);
+}
+
+void Engine::schedule_at(Time t, std::coroutine_handle<> h) {
+  COL_REQUIRE(t >= now_, "cannot schedule an event in the past");
+  COL_REQUIRE(h != nullptr, "cannot schedule a null coroutine");
+  queue_.push(Event{t, next_seq_++, h});
+}
+
+void Engine::on_task_finished(std::coroutine_handle<> h) {
+  finished_.push_back(h);
+  COL_CHECK(live_tasks_ > 0, "task finished with zero live tasks");
+  --live_tasks_;
+}
+
+void Engine::on_task_exception(std::exception_ptr e) {
+  if (!pending_exception_) pending_exception_ = e;
+}
+
+void Engine::reap_finished() {
+  for (auto h : finished_) {
+    owned_.erase(std::remove(owned_.begin(), owned_.end(), h), owned_.end());
+    h.destroy();
+  }
+  finished_.clear();
+}
+
+void Engine::run() {
+  Engine* prev = g_current_engine;
+  g_current_engine = this;
+  // RAII restore so nested/sequential engines behave.
+  struct Restore {
+    Engine* prev;
+    ~Restore() { g_current_engine = prev; }
+  } restore{prev};
+
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    COL_CHECK(ev.time >= now_, "event queue went backwards in time");
+    now_ = ev.time;
+    ++events_processed_;
+    ev.handle.resume();
+    reap_finished();
+    if (pending_exception_) {
+      auto e = pending_exception_;
+      pending_exception_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+  if (live_tasks_ > 0) {
+    throw DeadlockError("simulation deadlock: event queue empty with " +
+                        std::to_string(live_tasks_) +
+                        " process(es) still suspended");
+  }
+}
+
+}  // namespace columbia::sim

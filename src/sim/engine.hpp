@@ -1,0 +1,100 @@
+#pragma once
+/// \file engine.hpp
+/// Deterministic single-threaded discrete-event engine.
+///
+/// Simulated processes are C++20 coroutines (`Task`). The engine owns a
+/// priority queue of (time, sequence) ordered events; each event resumes one
+/// suspended coroutine. Determinism: ties in time are broken by insertion
+/// sequence, and all randomness comes from seeded `columbia::Rng` streams.
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace columbia::sim {
+
+/// Thrown by Engine::run when the event queue drains while simulated
+/// processes are still suspended (e.g. a recv with no matching send).
+class DeadlockError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Current simulated time in seconds.
+  Time now() const { return now_; }
+
+  /// Registers a top-level process and schedules its first step at `now()`.
+  void spawn(Task task);
+
+  /// Runs until no events remain. Throws DeadlockError if live processes
+  /// remain suspended with an empty queue, or rethrows the first exception
+  /// that escaped a simulated process.
+  void run();
+
+  /// Schedules `h` to resume at absolute time `t` (>= now).
+  void schedule_at(Time t, std::coroutine_handle<> h);
+  /// Schedules `h` to resume after `dt` seconds of simulated time.
+  void schedule_after(Time dt, std::coroutine_handle<> h) {
+    schedule_at(now_ + dt, h);
+  }
+
+  /// Awaitable: `co_await engine.delay(dt)` advances this process by dt.
+  auto delay(Time dt) {
+    struct Awaiter {
+      Engine& engine;
+      Time dt;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        engine.schedule_after(dt, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, dt};
+  }
+
+  /// Number of spawned processes that have not yet finished.
+  std::size_t live_tasks() const { return live_tasks_; }
+  /// Total events processed so far (observability / perf accounting).
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  // --- internal hooks used by Task's promise ------------------------------
+  void on_task_finished(std::coroutine_handle<> h);
+  void on_task_exception(std::exception_ptr e);
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void reap_finished();
+
+  Time now_ = kTimeZero;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::size_t live_tasks_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::coroutine_handle<>> finished_;
+  std::vector<std::coroutine_handle<>> owned_;
+  std::exception_ptr pending_exception_;
+};
+
+}  // namespace columbia::sim

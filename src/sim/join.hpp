@@ -1,0 +1,53 @@
+#pragma once
+/// \file join.hpp
+/// Structured fork/join for child coroutines: `when_all` runs a batch of
+/// CoTasks concurrently (each wrapped in a detached engine task) and
+/// completes when every child has finished. Needed wherever MPI semantics
+/// require genuine concurrency inside one rank, e.g. sendrecv with
+/// rendezvous on both sides.
+
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sim/trigger.hpp"
+
+namespace columbia::sim {
+
+namespace detail {
+
+struct JoinState {
+  int remaining;
+  Trigger done;
+  JoinState(Engine& e, int n) : remaining(n), done(e) {}
+};
+
+inline Task run_child(CoTask<void> child, JoinState& state) {
+  co_await std::move(child);
+  if (--state.remaining == 0) state.done.fire();
+}
+
+}  // namespace detail
+
+/// Runs all tasks concurrently; completes when the last one finishes.
+/// Exceptions escaping a child surface from Engine::run (they abort the
+/// simulation, as a failed MPI operation would abort the job).
+inline CoTask<void> when_all(Engine& engine, std::vector<CoTask<void>> tasks) {
+  if (tasks.empty()) co_return;
+  detail::JoinState state(engine, static_cast<int>(tasks.size()));
+  for (auto& t : tasks) {
+    engine.spawn(detail::run_child(std::move(t), state));
+  }
+  co_await state.done.wait();
+}
+
+/// Two-task convenience overload.
+inline CoTask<void> when_all(Engine& engine, CoTask<void> a, CoTask<void> b) {
+  std::vector<CoTask<void>> v;
+  v.push_back(std::move(a));
+  v.push_back(std::move(b));
+  return when_all(engine, std::move(v));
+}
+
+}  // namespace columbia::sim

@@ -1,0 +1,168 @@
+#pragma once
+/// \file task.hpp
+/// Coroutine task types for simulated processes.
+///
+/// Two coroutine shapes exist:
+///  * `Task` — a detached, top-level simulated process (one per MPI rank /
+///    MLP group). Spawned onto an `Engine`, which owns its lifetime.
+///  * `CoTask<T>` — a lazy child coroutine awaited by another coroutine
+///    (e.g. a collective implemented over point-to-point sends). Control
+///    transfers symmetrically, and values/exceptions propagate to the
+///    awaiter.
+///
+/// The engine never runs more than one coroutine at a time (single-threaded
+/// deterministic simulation), so no synchronization is needed (CppCoreGuide
+/// CP.2 by construction).
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace columbia::sim {
+
+class Engine;
+
+/// Detached top-level simulated process. Created suspended; `Engine::spawn`
+/// schedules its first resume and assumes ownership.
+class Task {
+ public:
+  struct promise_type {
+    Engine* engine = nullptr;
+
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    // Final suspend keeps the frame alive so the engine can observe
+    // completion and destroy it (see Engine::on_task_finished).
+    std::suspend_always final_suspend() noexcept;
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept;
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    // A Task not passed to spawn() cleans up after itself.
+    if (handle_) handle_.destroy();
+  }
+
+  std::coroutine_handle<promise_type> release() {
+    return std::exchange(handle_, nullptr);
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Lazy child coroutine: starts when awaited, resumes the awaiter when done.
+template <typename T = void>
+class [[nodiscard]] CoTask {
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<P> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+    // Storage only meaningful for non-void T; harmless otherwise.
+    T value{};
+
+    CoTask get_return_object() {
+      return CoTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_value(T v) { value = std::move(v); }
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  CoTask(CoTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  CoTask(const CoTask&) = delete;
+  CoTask& operator=(const CoTask&) = delete;
+  CoTask& operator=(CoTask&&) = delete;
+  ~CoTask() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    handle_.promise().continuation = awaiter;
+    return handle_;  // symmetric transfer into the child
+  }
+  T await_resume() {
+    if (handle_.promise().exception)
+      std::rethrow_exception(handle_.promise().exception);
+    return std::move(handle_.promise().value);
+  }
+
+ private:
+  explicit CoTask(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Void specialization of CoTask.
+template <>
+class [[nodiscard]] CoTask<void> {
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<P> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+
+    CoTask get_return_object() {
+      return CoTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  CoTask(CoTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  CoTask(const CoTask&) = delete;
+  CoTask& operator=(const CoTask&) = delete;
+  CoTask& operator=(CoTask&&) = delete;
+  ~CoTask() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    handle_.promise().continuation = awaiter;
+    return handle_;
+  }
+  void await_resume() {
+    if (handle_.promise().exception)
+      std::rethrow_exception(handle_.promise().exception);
+  }
+
+ private:
+  explicit CoTask(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace columbia::sim

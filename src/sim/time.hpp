@@ -1,0 +1,13 @@
+#pragma once
+/// \file time.hpp
+/// Simulated time. Seconds as double; event ordering ties are broken by a
+/// monotonically increasing sequence number so every run of a given seed
+/// produces an identical timeline.
+
+namespace columbia::sim {
+
+using Time = double;
+
+inline constexpr Time kTimeZero = 0.0;
+
+}  // namespace columbia::sim

@@ -1,0 +1,12 @@
+#include "sim/trigger.hpp"
+
+namespace columbia::sim {
+
+void Trigger::fire() {
+  if (fired_) return;
+  fired_ = true;
+  for (auto h : waiters_) engine_->schedule_at(engine_->now(), h);
+  waiters_.clear();
+}
+
+}  // namespace columbia::sim

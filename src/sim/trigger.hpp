@@ -1,0 +1,44 @@
+#pragma once
+/// \file trigger.hpp
+/// One-shot broadcast event: any number of coroutines may `co_await
+/// trigger.wait()`; a later `fire()` resumes them all at the current
+/// simulated time. Used for message-arrival notification and rendezvous
+/// handshakes in the simulated MPI layer.
+
+#include <coroutine>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace columbia::sim {
+
+class Trigger {
+ public:
+  explicit Trigger(Engine& engine) : engine_(&engine) {}
+
+  bool fired() const { return fired_; }
+
+  /// Fires the trigger at the current simulated time; all present and
+  /// future waiters resume immediately. Idempotent.
+  void fire();
+
+  /// Awaitable; no suspension if already fired.
+  auto wait() {
+    struct Awaiter {
+      Trigger& trigger;
+      bool await_ready() const noexcept { return trigger.fired_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        trigger.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Engine* engine_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace columbia::sim

@@ -1,0 +1,523 @@
+#include "simmpi/world.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "sim/join.hpp"
+
+namespace columbia::simmpi {
+
+namespace {
+/// Tag used by collective algorithms; safely above user tags. Per-source
+/// FIFO matching makes one tag sufficient across collective rounds.
+constexpr int kCollTag = 1 << 28;
+
+bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Rank: point-to-point
+// ---------------------------------------------------------------------------
+
+int Rank::size() const { return world_->size(); }
+sim::Engine& Rank::engine() const { return world_->engine(); }
+
+namespace {
+inline void trace_span(World* world, int rank, sim::SpanKind kind,
+                       double begin, double end) {
+  if (auto* trace = world->trace()) trace->record(rank, kind, begin, end);
+}
+}  // namespace
+
+bool Rank::matches(int want_src, int want_tag, const Envelope& env) {
+  return (want_src == kAny || want_src == env.src) &&
+         (want_tag == kAny || want_tag == env.tag);
+}
+
+void Rank::deposit(std::unique_ptr<Envelope> env) {
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    PendingRecv* p = *it;
+    if (matches(p->src, p->tag, *env)) {
+      pending_.erase(it);
+      env->claimed = true;
+      p->matched = env.get();
+      unexpected_.push_back(std::move(env));  // keep alive until recv copies
+      p->ready->fire();
+      return;
+    }
+  }
+  unexpected_.push_back(std::move(env));
+}
+
+sim::CoTask<void> Rank::send(int dst, double bytes, int tag) {
+  return send_impl(dst, bytes, {}, tag);
+}
+
+sim::CoTask<void> Rank::send_value(int dst, std::vector<double> data,
+                                   int tag) {
+  const double bytes = static_cast<double>(data.size()) * sizeof(double);
+  return send_impl(dst, bytes, std::move(data), tag);
+}
+
+namespace {
+/// Detached eager delivery: move the bytes, then signal arrival.
+sim::Task eager_delivery(machine::Network& net, int src_cpu, int dst_cpu,
+                         double bytes, sim::Trigger& delivered) {
+  co_await net.transfer(src_cpu, dst_cpu, bytes);
+  delivered.fire();
+}
+}  // namespace
+
+sim::CoTask<void> Rank::send_impl(int dst, double bytes,
+                                  std::vector<double> payload, int tag) {
+  COL_REQUIRE(dst >= 0 && dst < size(), "send destination out of range");
+  COL_REQUIRE(bytes >= 0, "negative message size");
+  auto& eng = engine();
+  const double t0 = eng.now();
+
+  auto env = std::make_unique<Envelope>();
+  env->src = rank_;
+  env->tag = tag;
+  env->bytes = bytes;
+  env->payload = std::move(payload);
+  env->eager = bytes <= World::kEagerThreshold;
+  env->delivered = std::make_unique<sim::Trigger>(eng);
+
+  Rank& receiver = world_->rank(dst);
+  machine::Network& net = world_->network();
+
+  if (env->eager) {
+    // Sender copies into the library buffer and returns; delivery rides a
+    // detached task through the network (back-pressured by the injection
+    // port resource).
+    sim::Trigger& delivered = *env->delivered;
+    receiver.deposit(std::move(env));
+    eng.spawn(eager_delivery(net, cpu_, receiver.cpu_, bytes, delivered));
+    const double copy_cost =
+        0.4e-6 + bytes / net.cluster().node_spec().mem.cpu_stream_bw;
+    co_await eng.delay(copy_cost);
+  } else {
+    // Rendezvous: announce, wait for the receiver's clear-to-send (which
+    // must travel back across the wire), then transfer directly into the
+    // destination buffer.
+    env->rts_matched = std::make_unique<sim::Trigger>(eng);
+    sim::Trigger& rts = *env->rts_matched;
+    sim::Trigger& delivered = *env->delivered;
+    const int dst_cpu = receiver.cpu_;
+    receiver.deposit(std::move(env));
+    co_await rts.wait();
+    co_await eng.delay(net.cluster().latency(cpu_, dst_cpu));  // CTS trip
+    co_await net.transfer(cpu_, dst_cpu, bytes);
+    delivered.fire();
+  }
+  comm_seconds_ += eng.now() - t0;
+  trace_span(world_, rank_, sim::SpanKind::Communication, t0, eng.now());
+}
+
+sim::CoTask<Message> Rank::recv(int src, int tag) {
+  auto& eng = engine();
+  const double t0 = eng.now();
+
+  Envelope* env = nullptr;
+  // First look at already-announced (unexpected) messages, FIFO order.
+  for (auto& e : unexpected_) {
+    if (!e->claimed && matches(src, tag, *e)) {
+      env = e.get();
+      break;
+    }
+  }
+  if (env != nullptr) {
+    env->claimed = true;
+  } else {
+    PendingRecv p;
+    p.src = src;
+    p.tag = tag;
+    p.ready = std::make_unique<sim::Trigger>(eng);
+    pending_.push_back(&p);
+    co_await p.ready->wait();
+    env = p.matched;
+    COL_CHECK(env != nullptr, "recv woke without a matched envelope");
+  }
+
+  if (!env->eager) {
+    env->rts_matched->fire();  // clear-to-send
+  }
+  co_await env->delivered->wait();
+  // Receiver-side software: queue matching, plus (eager only) the copy
+  // from the library bounce buffer into the user buffer. One-sided SHMEM
+  // puts have neither — the latency edge the paradigm exists for.
+  const double match_cost =
+      0.3e-6 +
+      (env->eager
+           ? env->bytes /
+                 world_->network().cluster().node_spec().mem.cpu_stream_bw
+           : 0.0);
+  co_await eng.delay(match_cost);
+
+  Message msg;
+  msg.source = env->src;
+  msg.tag = env->tag;
+  msg.bytes = env->bytes;
+  msg.payload = std::move(env->payload);
+
+  // Release the envelope from the unexpected queue.
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (it->get() == env) {
+      unexpected_.erase(it);
+      break;
+    }
+  }
+  comm_seconds_ += eng.now() - t0;
+  trace_span(world_, rank_, sim::SpanKind::Communication, t0, eng.now());
+  co_return msg;
+}
+
+namespace {
+sim::CoTask<void> recv_discard(Rank& r, int src, int tag) {
+  (void)co_await r.recv(src, tag);
+}
+}  // namespace
+
+sim::CoTask<void> Rank::sendrecv(int dst, double send_bytes, int src,
+                                 int tag) {
+  co_await sim::when_all(engine(), send(dst, send_bytes, tag),
+                         recv_discard(*this, src, tag));
+}
+
+// ---------------------------------------------------------------------------
+// Rank: nonblocking point-to-point
+// ---------------------------------------------------------------------------
+
+bool Request::test() const {
+  COL_REQUIRE(state_ != nullptr, "test() on an invalid request");
+  return state_->complete;
+}
+
+namespace {
+/// Detached driver: runs the blocking op, then completes the request.
+sim::Task drive_send(Rank& r, int dst, double bytes, int tag,
+                     std::shared_ptr<Request::State> state) {
+  co_await r.send(dst, bytes, tag);
+  state->complete = true;
+  state->done.fire();
+}
+
+sim::Task drive_recv(Rank& r, int src, int tag,
+                     std::shared_ptr<Request::State> state) {
+  state->message = co_await r.recv(src, tag);
+  state->complete = true;
+  state->done.fire();
+}
+}  // namespace
+
+Request Rank::isend(int dst, double bytes, int tag) {
+  Request req;
+  req.state_ = std::make_shared<Request::State>(engine());
+  engine().spawn(drive_send(*this, dst, bytes, tag, req.state_));
+  return req;
+}
+
+Request Rank::irecv(int src, int tag) {
+  Request req;
+  req.state_ = std::make_shared<Request::State>(engine());
+  engine().spawn(drive_recv(*this, src, tag, req.state_));
+  return req;
+}
+
+sim::CoTask<Message> Rank::wait(Request& request) {
+  COL_REQUIRE(request.valid(), "wait() on an invalid request");
+  if (!request.state_->complete) {
+    co_await request.state_->done.wait();
+  }
+  co_return std::move(request.state_->message);
+}
+
+sim::CoTask<void> Rank::wait_all(std::vector<Request>& requests) {
+  // Requests progress independently (they are detached drivers), so a
+  // simple sequential wait observes the max completion time.
+  for (auto& req : requests) {
+    (void)co_await wait(req);
+  }
+}
+
+sim::CoTask<void> Rank::compute(double seconds) {
+  COL_REQUIRE(seconds >= 0, "negative compute time");
+  compute_seconds_ += seconds;
+  const double t0 = engine().now();
+  co_await engine().delay(seconds);
+  trace_span(world_, rank_, sim::SpanKind::Compute, t0, engine().now());
+}
+
+// ---------------------------------------------------------------------------
+// Rank: collectives
+// ---------------------------------------------------------------------------
+
+sim::CoTask<void> Rank::barrier() {
+  const int n = size();
+  // Dissemination barrier: ceil(log2 n) rounds of disjoint sendrecv pairs.
+  for (int k = 1; k < n; k <<= 1) {
+    const int dst = (rank_ + k) % n;
+    const int src = (rank_ - k + n) % n;
+    co_await sendrecv(dst, 0.0, src, kCollTag);
+  }
+}
+
+sim::CoTask<void> Rank::bcast(int root, double bytes) {
+  const int n = size();
+  COL_REQUIRE(root >= 0 && root < n, "bcast root out of range");
+  const int rel = (rank_ - root + n) % n;
+  // Binomial tree (MPICH-style): find the bit where we receive, then fan
+  // out to the remaining subtrees.
+  int mask = 1;
+  while (mask < n) {
+    if (rel & mask) {
+      const int src = ((rel - mask) + root) % n;
+      (void)co_await recv(src, kCollTag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < n) {
+      const int dst = ((rel + mask) + root) % n;
+      co_await send(dst, bytes, kCollTag);
+    }
+    mask >>= 1;
+  }
+}
+
+sim::CoTask<void> Rank::reduce(int root, double bytes) {
+  const int n = size();
+  COL_REQUIRE(root >= 0 && root < n, "reduce root out of range");
+  const int rel = (rank_ - root + n) % n;
+  // Reverse binomial tree: leaves send first.
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if ((rel & mask) == 0) {
+      const int src_rel = rel | mask;
+      if (src_rel < n) {
+        (void)co_await recv((src_rel + root) % n, kCollTag);
+      }
+    } else {
+      const int dst = ((rel & ~mask) + root) % n;
+      co_await send(dst, bytes, kCollTag);
+      break;
+    }
+  }
+}
+
+sim::CoTask<void> Rank::allreduce(double bytes) {
+  const int n = size();
+  if (is_pow2(n)) {
+    // Recursive doubling.
+    for (int mask = 1; mask < n; mask <<= 1) {
+      const int partner = rank_ ^ mask;
+      co_await sendrecv(partner, bytes, partner, kCollTag);
+    }
+  } else {
+    co_await reduce(0, bytes);
+    co_await bcast(0, bytes);
+  }
+}
+
+sim::CoTask<std::vector<double>> Rank::allreduce_sum(
+    std::vector<double> data) {
+  const int n = size();
+  // Binomial reduce to rank 0 with real summation, then binomial bcast of
+  // the result. Matches the cost-only reduce/bcast trees.
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if ((rank_ & mask) == 0) {
+      const int src = rank_ | mask;
+      if (src < n) {
+        Message m = co_await recv(src, kCollTag);
+        COL_CHECK(m.payload.size() == data.size(),
+                  "allreduce payload size mismatch");
+        for (std::size_t i = 0; i < data.size(); ++i)
+          data[i] += m.payload[i];
+      }
+    } else {
+      const int dst = rank_ & ~mask;
+      co_await send_value(dst, data, kCollTag);
+      break;
+    }
+  }
+  // Broadcast the reduced vector from rank 0.
+  const int rel = rank_;
+  int mask = 1;
+  while (mask < n) {
+    if (rel & mask) {
+      Message m = co_await recv(rel - mask, kCollTag);
+      data = std::move(m.payload);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < n) {
+      co_await send_value(rel + mask, data, kCollTag);
+    }
+    mask >>= 1;
+  }
+  co_return data;
+}
+
+sim::CoTask<void> Rank::alltoall(double bytes_per_pair, AlltoallAlgo algo) {
+  const int n = size();
+  if (n == 1) co_return;
+  if (algo == AlltoallAlgo::Flood) {
+    // Everything at once: maximal overlap, maximal contention.
+    std::vector<sim::CoTask<void>> ops;
+    ops.reserve(static_cast<std::size_t>(n - 1));
+    for (int step = 1; step < n; ++step) {
+      const int dst = (rank_ + step) % n;
+      const int src = (rank_ - step + n) % n;
+      ops.push_back(sendrecv(dst, bytes_per_pair, src, kCollTag));
+    }
+    co_await sim::when_all(engine(), std::move(ops));
+    co_return;
+  }
+  if (is_pow2(n)) {
+    // Pairwise exchange (XOR schedule): n-1 contention-disjoint rounds.
+    for (int step = 1; step < n; ++step) {
+      const int partner = rank_ ^ step;
+      co_await sendrecv(partner, bytes_per_pair, partner, kCollTag);
+    }
+  } else {
+    for (int step = 1; step < n; ++step) {
+      const int dst = (rank_ + step) % n;
+      const int src = (rank_ - step + n) % n;
+      co_await sendrecv(dst, bytes_per_pair, src, kCollTag);
+    }
+  }
+}
+
+sim::CoTask<void> Rank::allgather(double bytes_per_rank) {
+  const int n = size();
+  if (n == 1) co_return;
+  // Ring: n-1 steps, each forwarding the previously received block.
+  const int dst = (rank_ + 1) % n;
+  const int src = (rank_ - 1 + n) % n;
+  for (int step = 0; step < n - 1; ++step) {
+    co_await sendrecv(dst, bytes_per_rank, src, kCollTag);
+  }
+}
+
+sim::CoTask<std::vector<double>> Rank::allgather_values(
+    std::vector<double> mine) {
+  const int n = size();
+  std::vector<std::vector<double>> blocks(static_cast<std::size_t>(n));
+  blocks[static_cast<std::size_t>(rank_)] = std::move(mine);
+  if (n > 1) {
+    // Ring: at step s, forward the block that originated s ranks behind.
+    const int dst = (rank_ + 1) % n;
+    const int src = (rank_ - 1 + n) % n;
+    for (int s = 0; s < n - 1; ++s) {
+      const int send_origin = (rank_ - s + n) % n;
+      const int recv_origin = (rank_ - s - 1 + n) % n;
+      std::vector<sim::CoTask<void>> ops;
+      ops.push_back(send_value(
+          dst, blocks[static_cast<std::size_t>(send_origin)], kCollTag));
+      // Receive concurrently (rendezvous both ways around the ring).
+      struct Recv {
+        Rank* r;
+        int src;
+        std::vector<double>* out;
+      };
+      auto recv_into = [](Rank& r, int src,
+                          std::vector<double>& out) -> sim::CoTask<void> {
+        Message m = co_await r.recv(src, kCollTag);
+        out = std::move(m.payload);
+      };
+      ops.push_back(recv_into(
+          *this, src, blocks[static_cast<std::size_t>(recv_origin)]));
+      co_await sim::when_all(engine(), std::move(ops));
+    }
+  }
+  std::vector<double> out;
+  for (const auto& b : blocks) out.insert(out.end(), b.begin(), b.end());
+  co_return out;
+}
+
+sim::CoTask<std::vector<std::vector<double>>> Rank::alltoall_values(
+    std::vector<std::vector<double>> send) {
+  const int n = size();
+  COL_REQUIRE(static_cast<int>(send.size()) == n,
+              "alltoall needs one block per destination");
+  std::vector<std::vector<double>> recv(static_cast<std::size_t>(n));
+  recv[static_cast<std::size_t>(rank_)] =
+      std::move(send[static_cast<std::size_t>(rank_)]);
+  auto recv_into = [](Rank& r, int src,
+                      std::vector<double>& out) -> sim::CoTask<void> {
+    Message m = co_await r.recv(src, kCollTag);
+    out = std::move(m.payload);
+  };
+  for (int step = 1; step < n; ++step) {
+    const int dst = (rank_ + step) % n;
+    const int src = (rank_ - step + n) % n;
+    std::vector<sim::CoTask<void>> ops;
+    ops.push_back(
+        send_value(dst, std::move(send[static_cast<std::size_t>(dst)]),
+                   kCollTag));
+    ops.push_back(recv_into(*this, src, recv[static_cast<std::size_t>(src)]));
+    co_await sim::when_all(engine(), std::move(ops));
+  }
+  co_return recv;
+}
+
+// ---------------------------------------------------------------------------
+// World
+// ---------------------------------------------------------------------------
+
+World::World(sim::Engine& engine, machine::Network& network,
+             machine::Placement placement)
+    : engine_(&engine), network_(&network), placement_(std::move(placement)) {
+  const int n = placement_.num_ranks();
+  COL_REQUIRE(n > 0, "world needs at least one rank");
+  ranks_.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    auto rank = std::make_unique<Rank>();
+    rank->world_ = this;
+    rank->rank_ = r;
+    rank->cpu_ = placement_.cpu_of(r);
+    ranks_.push_back(std::move(rank));
+  }
+}
+
+Rank& World::rank(int r) {
+  COL_REQUIRE(r >= 0 && r < size(), "rank index out of range");
+  return *ranks_[static_cast<std::size_t>(r)];
+}
+
+sim::Task World::rank_main(Rank& r, const Program& program) {
+  co_await program(r);
+}
+
+double World::run(const Program& program) {
+  const double t0 = engine_->now();
+  for (auto& r : ranks_) {
+    engine_->spawn(rank_main(*r, program));
+  }
+  engine_->run();
+  return engine_->now() - t0;
+}
+
+double World::mean_comm_seconds() const {
+  double sum = 0.0;
+  for (const auto& r : ranks_) sum += r->comm_seconds_;
+  return sum / static_cast<double>(ranks_.size());
+}
+
+double World::mean_compute_seconds() const {
+  double sum = 0.0;
+  for (const auto& r : ranks_) sum += r->compute_seconds_;
+  return sum / static_cast<double>(ranks_.size());
+}
+
+double World::max_compute_seconds() const {
+  double mx = 0.0;
+  for (const auto& r : ranks_) mx = std::max(mx, r->compute_seconds_);
+  return mx;
+}
+
+}  // namespace columbia::simmpi

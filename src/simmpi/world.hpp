@@ -1,0 +1,223 @@
+#pragma once
+/// \file world.hpp
+/// Simulated MPI: ranks, point-to-point messaging with eager/rendezvous
+/// protocols, and the standard collective algorithms, all executing on the
+/// contended machine Network.
+///
+/// Programs are coroutines: each rank runs `CoTask<void> program(Rank&)`.
+/// Message *timing* comes from the machine model; message *semantics*
+/// (matching on (source, tag), non-overtaking order, collective
+/// synchronization) are implemented for real, so benchmark communication
+/// patterns are exercised exactly as written.
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "machine/network.hpp"
+#include "machine/placement.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sim/trace.hpp"
+#include "sim/trigger.hpp"
+
+namespace columbia::simmpi {
+
+/// Wildcard for Rank::recv source/tag matching (MPI_ANY_SOURCE/TAG).
+inline constexpr int kAny = -1;
+
+/// A received message's metadata (payload optional, used by value-bearing
+/// operations in tests).
+struct Message {
+  int source = 0;
+  int tag = 0;
+  double bytes = 0.0;
+  std::vector<double> payload;
+};
+
+class World;
+
+/// Handle for a nonblocking operation (MPI_Request). Move-only; complete
+/// it with Rank::wait / Rank::wait_all. For irecv, the received message is
+/// available from wait's return / the request after completion.
+class Request {
+ public:
+  Request() = default;
+  Request(Request&&) noexcept = default;
+  Request& operator=(Request&&) noexcept = default;
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+  bool valid() const { return state_ != nullptr; }
+  /// True once the operation finished (send: delivered; recv: matched and
+  /// delivered).
+  bool test() const;
+
+  /// Internal completion record (public so the detached drivers in the
+  /// implementation can reach it; not part of the user API).
+  struct State {
+    explicit State(sim::Engine& e) : done(e) {}
+    sim::Trigger done;
+    bool complete = false;
+    Message message;  // irecv only
+  };
+
+ private:
+  friend class Rank;
+  std::shared_ptr<State> state_;
+};
+
+/// Per-process handle: the simulated MPI API surface.
+class Rank {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+  sim::Engine& engine() const;
+  /// Global CPU this rank is pinned to.
+  int cpu() const { return cpu_; }
+
+  // --- point-to-point ----------------------------------------------------
+  /// Blocking send (eager below the threshold, rendezvous above).
+  sim::CoTask<void> send(int dst, double bytes, int tag = 0);
+  /// Send carrying actual data (for correctness-bearing tests/collectives).
+  sim::CoTask<void> send_value(int dst, std::vector<double> data,
+                               int tag = 0);
+  /// Blocking receive matching (src, tag); kAny acts as a wildcard.
+  sim::CoTask<Message> recv(int src = kAny, int tag = kAny);
+  /// Concurrent send+receive (both sides may use rendezvous).
+  sim::CoTask<void> sendrecv(int dst, double send_bytes, int src,
+                             int tag = 0);
+
+  // --- nonblocking point-to-point (MPI_Isend/Irecv/Wait/Waitall) ----------
+  /// Starts a send; the returned request completes at delivery.
+  Request isend(int dst, double bytes, int tag = 0);
+  /// Posts a receive; the returned request completes when matched+delivered.
+  Request irecv(int src = kAny, int tag = kAny);
+  /// Blocks until the request completes; returns the message for irecv
+  /// (empty Message for isend).
+  sim::CoTask<Message> wait(Request& request);
+  /// Blocks until every request completes.
+  sim::CoTask<void> wait_all(std::vector<Request>& requests);
+
+  // --- collectives (cost-bearing, implemented over p2p) --------------------
+  sim::CoTask<void> barrier();
+  sim::CoTask<void> bcast(int root, double bytes);
+  sim::CoTask<void> reduce(int root, double bytes);
+  sim::CoTask<void> allreduce(double bytes);
+  /// Value-bearing allreduce(sum); returns the reduced vector on all ranks.
+  sim::CoTask<std::vector<double>> allreduce_sum(std::vector<double> data);
+  /// All-to-all personalized exchange algorithm choice (ablation study:
+  /// the scheduled pairwise exchange avoids the incast storm of posting
+  /// everything at once).
+  enum class AlltoallAlgo {
+    Pairwise,  ///< n-1 contention-disjoint rounds (XOR / rotation schedule)
+    Flood,     ///< post all sends and receives simultaneously
+  };
+
+  /// All-to-all; `bytes_per_pair` to every other rank.
+  sim::CoTask<void> alltoall(double bytes_per_pair,
+                             AlltoallAlgo algo = AlltoallAlgo::Pairwise);
+  /// Ring allgather; each rank contributes `bytes_per_rank`.
+  sim::CoTask<void> allgather(double bytes_per_rank);
+  /// Value-bearing ring allgather: returns the concatenation of every
+  /// rank's block in rank order (blocks may differ in size).
+  sim::CoTask<std::vector<double>> allgather_values(
+      std::vector<double> mine);
+  /// Value-bearing all-to-all: `send[q]` goes to rank q; returns one block
+  /// per source rank (pairwise-exchange schedule).
+  sim::CoTask<std::vector<std::vector<double>>> alltoall_values(
+      std::vector<std::vector<double>> send);
+
+  // --- local time --------------------------------------------------------
+  /// Advances this rank's clock by `seconds` of computation.
+  sim::CoTask<void> compute(double seconds);
+
+  /// Accumulated time spent inside communication calls.
+  double comm_seconds() const { return comm_seconds_; }
+  /// Accumulated time spent in compute().
+  double compute_seconds() const { return compute_seconds_; }
+
+ private:
+  friend class World;
+
+  struct Envelope {
+    int src;
+    int tag;
+    double bytes;
+    std::vector<double> payload;
+    bool eager;
+    bool claimed = false;  // already matched to a receive
+    std::unique_ptr<sim::Trigger> delivered;     // data arrived at receiver
+    std::unique_ptr<sim::Trigger> rts_matched;   // rendezvous handshake
+  };
+  struct PendingRecv {
+    int src;
+    int tag;
+    Envelope* matched = nullptr;
+    std::unique_ptr<sim::Trigger> ready;
+  };
+
+  sim::CoTask<void> send_impl(int dst, double bytes,
+                              std::vector<double> payload, int tag);
+  /// Deposits an envelope into this rank's mailbox (called by the sender).
+  void deposit(std::unique_ptr<Envelope> env);
+  static bool matches(int want_src, int want_tag, const Envelope& env);
+
+  World* world_ = nullptr;
+  int rank_ = 0;
+  int cpu_ = 0;
+  double comm_seconds_ = 0.0;
+  double compute_seconds_ = 0.0;
+  std::deque<std::unique_ptr<Envelope>> unexpected_;
+  std::deque<PendingRecv*> pending_;
+};
+
+/// One simulated MPI job: N ranks placed on a cluster, run to completion.
+class World {
+ public:
+  using Program = std::function<sim::CoTask<void>(Rank&)>;
+
+  /// Messages up to this size use the eager protocol (SGI MPT default-ish).
+  static constexpr double kEagerThreshold = 16.0 * 1024;
+
+  World(sim::Engine& engine, machine::Network& network,
+        machine::Placement placement);
+
+  int size() const { return static_cast<int>(ranks_.size()); }
+  sim::Engine& engine() const { return *engine_; }
+  machine::Network& network() const { return *network_; }
+  Rank& rank(int r);
+
+  /// Spawns every rank's program and runs the engine to completion.
+  /// Returns the simulated makespan (seconds from launch to last exit).
+  double run(const Program& program);
+
+  /// Optional span tracing: pass a recorder to capture per-rank
+  /// compute/communication timelines (nullptr disables). The recorder
+  /// must outlive the run.
+  void set_trace(sim::TraceRecorder* trace) { trace_ = trace; }
+  sim::TraceRecorder* trace() const { return trace_; }
+
+  /// Mean over ranks of time spent in communication calls. Overlapping
+  /// operations (sendrecv halves, wait-all members) each count their own
+  /// duration, so this can exceed wall time; it measures "time inside
+  /// MPI", not the makespan share.
+  double mean_comm_seconds() const;
+  /// Mean over ranks of compute time.
+  double mean_compute_seconds() const;
+  /// Maximum over ranks of compute time (the critical path's work).
+  double max_compute_seconds() const;
+
+ private:
+  sim::Task rank_main(Rank& r, const Program& program);
+
+  sim::Engine* engine_;
+  machine::Network* network_;
+  machine::Placement placement_;
+  sim::TraceRecorder* trace_ = nullptr;
+  std::vector<std::unique_ptr<Rank>> ranks_;
+};
+
+}  // namespace columbia::simmpi

@@ -1,0 +1,53 @@
+#include "simomp/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace columbia::simomp {
+
+MlpModel::MlpModel(const machine::NodeSpec& node) : node_(node) {}
+
+double MlpModel::archive_cost(double bytes) const {
+  COL_REQUIRE(bytes >= 0, "negative boundary volume");
+  // Producer store + consumer load through the coherent memory system.
+  return 2.0 * bytes / node_.mem.cpu_stream_bw;
+}
+
+double MlpModel::sync_cost(int groups) const {
+  if (groups <= 1) return 0.0;
+  // Flag polling in the shared arena: log-tree of cache-line transfers.
+  const double line_transfer = 0.5e-6;
+  return line_transfer * std::ceil(std::log2(static_cast<double>(groups)));
+}
+
+double MlpModel::iteration_time(std::span<const RegionSpec> group_regions,
+                                std::span<const double> boundary_bytes,
+                                const MlpConfig& cfg,
+                                perfmodel::KernelClass kernel) const {
+  COL_REQUIRE(cfg.groups >= 1, "need at least one MLP group");
+  COL_REQUIRE(group_regions.size() == static_cast<std::size_t>(cfg.groups),
+              "one region per group required");
+  COL_REQUIRE(boundary_bytes.size() == group_regions.size(),
+              "one boundary volume per group required");
+  COL_REQUIRE(cfg.groups * cfg.threads_per_group <= node_.num_cpus,
+              "MLP configuration exceeds node CPUs");
+
+  OmpModel omp(node_, cfg.compiler);
+  // MLP processes fork onto consecutive CPUs (dplace), so any run with
+  // more than one total CPU keeps both CPUs of each FSB streaming.
+  const int sharers =
+      cfg.groups * cfg.threads_per_group > 1 ? node_.cpus_per_bus : 0;
+  double slowest = 0.0;
+  for (std::size_t g = 0; g < group_regions.size(); ++g) {
+    const double t =
+        omp.region_time(group_regions[g], cfg.threads_per_group, cfg.pin,
+                        kernel, sharers) +
+        archive_cost(boundary_bytes[g]);
+    slowest = std::max(slowest, t);
+  }
+  return slowest + sync_cost(cfg.groups);
+}
+
+}  // namespace columbia::simomp

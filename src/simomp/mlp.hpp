@@ -1,0 +1,53 @@
+#pragma once
+/// \file mlp.hpp
+/// Multi-Level Parallelism (MLP) execution model (paper §3.4, Taft [17]).
+///
+/// MLP, developed at NASA Ames for the Origin/Altix shared-memory machines,
+/// forks independent UNIX processes (the coarse level) that communicate by
+/// direct loads/stores into a shared-memory arena, and uses OpenMP threads
+/// inside each process (the fine level). INS3D runs under this model:
+/// each MLP group owns a set of overset grid blocks, archives its boundary
+/// data into the arena every sub-iteration, and synchronizes with the other
+/// groups before the next pseudo-time step.
+
+#include <span>
+
+#include "simomp/omp_model.hpp"
+
+namespace columbia::simomp {
+
+struct MlpConfig {
+  int groups = 1;
+  int threads_per_group = 1;
+  Pinning pin = Pinning::Pinned;
+  perfmodel::CompilerVersion compiler = perfmodel::CompilerVersion::Intel7_1;
+};
+
+class MlpModel {
+ public:
+  explicit MlpModel(const machine::NodeSpec& node);
+
+  /// Wall time of one solver iteration:
+  ///   max over groups of (OpenMP region time + arena archive cost)
+  ///   + inter-group synchronization.
+  /// `group_regions[g]` is group g's aggregate compute demand and
+  /// `boundary_bytes[g]` the overset boundary data it writes to the arena.
+  double iteration_time(std::span<const RegionSpec> group_regions,
+                        std::span<const double> boundary_bytes,
+                        const MlpConfig& cfg,
+                        perfmodel::KernelClass kernel) const;
+
+  /// Arena archive cost: boundary data is written by the producer and read
+  /// back by consumers through the memory system (2x traffic).
+  double archive_cost(double bytes) const;
+
+  /// Flag-based barrier across `groups` processes in the shared arena.
+  double sync_cost(int groups) const;
+
+  const machine::NodeSpec& node() const { return node_; }
+
+ private:
+  machine::NodeSpec node_;
+};
+
+}  // namespace columbia::simomp

@@ -1,0 +1,110 @@
+#include "simshmem/shmem.hpp"
+
+#include "common/check.hpp"
+
+namespace columbia::simshmem {
+
+int Pe::npes() const { return world_->npes(); }
+sim::Engine& Pe::engine() const { return world_->engine(); }
+
+sim::Task ShmemWorld::deliver_put(Pe& origin, int src_cpu, int dst_cpu,
+                                  double bytes) {
+  co_await network_->transfer(src_cpu, dst_cpu, bytes);
+  COL_CHECK(origin.outstanding_puts_ > 0, "put completion underflow");
+  if (--origin.outstanding_puts_ == 0 && origin.drained_) {
+    origin.drained_->fire();
+    origin.drained_.reset();
+  }
+}
+
+sim::CoTask<void> Pe::put(int target, double bytes) {
+  COL_REQUIRE(target >= 0 && target < npes(), "put target out of range");
+  COL_REQUIRE(bytes >= 0, "negative put size");
+  auto& eng = engine();
+  const double t0 = eng.now();
+  ++outstanding_puts_;
+  eng.spawn(world_->deliver_put(*this, cpu_, world_->pe(target).cpu_,
+                                bytes));
+  // Local completion: the thin one-sided software path.
+  co_await eng.delay(kPutOverhead);
+  comm_seconds_ += eng.now() - t0;
+}
+
+sim::CoTask<void> Pe::get(int source, double bytes) {
+  COL_REQUIRE(source >= 0 && source < npes(), "get source out of range");
+  COL_REQUIRE(bytes >= 0, "negative get size");
+  auto& eng = engine();
+  const double t0 = eng.now();
+  const int src_cpu = world_->pe(source).cpu_;
+  // Request (header-only) out, data back: one full round trip, with no
+  // software matching on the remote side.
+  co_await world_->network().transfer(cpu_, src_cpu, 8.0);
+  co_await world_->network().transfer(src_cpu, cpu_, bytes);
+  comm_seconds_ += eng.now() - t0;
+}
+
+sim::CoTask<void> Pe::quiet() {
+  if (outstanding_puts_ == 0) co_return;
+  auto& eng = engine();
+  const double t0 = eng.now();
+  COL_CHECK(!drained_, "concurrent quiet() calls on one PE");
+  drained_ = std::make_unique<sim::Trigger>(eng);
+  co_await drained_->wait();
+  comm_seconds_ += eng.now() - t0;
+}
+
+sim::CoTask<void> Pe::barrier_all() {
+  auto& eng = engine();
+  const double t0 = eng.now();
+  co_await quiet();
+  co_await world_->barrier_->arrive_and_wait();
+  comm_seconds_ += eng.now() - t0;
+}
+
+sim::CoTask<void> Pe::compute(double seconds) {
+  COL_REQUIRE(seconds >= 0, "negative compute time");
+  compute_seconds_ += seconds;
+  co_await engine().delay(seconds);
+}
+
+ShmemWorld::ShmemWorld(sim::Engine& engine, machine::Network& network,
+                       machine::Placement placement)
+    : engine_(&engine),
+      network_(&network),
+      placement_(std::move(placement)) {
+  const int n = placement_.num_ranks();
+  COL_REQUIRE(n > 0, "world needs at least one PE");
+  barrier_ = std::make_unique<sim::Barrier>(engine, n);
+  pes_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto pe = std::make_unique<Pe>();
+    pe->world_ = this;
+    pe->pe_ = i;
+    pe->cpu_ = placement_.cpu_of(i);
+    pes_.push_back(std::move(pe));
+  }
+}
+
+Pe& ShmemWorld::pe(int i) {
+  COL_REQUIRE(i >= 0 && i < npes(), "PE index out of range");
+  return *pes_[static_cast<std::size_t>(i)];
+}
+
+sim::Task ShmemWorld::pe_main(Pe& p, const Program& program) {
+  co_await program(p);
+}
+
+double ShmemWorld::run(const Program& program) {
+  const double t0 = engine_->now();
+  for (auto& p : pes_) engine_->spawn(pe_main(*p, program));
+  engine_->run();
+  return engine_->now() - t0;
+}
+
+double ShmemWorld::mean_comm_seconds() const {
+  double sum = 0.0;
+  for (const auto& p : pes_) sum += p->comm_seconds_;
+  return sum / static_cast<double>(pes_.size());
+}
+
+}  // namespace columbia::simshmem

@@ -1,0 +1,107 @@
+#pragma once
+/// \file shmem.hpp
+/// Simulated SGI SHMEM: one-sided put/get on the contended network.
+///
+/// The paper lists SHMEM among Columbia's supported paradigms (§2, via
+/// SGI's Message Passing Toolkit) and names "experiment with the SHMEM
+/// library, including porting INS3D to use it" as future work (§5). This
+/// module implements that extension: one-sided operations have no
+/// matching, no rendezvous and a thinner software layer than MPI, so a
+/// put's initiation cost is lower and a data exchange completes in one
+/// traversal — the latency advantage the paradigm exists for.
+///
+/// Semantics implemented: blocking-local `put` (returns when the source
+/// buffer is reusable; remote completion is asynchronous), blocking `get`
+/// (round trip), `quiet` (fence: all of this PE's puts remotely
+/// complete), and `barrier_all` (quiet + synchronization).
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "machine/network.hpp"
+#include "machine/placement.hpp"
+#include "sim/barrier.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sim/trigger.hpp"
+
+namespace columbia::simshmem {
+
+class ShmemWorld;
+
+/// One processing element (SHMEM's name for a rank).
+class Pe {
+ public:
+  int pe() const { return pe_; }
+  int npes() const;
+  int cpu() const { return cpu_; }
+  sim::Engine& engine() const;
+
+  /// One-sided write of `bytes` into `target`'s symmetric heap. Returns
+  /// when the local buffer is reusable (injection overhead); delivery
+  /// proceeds asynchronously and is observable via quiet()/barrier_all().
+  sim::CoTask<void> put(int target, double bytes);
+
+  /// One-sided read: a request travels to `source`, the data comes back.
+  sim::CoTask<void> get(int source, double bytes);
+
+  /// Fence: completes when every put this PE issued has arrived.
+  sim::CoTask<void> quiet();
+
+  /// shmem_barrier_all: quiet + global synchronization.
+  sim::CoTask<void> barrier_all();
+
+  /// Local computation.
+  sim::CoTask<void> compute(double seconds);
+
+  double comm_seconds() const { return comm_seconds_; }
+  double compute_seconds() const { return compute_seconds_; }
+
+  /// Software initiation overhead of a one-sided op (vs ~0.4 us for MPI's
+  /// two-sided path with matching).
+  static constexpr double kPutOverhead = 0.15e-6;
+
+ private:
+  friend class ShmemWorld;
+
+  ShmemWorld* world_ = nullptr;
+  int pe_ = 0;
+  int cpu_ = 0;
+  int outstanding_puts_ = 0;
+  std::unique_ptr<sim::Trigger> drained_;  // armed while quiet() waits
+  double comm_seconds_ = 0.0;
+  double compute_seconds_ = 0.0;
+};
+
+/// A SHMEM job: N PEs placed on a cluster.
+class ShmemWorld {
+ public:
+  using Program = std::function<sim::CoTask<void>(Pe&)>;
+
+  ShmemWorld(sim::Engine& engine, machine::Network& network,
+             machine::Placement placement);
+
+  int npes() const { return static_cast<int>(pes_.size()); }
+  sim::Engine& engine() const { return *engine_; }
+  machine::Network& network() const { return *network_; }
+  Pe& pe(int i);
+
+  /// Runs every PE's program to completion; returns the makespan.
+  double run(const Program& program);
+
+  double mean_comm_seconds() const;
+
+ private:
+  friend class Pe;
+  sim::Task pe_main(Pe& p, const Program& program);
+  sim::Task deliver_put(Pe& origin, int src_cpu, int dst_cpu, double bytes);
+
+  sim::Engine* engine_;
+  machine::Network* network_;
+  machine::Placement placement_;
+  std::unique_ptr<sim::Barrier> barrier_;
+  std::vector<std::unique_ptr<Pe>> pes_;
+};
+
+}  // namespace columbia::simshmem

@@ -1,0 +1,256 @@
+// Tests for the extension modules: the SP pentadiagonal kernel, simulated
+// SHMEM semantics, the HPL/Linpack model (§1's 51.9 Tflop/s anchor), and
+// the multinode INS3D future-work implementation (§5).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cfd/ins3d_multinode.hpp"
+#include "common/check.hpp"
+#include "hpcc/hpl.hpp"
+#include "machine/network.hpp"
+#include "machine/placement.hpp"
+#include "npb/sp.hpp"
+#include "simmpi/world.hpp"
+#include "simshmem/shmem.hpp"
+
+namespace columbia {
+namespace {
+
+using machine::Cluster;
+using machine::NodeType;
+using machine::Placement;
+
+// ------------------------------------------------------------------- SP
+
+TEST(Sp, MatchesDenseReference) {
+  for (int n : {1, 2, 3, 5, 40}) {
+    const auto original = npb::make_penta_system(n, 100u + n);
+    auto sys = original;
+    penta_solve(sys);
+    const auto expected = npb::penta_dense_reference(original);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(sys.rhs[static_cast<std::size_t>(i)],
+                  expected[static_cast<std::size_t>(i)], 1e-9)
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Sp, SolutionSatisfiesSystem) {
+  const auto original = npb::make_penta_system(64, 7);
+  auto sys = original;
+  penta_solve(sys);
+  EXPECT_LT(npb::penta_residual(original, sys.rhs), 1e-10);
+}
+
+TEST(Sp, FlopsLinear) {
+  EXPECT_DOUBLE_EQ(npb::sp_line_solve_flops(100),
+                   10.0 * npb::sp_line_solve_flops(10));
+}
+
+// ---------------------------------------------------------------- SHMEM
+
+struct ShmemRig {
+  sim::Engine engine;
+  Cluster cluster = Cluster::single(NodeType::AltixBX2b);
+  machine::Network network{engine, cluster};
+  simshmem::ShmemWorld world;
+
+  explicit ShmemRig(int npes)
+      : world(engine, network, Placement::dense(cluster, npes)) {}
+};
+
+TEST(Shmem, PutIsAsynchronousQuietWaits) {
+  ShmemRig rig(2);
+  double put_done = -1.0, quiet_done = -1.0;
+  rig.world.run([&](simshmem::Pe& pe) -> sim::CoTask<void> {
+    if (pe.pe() == 0) {
+      co_await pe.put(1, 1e6);
+      put_done = pe.engine().now();
+      co_await pe.quiet();
+      quiet_done = pe.engine().now();
+    }
+  });
+  // Local completion long before remote delivery of a 1 MB put.
+  EXPECT_LT(put_done, 1e-5);
+  EXPECT_GT(quiet_done, 1e-4);
+}
+
+TEST(Shmem, QuietWithNoPutsIsInstant) {
+  ShmemRig rig(2);
+  double t = -1.0;
+  rig.world.run([&](simshmem::Pe& pe) -> sim::CoTask<void> {
+    co_await pe.quiet();
+    t = pe.engine().now();
+  });
+  EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+TEST(Shmem, GetIsRoundTrip) {
+  ShmemRig rig(2);
+  double t_get = 0.0;
+  rig.world.run([&](simshmem::Pe& pe) -> sim::CoTask<void> {
+    if (pe.pe() == 0) {
+      co_await pe.get(1, 8.0);
+      t_get = pe.engine().now();
+    }
+  });
+  const double one_way = rig.network.uncontended_time(0, 1, 8.0);
+  EXPECT_GT(t_get, 1.8 * one_way);
+}
+
+TEST(Shmem, BarrierAllSynchronizesAndDrains) {
+  ShmemRig rig(8);
+  std::vector<double> after(8, -1.0);
+  rig.world.run([&](simshmem::Pe& pe) -> sim::CoTask<void> {
+    if (pe.pe() == 0) {
+      co_await pe.put(7, 2e6);  // slow delivery must finish first
+    }
+    co_await pe.barrier_all();
+    after[static_cast<std::size_t>(pe.pe())] = pe.engine().now();
+  });
+  const double delivery = rig.network.uncontended_time(0, 7, 2e6);
+  for (double t : after) EXPECT_GE(t, delivery * 0.99);
+}
+
+TEST(Shmem, OneWayLatencyBeatsMpi) {
+  // The §5 motivation: one-sided puts skip matching and bounce-buffer
+  // copies.
+  auto cluster = Cluster::single(NodeType::AltixBX2b);
+  double shmem_t;
+  {
+    sim::Engine engine;
+    machine::Network network(engine, cluster);
+    simshmem::ShmemWorld world(engine, network,
+                               Placement::dense(cluster, 64));
+    shmem_t = world.run([&](simshmem::Pe& pe) -> sim::CoTask<void> {
+      if (pe.pe() == 0) {
+        co_await pe.put(63, 1024.0);
+        co_await pe.quiet();
+      }
+    });
+  }
+  double mpi_t;
+  {
+    sim::Engine engine;
+    machine::Network network(engine, cluster);
+    simmpi::World world(engine, network, Placement::dense(cluster, 64));
+    mpi_t = world.run([&](simmpi::Rank& r) -> sim::CoTask<void> {
+      if (r.rank() == 0) {
+        co_await r.send(63, 1024.0, 0);
+      } else if (r.rank() == 63) {
+        (void)co_await r.recv(0, 0);
+      }
+    });
+  }
+  EXPECT_LT(shmem_t, 0.9 * mpi_t);
+}
+
+TEST(Shmem, ValidatesArguments) {
+  ShmemRig rig(2);
+  EXPECT_THROW(rig.world.pe(2), ContractError);
+  EXPECT_THROW(rig.world.run([&](simshmem::Pe& pe) -> sim::CoTask<void> {
+    co_await pe.put(5, 8.0);
+  }),
+               ContractError);
+}
+
+// ------------------------------------------------------------------ HPL
+
+TEST(Hpl, InventoryMatchesPaperSection2) {
+  const auto inv = hpcc::columbia_inventory();
+  ASSERT_EQ(inv.size(), 20u);
+  int n3700 = 0, nbx2a = 0, nbx2b = 0;
+  for (const auto& n : inv) {
+    switch (n.type) {
+      case NodeType::Altix3700:
+        ++n3700;
+        break;
+      case NodeType::AltixBX2a:
+        ++nbx2a;
+        break;
+      case NodeType::AltixBX2b:
+        ++nbx2b;
+        break;
+    }
+  }
+  EXPECT_EQ(n3700, 12);
+  EXPECT_EQ(nbx2a, 3);
+  EXPECT_EQ(nbx2b, 5);
+}
+
+TEST(Hpl, ReproducesTop500Number) {
+  // Paper §1: 51.9 Tflop/s on Linpack, November 2004 list.
+  const auto r = hpcc::hpl_model(hpcc::columbia_inventory());
+  EXPECT_NEAR(r.rmax / 1e12, 51.9, 2.5);
+  EXPECT_GT(r.efficiency, 0.80);
+  EXPECT_LT(r.efficiency, 0.90);
+  // The run occupies most of a work day, as real Top500 runs did.
+  EXPECT_GT(r.seconds, 3600.0);
+  EXPECT_LT(r.seconds, 24 * 3600.0);
+}
+
+TEST(Hpl, CapabilitySubsystemNearThirteenTflops) {
+  // Paper §2: the 2048-CPU NUMAlink4 subsystem "provides a 13 Tflop/s
+  // peak capability platform".
+  std::vector<machine::NodeSpec> sub(4, machine::NodeSpec::bx2b());
+  EXPECT_NEAR(hpcc::columbia_peak_flops(sub) / 1e12, 13.1, 0.1);
+  hpcc::HplConfig cfg;
+  cfg.fabric = machine::FabricSpec::numalink4();
+  const auto r = hpcc::hpl_model(sub, cfg);
+  EXPECT_GT(r.efficiency, 0.85);  // homogeneous + NUMAlink: better than IB
+}
+
+TEST(Hpl, HeterogeneityGatesThroughput) {
+  // All-BX2b (hypothetical) beats the mixed machine per CPU: the slowest
+  // node gates the lock-step updates.
+  std::vector<machine::NodeSpec> uniform(20, machine::NodeSpec::bx2b());
+  const auto mixed = hpcc::hpl_model(hpcc::columbia_inventory());
+  const auto fast = hpcc::hpl_model(uniform);
+  EXPECT_GT(fast.rmax, mixed.rmax * 1.05);
+}
+
+// -------------------------------------------------------- multinode INS3D
+
+TEST(Ins3dMultinode, ShmemBeatsMpiOnCommunication) {
+  const auto pump = overset::make_turbopump();
+  auto nl4 = Cluster::numalink4_bx2b(2);
+  auto ib = Cluster::infiniband_cluster(NodeType::AltixBX2b, 2);
+  cfd::Ins3dMultinodeConfig cfg;
+  cfg.n_nodes = 2;
+  cfg.threads_per_group = 2;
+  cfg.transport = cfd::BoundaryTransport::ShmemPut;
+  const auto rs = cfd::ins3d_multinode_model(pump, nl4, cfg);
+  cfg.transport = cfd::BoundaryTransport::MpiSendRecv;
+  const auto rm = cfd::ins3d_multinode_model(pump, ib, cfg);
+  EXPECT_LT(rs.comm_seconds_per_timestep, rm.comm_seconds_per_timestep);
+  EXPECT_LE(rs.seconds_per_timestep, rm.seconds_per_timestep * 1.02);
+}
+
+TEST(Ins3dMultinode, ShmemRequiresNumalink) {
+  const auto pump = overset::make_turbopump();
+  auto ib = Cluster::infiniband_cluster(NodeType::AltixBX2b, 2);
+  cfd::Ins3dMultinodeConfig cfg;
+  cfg.n_nodes = 2;
+  cfg.transport = cfd::BoundaryTransport::ShmemPut;
+  EXPECT_THROW(cfd::ins3d_multinode_model(pump, ib, cfg), ContractError);
+}
+
+TEST(Ins3dMultinode, MoreNodesMoreCrossTrafficAndSubiterations) {
+  const auto pump = overset::make_turbopump();
+  auto nl4 = Cluster::numalink4_bx2b(4);
+  cfd::Ins3dMultinodeConfig two;
+  two.n_nodes = 2;
+  two.threads_per_group = 2;
+  cfd::Ins3dMultinodeConfig four = two;
+  four.n_nodes = 4;
+  const auto r2 = cfd::ins3d_multinode_model(pump, nl4, two);
+  const auto r4 = cfd::ins3d_multinode_model(pump, nl4, four);
+  EXPECT_GT(r4.subiterations, r2.subiterations - 1);  // more total groups
+  EXPECT_GT(r4.group_imbalance, r2.group_imbalance);
+}
+
+}  // namespace
+}  // namespace columbia

@@ -1,0 +1,159 @@
+// Tests for the HPCC components: DGEMM/STREAM kernel correctness, model
+// projections pinned to the paper's §4.1.1/§4.2 observations, and the
+// b_eff pattern behaviours (ping-pong vs rings, 3700 vs BX2, stride).
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "hpcc/beff.hpp"
+#include "hpcc/dgemm.hpp"
+#include "hpcc/stream.hpp"
+
+namespace columbia::hpcc {
+namespace {
+
+using machine::Cluster;
+using machine::NodeSpec;
+using machine::NodeType;
+using machine::Placement;
+
+TEST(Dgemm, BlockedMatchesNaive) {
+  const std::size_t n = 37;  // awkward size exercises block remainders
+  Matrix a(n, n), b(n, n), c1(n, n), c2(n, n);
+  Rng rng(3);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    a.data[i] = rng.uniform(-1, 1);
+    b.data[i] = rng.uniform(-1, 1);
+    c1.data[i] = c2.data[i] = rng.uniform(-1, 1);
+  }
+  dgemm_naive(a, b, c1);
+  dgemm_blocked(a, b, c2, 8);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    EXPECT_NEAR(c1.data[i], c2.data[i], 1e-10);
+  }
+}
+
+TEST(Dgemm, RectangularShapes) {
+  Matrix a(3, 5), b(5, 2), c(3, 2);
+  for (std::size_t i = 0; i < a.data.size(); ++i) a.data[i] = 1.0;
+  for (std::size_t i = 0; i < b.data.size(); ++i) b.data[i] = 2.0;
+  dgemm_blocked(a, b, c, 4);
+  for (std::size_t i = 0; i < c.data.size(); ++i) {
+    EXPECT_DOUBLE_EQ(c.data[i], 10.0);  // 5 * (1*2)
+  }
+}
+
+TEST(Dgemm, DimensionMismatchThrows) {
+  Matrix a(3, 4), b(5, 2), c(3, 2);
+  EXPECT_THROW(dgemm_blocked(a, b, c), ContractError);
+}
+
+TEST(Dgemm, ModelMatchesPaperRates) {
+  // §4.1.1: 5.75 Gflop/s on BX2b, 6% over the 1.5 GHz parts.
+  const double g3700 = dgemm_model_gflops(NodeSpec::altix3700());
+  const double gbx2a = dgemm_model_gflops(NodeSpec::bx2a());
+  const double gbx2b = dgemm_model_gflops(NodeSpec::bx2b());
+  EXPECT_DOUBLE_EQ(g3700, gbx2a);
+  EXPECT_NEAR(gbx2b, 5.75, 0.1);
+  EXPECT_NEAR(gbx2b / g3700, 1.067, 0.01);
+}
+
+TEST(Dgemm, HostKernelRunsAtPlausibleRate) {
+  const double gf = dgemm_host_gflops(128);
+  EXPECT_GT(gf, 0.05);  // smoke: it must actually compute
+}
+
+TEST(Stream, ApplySemantics) {
+  Vector a(4, 0.0), b{1, 2, 3, 4}, c{10, 20, 30, 40};
+  stream_apply(StreamOp::Copy, a, b, c, 3.0);
+  EXPECT_DOUBLE_EQ(a[2], 3.0);
+  stream_apply(StreamOp::Scale, a, b, c, 3.0);
+  EXPECT_DOUBLE_EQ(a[3], 12.0);
+  stream_apply(StreamOp::Add, a, b, c, 3.0);
+  EXPECT_DOUBLE_EQ(a[0], 11.0);
+  stream_apply(StreamOp::Triad, a, b, c, 3.0);
+  EXPECT_DOUBLE_EQ(a[1], 62.0);
+}
+
+TEST(Stream, MismatchedLengthsThrow) {
+  Vector a(4, 0.0), b(3, 0.0), c(4, 0.0);
+  EXPECT_THROW(stream_apply(StreamOp::Copy, a, b, c, 1.0), ContractError);
+}
+
+TEST(Stream, ModelReproducesBusSharing) {
+  // §4.2: ~3.8 GB/s alone, ~2 GB/s dense; Triad 1.9x better spread out.
+  const auto node = NodeSpec::bx2b();
+  const double dense = stream_model_gbs(node, StreamOp::Triad, 2);
+  const double spread = stream_model_gbs(node, StreamOp::Triad, 1);
+  EXPECT_NEAR(spread, 3.8, 0.2);
+  EXPECT_NEAR(dense, 2.0, 0.15);
+  EXPECT_NEAR(spread / dense, 1.9, 0.1);
+}
+
+TEST(Stream, ModelNearlyIdenticalAcrossNodeTypes) {
+  // §4.1.1: STREAM Triad within ~1% between 3700 and BX2.
+  const double t3700 =
+      stream_model_gbs(NodeSpec::altix3700(), StreamOp::Triad, 2);
+  const double tbx2 = stream_model_gbs(NodeSpec::bx2b(), StreamOp::Triad, 2);
+  EXPECT_NEAR(t3700 / tbx2, 1.0, 0.02);
+}
+
+TEST(Stream, HostKernelMovesBytes) {
+  const double gbs = stream_host_gbs(StreamOp::Triad, 1 << 16);
+  EXPECT_GT(gbs, 0.05);
+}
+
+TEST(Beff, PingPongLatencyLowerOnBx2) {
+  // Fig. 5: BX2's shallower tree shortens remote latency.
+  auto c3700 = Cluster::single(NodeType::Altix3700);
+  auto cbx2 = Cluster::single(NodeType::AltixBX2b);
+  Beff b3700(c3700, Placement::dense(c3700, 256));
+  Beff bbx2(cbx2, Placement::dense(cbx2, 256));
+  const auto r3700 = b3700.ping_pong(8);
+  const auto rbx2 = bbx2.ping_pong(8);
+  EXPECT_LT(rbx2.latency, r3700.latency);
+  EXPECT_GT(rbx2.bandwidth, r3700.bandwidth);
+}
+
+TEST(Beff, RandomRingLatencyGrowsWithCpuCount) {
+  // Fig. 5: random-ring latency rises as communication distance grows.
+  auto c = Cluster::single(NodeType::Altix3700);
+  Beff small(c, Placement::dense(c, 16));
+  Beff large(c, Placement::dense(c, 256));
+  EXPECT_GT(large.random_ring(2, 2).latency,
+            small.random_ring(2, 2).latency);
+}
+
+TEST(Beff, NaturalRingFasterThanRandomRing) {
+  // Local communication predominates on the natural ring.
+  auto c = Cluster::single(NodeType::AltixBX2b);
+  Beff beff(c, Placement::dense(c, 128));
+  const auto natural = beff.natural_ring(2);
+  const auto random = beff.random_ring(2, 2);
+  EXPECT_LT(natural.latency, random.latency);
+  EXPECT_GT(natural.bandwidth, random.bandwidth);
+}
+
+TEST(Beff, InfinibandLatencyPenaltyAcrossNodes) {
+  // Fig. 10: substantial IB latency penalty vs NUMAlink4, worse at 4 nodes.
+  auto nl4 = Cluster::numalink4_bx2b(2);
+  auto ib2 = Cluster::infiniband_cluster(NodeType::AltixBX2b, 2);
+  auto ib4 = Cluster::infiniband_cluster(NodeType::AltixBX2b, 4);
+  const int n = 128;
+  Beff bn(nl4, Placement::across_nodes(nl4, n, 2));
+  Beff b2(ib2, Placement::across_nodes(ib2, n, 2));
+  Beff b4(ib4, Placement::across_nodes(ib4, n, 4));
+  const auto pn = bn.ping_pong(8);
+  const auto p2 = b2.ping_pong(8);
+  const auto p4 = b4.ping_pong(8);
+  EXPECT_GT(p2.latency, pn.latency * 1.5);
+  EXPECT_GT(p4.latency, p2.latency);  // more off-node pairs sampled
+}
+
+TEST(Beff, RequiresTwoRanks) {
+  auto c = Cluster::single(NodeType::Altix3700);
+  EXPECT_THROW(Beff(c, Placement::dense(c, 1)), ContractError);
+}
+
+}  // namespace
+}  // namespace columbia::hpcc

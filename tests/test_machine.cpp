@@ -1,0 +1,316 @@
+// Tests for the Columbia machine model: node specs (Table 1 values),
+// fat-tree topology distances, cluster addressing, the InfiniBand
+// connection-limit formula from §2, placements, and contended transfers.
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "machine/cluster.hpp"
+#include "machine/io_model.hpp"
+#include "machine/network.hpp"
+#include "machine/placement.hpp"
+#include "machine/spec.hpp"
+#include "machine/topology.hpp"
+
+namespace columbia::machine {
+namespace {
+
+TEST(Spec, PeakPerformanceMatchesPaperTable1) {
+  // 1.5 GHz x 2 madds = 6.0 Gflop/s; 512 CPUs = 3.07 Tflop/s.
+  const auto n3700 = NodeSpec::altix3700();
+  EXPECT_DOUBLE_EQ(n3700.cpu.peak_flops(), 6.0e9);
+  EXPECT_NEAR(n3700.peak_tflops(), 3.07, 0.01);
+  // BX2b: 1.6 GHz -> 6.4 Gflop/s and 3.28 Tflop/s.
+  const auto bx2b = NodeSpec::bx2b();
+  EXPECT_DOUBLE_EQ(bx2b.cpu.peak_flops(), 6.4e9);
+  EXPECT_NEAR(bx2b.peak_tflops(), 3.28, 0.01);
+}
+
+TEST(Spec, Bx2DoublesDensityAndLinkBandwidth) {
+  const auto a = NodeSpec::altix3700();
+  const auto b = NodeSpec::bx2a();
+  EXPECT_EQ(b.cpus_per_brick, 2 * a.cpus_per_brick);
+  EXPECT_DOUBLE_EQ(b.link_bw, 2 * a.link_bw);  // 6.4 vs 3.2 GB/s
+  EXPECT_EQ(a.num_bricks(), 128);
+  EXPECT_EQ(b.num_bricks(), 64);
+}
+
+TEST(Spec, Bx2bHasFasterClockAndBiggerCache) {
+  const auto a = NodeSpec::bx2a();
+  const auto b = NodeSpec::bx2b();
+  EXPECT_GT(b.cpu.clock_hz, a.cpu.clock_hz);
+  EXPECT_GT(b.cpu.l3_bytes, a.cpu.l3_bytes);
+  EXPECT_DOUBLE_EQ(b.link_bw, a.link_bw);
+}
+
+TEST(Spec, Table1Renders) {
+  const auto t = node_characteristics_table();
+  EXPECT_EQ(t.num_columns(), 4u);
+  EXPECT_GE(t.num_rows(), 8u);
+  EXPECT_NE(t.render().find("NUMAlink4"), std::string::npos);
+}
+
+TEST(Topology, BusAndBrickMapping3700) {
+  NodeTopology topo(NodeSpec::altix3700());
+  EXPECT_EQ(topo.bus_of(0), 0);
+  EXPECT_EQ(topo.bus_of(1), 0);
+  EXPECT_EQ(topo.bus_of(2), 1);
+  EXPECT_EQ(topo.brick_of(3), 0);
+  EXPECT_EQ(topo.brick_of(4), 1);
+  EXPECT_EQ(topo.num_buses(), 256);
+  EXPECT_EQ(topo.num_bricks(), 128);
+}
+
+TEST(Topology, LocalityClasses) {
+  NodeTopology topo(NodeSpec::altix3700());
+  EXPECT_EQ(topo.locality(5, 5), Locality::SameCpu);
+  EXPECT_EQ(topo.locality(0, 1), Locality::SameBus);
+  EXPECT_EQ(topo.locality(0, 2), Locality::SameBrick);
+  EXPECT_EQ(topo.locality(0, 4), Locality::CrossBrick);
+}
+
+TEST(Topology, RouterHopsGrowWithDistance) {
+  NodeTopology topo(NodeSpec::altix3700());  // 128 bricks, radix 8
+  EXPECT_EQ(topo.router_hops(0, 1), 0);      // same brick
+  EXPECT_EQ(topo.router_hops(0, 4), 1);      // adjacent bricks, one router
+  EXPECT_EQ(topo.router_hops(0, 4 * 8), 3);  // second-level router
+  EXPECT_EQ(topo.router_hops(0, 4 * 64), 5); // third level
+  EXPECT_EQ(topo.tree_levels(), 3);
+}
+
+TEST(Topology, Bx2TreeIsShallowerThan3700) {
+  NodeTopology t3700(NodeSpec::altix3700());
+  NodeTopology bx2(NodeSpec::bx2a());
+  EXPECT_LT(bx2.tree_levels(), t3700.tree_levels());
+  // Worst-case latency therefore drops on BX2 (double-density packing).
+  const int far3700 = t3700.num_cpus() - 1;
+  const int farbx2 = bx2.num_cpus() - 1;
+  EXPECT_LT(bx2.latency(0, farbx2), t3700.latency(0, far3700));
+}
+
+TEST(Topology, LatencyOrderingByLocality) {
+  NodeTopology topo(NodeSpec::bx2b());
+  EXPECT_LT(topo.latency(0, 1), topo.latency(0, 2));
+  EXPECT_LT(topo.latency(0, 2), topo.latency(0, 511));
+}
+
+TEST(Topology, OutOfRangeCpuThrows) {
+  NodeTopology topo(NodeSpec::altix3700());
+  EXPECT_THROW(topo.bus_of(512), ContractError);
+  EXPECT_THROW(topo.bus_of(-1), ContractError);
+}
+
+TEST(Cluster, GlobalAddressing) {
+  auto c = Cluster::numalink4_bx2b(4);
+  EXPECT_EQ(c.total_cpus(), 2048);
+  EXPECT_EQ(c.node_of(0), 0);
+  EXPECT_EQ(c.node_of(511), 0);
+  EXPECT_EQ(c.node_of(512), 1);
+  EXPECT_EQ(c.local_cpu(513), 1);
+  EXPECT_EQ(c.global_cpu(3, 7), 3 * 512 + 7);
+}
+
+TEST(Cluster, CrossNodeLatencyExceedsInNode) {
+  auto c = Cluster::numalink4_bx2b(2);
+  EXPECT_GT(c.latency(0, 512), c.latency(0, 511));
+}
+
+TEST(Cluster, InfinibandSlowerThanNumalink4) {
+  auto nl = Cluster::numalink4_bx2b(2);
+  auto ib = Cluster::infiniband_cluster(NodeType::AltixBX2b, 2);
+  EXPECT_GT(ib.latency(0, 512), nl.latency(0, 512));
+  EXPECT_LT(ib.bandwidth(0, 512, 1e6), nl.bandwidth(0, 512, 1e6));
+}
+
+TEST(Cluster, ReleasedMptCapsLargeMessageIbBandwidth) {
+  auto rel = Cluster::infiniband_cluster(NodeType::AltixBX2b, 2,
+                                         MptVersion::Released_1_11r);
+  auto beta = Cluster::infiniband_cluster(NodeType::AltixBX2b, 2,
+                                          MptVersion::Beta_1_11b);
+  // Small messages unaffected, large messages capped (Fig. 11 anomaly).
+  EXPECT_DOUBLE_EQ(rel.bandwidth(0, 512, 1024), beta.bandwidth(0, 512, 1024));
+  EXPECT_LT(rel.bandwidth(0, 512, 1e6), beta.bandwidth(0, 512, 1e6));
+}
+
+TEST(Cluster, PureMpiProcessLimitMatchesPaperSection2) {
+  // Paper: "a pure MPI code can only fully utilize up to three Altix
+  // nodes" — the per-node limit must be >= 512 for n<=3, < 512 for n=4.
+  auto ib = Cluster::infiniband_cluster(NodeType::AltixBX2b, 4);
+  EXPECT_GE(ib.max_pure_mpi_procs_per_node(2), 512);
+  EXPECT_GE(ib.max_pure_mpi_procs_per_node(3), 512);
+  EXPECT_LT(ib.max_pure_mpi_procs_per_node(4), 512);
+  // NUMAlink clusters have no such limit.
+  auto nl = Cluster::numalink4_bx2b(4);
+  EXPECT_EQ(nl.max_pure_mpi_procs_per_node(4), 512);
+}
+
+TEST(Cluster, SingleNodeHasNoFabric) {
+  auto c = Cluster::single(NodeType::Altix3700);
+  EXPECT_EQ(c.num_nodes(), 1);
+  EXPECT_EQ(c.fabric().type, FabricType::None);
+}
+
+TEST(Placement, DenseAndStrided) {
+  auto c = Cluster::single(NodeType::AltixBX2b);
+  auto dense = Placement::dense(c, 8);
+  auto spread = Placement::strided(c, 8, 4);
+  EXPECT_EQ(dense.cpu_of(3), 3);
+  EXPECT_EQ(spread.cpu_of(3), 12);
+  EXPECT_EQ(spread.num_ranks(), 8);
+}
+
+TEST(Placement, AcrossNodesSplitsEvenly) {
+  auto c = Cluster::numalink4_bx2b(4);
+  auto p = Placement::across_nodes(c, 8, 4);
+  EXPECT_EQ(p.cpu_of(0), 0);
+  EXPECT_EQ(p.cpu_of(1), 1);
+  EXPECT_EQ(p.cpu_of(2), 512);
+  EXPECT_EQ(p.cpu_of(7), 3 * 512 + 1);
+}
+
+TEST(Placement, AcrossNodesWithThreadsReservesBlocks) {
+  auto c = Cluster::numalink4_bx2b(2);
+  auto p = Placement::across_nodes(c, 4, 2, 8);
+  EXPECT_EQ(p.cpu_of(0), 0);
+  EXPECT_EQ(p.cpu_of(1), 8);
+  EXPECT_EQ(p.cpu_of(2), 512);
+  EXPECT_EQ(p.cpu_of(3), 520);
+}
+
+TEST(Placement, OverflowThrows) {
+  auto c = Cluster::single(NodeType::Altix3700);
+  EXPECT_THROW(Placement::strided(c, 512, 2), ContractError);
+}
+
+TEST(Network, UncontendedTimeComposesLatencyAndBandwidth) {
+  sim::Engine eng;
+  auto c = Cluster::single(NodeType::AltixBX2b);
+  Network net(eng, c);
+  const double t0 = net.uncontended_time(0, 100, 0.0);
+  const double t1 = net.uncontended_time(0, 100, 1e6);
+  EXPECT_GT(t0, 0.0);
+  EXPECT_NEAR(t1 - t0, 1e6 / c.bandwidth(0, 100, 1e6), 1e-12);
+}
+
+TEST(Network, TransferCompletesAtModeledTime) {
+  sim::Engine eng;
+  auto c = Cluster::single(NodeType::AltixBX2b);
+  Network net(eng, c);
+  double done = -1.0;
+  auto prog = [](sim::Engine& e, Network& n, double& d) -> sim::Task {
+    co_await n.transfer(0, 64, 1e6);
+    d = e.now();
+  };
+  eng.spawn(prog(eng, net, done));
+  eng.run();
+  EXPECT_NEAR(done, net.uncontended_time(0, 64, 1e6), 1e-12);
+  EXPECT_EQ(net.transfers_completed(), 1u);
+}
+
+TEST(Network, ConcurrentSendsFromOneCpuSerialize) {
+  sim::Engine eng;
+  auto c = Cluster::single(NodeType::AltixBX2b);
+  Network net(eng, c);
+  std::vector<double> done;
+  auto sender = [](sim::Engine& e, Network& n, std::vector<double>& d,
+                   int dst) -> sim::Task {
+    co_await n.transfer(0, dst, 1e6);
+    d.push_back(e.now());
+  };
+  eng.spawn(sender(eng, net, done, 64));
+  eng.spawn(sender(eng, net, done, 128));
+  eng.run();
+  ASSERT_EQ(done.size(), 2u);
+  // The second message cannot start pushing until the first finished its
+  // injection; completion times must differ by at least one transfer time.
+  const double xfer = 1e6 / c.bandwidth(0, 64, 1e6);
+  EXPECT_GE(done[1] - done[0], xfer * 0.99);
+}
+
+TEST(Network, DisjointPairsProceedInParallel) {
+  sim::Engine eng;
+  auto c = Cluster::single(NodeType::AltixBX2b);
+  Network net(eng, c);
+  std::vector<double> done;
+  auto sender = [](sim::Engine& e, Network& n, std::vector<double>& d,
+                   int src, int dst) -> sim::Task {
+    co_await n.transfer(src, dst, 1e6);
+    d.push_back(e.now());
+  };
+  eng.spawn(sender(eng, net, done, 0, 64));
+  eng.spawn(sender(eng, net, done, 8, 128));
+  eng.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], done[1], 1e-12);  // fully parallel paths
+}
+
+TEST(Network, CrossNodeTransfersShareFabricChannels) {
+  sim::Engine eng;
+  auto c = Cluster::infiniband_cluster(NodeType::AltixBX2b, 2);
+  Network net(eng, c);
+  const int links = c.fabric().links_per_node;
+  // links+1 simultaneous cross-node transfers from distinct CPUs: the last
+  // one must wait for a free card.
+  std::vector<double> done;
+  auto sender = [](sim::Engine& e, Network& n, std::vector<double>& d,
+                   int src, int dst) -> sim::Task {
+    co_await n.transfer(src, dst, 8e6);
+    d.push_back(e.now());
+  };
+  for (int i = 0; i <= links; ++i) {
+    eng.spawn(sender(eng, net, done, i * 16, 512 + i * 16));
+  }
+  eng.run();
+  ASSERT_EQ(done.size(), static_cast<std::size_t>(links + 1));
+  const double first = done.front();
+  const double last = done.back();
+  EXPECT_GT(last, first * 1.5);  // one transfer had to queue behind a card
+}
+
+TEST(IoModel, SharedParallelBeatsNfsStopgap) {
+  // Paper §4.6.4: the missing shared filesystem forced "a less efficient
+  // file system"; a 3 GB solution dump from 504 writers must be much
+  // slower through the NFS stopgap.
+  machine::IoModel shared(FilesystemSpec::shared_parallel());
+  machine::IoModel nfs(FilesystemSpec::nfs_over_gige());
+  const double t_shared = shared.write_time(504, 3e9 / 504);
+  const double t_nfs = nfs.write_time(504, 3e9 / 504);
+  EXPECT_GT(t_nfs, 4.0 * t_shared);
+}
+
+TEST(IoModel, WriteTimeScalesWithVolumeAndClients) {
+  machine::IoModel io(FilesystemSpec::shared_parallel());
+  EXPECT_GT(io.write_time(8, 2e9), io.write_time(8, 1e9));
+  // One client cannot saturate the striped backend.
+  EXPECT_GT(io.write_time(1, 8e9), io.write_time(16, 8e9 / 16));
+}
+
+TEST(IoModel, PerStepAmortizesOverInterval) {
+  machine::IoModel io(FilesystemSpec::nfs_over_gige());
+  const double every_step = io.per_step_cost(64, 1e9, 1);
+  const double every_100 = io.per_step_cost(64, 1e9, 100);
+  EXPECT_NEAR(every_step / every_100, 100.0, 1e-6);
+}
+
+TEST(IoModel, ValidatesArguments) {
+  machine::IoModel io(FilesystemSpec::shared_parallel());
+  EXPECT_THROW(io.write_time(0, 1e6), ContractError);
+  EXPECT_THROW(io.per_step_cost(4, 1e6, 0), ContractError);
+}
+
+TEST(Network, SelfMessageIsCheapCopy) {
+  sim::Engine eng;
+  auto c = Cluster::single(NodeType::Altix3700);
+  Network net(eng, c);
+  double done = -1.0;
+  auto prog = [](sim::Engine& e, Network& n, double& d) -> sim::Task {
+    co_await n.transfer(5, 5, 1e6);
+    d = e.now();
+  };
+  eng.spawn(prog(eng, net, done));
+  eng.run();
+  EXPECT_NEAR(done, 1e6 / c.node_spec().mem.cpu_stream_bw, 1e-12);
+}
+
+}  // namespace
+}  // namespace columbia::machine

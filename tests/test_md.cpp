@@ -1,0 +1,211 @@
+// Tests for the molecular dynamics library: fcc initialization, force
+// correctness (linked cells vs O(N^2) reference, Newton's third law),
+// Velocity Verlet energy/momentum conservation, and the Table 5
+// weak-scaling behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "md/domain.hpp"
+#include "md/parallel.hpp"
+#include "md/system.hpp"
+
+namespace columbia::md {
+namespace {
+
+using machine::Cluster;
+using machine::NodeType;
+
+MdConfig small_config() {
+  MdConfig c;
+  c.cutoff = 2.5;  // keeps host-side tests fast
+  return c;
+}
+
+TEST(System, FccLatticeHasFourAtomsPerCell) {
+  MdSystem sys(3, small_config());
+  EXPECT_EQ(sys.natoms(), 4 * 27);
+  // Density is honoured.
+  const double vol = sys.box() * sys.box() * sys.box();
+  EXPECT_NEAR(sys.natoms() / vol, sys.config().density, 1e-12);
+}
+
+TEST(System, InitialTemperatureAndMomentum) {
+  MdSystem sys(4, small_config());
+  const auto t = sys.thermo();
+  EXPECT_NEAR(t.temperature, sys.config().temperature, 1e-9);
+  EXPECT_NEAR(t.momentum.x, 0.0, 1e-9);
+  EXPECT_NEAR(t.momentum.y, 0.0, 1e-9);
+  EXPECT_NEAR(t.momentum.z, 0.0, 1e-9);
+}
+
+TEST(System, LinkedCellsMatchReferenceForces) {
+  MdSystem sys(5, small_config());  // 500 atoms, 3+ cells per side
+  sys.compute_forces();
+  auto linked = sys.forces();
+  double linked_pe = sys.thermo().potential;
+  sys.compute_forces_reference();
+  auto ref = sys.forces();
+  double ref_pe = sys.thermo().potential;
+  ASSERT_EQ(linked.size(), ref.size());
+  for (std::size_t i = 0; i < linked.size(); ++i) {
+    EXPECT_NEAR(linked[i].x, ref[i].x, 1e-9);
+    EXPECT_NEAR(linked[i].y, ref[i].y, 1e-9);
+    EXPECT_NEAR(linked[i].z, ref[i].z, 1e-9);
+  }
+  EXPECT_NEAR(linked_pe, ref_pe, 1e-9);
+}
+
+TEST(System, ForcesSumToZero) {
+  MdSystem sys(4, small_config());
+  sys.compute_forces();
+  Vec3 sum;
+  for (const auto& f : sys.forces()) sum += f;
+  EXPECT_NEAR(sum.x, 0.0, 1e-9);
+  EXPECT_NEAR(sum.y, 0.0, 1e-9);
+  EXPECT_NEAR(sum.z, 0.0, 1e-9);
+}
+
+TEST(System, EnergyConservedInNve) {
+  MdSystem sys(4, small_config());  // 256 atoms
+  const double e0 = sys.thermo().total();
+  const auto t = sys.run(200);
+  // Truncated-shifted LJ with dt=0.005: drift well under 1%.
+  EXPECT_NEAR(t.total(), e0, 0.01 * std::fabs(e0));
+}
+
+TEST(System, MomentumConservedInNve) {
+  MdSystem sys(4, small_config());
+  const auto t = sys.run(100);
+  EXPECT_NEAR(t.momentum.x, 0.0, 1e-8);
+  EXPECT_NEAR(t.momentum.y, 0.0, 1e-8);
+  EXPECT_NEAR(t.momentum.z, 0.0, 1e-8);
+}
+
+TEST(System, DeterministicForSameSeed) {
+  MdSystem a(3, small_config());
+  MdSystem b(3, small_config());
+  a.run(20);
+  b.run(20);
+  for (int i = 0; i < a.natoms(); ++i) {
+    EXPECT_DOUBLE_EQ(a.positions()[static_cast<std::size_t>(i)].x,
+                     b.positions()[static_cast<std::size_t>(i)].x);
+  }
+}
+
+TEST(System, RejectsBoxSmallerThanCutoff) {
+  MdConfig c;
+  c.cutoff = 5.0;
+  // One fcc cell at liquid density: box ~1.7 sigma, far below 2*rc.
+  EXPECT_THROW(MdSystem(1, c), ContractError);
+}
+
+TEST(Parallel, PairCountMatchesKineticTheory) {
+  // 0.5 * (4/3) pi rc^3 rho.
+  EXPECT_NEAR(pairs_per_atom(5.0, 0.8442), 220.9, 1.0);
+  EXPECT_NEAR(pairs_per_atom(2.5, 0.8442), 27.6, 0.5);
+}
+
+TEST(Parallel, WeakScalingIsNearlyFlat) {
+  // Table 5: "almost perfect scalability all the way up to 2040
+  // processors" with 64,000 atoms per CPU.
+  auto c = Cluster::numalink4_bx2b(4);
+  const auto r1 = md_weak_scaling(c, 1);
+  MdScalingConfig cfg;
+  cfg.n_nodes = 4;
+  const auto r2040 = md_weak_scaling(c, 2040, cfg);
+  EXPECT_EQ(r2040.total_atoms, 2040l * 64000);  // 130.56 million atoms
+  EXPECT_LT(r2040.seconds_per_step / r1.seconds_per_step, 1.1);
+}
+
+TEST(Parallel, CommunicationInsignificant) {
+  auto c = Cluster::numalink4_bx2b(2);
+  MdScalingConfig cfg;
+  cfg.n_nodes = 2;
+  const auto r = md_weak_scaling(c, 512, cfg);
+  EXPECT_LT(r.comm_fraction(), 0.05);
+  EXPECT_GT(r.comm_seconds_per_step, 0.0);
+}
+
+TEST(Parallel, StepTimePlausible) {
+  // Paper-scale sanity: a 64k-atom box at cutoff 5.0 takes on the order
+  // of seconds per step on one Itanium2.
+  auto c = Cluster::single(NodeType::AltixBX2b);
+  const auto r = md_weak_scaling(c, 1);
+  EXPECT_GT(r.seconds_per_step, 0.3);
+  EXPECT_LT(r.seconds_per_step, 10.0);
+}
+
+TEST(Domain, ReproducesSerialTrajectory) {
+  // DESIGN.md validation gate: the spatial decomposition must reproduce
+  // the serial trajectory to near machine precision (summation order
+  // differs, so exact bitwise equality is not expected).
+  MdConfig cfg = small_config();
+  MdSystem serial(5, cfg);
+  DomainDecomposition dd(5, cfg, {2, 2, 1});
+  ASSERT_EQ(dd.natoms(), serial.natoms());
+  serial.run(5);
+  dd.run(5);
+  const auto pos = dd.gather_positions();
+  double worst = 0.0;
+  for (int i = 0; i < serial.natoms(); ++i) {
+    const Vec3 d = pos[static_cast<std::size_t>(i)] -
+                   serial.positions()[static_cast<std::size_t>(i)];
+    worst = std::max(worst, std::sqrt(d.norm2()));
+  }
+  EXPECT_LT(worst, 1e-9);
+  // Thermodynamics agree too.
+  const auto ts = serial.thermo();
+  const auto td = dd.thermo();
+  EXPECT_NEAR(td.kinetic, ts.kinetic, 1e-9);
+  EXPECT_NEAR(td.potential, ts.potential, 1e-8);
+}
+
+TEST(Domain, GridShapeDoesNotChangePhysics) {
+  MdConfig cfg = small_config();
+  DomainDecomposition a(5, cfg, {2, 1, 1});
+  DomainDecomposition b(5, cfg, {2, 2, 2});
+  a.run(3);
+  b.run(3);
+  const auto pa = a.gather_positions();
+  const auto pb = b.gather_positions();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const Vec3 d = pa[i] - pb[i];
+    worst = std::max(worst, std::sqrt(d.norm2()));
+  }
+  EXPECT_LT(worst, 1e-9);
+}
+
+TEST(Domain, MigrationConservesAtoms) {
+  MdConfig cfg = small_config();
+  DomainDecomposition dd(5, cfg, {2, 2, 1});
+  const int n0 = dd.natoms();
+  dd.run(20);
+  EXPECT_EQ(dd.natoms(), n0);
+  // Every domain still holds a plausible share and sees halo atoms.
+  for (int d = 0; d < dd.num_domains(); ++d) {
+    EXPECT_GT(dd.domain_atoms(d), 0);
+    EXPECT_GT(dd.halo_atoms(d), 0);
+  }
+}
+
+TEST(Domain, EnergyConservedUnderDecomposition) {
+  MdConfig cfg = small_config();
+  DomainDecomposition dd(5, cfg, {2, 2, 1});
+  const double e0 = dd.thermo().total();
+  const auto t = dd.run(100);
+  EXPECT_NEAR(t.total(), e0, 0.01 * std::fabs(e0));
+}
+
+TEST(Domain, RejectsDomainsSmallerThanCutoff) {
+  MdConfig cfg;
+  cfg.cutoff = 2.5;
+  // 5 cells -> box ~8.4 sigma; an 8-way split in x gives ~1.05 < 2.5.
+  EXPECT_THROW(DomainDecomposition(5, cfg, {8, 1, 1}), ContractError);
+}
+
+}  // namespace
+}  // namespace columbia::md

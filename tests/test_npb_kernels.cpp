@@ -1,0 +1,305 @@
+// Correctness tests for the real NPB numerical kernels: sparse CG
+// (SPD generation, convergence, eigenvalue estimation), MG (component
+// identities + V-cycle contraction), FT (vs naive DFT, round-trip,
+// Parseval), and BT (block LU, Thomas vs dense reference).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "npb/bt.hpp"
+#include "npb/cg.hpp"
+#include "npb/ft.hpp"
+#include "npb/mg.hpp"
+#include "npb/sparse.hpp"
+
+namespace columbia::npb {
+namespace {
+
+// ---------------------------------------------------------------- sparse/CG
+
+TEST(Sparse, GeneratorProducesSymmetricDominantMatrix) {
+  Rng rng(7);
+  const auto a = make_cg_matrix(200, 8, 0.5, rng);
+  EXPECT_EQ(a.n, 200);
+  EXPECT_TRUE(is_symmetric(a));
+  // Diagonal dominance check.
+  for (int i = 0; i < a.n; ++i) {
+    double diag = 0.0, off = 0.0;
+    for (int k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      if (a.col[k] == i) {
+        diag = a.val[k];
+      } else {
+        off += std::fabs(a.val[k]);
+      }
+    }
+    EXPECT_GT(diag, off);
+  }
+}
+
+TEST(Sparse, SpmvMatchesDenseComputation) {
+  Rng rng(11);
+  const auto a = make_cg_matrix(50, 6, 1.0, rng);
+  std::vector<double> x(50), y(50);
+  for (int i = 0; i < 50; ++i) x[i] = 0.1 * i - 2.0;
+  spmv(a, x, y);
+  // Dense recomputation.
+  for (int i = 0; i < 50; ++i) {
+    double sum = 0.0;
+    for (int k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      sum += a.val[k] * x[a.col[k]];
+    }
+    EXPECT_NEAR(y[i], sum, 1e-12);
+  }
+}
+
+TEST(Cg, SolvesIdentitySystemInOneStep) {
+  SparseMatrix eye;
+  eye.n = 10;
+  eye.row_ptr.resize(11);
+  for (int i = 0; i <= 10; ++i) eye.row_ptr[i] = i;
+  for (int i = 0; i < 10; ++i) {
+    eye.col.push_back(i);
+    eye.val.push_back(1.0);
+  }
+  std::vector<double> b(10, 3.0), x(10, 0.0);
+  const double rnorm = cg_solve(eye, b, x, 1);
+  EXPECT_LT(rnorm, 1e-12);
+  for (double xi : x) EXPECT_NEAR(xi, 3.0, 1e-12);
+}
+
+TEST(Cg, ResidualDecreasesWithIterations) {
+  Rng rng(13);
+  const auto a = make_cg_matrix(300, 10, 0.3, rng);
+  std::vector<double> b(300, 1.0), x(300, 0.0);
+  const double r5 = cg_solve(a, b, x, 5);
+  const double r25 = cg_solve(a, b, x, 25);
+  EXPECT_LT(r25, r5);
+  EXPECT_LT(r25, 1e-6 * std::sqrt(300.0));
+}
+
+TEST(Cg, BenchmarkEstimatesEigenvalue) {
+  // For a diagonally dominant SPD matrix built with shift s, the smallest
+  // eigenvalue is >= s; the power iteration through A^{-1} converges to it
+  // and zeta = s + 1/(x, z) approaches that eigenvalue.
+  Rng rng(17);
+  const auto a = make_cg_matrix(400, 8, 2.0, rng);
+  const auto result = cg_benchmark(a, 10, 2.0);
+  EXPECT_EQ(result.outer_iterations, 10);
+  EXPECT_GT(result.zeta, 2.0);       // bounded below by the shift
+  EXPECT_LT(result.zeta, 2.0 + 10.0);  // and not absurdly large
+  EXPECT_LT(result.final_rnorm, 1e-4);
+}
+
+TEST(Cg, FlopFormulaScalesWithNnz) {
+  Rng rng(19);
+  const auto small = make_cg_matrix(100, 4, 1.0, rng);
+  const auto large = make_cg_matrix(100, 16, 1.0, rng);
+  EXPECT_GT(cg_flops_per_outer_iteration(large),
+            cg_flops_per_outer_iteration(small));
+}
+
+// ----------------------------------------------------------------------- MG
+
+TEST(Mg, ResidualOfExactSolutionIsZero) {
+  // u = 0, f = 0.
+  Grid3 u(8), f(8);
+  EXPECT_DOUBLE_EQ(MgSolver::residual_norm(u, f), 0.0);
+}
+
+TEST(Mg, RestrictionPreservesConstantsInInterior) {
+  Grid3 fine(8), coarse(4);
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j)
+      for (int k = 0; k < 8; ++k) fine.at(i, j, k) = 2.0;
+  MgSolver::restrict_full_weight(fine, coarse);
+  // Away from the zero-Dirichlet boundary the weights sum to 1.
+  EXPECT_DOUBLE_EQ(coarse.at(1, 1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(coarse.at(2, 2, 2), 2.0);
+  // Next to the boundary the stencil leaks into the zero halo.
+  EXPECT_LT(coarse.at(3, 3, 3), 2.0);
+}
+
+TEST(Mg, ProlongationInterpolatesTrilinearly) {
+  Grid3 fine(8), coarse(4);
+  coarse.at(1, 2, 3) = 5.0;
+  MgSolver::prolong_add(coarse, fine);
+  // Odd fine indices coincide with the coarse point.
+  EXPECT_DOUBLE_EQ(fine.at(3, 5, 7), 5.0);
+  // Even indices average the two coarse neighbours per dimension: 1/8.
+  EXPECT_DOUBLE_EQ(fine.at(2, 4, 6), 5.0 / 8.0);
+  EXPECT_DOUBLE_EQ(fine.at(0, 0, 0), 0.0);
+}
+
+TEST(Mg, RelaxationReducesResidual) {
+  const int n = 16;
+  Grid3 u(n), f(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      for (int k = 0; k < n; ++k) f.at(i, j, k) = 1.0;
+  const double r0 = MgSolver::residual_norm(u, f);
+  MgSolver::relax(u, f, 10);
+  EXPECT_LT(MgSolver::residual_norm(u, f), r0);
+}
+
+TEST(Mg, VcycleContractsResidual) {
+  const int n = 32;
+  MgSolver solver(n);
+  Grid3 u(n), f(n);
+  // Smooth right-hand side.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      for (int k = 0; k < n; ++k) {
+        f.at(i, j, k) = std::sin(M_PI * (i + 1) / (n + 1.0)) *
+                        std::sin(M_PI * (j + 1) / (n + 1.0)) *
+                        std::sin(M_PI * (k + 1) / (n + 1.0));
+      }
+    }
+  }
+  const double r0 = MgSolver::residual_norm(u, f);
+  double r_prev = r0;
+  double worst_ratio = 0.0;
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    const double r = solver.vcycle(u, f);
+    worst_ratio = std::max(worst_ratio, r / r_prev);
+    r_prev = r;
+  }
+  EXPECT_LT(worst_ratio, 0.75);   // every cycle contracts
+  EXPECT_LT(r_prev, 1e-2 * r0);   // strong total reduction
+}
+
+TEST(Mg, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(MgSolver(12), ContractError);
+  EXPECT_THROW(MgSolver(2), ContractError);
+}
+
+// ----------------------------------------------------------------------- FT
+
+TEST(Ft, MatchesNaiveDftOnSmallInput) {
+  std::vector<Complex> x(16);
+  Rng rng(23);
+  for (auto& v : x) v = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  auto expected = naive_dft(x, -1);
+  auto actual = x;
+  fft1d(actual.data(), 16, -1);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_NEAR(std::abs(actual[i] - expected[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Ft, RoundTripIsIdentity3d) {
+  Fft3d fft(8, 4, 16);
+  std::vector<Complex> a(fft.size());
+  Rng rng(29);
+  for (auto& v : a) v = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  auto original = a;
+  fft.forward(a);
+  fft.inverse(a);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(std::abs(a[i] - original[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Ft, ParsevalHolds) {
+  Fft3d fft(8, 8, 8);
+  std::vector<Complex> a(fft.size());
+  Rng rng(31);
+  double time_energy = 0.0;
+  for (auto& v : a) {
+    v = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    time_energy += std::norm(v);
+  }
+  fft.forward(a);
+  double freq_energy = 0.0;
+  for (const auto& v : a) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(fft.size()), time_energy,
+              1e-8 * time_energy);
+}
+
+TEST(Ft, EvolveDampsHighModesMore) {
+  Fft3d fft(8, 8, 8);
+  std::vector<Complex> s(fft.size(), Complex(1.0, 0.0));
+  fft.evolve(s, /*t=*/1000.0);
+  // DC mode untouched; the highest mode damped the most.
+  EXPECT_NEAR(std::abs(s[0]), 1.0, 1e-12);
+  const std::size_t high = 4 + 8 * (4 + 8 * 4ul);  // (4,4,4) ~ Nyquist
+  EXPECT_LT(std::abs(s[high]), std::abs(s[1]));
+  EXPECT_LT(std::abs(s[1]), 1.0);
+}
+
+TEST(Ft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> x(12);
+  EXPECT_THROW(fft1d(x.data(), 12, -1), ContractError);
+  EXPECT_THROW(Fft3d(8, 12, 8), ContractError);
+}
+
+// ----------------------------------------------------------------------- BT
+
+TEST(Bt, BlockSolveInvertsRandomBlock) {
+  Rng rng(37);
+  Block5 a{};
+  for (auto& row : a)
+    for (auto& v : row) v = rng.uniform(-1, 1);
+  for (int i = 0; i < kBtBlock; ++i) a[i][i] += 4.0;
+  Vec5 x_true{1.0, -2.0, 0.5, 3.0, -1.5};
+  const Vec5 b = block_apply(a, x_true);
+  const Vec5 x = block_solve(a, b);
+  for (int i = 0; i < kBtBlock; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(Bt, BlockMulMatchesManualComputation) {
+  Block5 a = block_identity();
+  a[0][1] = 2.0;
+  Block5 b = block_identity();
+  b[1][2] = 3.0;
+  const Block5 c = block_mul(a, b);
+  EXPECT_DOUBLE_EQ(c[0][1], 2.0);
+  EXPECT_DOUBLE_EQ(c[0][2], 6.0);
+  EXPECT_DOUBLE_EQ(c[1][2], 3.0);
+  EXPECT_DOUBLE_EQ(c[3][3], 1.0);
+}
+
+TEST(Bt, ThomasMatchesDenseReference) {
+  for (int n : {1, 2, 5, 20}) {
+    const BtSystem sys = make_bt_system(n, 1234 + n);
+    auto rhs = sys.rhs;
+    block_tridiag_solve(sys.lower, sys.diag, sys.upper, rhs);
+    const auto expected = bt_dense_reference(sys);
+    for (int i = 0; i < n; ++i) {
+      for (int r = 0; r < kBtBlock; ++r) {
+        EXPECT_NEAR(rhs[i][r], expected[i][r], 1e-8) << "n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Bt, SolutionSatisfiesOriginalSystem) {
+  const int n = 12;
+  const BtSystem sys = make_bt_system(n, 99);
+  auto x = sys.rhs;
+  block_tridiag_solve(sys.lower, sys.diag, sys.upper, x);
+  for (int i = 0; i < n; ++i) {
+    Vec5 lhs = block_apply(sys.diag[i], x[i]);
+    if (i > 0) {
+      const Vec5 lo = block_apply(sys.lower[i], x[i - 1]);
+      for (int r = 0; r < kBtBlock; ++r) lhs[r] += lo[r];
+    }
+    if (i + 1 < n) {
+      const Vec5 up = block_apply(sys.upper[i], x[i + 1]);
+      for (int r = 0; r < kBtBlock; ++r) lhs[r] += up[r];
+    }
+    for (int r = 0; r < kBtBlock; ++r) {
+      EXPECT_NEAR(lhs[r], sys.rhs[i][r], 1e-9);
+    }
+  }
+}
+
+TEST(Bt, LineSolveFlopsScaleLinearly) {
+  EXPECT_NEAR(bt_line_solve_flops(20) / bt_line_solve_flops(10), 2.0, 1e-12);
+  EXPECT_GT(bt_line_solve_flops(1), 100.0);  // 5x5 blocks are not free
+}
+
+}  // namespace
+}  // namespace columbia::npb

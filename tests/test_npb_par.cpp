@@ -1,0 +1,261 @@
+// Tests for the parallel NPB drivers: class tables, decomposition helpers,
+// and the Fig. 6 first-order behaviours (MPI scales further than OpenMP,
+// BX2 beats 3700 where bandwidth matters, FT's all-to-all doubling at 256,
+// BX2b's cache jump for MG/BT).
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "machine/cluster.hpp"
+#include "npb/classes.hpp"
+#include "npb/cg.hpp"
+#include "npb/distributed.hpp"
+#include "npb/ft.hpp"
+#include <algorithm>
+#include <cmath>
+
+#include "npb/par.hpp"
+
+namespace columbia::npb {
+namespace {
+
+using machine::Cluster;
+using machine::NodeSpec;
+using machine::NodeType;
+
+TEST(Classes, TablesMatchNpbSpec) {
+  const auto cgb = npb_problem(Benchmark::CG, 'B');
+  EXPECT_EQ(cgb.cg_n, 75000);
+  const auto ftb = npb_problem(Benchmark::FT, 'B');
+  EXPECT_EQ(ftb.nx, 512);
+  EXPECT_EQ(ftb.ny, 256);
+  const auto mgb = npb_problem(Benchmark::MG, 'B');
+  EXPECT_EQ(mgb.nx, 256);
+  const auto btb = npb_problem(Benchmark::BT, 'B');
+  EXPECT_EQ(btb.nx, 102);
+  EXPECT_THROW(npb_problem(Benchmark::CG, 'Z'), ContractError);
+}
+
+TEST(Classes, WorkGrowsWithClass) {
+  for (auto b : {Benchmark::CG, Benchmark::FT, Benchmark::MG, Benchmark::BT}) {
+    auto total = [&](char cls) {
+      const auto p = npb_problem(b, cls);
+      return p.flops_per_iteration() * p.total_iterations();
+    };
+    EXPECT_LT(total('A'), total('B')) << to_string(b);
+    EXPECT_LT(total('B'), total('C')) << to_string(b);
+  }
+}
+
+TEST(Classes, BtClassBFlopsNearPublishedCount) {
+  // NPB BT class B: ~0.72 Tflop per 200-iteration run.
+  const auto bt = npb_problem(Benchmark::BT, 'B');
+  const double total = bt.flops_per_iteration() * 200;
+  EXPECT_NEAR(total / 1e12, 0.72, 0.15);
+}
+
+TEST(Decomposition, Grid2dAndGrid3d) {
+  EXPECT_EQ(grid2d(16), (std::pair<int, int>{4, 4}));
+  EXPECT_EQ(grid2d(32), (std::pair<int, int>{4, 8}));
+  EXPECT_EQ(grid2d(1), (std::pair<int, int>{1, 1}));
+  const auto g = grid3d(64);
+  EXPECT_EQ(g[0] * g[1] * g[2], 64);
+  EXPECT_EQ(g[0], 4);
+  const auto g2 = grid3d(128);
+  EXPECT_EQ(g2[0] * g2[1] * g2[2], 128);
+}
+
+TEST(MpiRate, RatesArePlausiblePerCpu) {
+  auto c = Cluster::single(NodeType::AltixBX2b);
+  for (auto b : {Benchmark::CG, Benchmark::FT, Benchmark::MG, Benchmark::BT}) {
+    const auto rate = npb_mpi_rate(b, 'A', c, 16);
+    EXPECT_GT(rate.gflops_per_cpu, 0.01) << to_string(b);
+    EXPECT_LT(rate.gflops_per_cpu, 6.4) << to_string(b);
+  }
+}
+
+TEST(MpiRate, TotalRateGrowsWithProcs) {
+  auto c = Cluster::single(NodeType::AltixBX2b);
+  const auto r16 = npb_mpi_rate(Benchmark::BT, 'B', c, 16);
+  const auto r64 = npb_mpi_rate(Benchmark::BT, 'B', c, 64);
+  EXPECT_GT(r64.gflops_total, 2.0 * r16.gflops_total);
+}
+
+TEST(MpiRate, FtAllToAllBenefitsFromBx2AtLargeCounts) {
+  // Fig. 6: FT's all-to-all makes the BX2's doubled link bandwidth pay off
+  // at large process counts ("bandwidth effect on MPI performance is less
+  // profound until a larger number of processes"). The paper reports up to
+  // 2x at 256; our flow-level model reproduces the direction and growth
+  // (~1.15x) but not the full pathology of real all-to-all incast — see
+  // EXPERIMENTS.md.
+  auto c3700 = Cluster::single(NodeType::Altix3700);
+  auto cbx2 = Cluster::single(NodeType::AltixBX2a);
+  auto ratio_at = [&](int p) {
+    const auto r3700 = npb_mpi_rate(Benchmark::FT, 'B', c3700, p);
+    const auto rbx2 = npb_mpi_rate(Benchmark::FT, 'B', cbx2, p);
+    return rbx2.gflops_per_cpu / r3700.gflops_per_cpu;
+  };
+  const double r16 = ratio_at(16);
+  const double r256 = ratio_at(256);
+  EXPECT_GT(r256, 1.10);
+  EXPECT_GT(r256, r16 + 0.03);  // the gap widens with process count
+}
+
+TEST(MpiRate, MgBtCacheJumpOnBx2bAtMediumCounts) {
+  // Fig. 6: "at about 64 processors, both MG and BT exhibit a performance
+  // jump (~50%) on BX2b comparing to BX2a ... a result of a larger L3".
+  // Our model places the jump where the per-rank working set crosses
+  // between the two L3 sizes (p = 32-64 for class B).
+  auto ca = Cluster::single(NodeType::AltixBX2a);
+  auto cb = Cluster::single(NodeType::AltixBX2b);
+  for (auto bench : {Benchmark::BT, Benchmark::MG}) {
+    double best = 0.0;
+    for (int p : {16, 32, 64}) {
+      const auto ra = npb_mpi_rate(bench, 'B', ca, p);
+      const auto rb = npb_mpi_rate(bench, 'B', cb, p);
+      best = std::max(best, rb.gflops_per_cpu / ra.gflops_per_cpu);
+    }
+    const double floor = bench == Benchmark::BT ? 1.18 : 1.12;
+    EXPECT_GT(best, floor) << to_string(bench);
+    // At tiny counts the working set misses both caches: gap ~ clock only.
+    const auto ra4 = npb_mpi_rate(bench, 'B', ca, 4);
+    const auto rb4 = npb_mpi_rate(bench, 'B', cb, 4);
+    EXPECT_LT(rb4.gflops_per_cpu / ra4.gflops_per_cpu, 1.12)
+        << to_string(bench);
+  }
+}
+
+TEST(OmpRate, DropsOffFasterThanMpi) {
+  // Fig. 6 summary: "OpenMP versions demonstrated better performance on a
+  // small number of CPUs, but MPI versions scaled much better."
+  const auto node = NodeSpec::bx2b();
+  auto c = Cluster::single(NodeType::AltixBX2b);
+  const auto omp4 = npb_omp_rate(Benchmark::BT, 'B', node, 4);
+  const auto omp256 = npb_omp_rate(Benchmark::BT, 'B', node, 256);
+  const auto mpi4 = npb_mpi_rate(Benchmark::BT, 'B', c, 4);
+  const auto mpi256 = npb_mpi_rate(Benchmark::BT, 'B', c, 256);
+  const double omp_retention = omp256.gflops_per_cpu / omp4.gflops_per_cpu;
+  const double mpi_retention = mpi256.gflops_per_cpu / mpi4.gflops_per_cpu;
+  EXPECT_LT(omp_retention, mpi_retention);
+}
+
+TEST(OmpRate, Bx2BeatsThirty700AtManyThreads) {
+  const auto r3700 = npb_omp_rate(Benchmark::FT, 'B', NodeSpec::altix3700(), 128);
+  const auto rbx2 = npb_omp_rate(Benchmark::FT, 'B', NodeSpec::bx2a(), 128);
+  EXPECT_GT(rbx2.gflops_per_cpu / r3700.gflops_per_cpu, 1.5);
+}
+
+TEST(OmpRate, UnpinnedSlower) {
+  const auto node = NodeSpec::bx2b();
+  const auto pinned = npb_omp_rate(Benchmark::MG, 'B', node, 32,
+                                   perfmodel::CompilerVersion::Intel7_1,
+                                   simomp::Pinning::Pinned);
+  const auto unpinned = npb_omp_rate(Benchmark::MG, 'B', node, 32,
+                                     perfmodel::CompilerVersion::Intel7_1,
+                                     simomp::Pinning::Unpinned);
+  EXPECT_GT(pinned.gflops_per_cpu, 1.4 * unpinned.gflops_per_cpu);
+}
+
+TEST(OmpRate, CompilerAffectsMgByThreadCount) {
+  // Fig. 8 crossover reproduced end-to-end.
+  const auto node = NodeSpec::bx2b();
+  const auto lo71 = npb_omp_rate(Benchmark::MG, 'B', node, 16,
+                                 perfmodel::CompilerVersion::Intel7_1);
+  const auto lo81 = npb_omp_rate(Benchmark::MG, 'B', node, 16,
+                                 perfmodel::CompilerVersion::Intel8_1);
+  const auto hi71 = npb_omp_rate(Benchmark::MG, 'B', node, 64,
+                                 perfmodel::CompilerVersion::Intel7_1);
+  const auto hi81 = npb_omp_rate(Benchmark::MG, 'B', node, 64,
+                                 perfmodel::CompilerVersion::Intel8_1);
+  EXPECT_GT(lo71.gflops_per_cpu, lo81.gflops_per_cpu);
+  EXPECT_GT(hi81.gflops_per_cpu, hi71.gflops_per_cpu);
+}
+
+TEST(DistributedCg, MatchesSequentialSolution) {
+  // Real distributed numerics through the simulated network: the
+  // row-block CG must agree with the sequential kernel up to summation
+  // order.
+  Rng rng(41);
+  const auto a = make_cg_matrix(120, 8, 1.0, rng);
+  std::vector<double> b(120, 1.0);
+  std::vector<double> x_seq(120, 0.0);
+  const double rnorm_seq = cg_solve(a, b, x_seq, 20);
+
+  auto cluster = Cluster::single(NodeType::AltixBX2b);
+  for (int ranks : {1, 3, 8}) {
+    const auto dist = distributed_cg(cluster, ranks, a, b, 20);
+    ASSERT_EQ(dist.x.size(), x_seq.size());
+    double worst = 0.0;
+    for (std::size_t i = 0; i < x_seq.size(); ++i) {
+      worst = std::max(worst, std::fabs(dist.x[i] - x_seq[i]));
+    }
+    EXPECT_LT(worst, 1e-9) << "ranks=" << ranks;
+    EXPECT_NEAR(dist.rnorm, rnorm_seq, 1e-9) << "ranks=" << ranks;
+    if (ranks > 1) {
+      EXPECT_GT(dist.makespan_seconds, 0.0);
+    }
+  }
+}
+
+TEST(DistributedCg, MoreRanksMoreMessages) {
+  Rng rng(43);
+  const auto a = make_cg_matrix(64, 6, 1.0, rng);
+  std::vector<double> b(64, 0.5);
+  auto cluster = Cluster::single(NodeType::AltixBX2b);
+  const auto few = distributed_cg(cluster, 2, a, b, 5);
+  const auto many = distributed_cg(cluster, 8, a, b, 5);
+  EXPECT_GT(many.message_count, few.message_count);
+}
+
+TEST(DistributedFt, MatchesSequentialForwardTransform) {
+  // The all-to-all transpose with real payloads: the gathered distributed
+  // spectrum must equal the sequential 3-D FFT.
+  const int nx = 16, ny = 8, nz = 8;
+  Fft3d fft(nx, ny, nz);
+  std::vector<Complex> field(fft.size());
+  Rng rng(53);
+  for (auto& v : field) v = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  auto expected = field;
+  fft.forward(expected);
+
+  auto cluster = Cluster::single(NodeType::AltixBX2b);
+  for (int ranks : {1, 2, 4, 8}) {
+    const auto dist = distributed_ft_forward(cluster, ranks, fft, field);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      worst = std::max(worst, std::abs(dist.spectrum[i] - expected[i]));
+    }
+    EXPECT_LT(worst, 1e-9) << "ranks=" << ranks;
+  }
+}
+
+TEST(DistributedFt, TransposeTrafficGrowsWithRanks) {
+  Fft3d fft(16, 8, 8);
+  std::vector<Complex> field(fft.size(), Complex(1.0, 0.0));
+  auto cluster = Cluster::single(NodeType::AltixBX2b);
+  const auto r2 = distributed_ft_forward(cluster, 2, fft, field);
+  const auto r8 = distributed_ft_forward(cluster, 8, fft, field);
+  EXPECT_GT(r8.message_count, r2.message_count);
+  EXPECT_GT(r8.makespan_seconds, 0.0);
+}
+
+TEST(DistributedFt, RejectsIndivisibleDecomposition) {
+  Fft3d fft(16, 8, 8);
+  std::vector<Complex> field(fft.size());
+  auto cluster = Cluster::single(NodeType::AltixBX2b);
+  EXPECT_THROW(distributed_ft_forward(cluster, 3, fft, field),
+               ContractError);
+}
+
+TEST(DistributedCg, ValidatesArguments) {
+  Rng rng(47);
+  const auto a = make_cg_matrix(10, 4, 1.0, rng);
+  std::vector<double> b(10, 1.0);
+  auto cluster = Cluster::single(NodeType::AltixBX2b);
+  EXPECT_THROW(distributed_cg(cluster, 11, a, b, 5), ContractError);
+  std::vector<double> short_b(9, 1.0);
+  EXPECT_THROW(distributed_cg(cluster, 2, a, short_b, 5), ContractError);
+}
+
+}  // namespace
+}  // namespace columbia::npb

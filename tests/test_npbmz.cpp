@@ -1,0 +1,226 @@
+// Tests for the multi-zone NPB: zone construction (classes incl. the
+// paper's new E/F), BT-MZ unevenness vs SP-MZ uniformity, LPT load
+// balancing, and the hybrid behaviours of Figs. 7, 9, 11.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "machine/cluster.hpp"
+#include "npbmz/balance.hpp"
+#include "npbmz/hybrid.hpp"
+#include "npbmz/zones.hpp"
+
+namespace columbia::npbmz {
+namespace {
+
+using machine::Cluster;
+using machine::MptVersion;
+using machine::NodeType;
+
+TEST(Zones, ClassTablesMatchPaper) {
+  const auto e = mz_problem(MzBenchmark::BTMZ, 'E');
+  EXPECT_EQ(e.num_zones(), 4096);
+  EXPECT_EQ(e.gx, 4224);
+  EXPECT_EQ(e.gy, 3456);
+  EXPECT_EQ(e.gz, 92);
+  const auto f = mz_problem(MzBenchmark::SPMZ, 'F');
+  EXPECT_EQ(f.num_zones(), 16384);
+  EXPECT_EQ(f.gx, 12032);
+  // Class E aggregates ~1.3 billion points (paper §4.6.2).
+  EXPECT_NEAR(e.total_points() / 1e9, 1.3, 0.1);
+  EXPECT_THROW(mz_problem(MzBenchmark::BTMZ, 'X'), ContractError);
+}
+
+TEST(Zones, PartitionTilesAggregateGridExactly) {
+  for (auto bench : {MzBenchmark::BTMZ, MzBenchmark::SPMZ}) {
+    const auto p = mz_problem(bench, 'C');
+    const auto zones = make_zones(p);
+    ASSERT_EQ(static_cast<int>(zones.size()), p.num_zones());
+    // Sum of zone x-widths along any row must equal gx; same for y.
+    long gx = 0;
+    for (int ix = 0; ix < p.x_zones; ++ix) {
+      gx += zones[static_cast<std::size_t>(ix)].nx;
+    }
+    EXPECT_EQ(gx, p.gx) << to_string(bench);
+    long gy = 0;
+    for (int iy = 0; iy < p.y_zones; ++iy) {
+      gy += zones[static_cast<std::size_t>(iy * p.x_zones)].ny;
+    }
+    EXPECT_EQ(gy, p.gy) << to_string(bench);
+    // Total points add up.
+    double total = 0;
+    for (const auto& z : zones) total += z.points();
+    EXPECT_DOUBLE_EQ(total, p.total_points()) << to_string(bench);
+  }
+}
+
+TEST(Zones, BtMzUnevenSpMzEven) {
+  const auto bt = make_zones(mz_problem(MzBenchmark::BTMZ, 'C'));
+  const auto sp = make_zones(mz_problem(MzBenchmark::SPMZ, 'C'));
+  EXPECT_GT(zone_size_ratio(bt), 10.0);   // ~20x by construction
+  EXPECT_LT(zone_size_ratio(bt), 40.0);
+  EXPECT_LT(zone_size_ratio(sp), 1.3);    // near-uniform
+}
+
+TEST(Zones, InterfaceBytesScaleWithFace) {
+  const auto p = mz_problem(MzBenchmark::SPMZ, 'C');
+  const auto zones = make_zones(p);
+  const auto& a = zones[0];
+  const auto& b = zones[1];                       // x-neighbour
+  const auto& c = zones[static_cast<std::size_t>(p.x_zones)];  // y-neighbour
+  EXPECT_GT(interface_bytes(a, b), 0.0);
+  EXPECT_GT(interface_bytes(a, c), 0.0);
+  EXPECT_THROW(interface_bytes(a, a), ContractError);
+}
+
+TEST(Balance, PerfectForUniformZonesDividingEvenly) {
+  const auto p = mz_problem(MzBenchmark::SPMZ, 'C');  // 256 equal zones
+  const auto zones = make_zones(p);
+  const auto a = balance_zones(zones, 64);
+  EXPECT_LT(a.imbalance(), 1.05);
+  // Every zone owned, each process got 4.
+  for (int proc = 0; proc < 64; ++proc) {
+    EXPECT_EQ(zones_of(a, proc).size(), 4u);
+  }
+}
+
+TEST(Balance, LptKeepsBtMzImbalanceModerate) {
+  const auto p = mz_problem(MzBenchmark::BTMZ, 'C');
+  const auto zones = make_zones(p);
+  // 256 uneven zones on 16 procs: LPT should stay within ~20% of mean.
+  const auto a16 = balance_zones(zones, 16);
+  EXPECT_LT(a16.imbalance(), 1.2);
+  // With procs == zones each process owns exactly one zone, so the
+  // imbalance equals max_zone/mean_zone — only threads can rebalance
+  // beyond this point (the paper's Fig. 11 observation).
+  const auto a256 = balance_zones(zones, 256);
+  const double total = std::accumulate(
+      zones.begin(), zones.end(), 0.0,
+      [](double s, const Zone& z) { return s + z.points(); });
+  double max_zone = 0.0;
+  for (const auto& z : zones) max_zone = std::max(max_zone, z.points());
+  EXPECT_NEAR(a256.imbalance(), max_zone / (total / 256), 1e-9);
+  EXPECT_GT(a256.imbalance(), 2.0);
+}
+
+TEST(Balance, RejectsMoreProcsThanZones) {
+  const auto zones = make_zones(mz_problem(MzBenchmark::SPMZ, 'A'));  // 16
+  EXPECT_THROW(balance_zones(zones, 17), ContractError);
+}
+
+TEST(Hybrid, MpiScalingStrongOpenMpScalingWeak) {
+  // Fig. 9: "for a given number of OpenMP threads, MPI scales very well
+  // ... OpenMP performance drops quickly as the number of threads
+  // increases."
+  auto c = Cluster::single(NodeType::AltixBX2b);
+  auto run = [&](int procs, int threads) {
+    MzConfig cfg;
+    cfg.nprocs = procs;
+    cfg.threads_per_proc = threads;
+    return mz_rate(MzBenchmark::BTMZ, 'C', c, cfg);
+  };
+  // MPI direction: 4 -> 64 procs at 1 thread: near-linear.
+  const double t4 = run(4, 1).seconds_per_step;
+  const double t64 = run(64, 1).seconds_per_step;
+  EXPECT_GT(t4 / t64, 8.0);
+  // OpenMP direction: parallel efficiency collapses at high thread counts
+  // (zone loops only offer nz-way parallelism).
+  const double o1 = run(4, 1).seconds_per_step;
+  const double eff4 = o1 / run(4, 4).seconds_per_step / 4.0;
+  const double eff64 = o1 / run(4, 64).seconds_per_step / 64.0;
+  EXPECT_GT(eff4, 0.8);
+  EXPECT_LT(eff64, 0.5 * eff4);
+}
+
+TEST(Hybrid, PinningMattersMostWithManyThreads) {
+  // Fig. 7 (SP-MZ class C): unpinned hybrid runs degrade badly; pure
+  // process mode barely changes.
+  auto c = Cluster::single(NodeType::AltixBX2b);
+  auto time_of = [&](int procs, int threads, simomp::Pinning pin) {
+    MzConfig cfg;
+    cfg.nprocs = procs;
+    cfg.threads_per_proc = threads;
+    cfg.pin = pin;
+    return mz_rate(MzBenchmark::SPMZ, 'C', c, cfg).seconds_per_step;
+  };
+  const double pure_ratio = time_of(64, 1, simomp::Pinning::Unpinned) /
+                            time_of(64, 1, simomp::Pinning::Pinned);
+  const double hybrid_ratio = time_of(8, 16, simomp::Pinning::Unpinned) /
+                              time_of(8, 16, simomp::Pinning::Pinned);
+  EXPECT_LT(pure_ratio, 1.15);
+  EXPECT_GT(hybrid_ratio, 1.5);
+  EXPECT_GT(hybrid_ratio, pure_ratio + 0.3);
+}
+
+TEST(Hybrid, BtMzNeedsThreadsForBalanceAtHighCpuCounts) {
+  // Fig. 11 discussion: with CPUs ~ zones, BT-MZ needs OpenMP threads for
+  // load balance; 2 threads beat 1 at the same total CPU count.
+  auto c = Cluster::numalink4_bx2b(4);
+  MzConfig one;
+  one.nprocs = 2048;
+  one.threads_per_proc = 1;
+  one.n_nodes = 4;
+  MzConfig two;
+  two.nprocs = 1024;
+  two.threads_per_proc = 2;
+  two.n_nodes = 4;
+  const auto r1 = mz_rate(MzBenchmark::BTMZ, 'E', c, one);
+  const auto r2 = mz_rate(MzBenchmark::BTMZ, 'E', c, two);
+  EXPECT_GT(r1.imbalance, r2.imbalance);
+  EXPECT_GT(r2.gflops_per_cpu, r1.gflops_per_cpu);
+}
+
+TEST(Hybrid, InfinibandConnectionLimitEnforced) {
+  auto ib = Cluster::infiniband_cluster(NodeType::AltixBX2b, 4);
+  MzConfig cfg;
+  cfg.nprocs = 2048;  // 512 per node: above the 4-node IB limit
+  cfg.threads_per_proc = 1;
+  cfg.n_nodes = 4;
+  EXPECT_THROW(mz_rate(MzBenchmark::SPMZ, 'E', ib, cfg), ContractError);
+  // Hybrid 2-thread variant fits.
+  cfg.nprocs = 1024;
+  cfg.threads_per_proc = 2;
+  const auto r = mz_rate(MzBenchmark::SPMZ, 'E', ib, cfg);
+  EXPECT_GT(r.gflops_total, 0.0);
+}
+
+TEST(Hybrid, ReleasedMptHurtsSpMzOnInfiniband) {
+  // Fig. 11 bottom: SP-MZ over IB with the released MPT is ~40% slower at
+  // 256 CPUs; the beta library closes the gap.
+  auto rel = Cluster::infiniband_cluster(NodeType::AltixBX2b, 2,
+                                         MptVersion::Released_1_11r);
+  auto beta = Cluster::infiniband_cluster(NodeType::AltixBX2b, 2,
+                                          MptVersion::Beta_1_11b);
+  MzConfig cfg;
+  cfg.nprocs = 128;
+  cfg.threads_per_proc = 1;
+  cfg.n_nodes = 2;
+  const auto r_rel = mz_rate(MzBenchmark::SPMZ, 'C', rel, cfg);
+  const auto r_beta = mz_rate(MzBenchmark::SPMZ, 'C', beta, cfg);
+  EXPECT_GT(r_beta.gflops_total, 1.15 * r_rel.gflops_total);
+  // The released library's damage is in communication, not compute.
+  EXPECT_GT(r_rel.mean_comm_seconds, 2.0 * r_beta.mean_comm_seconds);
+}
+
+TEST(Hybrid, FullNodePaysBootCpusetPenalty) {
+  // Paper §4.6.2: 512-CPU single-node runs dropped 10-15% (boot cpuset);
+  // 508 CPUs avoided the interference. We compare per-CPU efficiency.
+  auto c = Cluster::single(NodeType::AltixBX2b);
+  MzConfig full;
+  full.nprocs = 256;
+  full.threads_per_proc = 2;  // 512 CPUs
+  MzConfig partial;
+  partial.nprocs = 128;
+  partial.threads_per_proc = 2;  // 256 CPUs
+  const auto r_full = mz_rate(MzBenchmark::SPMZ, 'E', c, full);
+  const auto r_part = mz_rate(MzBenchmark::SPMZ, 'E', c, partial);
+  // The 512-CPU run loses clearly more per-CPU than communication growth
+  // alone would explain; sanity-bound the drop.
+  EXPECT_LT(r_full.gflops_per_cpu, r_part.gflops_per_cpu);
+}
+
+}  // namespace
+}  // namespace columbia::npbmz

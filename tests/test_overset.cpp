@@ -1,0 +1,195 @@
+// Tests for the overset-grid substrate: block geometry, overlap
+// connectivity, donor search + trilinear interpolation exactness,
+// OVERFLOW-D grouping (balance + connectivity preference), and the
+// synthetic turbopump/rotor systems' fidelity to the paper's inventories.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "overset/block.hpp"
+#include "overset/grouping.hpp"
+#include "overset/interp.hpp"
+#include "overset/system.hpp"
+
+namespace columbia::overset {
+namespace {
+
+TEST(Block, GeometryAndBounds) {
+  GridBlock b(0, Point{1.0, 2.0, 3.0}, 0.5, 5, 3, 4);
+  EXPECT_DOUBLE_EQ(b.points(), 60.0);
+  EXPECT_DOUBLE_EQ(b.bounds().hi.x, 3.0);
+  EXPECT_DOUBLE_EQ(b.bounds().hi.y, 3.0);
+  EXPECT_DOUBLE_EQ(b.bounds().hi.z, 4.5);
+  const Point p = b.node(4, 2, 3);
+  EXPECT_DOUBLE_EQ(p.x, 3.0);
+  EXPECT_THROW(b.node(5, 0, 0), ContractError);
+}
+
+TEST(Block, FindCellLocatesPoints) {
+  GridBlock b(0, Point{0, 0, 0}, 1.0, 4, 4, 4);
+  std::array<int, 3> cell{};
+  EXPECT_TRUE(b.find_cell(Point{1.5, 2.5, 0.5}, cell));
+  EXPECT_EQ(cell[0], 1);
+  EXPECT_EQ(cell[1], 2);
+  EXPECT_EQ(cell[2], 0);
+  EXPECT_FALSE(b.find_cell(Point{5.0, 0.0, 0.0}, cell));
+  // Boundary point clamps into the last cell.
+  EXPECT_TRUE(b.find_cell(Point{3.0, 3.0, 3.0}, cell));
+  EXPECT_EQ(cell[0], 2);
+}
+
+TEST(Block, FringeCountsShellPoints) {
+  GridBlock small(0, Point{0, 0, 0}, 1.0, 4, 4, 4);
+  EXPECT_DOUBLE_EQ(small.fringe_points(), 64.0);  // all within 2 layers
+  GridBlock big(1, Point{0, 0, 0}, 1.0, 10, 10, 10);
+  EXPECT_DOUBLE_EQ(big.fringe_points(), 1000.0 - 216.0);
+}
+
+TEST(Interp, DonorSearchPrefersFinestContainingBlock) {
+  std::vector<GridBlock> blocks;
+  blocks.emplace_back(0, Point{0, 0, 0}, 1.0, 5, 5, 5);
+  blocks.emplace_back(1, Point{1, 1, 1}, 0.25, 9, 9, 9);  // finer overlap
+  InterpStencil s;
+  ASSERT_TRUE(find_donor(blocks, Point{1.6, 1.6, 1.6}, /*exclude=*/-1, s));
+  EXPECT_EQ(s.donor_block, 1);
+  // Outside the fine block, the coarse one donates.
+  ASSERT_TRUE(find_donor(blocks, Point{0.2, 0.2, 0.2}, -1, s));
+  EXPECT_EQ(s.donor_block, 0);
+  // Orphan point: nothing contains it.
+  EXPECT_FALSE(find_donor(blocks, Point{40, 40, 40}, -1, s));
+  // Exclusion works (a block cannot donate to itself).
+  EXPECT_FALSE(find_donor(blocks, Point{0.2, 0.2, 0.2}, 0, s));
+}
+
+TEST(Interp, WeightsSumToOne) {
+  std::vector<GridBlock> blocks;
+  blocks.emplace_back(0, Point{0, 0, 0}, 0.5, 8, 8, 8);
+  InterpStencil s;
+  ASSERT_TRUE(find_donor(blocks, Point{1.23, 0.77, 2.9}, -1, s));
+  double sum = 0.0;
+  for (double w : s.weight) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Interp, ReproducesLinearFieldsExactly) {
+  // Trilinear interpolation is exact for affine functions.
+  std::vector<GridBlock> blocks;
+  blocks.emplace_back(0, Point{0, 0, 0}, 0.4, 11, 11, 11);
+  auto f = [](const Point& p) { return 2.0 * p.x - 3.0 * p.y + 0.5 * p.z + 7.0; };
+  const auto field = sample_field(blocks[0], f);
+  for (const Point p : {Point{0.13, 1.71, 3.03}, Point{2.5, 2.5, 2.5},
+                        Point{3.99, 0.01, 1.57}}) {
+    InterpStencil s;
+    ASSERT_TRUE(find_donor(blocks, p, -1, s));
+    EXPECT_NEAR(interpolate(blocks[0], field, s), f(p), 1e-10);
+  }
+}
+
+TEST(System, ConnectivityIsSymmetricAndNontrivial) {
+  auto sys = make_synthetic_system(64, 1e6, 0.5, 42);
+  EXPECT_EQ(sys.num_blocks(), 64);
+  EXPECT_GT(sys.connectivity().size(), 32u);  // slots overlap neighbours
+  for (const auto& [a, b] : sys.connectivity()) {
+    EXPECT_TRUE(sys.overlap(a, b));
+    EXPECT_TRUE(sys.overlap(b, a));
+  }
+}
+
+TEST(System, ExchangeBytesPositiveOnlyForOverlaps) {
+  auto sys = make_synthetic_system(27, 1e6, 0.3, 7);
+  const auto& [a, b] = sys.connectivity().front();
+  EXPECT_GT(sys.exchange_bytes(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(sys.exchange_bytes(a, a), 0.0);
+}
+
+TEST(System, TurbopumpMatchesPaperInventory) {
+  const auto sys = make_turbopump();
+  EXPECT_EQ(sys.num_blocks(), 267);
+  EXPECT_NEAR(sys.total_points() / 66e6, 1.0, 0.15);
+  // A production overset system is a single connected assembly.
+  EXPECT_GT(sys.largest_component(), 250);
+}
+
+TEST(System, RotorMatchesPaperInventory) {
+  const auto sys = make_rotor();
+  EXPECT_EQ(sys.num_blocks(), 1679);
+  EXPECT_NEAR(sys.total_points() / 75e6, 1.0, 0.15);
+  EXPECT_GT(sys.largest_component(), 1600);
+  // Wide size spread: near-body vs off-body blocks.
+  double lo = 1e30, hi = 0.0;
+  for (const auto& b : sys.blocks()) {
+    lo = std::min(lo, b.points());
+    hi = std::max(hi, b.points());
+  }
+  EXPECT_GT(hi / lo, 50.0);
+}
+
+TEST(System, FringePointsOverwhelminglyFindDonors) {
+  // A production overset system must leave essentially no orphan fringe
+  // points; sample outer-boundary nodes of interior turbopump blocks and
+  // require donors for the overwhelming majority.
+  const auto sys = make_turbopump();
+  int sampled = 0, found = 0;
+  // Probe a handful of blocks spread across the system.
+  for (int b = 10; b < sys.num_blocks(); b += 37) {
+    const auto& blk = sys.blocks()[static_cast<std::size_t>(b)];
+    for (int corner = 0; corner < 4; ++corner) {
+      const int i = (corner & 1) ? blk.ni() - 1 : 0;
+      const int j = (corner & 2) ? blk.nj() - 1 : 0;
+      const Point p = blk.node(i, j, blk.nk() / 2);
+      InterpStencil s;
+      ++sampled;
+      if (find_donor(sys.blocks(), p, blk.id(), s)) ++found;
+    }
+  }
+  ASSERT_GT(sampled, 20);
+  EXPECT_GT(static_cast<double>(found) / sampled, 0.8);
+}
+
+TEST(Grouping, BalancesTurbopumpOnto36Groups) {
+  const auto sys = make_turbopump();
+  const auto g = group_blocks(sys, 36);
+  EXPECT_LT(g.imbalance(), 1.25);
+  // Every block assigned.
+  for (int owner : g.group_of_block) {
+    EXPECT_GE(owner, 0);
+    EXPECT_LT(owner, 36);
+  }
+}
+
+TEST(Grouping, ConnectivityTestInternalizesTraffic) {
+  const auto sys = make_rotor();
+  const auto g = group_blocks(sys, 64);
+  // The connectivity-aware packer keeps far more boundary traffic
+  // in-process than chance (1/64 for random assignment).
+  EXPECT_GT(internalized_fraction(sys, g), 0.15);
+  EXPECT_LT(g.imbalance(), 1.3);
+}
+
+TEST(Grouping, ImbalanceGrowsAsGroupsApproachBlocks) {
+  // Paper §4.1.4: "With 508 MPI processes and only 1679 blocks, it is
+  // difficult for any grouping strategy to achieve a proper load
+  // balance."
+  const auto sys = make_rotor();
+  const double few = group_blocks(sys, 36).imbalance();
+  const double many = group_blocks(sys, 508).imbalance();
+  EXPECT_GT(many, few);
+  EXPECT_GT(many, 1.4);
+}
+
+TEST(Grouping, ExchangeMatrixConsistentWithInternalization) {
+  const auto sys = make_turbopump();
+  const auto g = group_blocks(sys, 16);
+  const auto m = group_exchange_matrix(sys, g);
+  double cross = 0.0;
+  for (double v : m) cross += v;
+  double total = 0.0;
+  for (const auto& [a, b] : sys.connectivity())
+    total += sys.exchange_bytes(a, b);
+  EXPECT_NEAR(cross / total, 1.0 - internalized_fraction(sys, g), 1e-9);
+}
+
+}  // namespace
+}  // namespace columbia::overset

@@ -1,0 +1,163 @@
+// Tests for the compute cost model and the compiler-version factor table.
+// These pin down the first-order effects the paper measures: clock/cache
+// deltas, bus sharing, cache-capture crossover, and compiler orderings.
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "perfmodel/compiler.hpp"
+#include "perfmodel/compute.hpp"
+
+namespace columbia::perfmodel {
+namespace {
+
+using machine::NodeSpec;
+
+Work stream_triad(double n_elems) {
+  // a = b + s*c over double vectors: 2 flops, 24 bytes of traffic/elem.
+  Work w;
+  w.flops = 2.0 * n_elems;
+  w.mem_bytes = 24.0 * n_elems;
+  w.working_set = 24.0 * n_elems;
+  w.flop_efficiency = 0.9;
+  return w;
+}
+
+TEST(ComputeModel, StreamBandwidthMatchesPaperSection42) {
+  // Paper §4.2: ~3.8 GB/s alone, ~2 GB/s per CPU when the bus is shared,
+  // i.e. strided placement is ~1.9x faster on Triad.
+  ComputeModel m(NodeSpec::bx2b());
+  const Work w = stream_triad(1e8);  // 2.4 GB streamed, memory resident
+  const double dense = m.time(w, /*bus_sharers=*/2);
+  const double spread = m.time(w, /*bus_sharers=*/1);
+  const double speedup = dense / spread;
+  EXPECT_NEAR(speedup, 1.9, 0.15);
+  // Absolute rate ~3.8 GB/s when alone.
+  EXPECT_NEAR(w.mem_bytes / spread / 1e9, 3.8, 0.2);
+}
+
+TEST(ComputeModel, DgemmTracksClockNotInterconnect) {
+  // Paper §4.1.1: DGEMM 5.75 Gflop/s on BX2b, ~6% over 3700/BX2a.
+  Work w;
+  w.flops = 1e12;
+  w.mem_bytes = 1e9;         // blocked: negligible traffic
+  w.working_set = 4e6;       // cache-resident blocks
+  w.flop_efficiency = 0.9;
+  ComputeModel m3700(NodeSpec::altix3700());
+  ComputeModel mbx2a(NodeSpec::bx2a());
+  ComputeModel mbx2b(NodeSpec::bx2b());
+  const double t3700 = m3700.time(w, 2, KernelClass::DenseBlas);
+  const double tbx2a = mbx2a.time(w, 2, KernelClass::DenseBlas);
+  const double tbx2b = mbx2b.time(w, 2, KernelClass::DenseBlas);
+  EXPECT_DOUBLE_EQ(t3700, tbx2a);  // same CPU, interconnect irrelevant
+  EXPECT_NEAR(t3700 / tbx2b, 6.4 / 6.0, 1e-9);  // clock ratio = +6.7%
+  // Achieved rate ~5.75 Gflop/s on BX2b.
+  EXPECT_NEAR(w.flops / tbx2b / 1e9, 5.76, 0.1);
+}
+
+TEST(ComputeModel, LargerL3CapturesWorkingSet) {
+  // Working sets between 6 and 9 MB hit memory on a 3700/BX2a but fit in
+  // the BX2b's 9 MB L3 — the paper's explanation for the ~50% MG/BT jump.
+  Work w;
+  w.flops = 2e8;
+  w.mem_bytes = 1e9;
+  w.working_set = 7.5e6;  // between the two L3 sizes
+  w.flop_efficiency = 0.9;
+  ComputeModel small_cache(NodeSpec::bx2a());
+  ComputeModel big_cache(NodeSpec::bx2b());
+  const double t_small = small_cache.time(w, 2);
+  const double t_big = big_cache.time(w, 2);
+  EXPECT_GT(t_small / t_big, 1.3);  // pronounced jump
+}
+
+TEST(ComputeModel, MissFractionMonotoneInWorkingSet) {
+  ComputeModel m(NodeSpec::altix3700());
+  Work w;
+  w.mem_bytes = 1e9;
+  double prev = -1.0;
+  for (double ws : {1e6, 6e6, 1.2e7, 1e8, 1e9}) {
+    w.working_set = ws;
+    const double f = m.miss_fraction(w);
+    EXPECT_GE(f, prev);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+}
+
+TEST(ComputeModel, FlopBoundWorkIgnoresBusSharing) {
+  ComputeModel m(NodeSpec::altix3700());
+  Work w;
+  w.flops = 1e12;
+  w.mem_bytes = 1e6;
+  w.working_set = 1e6;
+  w.flop_efficiency = 0.9;
+  EXPECT_DOUBLE_EQ(m.time(w, 1), m.time(w, 2));
+}
+
+TEST(ComputeModel, InvalidInputsThrow) {
+  ComputeModel m(NodeSpec::altix3700());
+  Work w;
+  w.flops = -1;
+  EXPECT_THROW(m.time(w, 2), ContractError);
+  Work ok;
+  EXPECT_THROW(m.time(ok, 0), ContractError);
+  EXPECT_THROW(m.time(ok, 3), ContractError);
+}
+
+TEST(Compiler, CgInsensitiveAcrossVersions) {
+  // Fig. 8: "All the compilers gave similar results on the CG benchmark."
+  for (auto v : {CompilerVersion::Intel7_1, CompilerVersion::Intel8_0,
+                 CompilerVersion::Intel8_1, CompilerVersion::Intel9_0b}) {
+    EXPECT_NEAR(compiler_factor(v, KernelClass::CgIrregular, 16), 1.0, 0.02);
+  }
+}
+
+TEST(Compiler, NinetyBetaExcelsOnFt) {
+  EXPECT_GT(compiler_factor(CompilerVersion::Intel9_0b,
+                            KernelClass::FtSpectral, 16),
+            compiler_factor(CompilerVersion::Intel7_1,
+                            KernelClass::FtSpectral, 16));
+}
+
+TEST(Compiler, MgCrossoverAt32Threads) {
+  // Below 32 threads 7.1 wins by 20-30%; at 32-128 threads 8.1/9.0b win.
+  const double low81 =
+      compiler_factor(CompilerVersion::Intel8_1, KernelClass::MgStencil, 16);
+  const double hi81 =
+      compiler_factor(CompilerVersion::Intel8_1, KernelClass::MgStencil, 64);
+  EXPECT_LT(low81, 0.85);
+  EXPECT_GT(hi81, 1.0);
+}
+
+TEST(Compiler, EightOhIsWorstInMostCases) {
+  int worst_count = 0;
+  for (auto k : {KernelClass::CgIrregular, KernelClass::FtSpectral,
+                 KernelClass::BtDense, KernelClass::SpDense}) {
+    double f80 = compiler_factor(CompilerVersion::Intel8_0, k, 16);
+    double f71 = compiler_factor(CompilerVersion::Intel7_1, k, 16);
+    if (f80 <= f71) ++worst_count;
+  }
+  EXPECT_EQ(worst_count, 4);
+}
+
+TEST(Compiler, Ins3dIndifferentOverflowPrefers71AtSmallCounts) {
+  // Table 4.
+  EXPECT_DOUBLE_EQ(compiler_factor(CompilerVersion::Intel8_1,
+                                   KernelClass::CfdIncompressible, 36),
+                   1.0);
+  EXPECT_LT(compiler_factor(CompilerVersion::Intel8_1,
+                            KernelClass::CfdCompressible, 32),
+            0.85);
+  EXPECT_DOUBLE_EQ(compiler_factor(CompilerVersion::Intel8_1,
+                                   KernelClass::CfdCompressible, 128),
+                   1.0);
+}
+
+TEST(Compiler, NamesRender) {
+  EXPECT_EQ(to_string(CompilerVersion::Intel9_0b), "9.0b");
+  EXPECT_EQ(to_string(KernelClass::MgStencil), "MG");
+}
+
+}  // namespace
+}  // namespace columbia::perfmodel

@@ -1,0 +1,406 @@
+// Parameterized property tests: invariants swept across problem sizes,
+// rank counts, node types and message sizes (TEST_P suites, as broad
+// regression nets over the numerical kernels and the simulation stack).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/check.hpp"
+#include "hpcc/beff.hpp"
+#include "hpcc/stream.hpp"
+#include "machine/network.hpp"
+#include "machine/placement.hpp"
+#include "npb/bt.hpp"
+#include "npb/ft.hpp"
+#include "npb/mg.hpp"
+#include "npb/sp.hpp"
+#include "npbmz/balance.hpp"
+#include "npbmz/zones.hpp"
+#include "perfmodel/compiler.hpp"
+#include "simmpi/world.hpp"
+#include "simomp/omp_model.hpp"
+
+namespace columbia {
+namespace {
+
+using machine::Cluster;
+using machine::NodeType;
+using machine::Placement;
+
+// ------------------------------------------------- collectives over ranks
+
+class CollectiveRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveRanks, AllreduceSumCorrectEverywhere) {
+  const int n = GetParam();
+  sim::Engine engine;
+  auto cluster = Cluster::single(NodeType::AltixBX2b);
+  machine::Network network(engine, cluster);
+  simmpi::World world(engine, network, Placement::dense(cluster, n));
+  std::vector<double> results(static_cast<std::size_t>(n), -1.0);
+  world.run([&](simmpi::Rank& r) -> sim::CoTask<void> {
+    std::vector<double> mine{static_cast<double>(r.rank() + 1)};
+    auto sum = co_await r.allreduce_sum(mine);
+    results[static_cast<std::size_t>(r.rank())] = sum[0];
+  });
+  const double expected = n * (n + 1) / 2.0;
+  for (double v : results) EXPECT_DOUBLE_EQ(v, expected);
+}
+
+TEST_P(CollectiveRanks, EveryCollectiveCompletes) {
+  const int n = GetParam();
+  sim::Engine engine;
+  auto cluster = Cluster::single(NodeType::AltixBX2b);
+  machine::Network network(engine, cluster);
+  simmpi::World world(engine, network, Placement::dense(cluster, n));
+  int done = 0;
+  world.run([&](simmpi::Rank& r) -> sim::CoTask<void> {
+    co_await r.barrier();
+    co_await r.bcast(n / 2, 1024.0);
+    co_await r.reduce(0, 1024.0);
+    co_await r.allreduce(1024.0);
+    co_await r.alltoall(64.0);
+    co_await r.allgather(64.0);
+    ++done;
+  });
+  EXPECT_EQ(done, n);
+}
+
+TEST_P(CollectiveRanks, BarrierLeavesNoStragglers) {
+  const int n = GetParam();
+  sim::Engine engine;
+  auto cluster = Cluster::single(NodeType::AltixBX2b);
+  machine::Network network(engine, cluster);
+  simmpi::World world(engine, network, Placement::dense(cluster, n));
+  double earliest_after = 1e30, latest_arrival = 0.0;
+  world.run([&](simmpi::Rank& r) -> sim::CoTask<void> {
+    const double dt = 1e-3 * (r.rank() % 5);
+    co_await r.engine().delay(dt);
+    latest_arrival = std::max(latest_arrival, r.engine().now());
+    co_await r.barrier();
+    earliest_after = std::min(earliest_after, r.engine().now());
+  });
+  EXPECT_GE(earliest_after, latest_arrival);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankSweep, CollectiveRanks,
+                         ::testing::Values(2, 3, 4, 5, 8, 13, 16, 32, 61));
+
+// ----------------------------------------------------- FFT over dimensions
+
+class FftDims
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(FftDims, RoundTripIsIdentity) {
+  const auto [nx, ny, nz] = GetParam();
+  npb::Fft3d fft(nx, ny, nz);
+  std::vector<npb::Complex> a(fft.size());
+  Rng rng(17);
+  for (auto& v : a) v = npb::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  const auto original = a;
+  fft.forward(a);
+  fft.inverse(a);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - original[i]));
+  }
+  EXPECT_LT(worst, 1e-9);
+}
+
+TEST_P(FftDims, LinearityHolds) {
+  const auto [nx, ny, nz] = GetParam();
+  npb::Fft3d fft(nx, ny, nz);
+  Rng rng(23);
+  std::vector<npb::Complex> a(fft.size()), b(fft.size()), ab(fft.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = npb::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    b[i] = npb::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    ab[i] = 2.0 * a[i] + b[i];
+  }
+  fft.forward(a);
+  fft.forward(b);
+  fft.forward(ab);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(ab[i] - (2.0 * a[i] + b[i])));
+  }
+  EXPECT_LT(worst, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimSweep, FftDims,
+    ::testing::Values(std::make_tuple(4, 4, 4), std::make_tuple(8, 4, 2),
+                      std::make_tuple(2, 16, 8), std::make_tuple(16, 16, 4),
+                      std::make_tuple(32, 2, 2)));
+
+// ----------------------------------------------- MG contraction over sizes
+
+class MgSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(MgSizes, WcycleContracts) {
+  const int n = GetParam();
+  npb::MgSolver solver(n);
+  npb::Grid3 u(n), f(n);
+  Rng rng(5);
+  for (auto& v : f.raw()) v = rng.uniform(-1, 1);
+  const double r0 = npb::MgSolver::residual_norm(u, f);
+  double r = r0;
+  for (int c = 0; c < 5; ++c) r = solver.vcycle(u, f);
+  EXPECT_LT(r, 0.15 * r0) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(SizeSweep, MgSizes, ::testing::Values(8, 16, 32));
+
+// ------------------------------------------ line solvers over lengths/seeds
+
+class LineSolvers
+    : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(LineSolvers, BtThomasSolvesExactly) {
+  const auto [n, seed] = GetParam();
+  const auto sys = npb::make_bt_system(n, seed);
+  auto x = sys.rhs;
+  npb::block_tridiag_solve(sys.lower, sys.diag, sys.upper, x);
+  // Verify against the assembled operator.
+  for (int i = 0; i < n; ++i) {
+    npb::Vec5 lhs = npb::block_apply(sys.diag[static_cast<std::size_t>(i)],
+                                     x[static_cast<std::size_t>(i)]);
+    if (i > 0) {
+      const auto lo = npb::block_apply(
+          sys.lower[static_cast<std::size_t>(i)],
+          x[static_cast<std::size_t>(i - 1)]);
+      for (int r = 0; r < npb::kBtBlock; ++r)
+        lhs[static_cast<std::size_t>(r)] += lo[static_cast<std::size_t>(r)];
+    }
+    if (i + 1 < n) {
+      const auto up = npb::block_apply(
+          sys.upper[static_cast<std::size_t>(i)],
+          x[static_cast<std::size_t>(i + 1)]);
+      for (int r = 0; r < npb::kBtBlock; ++r)
+        lhs[static_cast<std::size_t>(r)] += up[static_cast<std::size_t>(r)];
+    }
+    for (int r = 0; r < npb::kBtBlock; ++r) {
+      EXPECT_NEAR(lhs[static_cast<std::size_t>(r)],
+                  sys.rhs[static_cast<std::size_t>(i)]
+                         [static_cast<std::size_t>(r)],
+                  1e-8);
+    }
+  }
+}
+
+TEST_P(LineSolvers, SpPentaSolvesExactly) {
+  const auto [n, seed] = GetParam();
+  const auto original = npb::make_penta_system(n, seed);
+  auto sys = original;
+  penta_solve(sys);
+  EXPECT_LT(npb::penta_residual(original, sys.rhs), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LengthSeedSweep, LineSolvers,
+    ::testing::Combine(::testing::Values(1, 2, 7, 33, 102),
+                       ::testing::Values(1u, 77u, 2005u)));
+
+// -------------------------------------------- network model monotonicity
+
+class NetworkPairs
+    : public ::testing::TestWithParam<std::tuple<NodeType, int, int>> {};
+
+TEST_P(NetworkPairs, TimeMonotoneInBytesAndSymmetric) {
+  const auto [type, a, b] = GetParam();
+  sim::Engine engine;
+  auto cluster = Cluster::single(type);
+  machine::Network net(engine, cluster);
+  double prev = -1.0;
+  for (double bytes : {0.0, 64.0, 4096.0, 262144.0, 1.6e7}) {
+    const double t = net.uncontended_time(a, b, bytes);
+    EXPECT_GT(t, prev);
+    prev = t;
+    EXPECT_DOUBLE_EQ(t, net.uncontended_time(b, a, bytes));
+  }
+}
+
+TEST_P(NetworkPairs, LatencyOrderingRespectsDistance) {
+  const auto [type, a, b] = GetParam();
+  auto cluster = Cluster::single(type);
+  // A same-bus pair is never slower than the parameterized pair.
+  EXPECT_LE(cluster.latency(0, 1), cluster.latency(a, b) + 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PairSweep, NetworkPairs,
+    ::testing::Combine(::testing::Values(NodeType::Altix3700,
+                                         NodeType::AltixBX2a,
+                                         NodeType::AltixBX2b),
+                       ::testing::Values(0, 3),
+                       ::testing::Values(1, 17, 130, 511)));
+
+// -------------------------------------------- OpenMP model sanity sweeps
+
+class OmpThreads
+    : public ::testing::TestWithParam<std::tuple<NodeType, int>> {};
+
+TEST_P(OmpThreads, SpeedupWithinPhysicalBounds) {
+  const auto [type, threads] = GetParam();
+  simomp::OmpModel model(machine::NodeSpec::of(type));
+  simomp::RegionSpec region;
+  region.total.flops = 2e9;
+  region.total.mem_bytes = 8e9;
+  region.total.working_set = 1e9;
+  region.total.flop_efficiency = 0.4;
+  const double t1 = model.region_time(region, 1, simomp::Pinning::Pinned,
+                                      perfmodel::KernelClass::MgStencil);
+  const double tn =
+      model.region_time(region, threads, simomp::Pinning::Pinned,
+                        perfmodel::KernelClass::MgStencil);
+  const double speedup = t1 / tn;
+  EXPECT_GT(speedup, 1.0) << "threads=" << threads;
+  EXPECT_LE(speedup, threads * 1.6)  // cache capture allows superlinear
+      << "threads=" << threads;
+  // Unpinned never beats pinned.
+  const double tu =
+      model.region_time(region, threads, simomp::Pinning::Unpinned,
+                        perfmodel::KernelClass::MgStencil);
+  EXPECT_GE(tu, tn);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadSweep, OmpThreads,
+    ::testing::Combine(::testing::Values(NodeType::Altix3700,
+                                         NodeType::AltixBX2b),
+                       ::testing::Values(2, 4, 8, 16, 64, 128, 256)));
+
+// ------------------------------------------ multi-zone classes invariants
+
+class MzClasses
+    : public ::testing::TestWithParam<std::tuple<npbmz::MzBenchmark, char>> {
+};
+
+TEST_P(MzClasses, ZonesTileTheAggregateGrid) {
+  const auto [bench, cls] = GetParam();
+  const auto p = npbmz::mz_problem(bench, cls);
+  const auto zones = npbmz::make_zones(p);
+  ASSERT_EQ(static_cast<int>(zones.size()), p.num_zones());
+  double total = 0.0;
+  for (const auto& z : zones) {
+    EXPECT_GE(z.nx, 4);
+    EXPECT_GE(z.ny, 4);
+    EXPECT_EQ(z.nz, p.gz);
+    total += z.points();
+  }
+  EXPECT_DOUBLE_EQ(total, p.total_points());
+  // SP-MZ zones near-uniform, BT-MZ clearly uneven.
+  const double ratio = npbmz::zone_size_ratio(zones);
+  if (bench == npbmz::MzBenchmark::SPMZ) {
+    EXPECT_LT(ratio, 1.5);
+  } else {
+    EXPECT_GT(ratio, 5.0);
+  }
+}
+
+TEST_P(MzClasses, LptBalanceWithinZoneGranularity) {
+  const auto [bench, cls] = GetParam();
+  const auto p = npbmz::mz_problem(bench, cls);
+  const auto zones = npbmz::make_zones(p);
+  const int procs = std::max(1, p.num_zones() / 8);
+  const auto a = npbmz::balance_zones(zones, procs);
+  // LPT is within max_zone/mean_load of perfect.
+  double max_zone = 0.0, total = 0.0;
+  for (const auto& z : zones) {
+    max_zone = std::max(max_zone, z.points());
+    total += z.points();
+  }
+  EXPECT_LT(a.imbalance(), 1.0 + max_zone / (total / procs) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ClassSweep, MzClasses,
+    ::testing::Combine(::testing::Values(npbmz::MzBenchmark::BTMZ,
+                                         npbmz::MzBenchmark::SPMZ),
+                       ::testing::Values('S', 'A', 'B', 'C', 'D', 'E',
+                                         'F')));
+
+// ------------------------------------------------ STREAM model over ops
+
+class StreamOps : public ::testing::TestWithParam<hpcc::StreamOp> {};
+
+TEST_P(StreamOps, BusSharingAlwaysHurtsAndNodeTypesAgree) {
+  const auto op = GetParam();
+  for (auto type : {NodeType::Altix3700, NodeType::AltixBX2b}) {
+    const auto node = machine::NodeSpec::of(type);
+    const double alone = hpcc::stream_model_gbs(node, op, 1);
+    const double shared = hpcc::stream_model_gbs(node, op, 2);
+    EXPECT_GT(alone, shared);
+    EXPECT_GT(shared, 0.5);   // GB/s, sane floor
+    EXPECT_LT(alone, 6.0);    // below the bus peak
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OpSweep, StreamOps,
+                         ::testing::Values(hpcc::StreamOp::Copy,
+                                           hpcc::StreamOp::Scale,
+                                           hpcc::StreamOp::Add,
+                                           hpcc::StreamOp::Triad));
+
+// ------------------------------------- compiler factors bounded everywhere
+
+class CompilerGrid
+    : public ::testing::TestWithParam<
+          std::tuple<perfmodel::CompilerVersion, perfmodel::KernelClass>> {};
+
+TEST_P(CompilerGrid, FactorsStayWithinCredibleBounds) {
+  const auto [ver, kern] = GetParam();
+  for (int width : {1, 8, 31, 32, 64, 256, 1024}) {
+    const double f = perfmodel::compiler_factor(ver, kern, width);
+    EXPECT_GT(f, 0.5) << width;
+    EXPECT_LT(f, 1.5) << width;
+  }
+  // 7.1 is the baseline: never worse than 1.0 by construction.
+  EXPECT_DOUBLE_EQ(
+      perfmodel::compiler_factor(perfmodel::CompilerVersion::Intel7_1, kern,
+                                 16),
+      1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FactorSweep, CompilerGrid,
+    ::testing::Combine(
+        ::testing::Values(perfmodel::CompilerVersion::Intel7_1,
+                          perfmodel::CompilerVersion::Intel8_0,
+                          perfmodel::CompilerVersion::Intel8_1,
+                          perfmodel::CompilerVersion::Intel9_0b),
+        ::testing::Values(perfmodel::KernelClass::CgIrregular,
+                          perfmodel::KernelClass::FtSpectral,
+                          perfmodel::KernelClass::MgStencil,
+                          perfmodel::KernelClass::BtDense,
+                          perfmodel::KernelClass::SpDense,
+                          perfmodel::KernelClass::CfdIncompressible,
+                          perfmodel::KernelClass::CfdCompressible,
+                          perfmodel::KernelClass::MdParticle,
+                          perfmodel::KernelClass::StreamCopy,
+                          perfmodel::KernelClass::DenseBlas)));
+
+// --------------------------------------------------- b_eff determinism
+
+class BeffConfigs : public ::testing::TestWithParam<int> {};
+
+TEST_P(BeffConfigs, DeterministicAcrossRuns) {
+  const int ranks = GetParam();
+  auto cluster = Cluster::single(NodeType::Altix3700);
+  auto run = [&] {
+    hpcc::Beff beff(cluster, Placement::dense(cluster, ranks), 99);
+    const auto pp = beff.ping_pong(4);
+    const auto rr = beff.random_ring(2, 2);
+    return std::make_tuple(pp.latency, pp.bandwidth, rr.latency,
+                           rr.bandwidth);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(BeffSweep, BeffConfigs,
+                         ::testing::Values(8, 32, 96));
+
+}  // namespace
+}  // namespace columbia

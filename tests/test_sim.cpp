@@ -1,0 +1,352 @@
+// Unit tests for the discrete-event engine: time ordering, coroutine
+// lifecycles, nested CoTask value/exception propagation, triggers,
+// contended resources, barriers, deadlock detection, and determinism.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "sim/barrier.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+#include "sim/trace.hpp"
+#include "sim/trigger.hpp"
+
+namespace columbia::sim {
+namespace {
+
+Task delayer(Engine& eng, std::vector<double>& log, double dt) {
+  co_await eng.delay(dt);
+  log.push_back(eng.now());
+}
+
+TEST(Engine, DelaysFireInTimeOrder) {
+  Engine eng;
+  std::vector<double> log;
+  eng.spawn(delayer(eng, log, 3.0));
+  eng.spawn(delayer(eng, log, 1.0));
+  eng.spawn(delayer(eng, log, 2.0));
+  eng.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_DOUBLE_EQ(log[0], 1.0);
+  EXPECT_DOUBLE_EQ(log[1], 2.0);
+  EXPECT_DOUBLE_EQ(log[2], 3.0);
+  EXPECT_EQ(eng.live_tasks(), 0u);
+}
+
+TEST(Engine, TiesBreakInSpawnOrder) {
+  Engine eng;
+  std::vector<int> order;
+  auto tagger = [](Engine& e, std::vector<int>& ord, int id) -> Task {
+    co_await e.delay(1.0);
+    ord.push_back(id);
+  };
+  for (int i = 0; i < 8; ++i) eng.spawn(tagger(eng, order, i));
+  eng.run();
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, SequentialDelaysAccumulate) {
+  Engine eng;
+  double final_time = -1.0;
+  auto prog = [](Engine& e, double& t) -> Task {
+    co_await e.delay(0.5);
+    co_await e.delay(0.25);
+    co_await e.delay(0.25);
+    t = e.now();
+  };
+  eng.spawn(prog(eng, final_time));
+  eng.run();
+  EXPECT_DOUBLE_EQ(final_time, 1.0);
+}
+
+TEST(Engine, SchedulingInPastThrows) {
+  Engine eng;
+  auto prog = [](Engine& e) -> Task {
+    co_await e.delay(1.0);
+    e.schedule_at(0.5, std::noop_coroutine());  // in the past
+  };
+  eng.spawn(prog(eng));
+  EXPECT_THROW(eng.run(), ContractError);
+}
+
+CoTask<int> child_value(Engine& eng) {
+  co_await eng.delay(2.0);
+  co_return 17;
+}
+
+CoTask<int> middle(Engine& eng) {
+  const int v = co_await child_value(eng);
+  co_await eng.delay(1.0);
+  co_return v + 1;
+}
+
+TEST(Engine, NestedCoTaskPropagatesValuesAndTime) {
+  Engine eng;
+  int result = 0;
+  double t_end = 0.0;
+  auto prog = [](Engine& e, int& r, double& t) -> Task {
+    r = co_await middle(e);
+    t = e.now();
+  };
+  eng.spawn(prog(eng, result, t_end));
+  eng.run();
+  EXPECT_EQ(result, 18);
+  EXPECT_DOUBLE_EQ(t_end, 3.0);
+}
+
+CoTask<void> throwing_child(Engine& eng) {
+  co_await eng.delay(0.1);
+  throw std::runtime_error("child failed");
+}
+
+TEST(Engine, ChildExceptionPropagatesToAwaiter) {
+  Engine eng;
+  std::string caught;
+  auto prog = [](Engine& e, std::string& msg) -> Task {
+    try {
+      co_await throwing_child(e);
+    } catch (const std::runtime_error& ex) {
+      msg = ex.what();
+    }
+  };
+  eng.spawn(prog(eng, caught));
+  eng.run();
+  EXPECT_EQ(caught, "child failed");
+}
+
+TEST(Engine, UncaughtTaskExceptionSurfacesFromRun) {
+  Engine eng;
+  auto prog = [](Engine& e) -> Task {
+    co_await e.delay(0.1);
+    throw std::runtime_error("boom");
+  };
+  eng.spawn(prog(eng));
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(Trigger, WakesAllWaitersAtFireTime) {
+  Engine eng;
+  Trigger trig(eng);
+  std::vector<double> woke;
+  auto waiter = [](Engine& e, Trigger& t, std::vector<double>& w) -> Task {
+    co_await t.wait();
+    w.push_back(e.now());
+  };
+  auto firer = [](Engine& e, Trigger& t) -> Task {
+    co_await e.delay(5.0);
+    t.fire();
+  };
+  eng.spawn(waiter(eng, trig, woke));
+  eng.spawn(waiter(eng, trig, woke));
+  eng.spawn(firer(eng, trig));
+  eng.run();
+  ASSERT_EQ(woke.size(), 2u);
+  EXPECT_DOUBLE_EQ(woke[0], 5.0);
+  EXPECT_DOUBLE_EQ(woke[1], 5.0);
+}
+
+TEST(Trigger, WaitAfterFireDoesNotSuspend) {
+  Engine eng;
+  Trigger trig(eng);
+  double woke = -1.0;
+  auto late = [](Engine& e, Trigger& t, double& w) -> Task {
+    co_await e.delay(10.0);
+    co_await t.wait();  // already fired at t=1
+    w = e.now();
+  };
+  auto firer = [](Engine& e, Trigger& t) -> Task {
+    co_await e.delay(1.0);
+    t.fire();
+  };
+  eng.spawn(late(eng, trig, woke));
+  eng.spawn(firer(eng, trig));
+  eng.run();
+  EXPECT_DOUBLE_EQ(woke, 10.0);
+}
+
+TEST(Resource, SerializesWhenOverCapacity) {
+  Engine eng;
+  Resource res(eng, 1);
+  std::vector<double> done;
+  auto user = [](Engine& e, Resource& r, std::vector<double>& d) -> Task {
+    co_await r.use_for(1.0);
+    d.push_back(e.now());
+  };
+  for (int i = 0; i < 3; ++i) eng.spawn(user(eng, res, done));
+  eng.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_DOUBLE_EQ(done[1], 2.0);
+  EXPECT_DOUBLE_EQ(done[2], 3.0);
+  EXPECT_EQ(res.available(), 1);
+}
+
+TEST(Resource, ParallelWithinCapacity) {
+  Engine eng;
+  Resource res(eng, 4);
+  std::vector<double> done;
+  auto user = [](Engine& e, Resource& r, std::vector<double>& d) -> Task {
+    co_await r.use_for(1.0);
+    d.push_back(e.now());
+  };
+  for (int i = 0; i < 4; ++i) eng.spawn(user(eng, res, done));
+  eng.run();
+  for (double t : done) EXPECT_DOUBLE_EQ(t, 1.0);
+}
+
+TEST(Resource, FifoNoOvertaking) {
+  Engine eng;
+  Resource res(eng, 2);
+  std::vector<int> order;
+  // First user takes both units; a big request (2) queues, then a small (1).
+  // FIFO means the small request must NOT overtake the big one.
+  auto first = [](Engine& e, Resource& r, std::vector<int>& o) -> Task {
+    co_await r.acquire(2);
+    co_await e.delay(1.0);
+    r.release(2);
+    o.push_back(0);
+  };
+  auto big = [](Engine& e, Resource& r, std::vector<int>& o) -> Task {
+    co_await e.delay(0.1);
+    co_await r.acquire(2);
+    o.push_back(1);
+    co_await e.delay(1.0);
+    r.release(2);
+  };
+  auto small = [](Engine& e, Resource& r, std::vector<int>& o) -> Task {
+    co_await e.delay(0.2);
+    co_await r.acquire(1);
+    o.push_back(2);
+    r.release(1);
+  };
+  eng.spawn(first(eng, res, order));
+  eng.spawn(big(eng, res, order));
+  eng.spawn(small(eng, res, order));
+  eng.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);  // big granted before small despite arriving first
+  EXPECT_EQ(order[2], 2);
+}
+
+TEST(Resource, OverCapacityRequestThrows) {
+  Engine eng;
+  Resource res(eng, 2);
+  EXPECT_THROW(res.acquire(3), ContractError);
+}
+
+TEST(Barrier, ReleasesAllAtLastArrival) {
+  Engine eng;
+  Barrier bar(eng, 3);
+  std::vector<double> times;
+  auto member = [](Engine& e, Barrier& b, std::vector<double>& ts,
+                   double dt) -> Task {
+    co_await e.delay(dt);
+    co_await b.arrive_and_wait();
+    ts.push_back(e.now());
+  };
+  eng.spawn(member(eng, bar, times, 1.0));
+  eng.spawn(member(eng, bar, times, 2.0));
+  eng.spawn(member(eng, bar, times, 3.0));
+  eng.run();
+  ASSERT_EQ(times.size(), 3u);
+  for (double t : times) EXPECT_DOUBLE_EQ(t, 3.0);
+  EXPECT_EQ(bar.generation(), 1u);
+}
+
+TEST(Barrier, ReusableAcrossGenerations) {
+  Engine eng;
+  Barrier bar(eng, 2);
+  int rounds_done = 0;
+  auto member = [](Engine& e, Barrier& b, int& done, double dt) -> Task {
+    for (int round = 0; round < 5; ++round) {
+      co_await e.delay(dt);
+      co_await b.arrive_and_wait();
+    }
+    ++done;
+  };
+  eng.spawn(member(eng, bar, rounds_done, 1.0));
+  eng.spawn(member(eng, bar, rounds_done, 2.5));
+  eng.run();
+  EXPECT_EQ(rounds_done, 2);
+  EXPECT_EQ(bar.generation(), 5u);
+  EXPECT_DOUBLE_EQ(eng.now(), 12.5);  // slowest member dominates each round
+}
+
+TEST(Engine, DeadlockDetected) {
+  Engine eng;
+  Trigger never(eng);
+  auto stuck = [](Trigger& t) -> Task { co_await t.wait(); };
+  eng.spawn(stuck(never));
+  EXPECT_THROW(eng.run(), DeadlockError);
+}
+
+TEST(Engine, DeterministicTimelineAcrossRuns) {
+  auto run_once = []() {
+    Engine eng;
+    Resource res(eng, 3);
+    Barrier bar(eng, 5);
+    std::vector<double> times;
+    auto prog = [](Engine& e, Resource& r, Barrier& b,
+                   std::vector<double>& ts, int id) -> Task {
+      co_await e.delay(0.1 * id);
+      co_await r.use_for(0.7);
+      co_await b.arrive_and_wait();
+      ts.push_back(e.now());
+    };
+    for (int i = 0; i < 5; ++i) eng.spawn(prog(eng, res, bar, times, i));
+    eng.run();
+    return times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Trace, RecordsTotalsAndUtilization) {
+  TraceRecorder trace;
+  trace.record(0, SpanKind::Compute, 0.0, 2.0);
+  trace.record(0, SpanKind::Communication, 2.0, 3.0);
+  trace.record(1, SpanKind::Compute, 0.0, 1.0);
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.total(SpanKind::Compute), 3.0);
+  EXPECT_DOUBLE_EQ(trace.total(SpanKind::Compute, 0), 2.0);
+  EXPECT_DOUBLE_EQ(trace.total(SpanKind::Communication, 1), 0.0);
+  EXPECT_DOUBLE_EQ(trace.utilization(0, 4.0), 0.75);
+  EXPECT_DOUBLE_EQ(trace.utilization(1, 4.0), 0.25);
+}
+
+TEST(Trace, DropsZeroLengthAndRejectsNegative) {
+  TraceRecorder trace;
+  trace.record(0, SpanKind::Io, 1.0, 1.0);
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_THROW(trace.record(0, SpanKind::Io, 2.0, 1.0), ContractError);
+}
+
+TEST(Trace, CsvRendersEveryRow) {
+  TraceRecorder trace;
+  trace.record(3, SpanKind::Communication, 0.5, 1.5);
+  const auto csv = trace.csv();
+  EXPECT_NE(csv.find("actor,kind,begin,end"), std::string::npos);
+  EXPECT_NE(csv.find("3,comm,0.5,1.5"), std::string::npos);
+}
+
+TEST(Engine, ManyTasksScale) {
+  Engine eng;
+  Barrier bar(eng, 2048);
+  auto member = [](Engine& e, Barrier& b, int id) -> Task {
+    co_await e.delay(1e-6 * id);
+    co_await b.arrive_and_wait();
+  };
+  for (int i = 0; i < 2048; ++i) eng.spawn(member(eng, bar, i));
+  eng.run();
+  EXPECT_EQ(eng.live_tasks(), 0u);
+  EXPECT_NEAR(eng.now(), 1e-6 * 2047, 1e-12);
+}
+
+}  // namespace
+}  // namespace columbia::sim

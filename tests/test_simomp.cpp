@@ -1,0 +1,180 @@
+// Tests for the OpenMP region and MLP models: fork/join growth, brick-span
+// remote-traffic effects (the BX2-vs-3700 OpenMP scaling gap of Fig. 6),
+// pinning penalties (Fig. 7), and MLP iteration composition (§3.4).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "simomp/mlp.hpp"
+#include "simomp/omp_model.hpp"
+
+namespace columbia::simomp {
+namespace {
+
+using machine::NodeSpec;
+using perfmodel::KernelClass;
+using perfmodel::Work;
+
+RegionSpec memory_region() {
+  RegionSpec r;
+  r.total.flops = 4e9;
+  r.total.mem_bytes = 16e9;
+  r.total.working_set = 2e9;
+  r.total.flop_efficiency = 0.5;
+  r.shared_traffic_fraction = 0.4;
+  return r;
+}
+
+TEST(OmpModel, BricksSpanned) {
+  OmpModel m3700(NodeSpec::altix3700());
+  OmpModel mbx2(NodeSpec::bx2a());
+  EXPECT_EQ(m3700.bricks_spanned(4), 1);
+  EXPECT_EQ(m3700.bricks_spanned(8), 2);
+  EXPECT_EQ(mbx2.bricks_spanned(8), 1);
+  EXPECT_EQ(mbx2.bricks_spanned(128), 16);
+}
+
+TEST(OmpModel, SpeedupWithThreads) {
+  OmpModel m(NodeSpec::bx2b());
+  const RegionSpec r = memory_region();
+  const double t1 = m.region_time(r, 1, Pinning::Pinned, KernelClass::MgStencil);
+  const double t8 = m.region_time(r, 8, Pinning::Pinned, KernelClass::MgStencil);
+  EXPECT_GT(t1 / t8, 3.0);  // parallel speedup, sublinear (bus sharing)
+  EXPECT_LT(t1 / t8, 8.0);
+}
+
+TEST(OmpModel, Bx2ScalesBetterThan3700AtHighThreadCounts) {
+  // Fig. 6: "the four OpenMP benchmarks scaled much better on both types
+  // of BX2 than on 3700 when the number of threads is four or more. With
+  // 128 threads, the difference can be as large as 2x."
+  OmpModel m3700(NodeSpec::altix3700());
+  OmpModel mbx2a(NodeSpec::bx2a());
+  RegionSpec r = memory_region();
+  r.shared_traffic_fraction = 0.5;  // FT-like transpose traffic
+  const double t3700 =
+      m3700.region_time(r, 128, Pinning::Pinned, KernelClass::FtSpectral);
+  const double tbx2a =
+      mbx2a.region_time(r, 128, Pinning::Pinned, KernelClass::FtSpectral);
+  EXPECT_GT(t3700 / tbx2a, 1.45);
+  EXPECT_LT(t3700 / tbx2a, 2.4);
+  // At <= 2 threads the gap nearly vanishes (same CPUs, local traffic).
+  const double s3700 =
+      m3700.region_time(r, 2, Pinning::Pinned, KernelClass::FtSpectral);
+  const double sbx2a =
+      mbx2a.region_time(r, 2, Pinning::Pinned, KernelClass::FtSpectral);
+  EXPECT_NEAR(s3700 / sbx2a, 1.0, 0.05);
+}
+
+TEST(OmpModel, ForkJoinGrowsLogarithmically) {
+  OmpModel m(NodeSpec::bx2b());
+  EXPECT_DOUBLE_EQ(m.fork_join_cost(1), 0.0);
+  EXPECT_GT(m.fork_join_cost(4), 0.0);
+  EXPECT_GT(m.fork_join_cost(256), m.fork_join_cost(16));
+  EXPECT_LT(m.fork_join_cost(256), 3.0 * m.fork_join_cost(16));
+}
+
+TEST(OmpModel, PinningMattersMoreWithMoreThreads) {
+  // Fig. 7: "pinning improves performance substantially in the hybrid mode
+  // when processes spawn multiple threads ... Pure process mode is less
+  // influenced."
+  OmpModel m(NodeSpec::bx2b());
+  EXPECT_LT(m.migration_penalty(1, Pinning::Unpinned), 1.10);
+  EXPECT_GT(m.migration_penalty(16, Pinning::Unpinned), 1.5);
+  EXPECT_GT(m.migration_penalty(64, Pinning::Unpinned),
+            m.migration_penalty(8, Pinning::Unpinned));
+  EXPECT_DOUBLE_EQ(m.migration_penalty(64, Pinning::Pinned), 1.0);
+}
+
+TEST(OmpModel, UnpinnedRegionSlower) {
+  OmpModel m(NodeSpec::bx2b());
+  const RegionSpec r = memory_region();
+  const double pinned =
+      m.region_time(r, 16, Pinning::Pinned, KernelClass::SpDense);
+  const double unpinned =
+      m.region_time(r, 16, Pinning::Unpinned, KernelClass::SpDense);
+  EXPECT_GT(unpinned / pinned, 1.5);
+}
+
+TEST(OmpModel, InvalidArgumentsThrow) {
+  OmpModel m(NodeSpec::bx2b());
+  RegionSpec r = memory_region();
+  EXPECT_THROW(m.region_time(r, 0, Pinning::Pinned, KernelClass::MgStencil),
+               ContractError);
+  EXPECT_THROW(m.region_time(r, 513, Pinning::Pinned, KernelClass::MgStencil),
+               ContractError);
+  r.shared_traffic_fraction = 1.5;
+  EXPECT_THROW(m.region_time(r, 4, Pinning::Pinned, KernelClass::MgStencil),
+               ContractError);
+}
+
+TEST(Mlp, IterationIsSlowestGroupPlusSync) {
+  MlpModel mlp(NodeSpec::bx2b());
+  RegionSpec light = memory_region();
+  RegionSpec heavy = memory_region();
+  heavy.total = heavy.total.scaled(2.0);
+
+  MlpConfig cfg;
+  cfg.groups = 2;
+  cfg.threads_per_group = 4;
+  std::vector<RegionSpec> groups{light, heavy};
+  std::vector<double> boundary{1e6, 1e6};
+  const double t =
+      mlp.iteration_time(groups, boundary, cfg, KernelClass::CfdIncompressible);
+
+  OmpModel omp(NodeSpec::bx2b());
+  // MLP places processes densely, so both CPUs of every bus are active.
+  const double t_heavy =
+      omp.region_time(heavy, 4, Pinning::Pinned,
+                      KernelClass::CfdIncompressible,
+                      NodeSpec::bx2b().cpus_per_bus) +
+      mlp.archive_cost(1e6);
+  EXPECT_NEAR(t, t_heavy + mlp.sync_cost(2), 1e-12);
+}
+
+TEST(Mlp, MoreThreadsShrinkIterationUntilOverheadWins) {
+  // Table 2 shape: good scaling to 8 threads, decaying beyond.
+  MlpModel mlp(NodeSpec::bx2b());
+  std::vector<RegionSpec> groups(36, memory_region());
+  std::vector<double> boundary(36, 5e5);
+  double prev = 1e30;
+  for (int threads : {1, 2, 4, 8}) {
+    MlpConfig cfg;
+    cfg.groups = 36;
+    cfg.threads_per_group = threads;
+    const double t = mlp.iteration_time(groups, boundary, cfg,
+                                        KernelClass::CfdIncompressible);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Mlp, ConfigValidation) {
+  MlpModel mlp(NodeSpec::bx2b());
+  std::vector<RegionSpec> groups(2, memory_region());
+  std::vector<double> boundary(1, 0.0);  // wrong length
+  MlpConfig cfg;
+  cfg.groups = 2;
+  EXPECT_THROW(mlp.iteration_time(groups, boundary, cfg,
+                                  KernelClass::CfdIncompressible),
+               ContractError);
+  std::vector<double> boundary2(2, 0.0);
+  cfg.groups = 64;
+  cfg.threads_per_group = 16;  // 1024 CPUs > 512
+  std::vector<RegionSpec> groups64(64, memory_region());
+  EXPECT_THROW(mlp.iteration_time(groups64, boundary2, cfg,
+                                  KernelClass::CfdIncompressible),
+               ContractError);
+}
+
+TEST(Mlp, ArchiveAndSyncCosts) {
+  MlpModel mlp(NodeSpec::bx2b());
+  EXPECT_DOUBLE_EQ(mlp.archive_cost(0.0), 0.0);
+  EXPECT_GT(mlp.archive_cost(1e6), 0.0);
+  EXPECT_DOUBLE_EQ(mlp.sync_cost(1), 0.0);
+  EXPECT_GT(mlp.sync_cost(36), mlp.sync_cost(2));
+}
+
+}  // namespace
+}  // namespace columbia::simomp
