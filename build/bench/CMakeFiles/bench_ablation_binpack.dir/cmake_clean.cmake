@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_binpack.dir/experiment_main.cpp.o"
+  "CMakeFiles/bench_ablation_binpack.dir/experiment_main.cpp.o.d"
+  "bench_ablation_binpack"
+  "bench_ablation_binpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_binpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_io.dir/experiment_main.cpp.o"
+  "CMakeFiles/bench_ext_io.dir/experiment_main.cpp.o.d"
+  "bench_ext_io"
+  "bench_ext_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_shmem.dir/experiment_main.cpp.o"
+  "CMakeFiles/bench_ext_shmem.dir/experiment_main.cpp.o.d"
+  "bench_ext_shmem"
+  "bench_ext_shmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_shmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

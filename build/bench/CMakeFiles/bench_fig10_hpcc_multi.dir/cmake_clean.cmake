@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_hpcc_multi.dir/experiment_main.cpp.o"
+  "CMakeFiles/bench_fig10_hpcc_multi.dir/experiment_main.cpp.o.d"
+  "bench_fig10_hpcc_multi"
+  "bench_fig10_hpcc_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_hpcc_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

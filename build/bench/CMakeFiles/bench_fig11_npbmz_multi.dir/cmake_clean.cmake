@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_npbmz_multi.dir/experiment_main.cpp.o"
+  "CMakeFiles/bench_fig11_npbmz_multi.dir/experiment_main.cpp.o.d"
+  "bench_fig11_npbmz_multi"
+  "bench_fig11_npbmz_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_npbmz_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_hpcc_single.dir/experiment_main.cpp.o"
+  "CMakeFiles/bench_fig5_hpcc_single.dir/experiment_main.cpp.o.d"
+  "bench_fig5_hpcc_single"
+  "bench_fig5_hpcc_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_hpcc_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

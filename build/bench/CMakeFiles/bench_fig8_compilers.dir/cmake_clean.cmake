@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_compilers.dir/experiment_main.cpp.o"
+  "CMakeFiles/bench_fig8_compilers.dir/experiment_main.cpp.o.d"
+  "bench_fig8_compilers"
+  "bench_fig8_compilers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_compilers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

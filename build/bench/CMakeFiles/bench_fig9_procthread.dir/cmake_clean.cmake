@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_procthread.dir/experiment_main.cpp.o"
+  "CMakeFiles/bench_fig9_procthread.dir/experiment_main.cpp.o.d"
+  "bench_fig9_procthread"
+  "bench_fig9_procthread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_procthread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

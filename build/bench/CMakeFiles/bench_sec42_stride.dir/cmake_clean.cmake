@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec42_stride.dir/experiment_main.cpp.o"
+  "CMakeFiles/bench_sec42_stride.dir/experiment_main.cpp.o.d"
+  "bench_sec42_stride"
+  "bench_sec42_stride.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec42_stride.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

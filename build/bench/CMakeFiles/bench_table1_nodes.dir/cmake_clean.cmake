@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_nodes.dir/experiment_main.cpp.o"
+  "CMakeFiles/bench_table1_nodes.dir/experiment_main.cpp.o.d"
+  "bench_table1_nodes"
+  "bench_table1_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

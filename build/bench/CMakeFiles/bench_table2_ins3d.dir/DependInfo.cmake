@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/experiment_main.cpp" "bench/CMakeFiles/bench_table2_ins3d.dir/experiment_main.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_ins3d.dir/experiment_main.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/col_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpcc/CMakeFiles/col_hpcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/npb/CMakeFiles/col_npb.dir/DependInfo.cmake"
+  "/root/repo/build/src/npbmz/CMakeFiles/col_npbmz.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/col_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfd/CMakeFiles/col_cfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/col_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simomp/CMakeFiles/col_simomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/col_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/overset/CMakeFiles/col_overset.dir/DependInfo.cmake"
+  "/root/repo/build/src/simshmem/CMakeFiles/col_simshmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/col_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/col_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/col_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

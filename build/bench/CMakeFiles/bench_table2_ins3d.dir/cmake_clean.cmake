@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_ins3d.dir/experiment_main.cpp.o"
+  "CMakeFiles/bench_table2_ins3d.dir/experiment_main.cpp.o.d"
+  "bench_table2_ins3d"
+  "bench_table2_ins3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ins3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_app_compilers.dir/experiment_main.cpp.o"
+  "CMakeFiles/bench_table4_app_compilers.dir/experiment_main.cpp.o.d"
+  "bench_table4_app_compilers"
+  "bench_table4_app_compilers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_app_compilers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_md.dir/experiment_main.cpp.o"
+  "CMakeFiles/bench_table5_md.dir/experiment_main.cpp.o.d"
+  "bench_table5_md"
+  "bench_table5_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

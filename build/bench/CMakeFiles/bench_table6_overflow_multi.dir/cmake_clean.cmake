@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_overflow_multi.dir/experiment_main.cpp.o"
+  "CMakeFiles/bench_table6_overflow_multi.dir/experiment_main.cpp.o.d"
+  "bench_table6_overflow_multi"
+  "bench_table6_overflow_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_overflow_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

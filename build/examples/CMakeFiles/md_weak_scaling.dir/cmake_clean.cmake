@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_weak_scaling.dir/md_weak_scaling.cpp.o"
+  "CMakeFiles/md_weak_scaling.dir/md_weak_scaling.cpp.o.d"
+  "md_weak_scaling"
+  "md_weak_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_weak_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

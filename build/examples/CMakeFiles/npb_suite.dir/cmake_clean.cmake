@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npb_suite.dir/npb_suite.cpp.o"
+  "CMakeFiles/npb_suite.dir/npb_suite.cpp.o.d"
+  "npb_suite"
+  "npb_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npb_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotor_wake.dir/rotor_wake.cpp.o"
+  "CMakeFiles/rotor_wake.dir/rotor_wake.cpp.o.d"
+  "rotor_wake"
+  "rotor_wake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotor_wake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rotor_wake.
+# This may be replaced when dependencies are built.

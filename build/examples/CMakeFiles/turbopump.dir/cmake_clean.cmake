@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbopump.dir/turbopump.cpp.o"
+  "CMakeFiles/turbopump.dir/turbopump.cpp.o.d"
+  "turbopump"
+  "turbopump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbopump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("machine")
+subdirs("perfmodel")
+subdirs("simmpi")
+subdirs("simomp")
+subdirs("simshmem")
+subdirs("hpcc")
+subdirs("npb")
+subdirs("npbmz")
+subdirs("md")
+subdirs("overset")
+subdirs("cfd")
+subdirs("core")

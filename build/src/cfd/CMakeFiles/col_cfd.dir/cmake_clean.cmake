@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/col_cfd.dir/ac_solver.cpp.o"
+  "CMakeFiles/col_cfd.dir/ac_solver.cpp.o.d"
+  "CMakeFiles/col_cfd.dir/apps.cpp.o"
+  "CMakeFiles/col_cfd.dir/apps.cpp.o.d"
+  "CMakeFiles/col_cfd.dir/ins3d_multinode.cpp.o"
+  "CMakeFiles/col_cfd.dir/ins3d_multinode.cpp.o.d"
+  "CMakeFiles/col_cfd.dir/lusgs.cpp.o"
+  "CMakeFiles/col_cfd.dir/lusgs.cpp.o.d"
+  "libcol_cfd.a"
+  "libcol_cfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/col_cfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

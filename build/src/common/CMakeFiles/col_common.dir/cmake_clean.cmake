@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/col_common.dir/decompose.cpp.o"
+  "CMakeFiles/col_common.dir/decompose.cpp.o.d"
+  "CMakeFiles/col_common.dir/rng.cpp.o"
+  "CMakeFiles/col_common.dir/rng.cpp.o.d"
+  "CMakeFiles/col_common.dir/stats.cpp.o"
+  "CMakeFiles/col_common.dir/stats.cpp.o.d"
+  "CMakeFiles/col_common.dir/table.cpp.o"
+  "CMakeFiles/col_common.dir/table.cpp.o.d"
+  "libcol_common.a"
+  "libcol_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/col_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

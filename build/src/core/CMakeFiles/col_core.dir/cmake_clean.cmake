@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/col_core.dir/experiment.cpp.o"
+  "CMakeFiles/col_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/col_core.dir/figures_apps.cpp.o"
+  "CMakeFiles/col_core.dir/figures_apps.cpp.o.d"
+  "CMakeFiles/col_core.dir/figures_ext.cpp.o"
+  "CMakeFiles/col_core.dir/figures_ext.cpp.o.d"
+  "CMakeFiles/col_core.dir/figures_hpcc.cpp.o"
+  "CMakeFiles/col_core.dir/figures_hpcc.cpp.o.d"
+  "CMakeFiles/col_core.dir/figures_npb.cpp.o"
+  "CMakeFiles/col_core.dir/figures_npb.cpp.o.d"
+  "libcol_core.a"
+  "libcol_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/col_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/col_hpcc.dir/beff.cpp.o"
+  "CMakeFiles/col_hpcc.dir/beff.cpp.o.d"
+  "CMakeFiles/col_hpcc.dir/dgemm.cpp.o"
+  "CMakeFiles/col_hpcc.dir/dgemm.cpp.o.d"
+  "CMakeFiles/col_hpcc.dir/hpl.cpp.o"
+  "CMakeFiles/col_hpcc.dir/hpl.cpp.o.d"
+  "CMakeFiles/col_hpcc.dir/stream.cpp.o"
+  "CMakeFiles/col_hpcc.dir/stream.cpp.o.d"
+  "libcol_hpcc.a"
+  "libcol_hpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/col_hpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/cluster.cpp" "src/machine/CMakeFiles/col_machine.dir/cluster.cpp.o" "gcc" "src/machine/CMakeFiles/col_machine.dir/cluster.cpp.o.d"
+  "/root/repo/src/machine/io_model.cpp" "src/machine/CMakeFiles/col_machine.dir/io_model.cpp.o" "gcc" "src/machine/CMakeFiles/col_machine.dir/io_model.cpp.o.d"
+  "/root/repo/src/machine/network.cpp" "src/machine/CMakeFiles/col_machine.dir/network.cpp.o" "gcc" "src/machine/CMakeFiles/col_machine.dir/network.cpp.o.d"
+  "/root/repo/src/machine/placement.cpp" "src/machine/CMakeFiles/col_machine.dir/placement.cpp.o" "gcc" "src/machine/CMakeFiles/col_machine.dir/placement.cpp.o.d"
+  "/root/repo/src/machine/spec.cpp" "src/machine/CMakeFiles/col_machine.dir/spec.cpp.o" "gcc" "src/machine/CMakeFiles/col_machine.dir/spec.cpp.o.d"
+  "/root/repo/src/machine/topology.cpp" "src/machine/CMakeFiles/col_machine.dir/topology.cpp.o" "gcc" "src/machine/CMakeFiles/col_machine.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/col_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/col_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

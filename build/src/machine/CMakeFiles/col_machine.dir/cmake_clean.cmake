@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/col_machine.dir/cluster.cpp.o"
+  "CMakeFiles/col_machine.dir/cluster.cpp.o.d"
+  "CMakeFiles/col_machine.dir/io_model.cpp.o"
+  "CMakeFiles/col_machine.dir/io_model.cpp.o.d"
+  "CMakeFiles/col_machine.dir/network.cpp.o"
+  "CMakeFiles/col_machine.dir/network.cpp.o.d"
+  "CMakeFiles/col_machine.dir/placement.cpp.o"
+  "CMakeFiles/col_machine.dir/placement.cpp.o.d"
+  "CMakeFiles/col_machine.dir/spec.cpp.o"
+  "CMakeFiles/col_machine.dir/spec.cpp.o.d"
+  "CMakeFiles/col_machine.dir/topology.cpp.o"
+  "CMakeFiles/col_machine.dir/topology.cpp.o.d"
+  "libcol_machine.a"
+  "libcol_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/col_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/col_md.dir/domain.cpp.o"
+  "CMakeFiles/col_md.dir/domain.cpp.o.d"
+  "CMakeFiles/col_md.dir/parallel.cpp.o"
+  "CMakeFiles/col_md.dir/parallel.cpp.o.d"
+  "CMakeFiles/col_md.dir/system.cpp.o"
+  "CMakeFiles/col_md.dir/system.cpp.o.d"
+  "libcol_md.a"
+  "libcol_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/col_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

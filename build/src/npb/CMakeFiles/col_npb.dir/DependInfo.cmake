@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/npb/bt.cpp" "src/npb/CMakeFiles/col_npb.dir/bt.cpp.o" "gcc" "src/npb/CMakeFiles/col_npb.dir/bt.cpp.o.d"
+  "/root/repo/src/npb/cg.cpp" "src/npb/CMakeFiles/col_npb.dir/cg.cpp.o" "gcc" "src/npb/CMakeFiles/col_npb.dir/cg.cpp.o.d"
+  "/root/repo/src/npb/classes.cpp" "src/npb/CMakeFiles/col_npb.dir/classes.cpp.o" "gcc" "src/npb/CMakeFiles/col_npb.dir/classes.cpp.o.d"
+  "/root/repo/src/npb/distributed.cpp" "src/npb/CMakeFiles/col_npb.dir/distributed.cpp.o" "gcc" "src/npb/CMakeFiles/col_npb.dir/distributed.cpp.o.d"
+  "/root/repo/src/npb/ft.cpp" "src/npb/CMakeFiles/col_npb.dir/ft.cpp.o" "gcc" "src/npb/CMakeFiles/col_npb.dir/ft.cpp.o.d"
+  "/root/repo/src/npb/mg.cpp" "src/npb/CMakeFiles/col_npb.dir/mg.cpp.o" "gcc" "src/npb/CMakeFiles/col_npb.dir/mg.cpp.o.d"
+  "/root/repo/src/npb/par.cpp" "src/npb/CMakeFiles/col_npb.dir/par.cpp.o" "gcc" "src/npb/CMakeFiles/col_npb.dir/par.cpp.o.d"
+  "/root/repo/src/npb/sp.cpp" "src/npb/CMakeFiles/col_npb.dir/sp.cpp.o" "gcc" "src/npb/CMakeFiles/col_npb.dir/sp.cpp.o.d"
+  "/root/repo/src/npb/sparse.cpp" "src/npb/CMakeFiles/col_npb.dir/sparse.cpp.o" "gcc" "src/npb/CMakeFiles/col_npb.dir/sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simmpi/CMakeFiles/col_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simomp/CMakeFiles/col_simomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/col_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/col_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/col_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/col_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

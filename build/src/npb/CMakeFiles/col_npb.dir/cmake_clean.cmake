@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/col_npb.dir/bt.cpp.o"
+  "CMakeFiles/col_npb.dir/bt.cpp.o.d"
+  "CMakeFiles/col_npb.dir/cg.cpp.o"
+  "CMakeFiles/col_npb.dir/cg.cpp.o.d"
+  "CMakeFiles/col_npb.dir/classes.cpp.o"
+  "CMakeFiles/col_npb.dir/classes.cpp.o.d"
+  "CMakeFiles/col_npb.dir/distributed.cpp.o"
+  "CMakeFiles/col_npb.dir/distributed.cpp.o.d"
+  "CMakeFiles/col_npb.dir/ft.cpp.o"
+  "CMakeFiles/col_npb.dir/ft.cpp.o.d"
+  "CMakeFiles/col_npb.dir/mg.cpp.o"
+  "CMakeFiles/col_npb.dir/mg.cpp.o.d"
+  "CMakeFiles/col_npb.dir/par.cpp.o"
+  "CMakeFiles/col_npb.dir/par.cpp.o.d"
+  "CMakeFiles/col_npb.dir/sp.cpp.o"
+  "CMakeFiles/col_npb.dir/sp.cpp.o.d"
+  "CMakeFiles/col_npb.dir/sparse.cpp.o"
+  "CMakeFiles/col_npb.dir/sparse.cpp.o.d"
+  "libcol_npb.a"
+  "libcol_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/col_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

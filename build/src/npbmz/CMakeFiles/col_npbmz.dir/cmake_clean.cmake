@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/col_npbmz.dir/balance.cpp.o"
+  "CMakeFiles/col_npbmz.dir/balance.cpp.o.d"
+  "CMakeFiles/col_npbmz.dir/hybrid.cpp.o"
+  "CMakeFiles/col_npbmz.dir/hybrid.cpp.o.d"
+  "CMakeFiles/col_npbmz.dir/zones.cpp.o"
+  "CMakeFiles/col_npbmz.dir/zones.cpp.o.d"
+  "libcol_npbmz.a"
+  "libcol_npbmz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/col_npbmz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

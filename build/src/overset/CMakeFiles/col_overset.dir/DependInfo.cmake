@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overset/block.cpp" "src/overset/CMakeFiles/col_overset.dir/block.cpp.o" "gcc" "src/overset/CMakeFiles/col_overset.dir/block.cpp.o.d"
+  "/root/repo/src/overset/grouping.cpp" "src/overset/CMakeFiles/col_overset.dir/grouping.cpp.o" "gcc" "src/overset/CMakeFiles/col_overset.dir/grouping.cpp.o.d"
+  "/root/repo/src/overset/interp.cpp" "src/overset/CMakeFiles/col_overset.dir/interp.cpp.o" "gcc" "src/overset/CMakeFiles/col_overset.dir/interp.cpp.o.d"
+  "/root/repo/src/overset/system.cpp" "src/overset/CMakeFiles/col_overset.dir/system.cpp.o" "gcc" "src/overset/CMakeFiles/col_overset.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/col_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

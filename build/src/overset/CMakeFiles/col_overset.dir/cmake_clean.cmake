@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/col_overset.dir/block.cpp.o"
+  "CMakeFiles/col_overset.dir/block.cpp.o.d"
+  "CMakeFiles/col_overset.dir/grouping.cpp.o"
+  "CMakeFiles/col_overset.dir/grouping.cpp.o.d"
+  "CMakeFiles/col_overset.dir/interp.cpp.o"
+  "CMakeFiles/col_overset.dir/interp.cpp.o.d"
+  "CMakeFiles/col_overset.dir/system.cpp.o"
+  "CMakeFiles/col_overset.dir/system.cpp.o.d"
+  "libcol_overset.a"
+  "libcol_overset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/col_overset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

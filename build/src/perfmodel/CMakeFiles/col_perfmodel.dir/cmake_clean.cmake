@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/col_perfmodel.dir/compiler.cpp.o"
+  "CMakeFiles/col_perfmodel.dir/compiler.cpp.o.d"
+  "CMakeFiles/col_perfmodel.dir/compute.cpp.o"
+  "CMakeFiles/col_perfmodel.dir/compute.cpp.o.d"
+  "libcol_perfmodel.a"
+  "libcol_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/col_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

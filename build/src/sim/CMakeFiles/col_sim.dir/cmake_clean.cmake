@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/col_sim.dir/barrier.cpp.o"
+  "CMakeFiles/col_sim.dir/barrier.cpp.o.d"
+  "CMakeFiles/col_sim.dir/engine.cpp.o"
+  "CMakeFiles/col_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/col_sim.dir/resource.cpp.o"
+  "CMakeFiles/col_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/col_sim.dir/trace.cpp.o"
+  "CMakeFiles/col_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/col_sim.dir/trigger.cpp.o"
+  "CMakeFiles/col_sim.dir/trigger.cpp.o.d"
+  "libcol_sim.a"
+  "libcol_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/col_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

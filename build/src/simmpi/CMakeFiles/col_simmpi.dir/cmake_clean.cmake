@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/col_simmpi.dir/world.cpp.o"
+  "CMakeFiles/col_simmpi.dir/world.cpp.o.d"
+  "libcol_simmpi.a"
+  "libcol_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/col_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/col_simomp.dir/mlp.cpp.o"
+  "CMakeFiles/col_simomp.dir/mlp.cpp.o.d"
+  "CMakeFiles/col_simomp.dir/omp_model.cpp.o"
+  "CMakeFiles/col_simomp.dir/omp_model.cpp.o.d"
+  "libcol_simomp.a"
+  "libcol_simomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/col_simomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/col_simshmem.dir/shmem.cpp.o"
+  "CMakeFiles/col_simshmem.dir/shmem.cpp.o.d"
+  "libcol_simshmem.a"
+  "libcol_simshmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/col_simshmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfd.dir/test_cfd.cpp.o"
+  "CMakeFiles/test_cfd.dir/test_cfd.cpp.o.d"
+  "test_cfd"
+  "test_cfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

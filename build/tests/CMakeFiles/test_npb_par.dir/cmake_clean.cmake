@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_npb_par.dir/test_npb_par.cpp.o"
+  "CMakeFiles/test_npb_par.dir/test_npb_par.cpp.o.d"
+  "test_npb_par"
+  "test_npb_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_npb_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

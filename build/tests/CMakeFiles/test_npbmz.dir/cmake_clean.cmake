@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_npbmz.dir/test_npbmz.cpp.o"
+  "CMakeFiles/test_npbmz.dir/test_npbmz.cpp.o.d"
+  "test_npbmz"
+  "test_npbmz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_npbmz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

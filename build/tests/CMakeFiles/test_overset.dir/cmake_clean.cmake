@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overset.dir/test_overset.cpp.o"
+  "CMakeFiles/test_overset.dir/test_overset.cpp.o.d"
+  "test_overset"
+  "test_overset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simomp.dir/test_simomp.cpp.o"
+  "CMakeFiles/test_simomp.dir/test_simomp.cpp.o.d"
+  "test_simomp"
+  "test_simomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
