@@ -1,0 +1,215 @@
+// Full-registry benchmark: regenerates every experiment in the registry,
+// sequentially (the baseline) and host-parallel through the thread pool,
+// verifies the two produce byte-identical reports, and writes the
+// aggregate timing to bench_results/BENCH_summary.json so the perf
+// trajectory of the harness is tracked PR over PR.
+//
+//   bench_all [--repeat N] [--jobs N] [--mode seq|par|both]
+//             [--strategy outer|inner] [--out FILE]
+//
+// Strategies for the parallel pass:
+//   outer — one pool task per experiment (default; coarse, low overhead)
+//   inner — experiments in order, each one's scenarios fanned out
+//           (finer grain; better when one experiment dominates)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "common/parallel.hpp"
+#include "core/experiment.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using columbia::bench::ExperimentTiming;
+using columbia::core::Exec;
+using columbia::core::Experiment;
+using columbia::core::Report;
+
+struct PassResult {
+  double total_seconds = 0.0;
+  std::uint64_t events = 0;
+  std::vector<std::string> rendered;  ///< one per experiment, registry order
+  std::vector<ExperimentTiming> timings;  ///< sequential pass only
+};
+
+PassResult run_sequential(const std::vector<Experiment>& registry,
+                          int repeat) {
+  PassResult pass;
+  const std::uint64_t events_before = columbia::sim::total_events_processed();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& exp : registry) {
+    Report report;
+    auto timing = columbia::bench::time_experiment(exp, Exec::sequential(),
+                                                   repeat, &report);
+    pass.rendered.push_back(report.render());
+    pass.timings.push_back(std::move(timing));
+  }
+  pass.total_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  pass.events = columbia::sim::total_events_processed() - events_before;
+  return pass;
+}
+
+PassResult run_parallel(const std::vector<Experiment>& registry, int repeat,
+                        int jobs, const std::string& strategy) {
+  PassResult pass;
+  pass.rendered.resize(registry.size());
+  const std::uint64_t events_before = columbia::sim::total_events_processed();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < repeat; ++rep) {
+    if (strategy == "inner") {
+      for (std::size_t i = 0; i < registry.size(); ++i) {
+        pass.rendered[i] = registry[i].run_exec(Exec::parallel(jobs)).render();
+      }
+    } else {
+      columbia::common::parallel_for(
+          registry.size(),
+          [&](std::size_t i) {
+            pass.rendered[i] =
+                registry[i].run_exec(Exec::parallel(jobs)).render();
+          },
+          jobs);
+    }
+  }
+  pass.total_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count() /
+                       repeat;
+  pass.events =
+      (columbia::sim::total_events_processed() - events_before) / repeat;
+  return pass;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int repeat = 1;
+  int jobs = 0;
+  std::string mode = "both";
+  std::string strategy = "outer";
+  std::string out = "bench_results/BENCH_summary.json";
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--repeat") == 0) {
+      repeat = std::max(1, std::atoi(next("--repeat")));
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      jobs = std::atoi(next("--jobs"));
+    } else if (std::strcmp(argv[i], "--mode") == 0) {
+      mode = next("--mode");
+    } else if (std::strcmp(argv[i], "--strategy") == 0) {
+      strategy = next("--strategy");
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out = next("--out");
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--repeat N] [--jobs N] [--mode seq|par|both] "
+                   "[--strategy outer|inner] [--out FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const int effective_jobs =
+      jobs > 0 ? jobs : columbia::common::ThreadPool::default_jobs();
+  const auto& registry = columbia::core::experiment_registry();
+
+  PassResult seq, par;
+  const bool want_seq = mode == "both" || mode == "seq";
+  const bool want_par = mode == "both" || mode == "par";
+  if (want_seq) {
+    std::printf("sequential baseline: %zu experiments x%d...\n",
+                registry.size(), repeat);
+    seq = run_sequential(registry, repeat);
+    std::printf("  %.2f s total, %.0f events/s\n", seq.total_seconds,
+                seq.events / std::max(seq.total_seconds, 1e-12));
+  }
+  if (want_par) {
+    std::printf("parallel (%s, %d jobs): %zu experiments x%d...\n",
+                strategy.c_str(), effective_jobs, registry.size(), repeat);
+    par = run_parallel(registry, repeat, jobs, strategy);
+    std::printf("  %.2f s total, %.0f events/s\n", par.total_seconds,
+                par.events / std::max(par.total_seconds, 1e-12));
+  }
+
+  bool identical = true;
+  if (want_seq && want_par) {
+    for (std::size_t i = 0; i < registry.size(); ++i) {
+      if (seq.rendered[i] != par.rendered[i]) {
+        identical = false;
+        std::fprintf(stderr, "MISMATCH: %s parallel != sequential\n",
+                     registry[i].id.c_str());
+      }
+    }
+    std::printf("speedup: %.2fx (reports %s)\n",
+                seq.total_seconds / std::max(par.total_seconds, 1e-12),
+                identical ? "identical" : "DIFFER");
+  }
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"host_cpus\": " << columbia::bench::host_cpus() << ",\n";
+  os << "  \"jobs\": " << effective_jobs << ",\n";
+  os << "  \"repeat\": " << repeat << ",\n";
+  os << "  \"strategy\": \"" << strategy << "\",\n";
+  os << "  \"num_experiments\": " << registry.size() << ",\n";
+  if (want_seq) {
+    os << "  \"sequential\": {\n";
+    os << "    \"total_seconds\": "
+       << columbia::bench::json_number(seq.total_seconds) << ",\n";
+    os << "    \"events\": " << seq.events << ",\n";
+    os << "    \"events_per_second\": "
+       << columbia::bench::json_number(
+              seq.events / std::max(seq.total_seconds, 1e-12))
+       << ",\n";
+    os << "    \"experiments\": [\n";
+    for (std::size_t i = 0; i < seq.timings.size(); ++i) {
+      os << columbia::bench::timing_to_json(seq.timings[i], 6)
+         << (i + 1 < seq.timings.size() ? ",\n" : "\n");
+    }
+    os << "    ]\n  }" << (want_par ? ",\n" : "\n");
+  }
+  if (want_par) {
+    os << "  \"parallel\": {\n";
+    os << "    \"total_seconds\": "
+       << columbia::bench::json_number(par.total_seconds) << ",\n";
+    os << "    \"events\": " << par.events << ",\n";
+    os << "    \"events_per_second\": "
+       << columbia::bench::json_number(
+              par.events / std::max(par.total_seconds, 1e-12))
+       << "\n  }" << (want_seq ? ",\n" : "\n");
+  }
+  if (want_seq && want_par) {
+    os << "  \"speedup\": "
+       << columbia::bench::json_number(
+              seq.total_seconds / std::max(par.total_seconds, 1e-12))
+       << ",\n";
+    os << "  \"reports_identical\": " << (identical ? "true" : "false")
+       << "\n";
+  }
+  os << "}\n";
+
+  std::error_code ec;
+  std::filesystem::create_directories(
+      std::filesystem::path(out).parent_path(), ec);
+  if (!columbia::bench::write_file(out, os.str())) {
+    std::fprintf(stderr, "could not write %s\n", out.c_str());
+  } else {
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return identical ? 0 : 1;
+}

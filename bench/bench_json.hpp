@@ -1,0 +1,104 @@
+#pragma once
+// Shared helpers for the bench binaries: wall-clock timing of one
+// experiment regeneration and minimal JSON emission for the
+// bench_results/BENCH_*.json perf-tracking files. Header-only, no
+// third-party JSON dependency.
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "sim/engine.hpp"
+
+namespace columbia::bench {
+
+/// Timing of `repeat` regenerations of one experiment.
+struct ExperimentTiming {
+  std::string id;
+  std::vector<double> wall_seconds;  ///< one entry per repetition
+  std::uint64_t events = 0;          ///< engine events over all repetitions
+  double events_per_second = 0.0;    ///< events / total wall
+
+  double best_seconds() const {
+    double best = wall_seconds.empty() ? 0.0 : wall_seconds.front();
+    for (double s : wall_seconds) best = s < best ? s : best;
+    return best;
+  }
+  double total_seconds() const {
+    double sum = 0.0;
+    for (double s : wall_seconds) sum += s;
+    return sum;
+  }
+};
+
+/// Runs `exp` `repeat` times under `exec` and measures each regeneration.
+/// The first run's report is returned through `first_report` when non-null
+/// (so callers can render/export without paying an extra run).
+inline ExperimentTiming time_experiment(const core::Experiment& exp,
+                                        const core::Exec& exec, int repeat,
+                                        core::Report* first_report = nullptr) {
+  ExperimentTiming t;
+  t.id = exp.id;
+  const std::uint64_t events_before = sim::total_events_processed();
+  for (int i = 0; i < repeat; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto report = exp.run_exec(exec);
+    const auto t1 = std::chrono::steady_clock::now();
+    t.wall_seconds.push_back(
+        std::chrono::duration<double>(t1 - t0).count());
+    if (i == 0 && first_report != nullptr) *first_report = std::move(report);
+  }
+  t.events = sim::total_events_processed() - events_before;
+  const double total = t.total_seconds();
+  t.events_per_second =
+      total > 0.0 ? static_cast<double>(t.events) / total : 0.0;
+  return t;
+}
+
+inline std::string json_number(double v) {
+  std::ostringstream os;
+  os.precision(9);
+  os << v;
+  return os.str();
+}
+
+/// Renders one timing as a JSON object (shared by BENCH_<id>.json and the
+/// per-experiment entries of BENCH_summary.json).
+inline std::string timing_to_json(const ExperimentTiming& t, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::ostringstream os;
+  os << pad << "{\n";
+  os << pad << "  \"id\": \"" << t.id << "\",\n";
+  os << pad << "  \"repeat\": " << t.wall_seconds.size() << ",\n";
+  os << pad << "  \"wall_seconds\": [";
+  for (std::size_t i = 0; i < t.wall_seconds.size(); ++i) {
+    os << (i ? ", " : "") << json_number(t.wall_seconds[i]);
+  }
+  os << "],\n";
+  os << pad << "  \"best_seconds\": " << json_number(t.best_seconds())
+     << ",\n";
+  os << pad << "  \"events\": " << t.events << ",\n";
+  os << pad << "  \"events_per_second\": " << json_number(t.events_per_second)
+     << "\n";
+  os << pad << "}";
+  return os.str();
+}
+
+inline int host_cpus() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+inline bool write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << body;
+  return static_cast<bool>(out);
+}
+
+}  // namespace columbia::bench

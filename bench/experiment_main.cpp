@@ -3,13 +3,24 @@
 // or figure of the paper (see core/experiment.hpp for the registry).
 // Besides the rendered report on stdout, every table/figure is exported
 // as CSV under bench_results/ for re-plotting.
+//
+// Flags:
+//   --repeat N     timing mode: regenerate N times, report per-run wall
+//                  clock and engine events/sec, and write
+//                  bench_results/BENCH_<id>.json
+//   --parallel     run the experiment's scenarios over the host thread
+//                  pool (COLUMBIA_JOBS / --jobs control the width)
+//   --jobs N       worker count for --parallel
 
-#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <string>
 
+#include "bench_json.hpp"
 #include "core/experiment.hpp"
 
 #ifndef COLUMBIA_EXPERIMENT_ID
@@ -43,9 +54,49 @@ void export_csv(const columbia::core::Report& report,
   for (const auto& f : report.figures) write_one(f.title(), f.csv());
 }
 
+void export_timing_json(const columbia::bench::ExperimentTiming& timing,
+                        const columbia::core::Exec& exec) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories("bench_results", ec);
+  if (ec) return;
+  std::ostringstream os;
+  os << "{\n  \"host_cpus\": " << columbia::bench::host_cpus() << ",\n"
+     << "  \"mode\": \""
+     << (exec.mode == columbia::core::Exec::Mode::Parallel ? "parallel"
+                                                           : "sequential")
+     << "\",\n  \"experiment\":\n"
+     << columbia::bench::timing_to_json(timing, 2) << "\n}\n";
+  columbia::bench::write_file(
+      (fs::path("bench_results") /
+       ("BENCH_" + std::string(COLUMBIA_EXPERIMENT_ID) + ".json"))
+          .string(),
+      os.str());
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  using columbia::core::Exec;
+  int repeat = 1;
+  Exec exec = Exec::sequential();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::atoi(argv[++i]);
+      if (repeat < 1) repeat = 1;
+    } else if (std::strcmp(argv[i], "--parallel") == 0) {
+      exec.mode = Exec::Mode::Parallel;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      exec.mode = Exec::Mode::Parallel;
+      exec.jobs = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--repeat N] [--parallel] [--jobs N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
   const auto* exp = columbia::core::find_experiment(COLUMBIA_EXPERIMENT_ID);
   if (exp == nullptr) {
     std::fprintf(stderr, "unknown experiment id: %s\n",
@@ -54,12 +105,22 @@ int main() {
   }
   std::printf("### %s — %s\n### %s\n\n", exp->id.c_str(),
               exp->paper_ref.c_str(), exp->title.c_str());
-  const auto t0 = std::chrono::steady_clock::now();
-  const auto report = exp->run();
-  const auto t1 = std::chrono::steady_clock::now();
+
+  columbia::core::Report report;
+  const auto timing =
+      columbia::bench::time_experiment(*exp, exec, repeat, &report);
   std::cout << report.render();
   export_csv(report, exp->id);
-  std::printf("[%s completed in %.1f s]\n", exp->id.c_str(),
-              std::chrono::duration<double>(t1 - t0).count());
+  if (repeat > 1) export_timing_json(timing, exec);
+
+  std::printf("[%s completed in %.1f s", exp->id.c_str(),
+              timing.wall_seconds.front());
+  if (repeat > 1) {
+    std::printf("; best of %d: %.3f s", repeat, timing.best_seconds());
+  }
+  if (timing.events > 0) {
+    std::printf("; %.0f events/s", timing.events_per_second);
+  }
+  std::printf("]\n");
   return 0;
 }

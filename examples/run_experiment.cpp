@@ -1,39 +1,113 @@
 // Experiment runner: regenerate any table/figure of the paper (or an
 // ablation/extension) by id, or list everything the registry covers.
 //
-//   $ ./run_experiment            # list all experiments
-//   $ ./run_experiment table2     # reproduce Table 2
-//   $ ./run_experiment fig6 fig8  # several in one go
+//   $ ./run_experiment                  # list all experiments
+//   $ ./run_experiment --list           # same, explicitly
+//   $ ./run_experiment table2           # reproduce Table 2
+//   $ ./run_experiment fig6 fig8        # several in one go
+//   $ ./run_experiment --filter ext-    # every id containing "ext-"
+//   $ ./run_experiment --parallel fig5  # scenarios over the thread pool
+//
+// Exits non-zero on an unknown id or a --filter that matches nothing.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
 
+namespace {
+
+void print_registry() {
+  using namespace columbia::core;
+  std::printf("columbia experiment registry (%d paper artifacts):\n\n",
+              paper_artifact_count());
+  std::printf("%-22s %-26s %s\n", "id", "paper reference", "title");
+  for (const auto& e : experiment_registry()) {
+    std::printf("%-22s %-26s %s\n", e.id.c_str(), e.paper_ref.c_str(),
+                e.title.c_str());
+  }
+}
+
+void run_one(const columbia::core::Experiment& exp,
+             const columbia::core::Exec& exec) {
+  std::printf("### %s — %s\n### %s\n\n", exp.id.c_str(),
+              exp.paper_ref.c_str(), exp.title.c_str());
+  std::cout << exp.run_exec(exec).render() << "\n";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace columbia::core;
-  if (argc < 2) {
-    std::printf("columbia experiment registry (%d paper artifacts):\n\n",
-                paper_artifact_count());
-    std::printf("%-22s %-26s %s\n", "id", "paper reference", "title");
-    for (const auto& e : experiment_registry()) {
-      std::printf("%-22s %-26s %s\n", e.id.c_str(), e.paper_ref.c_str(),
-                  e.title.c_str());
+  Exec exec = Exec::sequential();
+  std::vector<std::string> ids;
+  std::vector<std::string> filters;
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list") == 0) {
+      list_only = true;
+    } else if (std::strcmp(argv[i], "--filter") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--filter needs a substring argument\n");
+        return 2;
+      }
+      filters.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--parallel") == 0) {
+      exec.mode = Exec::Mode::Parallel;
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--jobs needs a number\n");
+        return 2;
+      }
+      exec.mode = Exec::Mode::Parallel;
+      exec.jobs = std::atoi(argv[++i]);
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: %s [--list] [--filter <substr>] "
+                   "[--parallel] [--jobs N] [<id> ...]\n",
+                   argv[i], argv[0]);
+      return 2;
+    } else {
+      ids.emplace_back(argv[i]);
     }
-    std::printf("\nusage: %s <id> [<id> ...]\n", argv[0]);
+  }
+
+  if (list_only || (ids.empty() && filters.empty())) {
+    print_registry();
+    if (!list_only) {
+      std::printf("\nusage: %s [--list] [--filter <substr>] [--parallel] "
+                  "[--jobs N] [<id> ...]\n",
+                  argv[0]);
+    }
     return 0;
   }
-  for (int i = 1; i < argc; ++i) {
-    const auto* exp = find_experiment(argv[i]);
+
+  for (const auto& id : ids) {
+    const auto* exp = find_experiment(id);
     if (exp == nullptr) {
-      std::fprintf(stderr, "unknown experiment id: %s (run without "
-                           "arguments for the list)\n",
-                   argv[i]);
+      std::fprintf(stderr, "unknown experiment id: %s (run with --list "
+                           "for the registry)\n",
+                   id.c_str());
       return 1;
     }
-    std::printf("### %s — %s\n### %s\n\n", exp->id.c_str(),
-                exp->paper_ref.c_str(), exp->title.c_str());
-    std::cout << exp->run().render() << "\n";
+    run_one(*exp, exec);
+  }
+  for (const auto& needle : filters) {
+    int matched = 0;
+    for (const auto& e : experiment_registry()) {
+      if (e.id.find(needle) == std::string::npos) continue;
+      ++matched;
+      run_one(e, exec);
+    }
+    if (matched == 0) {
+      std::fprintf(stderr, "--filter %s matched no experiment ids\n",
+                   needle.c_str());
+      return 1;
+    }
   }
   return 0;
 }

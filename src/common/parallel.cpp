@@ -1,0 +1,144 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace columbia::common {
+
+namespace {
+// Set for the lifetime of each pool worker; lets nested parallel_for
+// calls detect they are already inside the pool and run inline.
+thread_local bool t_on_pool_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  COL_REQUIRE(threads >= 1, "thread pool needs at least one worker");
+  ensure_workers(threads);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+int ThreadPool::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(workers_.size());
+}
+
+void ThreadPool::ensure_workers(int threads) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  COL_REQUIRE(!stop_, "ensure_workers on a stopped thread pool");
+  while (static_cast<int>(workers_.size()) < threads) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  auto future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    COL_REQUIRE(!stop_, "submit on a stopped thread pool");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::worker_loop() {
+  t_on_pool_worker = true;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ && drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions land in the associated future
+  }
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_pool_worker; }
+
+int ThreadPool::default_jobs() {
+  if (const char* env = std::getenv("COLUMBIA_JOBS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency())));
+  return pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  int jobs) {
+  if (jobs <= 0) jobs = ThreadPool::default_jobs();
+  const bool sequential =
+      n <= 1 || jobs == 1 || ThreadPool::on_worker_thread();
+  if (sequential) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex mutex;
+    std::size_t first_bad = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr exception;
+  } shared;
+
+  auto drain = [&shared, &fn, n] {
+    for (;;) {
+      if (shared.failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i =
+          shared.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        // Indices are claimed monotonically, so every index below a failed
+        // one has already started and will report if it also throws: the
+        // lowest-index exception wins deterministically.
+        if (i < shared.first_bad) {
+          shared.first_bad = i;
+          shared.exception = std::current_exception();
+        }
+        shared.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  // The calling thread participates, so `jobs` workers need jobs-1 helpers.
+  const int helpers = static_cast<int>(
+      std::min<std::size_t>(n, static_cast<std::size_t>(jobs)) - 1);
+  auto& pool = ThreadPool::shared();
+  pool.ensure_workers(helpers);
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<std::size_t>(helpers));
+  for (int i = 0; i < helpers; ++i) futures.push_back(pool.submit(drain));
+  drain();
+  for (auto& f : futures) f.get();  // drain() never throws; this joins
+
+  if (shared.exception) std::rethrow_exception(shared.exception);
+}
+
+}  // namespace columbia::common

@@ -1,0 +1,107 @@
+#pragma once
+/// \file parallel.hpp
+/// Host-side parallel execution for independent work items.
+///
+/// The simulator itself is single-threaded by design (one `sim::Engine`
+/// per scenario, deterministic event order), but a paper regeneration is
+/// a large set of *independent* scenarios — one engine each, no shared
+/// mutable state. This module provides the host-parallel layer that runs
+/// them: a plain fixed-size thread pool (no work stealing; the work items
+/// are coarse) with `parallel_for` / `parallel_map` helpers.
+///
+/// Guarantees:
+///  * Results are ordered by index regardless of execution interleaving.
+///  * The first exception (lowest index) thrown by a work item is
+///    rethrown on the calling thread; later items are not started once a
+///    failure is observed.
+///  * Nested calls are safe: a `parallel_for` issued from inside a pool
+///    worker runs inline on that worker (no deadlock, no oversubscription).
+///  * `COLUMBIA_JOBS=<n>` overrides the worker count; `COLUMBIA_JOBS=1`
+///    (or a single-CPU host) degenerates to a plain sequential loop on the
+///    calling thread.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace columbia::common {
+
+/// Fixed-size FIFO thread pool. Tasks are type-erased closures; `submit`
+/// returns a future that carries the task's exception if it throws.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const;
+
+  /// Grows the pool to at least `threads` workers (never shrinks). Used
+  /// when a caller explicitly requests more parallelism than the host has
+  /// CPUs (e.g. COLUMBIA_JOBS=8 on a laptop, or ThreadSanitizer runs).
+  void ensure_workers(int threads);
+
+  /// Enqueues `fn`; the returned future becomes ready when it finishes
+  /// (or rethrows what it threw).
+  std::future<void> submit(std::function<void()> fn);
+
+  /// True when called from one of this pool's worker threads.
+  static bool on_worker_thread();
+
+  /// Job count used when a caller passes `jobs == 0`: the value of the
+  /// COLUMBIA_JOBS environment variable if set and positive, otherwise
+  /// std::thread::hardware_concurrency() (at least 1). Read on every
+  /// call so tests can toggle the variable at runtime.
+  static int default_jobs();
+
+  /// Process-wide shared pool, created on first use with as many workers
+  /// as the host has CPUs (COLUMBIA_JOBS does not shrink it — per-call
+  /// job counts do).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+/// Invokes `fn(i)` for every i in [0, n), distributing indices over
+/// `jobs` workers of the shared pool (`jobs == 0` → default_jobs()).
+/// Blocks until all started items finish. Sequential fallback when
+/// jobs resolve to 1, n <= 1, or when already on a pool worker.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  int jobs = 0);
+
+/// Maps `fn` over [0, n); result i is fn(i). Ordering is by index, not by
+/// completion, so parallel and sequential execution produce identical
+/// vectors.
+template <typename F>
+auto parallel_map_n(std::size_t n, F&& fn, int jobs = 0)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using R = decltype(fn(std::size_t{0}));
+  std::vector<R> out(n);
+  parallel_for(
+      n, [&](std::size_t i) { out[i] = fn(i); }, jobs);
+  return out;
+}
+
+/// Maps `fn` over the items of a vector; result i is fn(items[i]).
+template <typename T, typename F>
+auto parallel_map(const std::vector<T>& items, F&& fn, int jobs = 0)
+    -> std::vector<decltype(fn(items[std::size_t{0}]))> {
+  return parallel_map_n(
+      items.size(), [&](std::size_t i) { return fn(items[i]); }, jobs);
+}
+
+}  // namespace columbia::common

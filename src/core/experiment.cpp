@@ -4,64 +4,81 @@
 
 namespace columbia::core {
 
+namespace {
+
+// Binds one driver function into both registry forms: the legacy
+// sequential `run` and the policy-aware `run_exec`.
+Experiment make(std::string id, std::string paper_ref, std::string title,
+                Report (*driver)(const Exec&)) {
+  Experiment e;
+  e.id = std::move(id);
+  e.paper_ref = std::move(paper_ref);
+  e.title = std::move(title);
+  e.run = [driver] { return driver(Exec::sequential()); };
+  e.run_exec = driver;
+  return e;
+}
+
+}  // namespace
+
 const std::vector<Experiment>& experiment_registry() {
   static const std::vector<Experiment> registry = {
-      {"table1", "Sec. 2, Table 1", "Altix node characteristics",
-       table1_node_characteristics},
-      {"fig5", "Sec. 4.1.1, Fig. 5",
-       "HPCC latency/bandwidth on one node of each type",
-       fig5_hpcc_single_box},
-      {"fig6", "Sec. 4.1.2, Fig. 6",
-       "NPB per-CPU rates (MPI and OpenMP) on the three node types",
-       fig6_npb_node_types},
-      {"table2", "Sec. 4.1.3, Table 2",
-       "INS3D turbopump: MLP groups x OpenMP threads, 3700 vs BX2b",
-       table2_ins3d},
-      {"table3", "Sec. 4.1.4, Table 3",
-       "OVERFLOW-D rotor: strong scaling, 3700 vs BX2b", table3_overflow},
-      {"sec42", "Sec. 4.2", "CPU stride effects on DGEMM/STREAM/b_eff",
-       sec42_cpu_stride},
-      {"fig7", "Sec. 4.3, Fig. 7",
-       "Thread pinning vs no pinning (SP-MZ class C)", fig7_pinning},
-      {"fig8", "Sec. 4.4, Fig. 8",
-       "Intel compiler versions on OpenMP NPB", fig8_compiler_versions},
-      {"table4", "Sec. 4.4, Table 4",
-       "INS3D and OVERFLOW-D under compilers 7.1 vs 8.1",
-       table4_app_compilers},
-      {"fig9", "Sec. 4.5, Fig. 9",
-       "Process/thread mixes for BT-MZ within one node",
-       fig9_process_thread_mixes},
-      {"fig10", "Sec. 4.6.1, Fig. 10",
-       "Multinode HPCC: NUMAlink4 vs InfiniBand", fig10_hpcc_multinode},
-      {"fig11", "Sec. 4.6.2, Fig. 11",
-       "NPB-MZ class E across four BX2b boxes", fig11_npbmz_multinode},
-      {"table5", "Sec. 4.6.3, Table 5",
-       "Molecular dynamics weak scaling to 2040 CPUs",
-       table5_md_weak_scaling},
-      {"table6", "Sec. 4.6.4, Table 6",
-       "OVERFLOW-D across BX2b nodes via NUMAlink4 and InfiniBand",
-       table6_overflow_multinode},
-      {"ext-linpack", "Sec. 1 (Top500)",
-       "Linpack on the full 20-node Columbia", ext_linpack},
-      {"ext-shmem", "Sec. 5 (future work)",
-       "SHMEM one-sided vs MPI two-sided transport", ext_shmem_vs_mpi},
-      {"ext-ins3d-multinode", "Sec. 5 (future work)",
-       "Multinode INS3D over SHMEM/NUMAlink4 vs MPI/InfiniBand",
-       ext_ins3d_multinode},
-      {"ext-io", "Sec. 4.6.4 (I/O caveat)",
-       "OVERFLOW-D under shared-parallel vs NFS filesystems",
-       ext_io_filesystems},
-      {"ext-classf", "Sec. 3.2 (new classes)",
-       "NPB-MZ Class F on the full 20-box Columbia", ext_class_f},
-      {"ablation-alltoall", "DESIGN.md",
-       "All-to-all algorithm choice (pairwise vs flood)",
-       ablation_alltoall_algorithms},
-      {"ablation-grouping", "DESIGN.md",
-       "Grouping strategy (connectivity-aware LPT vs round-robin)",
-       ablation_grouping_strategies},
-      {"ablation-cache", "DESIGN.md",
-       "Working-set crossover behind the BX2b cache jump",
-       ablation_cache_slab},
+      make("table1", "Sec. 2, Table 1", "Altix node characteristics",
+           table1_node_characteristics),
+      make("fig5", "Sec. 4.1.1, Fig. 5",
+           "HPCC latency/bandwidth on one node of each type",
+           fig5_hpcc_single_box),
+      make("fig6", "Sec. 4.1.2, Fig. 6",
+           "NPB per-CPU rates (MPI and OpenMP) on the three node types",
+           fig6_npb_node_types),
+      make("table2", "Sec. 4.1.3, Table 2",
+           "INS3D turbopump: MLP groups x OpenMP threads, 3700 vs BX2b",
+           table2_ins3d),
+      make("table3", "Sec. 4.1.4, Table 3",
+           "OVERFLOW-D rotor: strong scaling, 3700 vs BX2b", table3_overflow),
+      make("sec42", "Sec. 4.2", "CPU stride effects on DGEMM/STREAM/b_eff",
+           sec42_cpu_stride),
+      make("fig7", "Sec. 4.3, Fig. 7",
+           "Thread pinning vs no pinning (SP-MZ class C)", fig7_pinning),
+      make("fig8", "Sec. 4.4, Fig. 8",
+           "Intel compiler versions on OpenMP NPB", fig8_compiler_versions),
+      make("table4", "Sec. 4.4, Table 4",
+           "INS3D and OVERFLOW-D under compilers 7.1 vs 8.1",
+           table4_app_compilers),
+      make("fig9", "Sec. 4.5, Fig. 9",
+           "Process/thread mixes for BT-MZ within one node",
+           fig9_process_thread_mixes),
+      make("fig10", "Sec. 4.6.1, Fig. 10",
+           "Multinode HPCC: NUMAlink4 vs InfiniBand", fig10_hpcc_multinode),
+      make("fig11", "Sec. 4.6.2, Fig. 11",
+           "NPB-MZ class E across four BX2b boxes", fig11_npbmz_multinode),
+      make("table5", "Sec. 4.6.3, Table 5",
+           "Molecular dynamics weak scaling to 2040 CPUs",
+           table5_md_weak_scaling),
+      make("table6", "Sec. 4.6.4, Table 6",
+           "OVERFLOW-D across BX2b nodes via NUMAlink4 and InfiniBand",
+           table6_overflow_multinode),
+      make("ext-linpack", "Sec. 1 (Top500)",
+           "Linpack on the full 20-node Columbia", ext_linpack),
+      make("ext-shmem", "Sec. 5 (future work)",
+           "SHMEM one-sided vs MPI two-sided transport", ext_shmem_vs_mpi),
+      make("ext-ins3d-multinode", "Sec. 5 (future work)",
+           "Multinode INS3D over SHMEM/NUMAlink4 vs MPI/InfiniBand",
+           ext_ins3d_multinode),
+      make("ext-io", "Sec. 4.6.4 (I/O caveat)",
+           "OVERFLOW-D under shared-parallel vs NFS filesystems",
+           ext_io_filesystems),
+      make("ext-classf", "Sec. 3.2 (new classes)",
+           "NPB-MZ Class F on the full 20-box Columbia", ext_class_f),
+      make("ablation-alltoall", "DESIGN.md",
+           "All-to-all algorithm choice (pairwise vs flood)",
+           ablation_alltoall_algorithms),
+      make("ablation-grouping", "DESIGN.md",
+           "Grouping strategy (connectivity-aware LPT vs round-robin)",
+           ablation_grouping_strategies),
+      make("ablation-cache", "DESIGN.md",
+           "Working-set crossover behind the BX2b cache jump",
+           ablation_cache_slab),
   };
   return registry;
 }

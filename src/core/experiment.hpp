@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/figures.hpp"
+#include "core/scenario.hpp"
 
 namespace columbia::core {
 
@@ -17,7 +18,11 @@ struct Experiment {
   std::string id;         ///< e.g. "table2", "fig11", "ablation-grouping"
   std::string paper_ref;  ///< section/figure in the paper
   std::string title;
+  /// Sequential regeneration (back-compat; equals run_exec(sequential)).
   std::function<Report()> run;
+  /// Policy-aware regeneration: the driver's scenarios execute under the
+  /// given Exec (sequential or host-parallel), with identical output.
+  std::function<Report(const Exec&)> run_exec;
 };
 
 /// All experiments, in paper order (tables/figures first, ablations last).

@@ -5,12 +5,19 @@
 /// bench binaries are thin wrappers around these. The experiment registry
 /// (experiment.hpp) indexes them by paper id.
 ///
+/// Every driver decomposes its sweep into independent `Scenario` closures
+/// (one sim::Engine / model evaluation per point, see scenario.hpp) and
+/// assembles the Report from the ordered results, so the `Exec` policy
+/// chooses sequential or host-parallel execution without changing output
+/// byte-for-byte.
+///
 /// Simulation sizes are chosen so every driver completes in seconds on a
 /// laptop while exercising the same code paths as the full-scale runs.
 
 #include <vector>
 
 #include "common/table.hpp"
+#include "core/scenario.hpp"
 
 namespace columbia::core {
 
@@ -23,66 +30,66 @@ struct Report {
 };
 
 // --- §2 / Table 1 ----------------------------------------------------------
-Report table1_node_characteristics();
+Report table1_node_characteristics(const Exec& exec = {});
 
 // --- §4.1.1 / Fig. 5: HPCC on one node of each type -------------------------
-Report fig5_hpcc_single_box();
+Report fig5_hpcc_single_box(const Exec& exec = {});
 
 // --- §4.1.2 / Fig. 6: NPB (MPI + OpenMP) on the three node types ------------
-Report fig6_npb_node_types();
+Report fig6_npb_node_types(const Exec& exec = {});
 
 // --- §4.1.3 / Table 2: INS3D groups x threads, 3700 vs BX2b ------------------
-Report table2_ins3d();
+Report table2_ins3d(const Exec& exec = {});
 
 // --- §4.1.4 / Table 3: OVERFLOW-D strong scaling, 3700 vs BX2b ---------------
-Report table3_overflow();
+Report table3_overflow(const Exec& exec = {});
 
 // --- §4.2: CPU stride effects ------------------------------------------------
-Report sec42_cpu_stride();
+Report sec42_cpu_stride(const Exec& exec = {});
 
 // --- §4.3 / Fig. 7: pinning vs no pinning (SP-MZ class C) -------------------
-Report fig7_pinning();
+Report fig7_pinning(const Exec& exec = {});
 
 // --- §4.4 / Fig. 8: compiler versions on OpenMP NPB -------------------------
-Report fig8_compiler_versions();
+Report fig8_compiler_versions(const Exec& exec = {});
 
 // --- §4.4 / Table 4: INS3D and OVERFLOW-D under compilers 7.1 vs 8.1 ---------
-Report table4_app_compilers();
+Report table4_app_compilers(const Exec& exec = {});
 
 // --- §4.5 / Fig. 9: process/thread mixes for BT-MZ ---------------------------
-Report fig9_process_thread_mixes();
+Report fig9_process_thread_mixes(const Exec& exec = {});
 
 // --- §4.6.1 / Fig. 10: multinode HPCC, NUMAlink4 vs InfiniBand ---------------
-Report fig10_hpcc_multinode();
+Report fig10_hpcc_multinode(const Exec& exec = {});
 
 // --- §4.6.2 / Fig. 11: NPB-MZ class E across nodes ---------------------------
-Report fig11_npbmz_multinode();
+Report fig11_npbmz_multinode(const Exec& exec = {});
 
 // --- §4.6.3 / Table 5: molecular dynamics weak scaling -----------------------
-Report table5_md_weak_scaling();
+Report table5_md_weak_scaling(const Exec& exec = {});
 
 // --- §4.6.4 / Table 6: OVERFLOW-D across BX2b nodes --------------------------
-Report table6_overflow_multinode();
+Report table6_overflow_multinode(const Exec& exec = {});
 
 // --- Extensions (the paper's §5 future work, implemented) --------------------
 /// §1's Linpack anchor: 51.9 Tflop/s on the 20-node machine.
-Report ext_linpack();
+Report ext_linpack(const Exec& exec = {});
 /// SHMEM one-sided vs MPI two-sided transport.
-Report ext_shmem_vs_mpi();
+Report ext_shmem_vs_mpi(const Exec& exec = {});
 /// Multinode INS3D over SHMEM/NUMAlink4 vs MPI/InfiniBand.
-Report ext_ins3d_multinode();
+Report ext_ins3d_multinode(const Exec& exec = {});
 /// OVERFLOW-D per-step cost under the two 2004 filesystems (§4.6.4).
-Report ext_io_filesystems();
+Report ext_io_filesystems(const Exec& exec = {});
 /// NPB-MZ Class F on the full 20-box machine (defined in §3.2, never run).
-Report ext_class_f();
+Report ext_class_f(const Exec& exec = {});
 
 // --- Ablations (design choices called out in DESIGN.md) ----------------------
 /// All-to-all algorithm choice vs the FT/Fig. 6 result shape.
-Report ablation_alltoall_algorithms();
+Report ablation_alltoall_algorithms(const Exec& exec = {});
 /// Grouping strategy (connectivity-aware LPT vs naive round-robin) vs the
 /// Table 3 flattening.
-Report ablation_grouping_strategies();
+Report ablation_grouping_strategies(const Exec& exec = {});
 /// The cache-slab assumption behind the BX2b CFD advantage.
-Report ablation_cache_slab();
+Report ablation_cache_slab(const Exec& exec = {});
 
 }  // namespace columbia::core

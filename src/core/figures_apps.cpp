@@ -18,82 +18,137 @@ using machine::NodeType;
 using perfmodel::CompilerVersion;
 }  // namespace
 
-Report table2_ins3d() {
+Report table2_ins3d(const Exec& exec) {
+  struct Point {
+    int groups;
+    int threads;
+  };
+  std::vector<Point> points{{1, 1}};
+  for (int threads : {1, 2, 4, 8, 12, 14}) points.push_back({36, threads});
+
+  std::vector<Scenario> scenarios;
+  for (const auto& pt : points) {
+    scenarios.push_back(
+        {"table2/" + std::to_string(pt.groups) + "x" +
+             std::to_string(pt.threads),
+         [pt] {
+           const auto pump = overset::make_turbopump();
+           Ins3dConfig a;
+           a.node = NodeType::Altix3700;
+           a.mlp_groups = pt.groups;
+           a.threads_per_group = pt.threads;
+           Ins3dConfig b = a;
+           b.node = NodeType::AltixBX2b;
+           return std::vector<double>{
+               cfd::ins3d_model(pump, a).seconds_per_timestep,
+               cfd::ins3d_model(pump, b).seconds_per_timestep};
+         }});
+  }
+  const auto results = run_scenarios(scenarios, exec);
+
   Report r;
   Table t("Table 2: INS3D seconds per iteration (turbopump, 36 MLP groups)",
           {"CPUs (groups x threads)", "3700", "BX2b", "3700/BX2b"});
-  const auto pump = overset::make_turbopump();
-  auto row = [&](int groups, int threads) {
-    Ins3dConfig a;
-    a.node = NodeType::Altix3700;
-    a.mlp_groups = groups;
-    a.threads_per_group = threads;
-    Ins3dConfig b = a;
-    b.node = NodeType::AltixBX2b;
-    const double ta = cfd::ins3d_model(pump, a).seconds_per_timestep;
-    const double tb = cfd::ins3d_model(pump, b).seconds_per_timestep;
-    t.add_row({std::to_string(groups * threads) + " (" +
-                   std::to_string(groups) + "x" + std::to_string(threads) +
-                   ")",
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& pt = points[i];
+    const double ta = results[i][0];
+    const double tb = results[i][1];
+    t.add_row({std::to_string(pt.groups * pt.threads) + " (" +
+                   std::to_string(pt.groups) + "x" +
+                   std::to_string(pt.threads) + ")",
                Cell(ta, 1), Cell(tb, 1), Cell(ta / tb, 2)});
-  };
-  row(1, 1);
-  for (int threads : {1, 2, 4, 8, 12, 14}) row(36, threads);
+  }
   r.tables.push_back(std::move(t));
   return r;
 }
 
-Report table3_overflow() {
+Report table3_overflow(const Exec& exec) {
+  const std::vector<int> procs{36, 72, 144, 252, 508};
+  std::vector<Scenario> scenarios;
+  for (int p : procs) {
+    scenarios.push_back({"table3/" + std::to_string(p), [p] {
+                           const auto rotor = overset::make_rotor();
+                           auto c3700 = Cluster::single(NodeType::Altix3700);
+                           auto cbx2b = Cluster::single(NodeType::AltixBX2b);
+                           OverflowConfig cfg;
+                           cfg.nprocs = p;
+                           const auto a =
+                               cfd::overflow_model(rotor, c3700, cfg);
+                           const auto b =
+                               cfd::overflow_model(rotor, cbx2b, cfg);
+                           return std::vector<double>{
+                               a.comm_seconds_per_step,
+                               a.exec_seconds_per_step,
+                               b.comm_seconds_per_step,
+                               b.exec_seconds_per_step};
+                         }});
+  }
+  const auto results = run_scenarios(scenarios, exec);
+
   Report r;
   Table t("Table 3: OVERFLOW-D per step (rotor, 1679 blocks)",
           {"CPUs", "3700 comm (s)", "3700 exec (s)", "BX2b comm (s)",
            "BX2b exec (s)", "exec ratio"});
-  const auto rotor = overset::make_rotor();
-  auto c3700 = Cluster::single(NodeType::Altix3700);
-  auto cbx2b = Cluster::single(NodeType::AltixBX2b);
-  for (int p : {36, 72, 144, 252, 508}) {
-    OverflowConfig cfg;
-    cfg.nprocs = p;
-    const auto a = cfd::overflow_model(rotor, c3700, cfg);
-    const auto b = cfd::overflow_model(rotor, cbx2b, cfg);
-    t.add_row({p, Cell(a.comm_seconds_per_step, 3),
-               Cell(a.exec_seconds_per_step, 3),
-               Cell(b.comm_seconds_per_step, 3),
-               Cell(b.exec_seconds_per_step, 3),
-               Cell(a.exec_seconds_per_step / b.exec_seconds_per_step, 2)});
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    const auto& v = results[i];
+    t.add_row({procs[i], Cell(v[0], 3), Cell(v[1], 3), Cell(v[2], 3),
+               Cell(v[3], 3), Cell(v[1] / v[3], 2)});
   }
   r.tables.push_back(std::move(t));
   return r;
 }
 
-Report table4_app_compilers() {
+Report table4_app_compilers(const Exec& exec) {
+  // Rows 0-1: INS3D at 1 and 4 threads; rows 2-5: OVERFLOW-D CPU sweep.
+  const std::vector<int> ins3d_threads{1, 4};
+  const std::vector<int> overflow_procs{32, 64, 128, 256};
+  std::vector<Scenario> scenarios;
+  for (int threads : ins3d_threads) {
+    scenarios.push_back(
+        {"table4/ins3d/" + std::to_string(threads), [threads] {
+           const auto pump = overset::make_turbopump();
+           Ins3dConfig a;
+           a.threads_per_group = threads;
+           a.compiler = CompilerVersion::Intel7_1;
+           Ins3dConfig b = a;
+           b.compiler = CompilerVersion::Intel8_1;
+           return std::vector<double>{
+               cfd::ins3d_model(pump, a).seconds_per_timestep,
+               cfd::ins3d_model(pump, b).seconds_per_timestep};
+         }});
+  }
+  for (int p : overflow_procs) {
+    scenarios.push_back(
+        {"table4/overflow/" + std::to_string(p), [p] {
+           const auto rotor = overset::make_rotor();
+           auto c3700 = Cluster::single(NodeType::Altix3700);
+           OverflowConfig a;
+           a.nprocs = p;
+           a.compiler = CompilerVersion::Intel7_1;
+           OverflowConfig b = a;
+           b.compiler = CompilerVersion::Intel8_1;
+           return std::vector<double>{
+               cfd::overflow_model(rotor, c3700, a).exec_seconds_per_step,
+               cfd::overflow_model(rotor, c3700, b).exec_seconds_per_step};
+         }});
+  }
+  const auto results = run_scenarios(scenarios, exec);
+
   Report r;
   Table t("Table 4: INS3D and OVERFLOW-D under Intel compilers 7.1 vs 8.1",
           {"Application", "CPUs", "7.1 (s)", "8.1 (s)", "8.1/7.1"});
-  const auto pump = overset::make_turbopump();
-  for (int threads : {1, 4}) {
-    Ins3dConfig a;
-    a.threads_per_group = threads;
-    a.compiler = CompilerVersion::Intel7_1;
-    Ins3dConfig b = a;
-    b.compiler = CompilerVersion::Intel8_1;
-    const double ta = cfd::ins3d_model(pump, a).seconds_per_timestep;
-    const double tb = cfd::ins3d_model(pump, b).seconds_per_timestep;
+  std::size_t k = 0;
+  for (int threads : ins3d_threads) {
+    const double ta = results[k][0];
+    const double tb = results[k][1];
+    ++k;
     t.add_row({"INS3D (BX2b)", 36 * threads, Cell(ta, 2), Cell(tb, 2),
                Cell(tb / ta, 3)});
   }
-  const auto rotor = overset::make_rotor();
-  auto c3700 = Cluster::single(NodeType::Altix3700);
-  for (int p : {32, 64, 128, 256}) {
-    OverflowConfig a;
-    a.nprocs = p;
-    a.compiler = CompilerVersion::Intel7_1;
-    OverflowConfig b = a;
-    b.compiler = CompilerVersion::Intel8_1;
-    const double ta =
-        cfd::overflow_model(rotor, c3700, a).exec_seconds_per_step;
-    const double tb =
-        cfd::overflow_model(rotor, c3700, b).exec_seconds_per_step;
+  for (int p : overflow_procs) {
+    const double ta = results[k][0];
+    const double tb = results[k][1];
+    ++k;
     t.add_row({"OVERFLOW-D (3700)", p, Cell(ta, 3), Cell(tb, 3),
                Cell(tb / ta, 3)});
   }
@@ -101,54 +156,84 @@ Report table4_app_compilers() {
   return r;
 }
 
-Report table5_md_weak_scaling() {
+Report table5_md_weak_scaling(const Exec& exec) {
+  const std::vector<int> procs{1, 8, 64, 256, 512, 1020, 2040};
+  std::vector<Scenario> scenarios;
+  for (int p : procs) {
+    scenarios.push_back(
+        {"table5/" + std::to_string(p), [p] {
+           auto cluster = Cluster::numalink4_bx2b(4);
+           md::MdScalingConfig cfg;
+           cfg.n_nodes = p > 512 ? 4 : 1;
+           if (p % 4 == 0 && p > 512) cfg.n_nodes = 4;
+           // 1020/2040 mirror the paper's odd counts (4 boxes minus boot
+           // cpuset).
+           if (p == 1020) cfg.n_nodes = 4;
+           while (p % cfg.n_nodes != 0) --cfg.n_nodes;
+           const auto res = md::md_weak_scaling(cluster, p, cfg);
+           return std::vector<double>{static_cast<double>(res.total_atoms),
+                                      res.seconds_per_step,
+                                      res.comm_seconds_per_step,
+                                      res.comm_fraction()};
+         }});
+  }
+  const auto results = run_scenarios(scenarios, exec);
+
   Report r;
   Table t("Table 5: MD weak scaling, 64,000 atoms per CPU (NUMAlink4)",
           {"CPUs", "atoms", "sec/step", "comm sec/step", "comm frac"});
-  auto cluster = Cluster::numalink4_bx2b(4);
-  for (int p : {1, 8, 64, 256, 512, 1020, 2040}) {
-    md::MdScalingConfig cfg;
-    cfg.n_nodes = p > 512 ? 4 : 1;
-    if (p % 4 == 0 && p > 512) cfg.n_nodes = 4;
-    // 1020/2040 mirror the paper's odd counts (4 boxes minus boot cpuset).
-    if (p == 1020) cfg.n_nodes = 4;
-    while (p % cfg.n_nodes != 0) --cfg.n_nodes;
-    const auto res = md::md_weak_scaling(cluster, p, cfg);
-    t.add_row({p, static_cast<long long>(res.total_atoms),
-               Cell(res.seconds_per_step, 3),
-               Cell(res.comm_seconds_per_step, 4),
-               Cell(res.comm_fraction(), 4)});
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    const auto& v = results[i];
+    t.add_row({procs[i], static_cast<long long>(v[0]), Cell(v[1], 3),
+               Cell(v[2], 4), Cell(v[3], 4)});
   }
   r.tables.push_back(std::move(t));
   return r;
 }
 
-Report table6_overflow_multinode() {
+Report table6_overflow_multinode(const Exec& exec) {
+  struct Point {
+    int nodes;
+    int procs;
+  };
+  std::vector<Point> points;
+  for (int nodes : {1, 2, 4}) {
+    for (int p : {252, 504}) points.push_back({nodes, p});
+  }
+  std::vector<Scenario> scenarios;
+  for (const auto& pt : points) {
+    scenarios.push_back(
+        {"table6/" + std::to_string(pt.nodes) + "n/" +
+             std::to_string(pt.procs),
+         [pt] {
+           const auto rotor = overset::make_rotor();
+           auto nl = pt.nodes == 1 ? Cluster::single(NodeType::AltixBX2b)
+                                   : Cluster::numalink4_bx2b(pt.nodes);
+           auto ib = Cluster::infiniband_cluster(NodeType::AltixBX2b,
+                                                 std::max(2, pt.nodes));
+           OverflowConfig cfg;
+           cfg.nprocs = pt.procs;
+           cfg.n_nodes = pt.nodes;
+           const auto rn = cfd::overflow_model(rotor, nl, cfg);
+           OverflowConfig icfg = cfg;
+           icfg.n_nodes = std::max(2, pt.nodes);  // IB path needs >= 2 boxes
+           const auto ri = cfd::overflow_model(rotor, ib, icfg);
+           return std::vector<double>{
+               rn.comm_seconds_per_step, rn.exec_seconds_per_step,
+               ri.comm_seconds_per_step, ri.exec_seconds_per_step};
+         }});
+  }
+  const auto results = run_scenarios(scenarios, exec);
+
   Report r;
   Table t("Table 6: OVERFLOW-D across BX2b nodes, NUMAlink4 vs InfiniBand",
           {"# Nodes", "CPUs", "NL4 comm (s)", "NL4 exec (s)", "IB comm (s)",
            "IB exec (s)", "NL4/IB exec"});
-  const auto rotor = overset::make_rotor();
-  for (int nodes : {1, 2, 4}) {
-    auto nl = nodes == 1 ? Cluster::single(NodeType::AltixBX2b)
-                         : Cluster::numalink4_bx2b(nodes);
-    auto ib = Cluster::infiniband_cluster(NodeType::AltixBX2b,
-                                          std::max(2, nodes));
-    for (int p : {252, 504}) {
-      OverflowConfig cfg;
-      cfg.nprocs = p;
-      cfg.n_nodes = nodes;
-      const auto rn = cfd::overflow_model(rotor, nl, cfg);
-      OverflowConfig icfg = cfg;
-      icfg.n_nodes = std::max(2, nodes);  // IB path needs >= 2 boxes
-      const auto ri = cfd::overflow_model(rotor, ib, icfg);
-      t.add_row({nodes, p, Cell(rn.comm_seconds_per_step, 3),
-                 Cell(rn.exec_seconds_per_step, 3),
-                 Cell(ri.comm_seconds_per_step, 3),
-                 Cell(ri.exec_seconds_per_step, 3),
-                 Cell(rn.exec_seconds_per_step / ri.exec_seconds_per_step,
-                      3)});
-    }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& v = results[i];
+    t.add_row({points[i].nodes, points[i].procs, Cell(v[0], 3),
+               Cell(v[1], 3), Cell(v[2], 3), Cell(v[3], 3),
+               Cell(v[1] / v[3], 3)});
   }
   r.tables.push_back(std::move(t));
   return r;
@@ -156,7 +241,7 @@ Report table6_overflow_multinode() {
 
 // ---------------------------------------------------------------- ablations
 
-Report ablation_alltoall_algorithms() {
+Report ablation_alltoall_algorithms(const Exec& exec) {
   // Finding: the flood wins decisively for latency-bound sizes (it
   // overlaps all per-message round trips), but for bandwidth-bound
   // transposes it convoys — transfers hold their egress port while
@@ -164,71 +249,109 @@ Report ablation_alltoall_algorithms() {
   // the unscheduled arrival order makes such conflicts common. The
   // pairwise exchange's permutation rounds are conflict-free by
   // construction, which is exactly why MPI libraries schedule all-to-all.
+  const std::vector<double> sizes{8.0, 8192.0, 262144.0};
+  std::vector<Scenario> scenarios;
+  for (double bytes : sizes) {
+    scenarios.push_back(
+        {"ablation-alltoall/" + std::to_string(static_cast<long>(bytes)),
+         [bytes] {
+           auto run = [bytes](simmpi::Rank::AlltoallAlgo algo) {
+             auto cluster = Cluster::single(NodeType::AltixBX2b);
+             sim::Engine engine;
+             machine::Network network(engine, cluster);
+             simmpi::World world(engine, network,
+                                 machine::Placement::dense(cluster, 128));
+             return world.run(
+                 [&](simmpi::Rank& rank) -> sim::CoTask<void> {
+                   co_await rank.alltoall(bytes, algo);
+                 });
+           };
+           return std::vector<double>{
+               run(simmpi::Rank::AlltoallAlgo::Pairwise),
+               run(simmpi::Rank::AlltoallAlgo::Flood)};
+         }});
+  }
+  const auto results = run_scenarios(scenarios, exec);
+
   Report r;
   Table t("Ablation: all-to-all algorithm (128 CPUs, BX2b)",
           {"message bytes", "pairwise (ms)", "flood (ms)",
            "flood/pairwise"});
-  auto cluster = Cluster::single(NodeType::AltixBX2b);
-  for (double bytes : {8.0, 8192.0, 262144.0}) {
-    auto run = [&](simmpi::Rank::AlltoallAlgo algo) {
-      sim::Engine engine;
-      machine::Network network(engine, cluster);
-      simmpi::World world(engine, network,
-                          machine::Placement::dense(cluster, 128));
-      return world.run([&](simmpi::Rank& rank) -> sim::CoTask<void> {
-        co_await rank.alltoall(bytes, algo);
-      });
-    };
-    const double pw = run(simmpi::Rank::AlltoallAlgo::Pairwise);
-    const double fl = run(simmpi::Rank::AlltoallAlgo::Flood);
-    t.add_row({static_cast<long long>(bytes), Cell(pw * 1e3, 3),
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const double pw = results[i][0];
+    const double fl = results[i][1];
+    t.add_row({static_cast<long long>(sizes[i]), Cell(pw * 1e3, 3),
                Cell(fl * 1e3, 3), Cell(fl / pw, 3)});
   }
   r.tables.push_back(std::move(t));
   return r;
 }
 
-Report ablation_grouping_strategies() {
+Report ablation_grouping_strategies(const Exec& exec) {
+  const std::vector<int> group_counts{36, 128, 508};
+  std::vector<Scenario> scenarios;
+  for (int ngroups : group_counts) {
+    scenarios.push_back(
+        {"ablation-grouping/" + std::to_string(ngroups), [ngroups] {
+           const auto rotor = overset::make_rotor();
+           const auto smart = overset::group_blocks(rotor, ngroups);
+           // Naive alternative: round-robin by block id.
+           overset::Grouping naive;
+           naive.group_of_block.resize(
+               static_cast<std::size_t>(rotor.num_blocks()));
+           naive.load.assign(static_cast<std::size_t>(ngroups), 0.0);
+           for (int b = 0; b < rotor.num_blocks(); ++b) {
+             const int g = b % ngroups;
+             naive.group_of_block[static_cast<std::size_t>(b)] = g;
+             naive.load[static_cast<std::size_t>(g)] +=
+                 rotor.blocks()[static_cast<std::size_t>(b)].points();
+           }
+           return std::vector<double>{
+               smart.imbalance(),
+               overset::internalized_fraction(rotor, smart),
+               naive.imbalance(),
+               overset::internalized_fraction(rotor, naive)};
+         }});
+  }
+  const auto results = run_scenarios(scenarios, exec);
+
   Report r;
   Table t("Ablation: OVERFLOW-D grouping strategy (rotor system)",
           {"Groups", "LPT+connectivity imbalance", "internalized traffic",
            "round-robin imbalance", "rr internalized"});
-  const auto rotor = overset::make_rotor();
-  for (int ngroups : {36, 128, 508}) {
-    const auto smart = overset::group_blocks(rotor, ngroups);
-    // Naive alternative: round-robin by block id.
-    overset::Grouping naive;
-    naive.group_of_block.resize(
-        static_cast<std::size_t>(rotor.num_blocks()));
-    naive.load.assign(static_cast<std::size_t>(ngroups), 0.0);
-    for (int b = 0; b < rotor.num_blocks(); ++b) {
-      const int g = b % ngroups;
-      naive.group_of_block[static_cast<std::size_t>(b)] = g;
-      naive.load[static_cast<std::size_t>(g)] +=
-          rotor.blocks()[static_cast<std::size_t>(b)].points();
-    }
-    t.add_row({ngroups, Cell(smart.imbalance(), 3),
-               Cell(overset::internalized_fraction(rotor, smart), 3),
-               Cell(naive.imbalance(), 3),
-               Cell(overset::internalized_fraction(rotor, naive), 3)});
+  for (std::size_t i = 0; i < group_counts.size(); ++i) {
+    const auto& v = results[i];
+    t.add_row({group_counts[i], Cell(v[0], 3), Cell(v[1], 3), Cell(v[2], 3),
+               Cell(v[3], 3)});
   }
   r.tables.push_back(std::move(t));
   return r;
 }
 
-Report ablation_cache_slab() {
+Report ablation_cache_slab(const Exec& exec) {
+  const std::vector<int> procs{8, 16, 32, 64, 128, 256};
+  std::vector<Scenario> scenarios;
+  for (int p : procs) {
+    scenarios.push_back(
+        {"ablation-cache/" + std::to_string(p), [p] {
+           auto ca = Cluster::single(NodeType::AltixBX2a);
+           auto cb = Cluster::single(NodeType::AltixBX2b);
+           const auto spec = npb::npb_problem(npb::Benchmark::BT, 'B');
+           const auto ra = npb::npb_mpi_rate(npb::Benchmark::BT, 'B', ca, p);
+           const auto rb = npb::npb_mpi_rate(npb::Benchmark::BT, 'B', cb, p);
+           return std::vector<double>{
+               spec.working_set_bytes() / p / 1e6,
+               rb.gflops_per_cpu / ra.gflops_per_cpu};
+         }});
+  }
+  const auto results = run_scenarios(scenarios, exec);
+
   Report r;
   Table t("Ablation: NPB-class working sets vs the two L3 capacities",
           {"Benchmark", "CPUs", "ws/rank (MB)", "BX2b/BX2a per-CPU ratio"});
-  auto ca = Cluster::single(NodeType::AltixBX2a);
-  auto cb = Cluster::single(NodeType::AltixBX2b);
-  for (int p : {8, 16, 32, 64, 128, 256}) {
-    const auto spec = npb::npb_problem(npb::Benchmark::BT, 'B');
-    const double ws = spec.working_set_bytes() / p / 1e6;
-    const auto ra = npb::npb_mpi_rate(npb::Benchmark::BT, 'B', ca, p);
-    const auto rb = npb::npb_mpi_rate(npb::Benchmark::BT, 'B', cb, p);
-    t.add_row({"BT-B", p, Cell(ws, 2),
-               Cell(rb.gflops_per_cpu / ra.gflops_per_cpu, 3)});
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    t.add_row({"BT-B", procs[i], Cell(results[i][0], 2),
+               Cell(results[i][1], 3)});
   }
   r.tables.push_back(std::move(t));
   return r;

@@ -22,176 +22,261 @@ using machine::NodeType;
 using machine::Placement;
 }  // namespace
 
-Report ext_linpack() {
+Report ext_linpack(const Exec& exec) {
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"ext-linpack/full", [] {
+                         const auto inventory = hpcc::columbia_inventory();
+                         const auto full = hpcc::hpl_model(inventory);
+                         return std::vector<double>{
+                             hpcc::columbia_peak_flops(inventory) / 1e12,
+                             static_cast<double>(full.n), full.rmax / 1e12,
+                             full.efficiency};
+                       }});
+  scenarios.push_back(
+      {"ext-linpack/subsystem", [] {
+         // The 2048-CPU NUMAlink4 capability subsystem (paper: "13 Tflop/s
+         // peak").
+         std::vector<machine::NodeSpec> subsystem(4,
+                                                  machine::NodeSpec::bx2b());
+         hpcc::HplConfig sub_cfg;
+         sub_cfg.fabric = machine::FabricSpec::numalink4();
+         const auto sub = hpcc::hpl_model(subsystem, sub_cfg);
+         return std::vector<double>{
+             hpcc::columbia_peak_flops(subsystem) / 1e12,
+             static_cast<double>(sub.n), sub.rmax / 1e12, sub.efficiency};
+       }});
+  const auto results = run_scenarios(scenarios, exec);
+
   Report r;
   Table t("Extension: Linpack on the full 20-node Columbia (Nov 2004 "
           "Top500 #2)",
           {"Configuration", "CPUs", "Rpeak (Tflop/s)", "N",
            "Rmax (Tflop/s)", "efficiency"});
-  const auto inventory = hpcc::columbia_inventory();
-  const auto full = hpcc::hpl_model(inventory);
   t.add_row({"20 boxes (12x3700 + 3xBX2a + 5xBX2b), IB", 20 * 512,
-             Cell(hpcc::columbia_peak_flops(inventory) / 1e12, 1),
-             static_cast<long long>(full.n), Cell(full.rmax / 1e12, 1),
-             Cell(full.efficiency, 3)});
-  // The 2048-CPU NUMAlink4 capability subsystem (paper: "13 Tflop/s peak").
-  std::vector<machine::NodeSpec> subsystem(4, machine::NodeSpec::bx2b());
-  hpcc::HplConfig sub_cfg;
-  sub_cfg.fabric = machine::FabricSpec::numalink4();
-  const auto sub = hpcc::hpl_model(subsystem, sub_cfg);
-  t.add_row({"4 BX2b boxes, NUMAlink4", 4 * 512,
-             Cell(hpcc::columbia_peak_flops(subsystem) / 1e12, 1),
-             static_cast<long long>(sub.n), Cell(sub.rmax / 1e12, 1),
-             Cell(sub.efficiency, 3)});
+             Cell(results[0][0], 1),
+             static_cast<long long>(results[0][1]), Cell(results[0][2], 1),
+             Cell(results[0][3], 3)});
+  t.add_row({"4 BX2b boxes, NUMAlink4", 4 * 512, Cell(results[1][0], 1),
+             static_cast<long long>(results[1][1]), Cell(results[1][2], 1),
+             Cell(results[1][3], 3)});
   r.tables.push_back(std::move(t));
   return r;
 }
 
-Report ext_shmem_vs_mpi() {
+Report ext_shmem_vs_mpi(const Exec& exec) {
+  // One-way delivery between distant CPUs: time until the payload is in
+  // the destination's memory. MPI pays matching + (for large messages)
+  // the rendezvous handshake; a SHMEM put is a single traversal. One
+  // scenario per message size; each runs both transports on its own
+  // engines.
+  const std::vector<double> sizes{8.0, 1024.0, 65536.0, 1048576.0};
+  std::vector<Scenario> scenarios;
+  for (double bytes : sizes) {
+    scenarios.push_back(
+        {"ext-shmem/" + std::to_string(static_cast<long>(bytes)), [bytes] {
+           auto cluster = Cluster::single(NodeType::AltixBX2b);
+           const auto placement = Placement::dense(cluster, 64);
+           double mpi_s = 0.0;
+           {
+             sim::Engine engine;
+             machine::Network network(engine, cluster);
+             simmpi::World world(engine, network, placement);
+             mpi_s = world.run(
+                 [&](simmpi::Rank& rank) -> sim::CoTask<void> {
+                   if (rank.rank() == 0) {
+                     co_await rank.send(63, bytes, 0);
+                   } else if (rank.rank() == 63) {
+                     (void)co_await rank.recv(0, 0);
+                   }
+                 });
+           }
+           double shmem_s = 0.0;
+           {
+             sim::Engine engine;
+             machine::Network network(engine, cluster);
+             simshmem::ShmemWorld world(engine, network, placement);
+             // The makespan includes the asynchronous delivery completing.
+             shmem_s = world.run(
+                 [&](simshmem::Pe& pe) -> sim::CoTask<void> {
+                   if (pe.pe() == 0) {
+                     co_await pe.put(63, bytes);
+                     co_await pe.quiet();
+                   }
+                 });
+           }
+           return std::vector<double>{mpi_s, shmem_s};
+         }});
+  }
+  const auto results = run_scenarios(scenarios, exec);
+
   Report r;
   Table t("Extension: SHMEM one-sided vs MPI two-sided transport (BX2b)",
           {"Pattern", "MPI (usec)", "SHMEM (usec)", "SHMEM/MPI"});
-  auto cluster = Cluster::single(NodeType::AltixBX2b);
-  const auto placement = Placement::dense(cluster, 64);
-
-  // One-way delivery between distant CPUs: time until the payload is in
-  // the destination's memory. MPI pays matching + (for large messages)
-  // the rendezvous handshake; a SHMEM put is a single traversal.
-  auto mpi_time = [&](double bytes) {
-    sim::Engine engine;
-    machine::Network network(engine, cluster);
-    simmpi::World world(engine, network, placement);
-    return world.run([&](simmpi::Rank& rank) -> sim::CoTask<void> {
-      if (rank.rank() == 0) {
-        co_await rank.send(63, bytes, 0);
-      } else if (rank.rank() == 63) {
-        (void)co_await rank.recv(0, 0);
-      }
-    });
-  };
-  auto shmem_time = [&](double bytes) {
-    sim::Engine engine;
-    machine::Network network(engine, cluster);
-    simshmem::ShmemWorld world(engine, network, placement);
-    // The makespan includes the asynchronous delivery completing.
-    return world.run([&](simshmem::Pe& pe) -> sim::CoTask<void> {
-      if (pe.pe() == 0) {
-        co_await pe.put(63, bytes);
-        co_await pe.quiet();
-      }
-    });
-  };
-  for (double bytes : {8.0, 1024.0, 65536.0, 1048576.0}) {
-    const double m = mpi_time(bytes);
-    const double s = shmem_time(bytes);
-    t.add_row({std::to_string(static_cast<long>(bytes)) + " B one-way",
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const double m = results[i][0];
+    const double s = results[i][1];
+    t.add_row({std::to_string(static_cast<long>(sizes[i])) + " B one-way",
                Cell(m * 1e6, 2), Cell(s * 1e6, 2), Cell(s / m, 2)});
   }
   r.tables.push_back(std::move(t));
   return r;
 }
 
-Report ext_ins3d_multinode() {
+Report ext_ins3d_multinode(const Exec& exec) {
+  struct Point {
+    int nodes;
+    int threads;
+  };
+  std::vector<Point> points;
+  for (int nodes : {2, 4}) {
+    for (int threads : {2, 4}) points.push_back({nodes, threads});
+  }
+  std::vector<Scenario> scenarios;
+  for (const auto& pt : points) {
+    scenarios.push_back(
+        {"ext-ins3d-multinode/" + std::to_string(pt.nodes) + "n/" +
+             std::to_string(pt.threads) + "t",
+         [pt] {
+           const auto pump = overset::make_turbopump();
+           auto nl4 = Cluster::numalink4_bx2b(4);
+           auto ib = Cluster::infiniband_cluster(NodeType::AltixBX2b, 4);
+           cfd::Ins3dMultinodeConfig cfg;
+           cfg.n_nodes = pt.nodes;
+           cfg.groups_per_node = 36;
+           cfg.threads_per_group = pt.threads;
+           cfg.transport = cfd::BoundaryTransport::ShmemPut;
+           const auto rs = cfd::ins3d_multinode_model(pump, nl4, cfg);
+           cfg.transport = cfd::BoundaryTransport::MpiSendRecv;
+           const auto rm = cfd::ins3d_multinode_model(pump, ib, cfg);
+           return std::vector<double>{
+               rs.seconds_per_timestep, rs.comm_seconds_per_timestep,
+               rs.group_imbalance,      rm.seconds_per_timestep,
+               rm.comm_seconds_per_timestep, rm.group_imbalance};
+         }});
+  }
+  const auto results = run_scenarios(scenarios, exec);
+
   Report r;
   Table t("Extension: multinode INS3D (turbopump), SHMEM/NL4 vs MPI/IB",
           {"Nodes", "Groups x threads", "Transport", "sec/step",
            "cross-node comm (s)", "imbalance"});
-  const auto pump = overset::make_turbopump();
-  auto nl4 = Cluster::numalink4_bx2b(4);
-  auto ib = Cluster::infiniband_cluster(NodeType::AltixBX2b, 4);
-  for (int nodes : {2, 4}) {
-    for (int threads : {2, 4}) {
-      cfd::Ins3dMultinodeConfig cfg;
-      cfg.n_nodes = nodes;
-      cfg.groups_per_node = 36;
-      cfg.threads_per_group = threads;
-      cfg.transport = cfd::BoundaryTransport::ShmemPut;
-      const auto rs = cfd::ins3d_multinode_model(pump, nl4, cfg);
-      cfg.transport = cfd::BoundaryTransport::MpiSendRecv;
-      const auto rm = cfd::ins3d_multinode_model(pump, ib, cfg);
-      const std::string mix =
-          "36x" + std::to_string(threads) + " per node";
-      t.add_row({nodes, mix, "SHMEM / NUMAlink4",
-                 Cell(rs.seconds_per_timestep, 2),
-                 Cell(rs.comm_seconds_per_timestep, 3),
-                 Cell(rs.group_imbalance, 2)});
-      t.add_row({nodes, mix, "MPI / InfiniBand",
-                 Cell(rm.seconds_per_timestep, 2),
-                 Cell(rm.comm_seconds_per_timestep, 3),
-                 Cell(rm.group_imbalance, 2)});
-    }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& v = results[i];
+    const std::string mix =
+        "36x" + std::to_string(points[i].threads) + " per node";
+    t.add_row({points[i].nodes, mix, "SHMEM / NUMAlink4", Cell(v[0], 2),
+               Cell(v[1], 3), Cell(v[2], 2)});
+    t.add_row({points[i].nodes, mix, "MPI / InfiniBand", Cell(v[3], 2),
+               Cell(v[4], 3), Cell(v[5], 2)});
   }
   r.tables.push_back(std::move(t));
   return r;
 }
 
-Report ext_io_filesystems() {
+Report ext_io_filesystems(const Exec& exec) {
+  struct FabricCase {
+    std::string name;
+    bool numalink;
+  };
+  const std::vector<FabricCase> fabrics{{"NUMAlink4", true},
+                                        {"InfiniBand", false}};
+  // One q-file dump (5 variables, 75M points, doubles) every 100 steps.
+  const int interval = 100;
+
+  std::vector<Scenario> scenarios;
+  for (const auto& f : fabrics) {
+    scenarios.push_back(
+        {"ext-io/" + f.name, [numalink = f.numalink, interval] {
+           const auto rotor = overset::make_rotor();
+           const double dump_bytes = 5.0 * 8.0 * rotor.total_points();
+           auto cluster =
+               numalink ? Cluster::numalink4_bx2b(4)
+                        : Cluster::infiniband_cluster(NodeType::AltixBX2b, 4);
+           cfd::OverflowConfig cfg;
+           cfg.nprocs = 504;
+           cfg.n_nodes = 4;
+           const auto base = cfd::overflow_model(rotor, cluster, cfg);
+           std::vector<double> v{base.exec_seconds_per_step};
+           for (auto fs : {machine::FilesystemSpec::shared_parallel(),
+                           machine::FilesystemSpec::nfs_over_gige()}) {
+             const machine::IoModel io(fs);
+             v.push_back(io.per_step_cost(cfg.nprocs, dump_bytes, interval));
+           }
+           return v;
+         }});
+  }
+  const auto results = run_scenarios(scenarios, exec);
+
   Report r;
   Table t("Extension: OVERFLOW-D per-step cost under the two 2004 "
           "filesystems (504 CPUs, 4 BX2b boxes)",
           {"Fabric", "Filesystem", "compute+comm (s)", "I/O (s)",
            "total (s)", "I/O share"});
-  const auto rotor = overset::make_rotor();
-  // One q-file dump (5 variables, 75M points, doubles) every 100 steps.
-  const double dump_bytes = 5.0 * 8.0 * rotor.total_points();
-  const int interval = 100;
-
-  struct FabricCase {
-    std::string name;
-    Cluster cluster;
-  };
-  std::vector<FabricCase> fabrics;
-  fabrics.push_back({"NUMAlink4", Cluster::numalink4_bx2b(4)});
-  fabrics.push_back(
-      {"InfiniBand", Cluster::infiniband_cluster(NodeType::AltixBX2b, 4)});
-
-  for (auto& f : fabrics) {
-    cfd::OverflowConfig cfg;
-    cfg.nprocs = 504;
-    cfg.n_nodes = 4;
-    const auto base = cfd::overflow_model(rotor, f.cluster, cfg);
+  for (std::size_t i = 0; i < fabrics.size(); ++i) {
+    const double exec_s = results[i][0];
+    std::size_t fs_index = 1;
     for (auto fs : {machine::FilesystemSpec::shared_parallel(),
                     machine::FilesystemSpec::nfs_over_gige()}) {
-      const machine::IoModel io(fs);
-      const double io_cost = io.per_step_cost(cfg.nprocs, dump_bytes,
-                                              interval);
-      const double total = base.exec_seconds_per_step + io_cost;
-      t.add_row({f.name, machine::to_string(fs.kind),
-                 Cell(base.exec_seconds_per_step, 3), Cell(io_cost, 3),
-                 Cell(total, 3), Cell(io_cost / total, 3)});
+      const double io_cost = results[i][fs_index++];
+      const double total = exec_s + io_cost;
+      t.add_row({fabrics[i].name, machine::to_string(fs.kind),
+                 Cell(exec_s, 3), Cell(io_cost, 3), Cell(total, 3),
+                 Cell(io_cost / total, 3)});
     }
   }
   r.tables.push_back(std::move(t));
   return r;
 }
 
-Report ext_class_f() {
-  Report r;
-  Table t("Extension: NPB-MZ Class F (16384 zones, 12032x8960x250) on the "
-          "full 20-box InfiniBand Columbia",
-          {"Benchmark", "CPUs", "procs x threads", "Gflop/s total",
-           "Gflop/s per CPU", "imbalance"});
+Report ext_class_f(const Exec& exec) {
   // Class F was defined by the paper's authors (§3.2) to stress the full
   // machine but no Class F results appear in the paper — this is the run
   // the machine was being prepared for. The §2 InfiniBand connection
   // limit (~8*128/(n-1) processes per node) makes pure MPI impossible
   // past three boxes, so the larger runs are hybrid by necessity: the
   // 20-box configuration needs ten OpenMP threads per MPI process.
-  auto columbia = Cluster::infiniband_cluster(NodeType::AltixBX2b, 20);
+  struct Point {
+    npbmz::MzBenchmark bench;
+    int procs;
+    int threads;
+    int nodes;
+  };
+  std::vector<Point> points;
   for (auto bench : {npbmz::MzBenchmark::BTMZ, npbmz::MzBenchmark::SPMZ}) {
-    for (const auto& [procs, threads, nodes] :
-         {std::tuple{1536, 1, 3}, std::tuple{1000, 5, 10},
-          std::tuple{1000, 10, 20}}) {
-      npbmz::MzConfig cfg;
-      cfg.nprocs = procs;
-      cfg.threads_per_proc = threads;
-      cfg.n_nodes = nodes;
-      const auto res = npbmz::mz_rate(bench, 'F', columbia, cfg);
-      t.add_row({npbmz::to_string(bench), procs * threads,
-                 std::to_string(procs) + " x " + std::to_string(threads),
-                 Cell(res.gflops_total, 1), Cell(res.gflops_per_cpu, 3),
-                 Cell(res.imbalance, 2)});
-    }
+    points.push_back({bench, 1536, 1, 3});
+    points.push_back({bench, 1000, 5, 10});
+    points.push_back({bench, 1000, 10, 20});
+  }
+  std::vector<Scenario> scenarios;
+  for (const auto& pt : points) {
+    scenarios.push_back(
+        {"ext-classf/" + npbmz::to_string(pt.bench) + "/" +
+             std::to_string(pt.procs) + "x" + std::to_string(pt.threads),
+         [pt] {
+           auto columbia =
+               Cluster::infiniband_cluster(NodeType::AltixBX2b, 20);
+           npbmz::MzConfig cfg;
+           cfg.nprocs = pt.procs;
+           cfg.threads_per_proc = pt.threads;
+           cfg.n_nodes = pt.nodes;
+           const auto res = npbmz::mz_rate(pt.bench, 'F', columbia, cfg);
+           return std::vector<double>{res.gflops_total, res.gflops_per_cpu,
+                                      res.imbalance};
+         }});
+  }
+  const auto results = run_scenarios(scenarios, exec);
+
+  Report r;
+  Table t("Extension: NPB-MZ Class F (16384 zones, 12032x8960x250) on the "
+          "full 20-box InfiniBand Columbia",
+          {"Benchmark", "CPUs", "procs x threads", "Gflop/s total",
+           "Gflop/s per CPU", "imbalance"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& pt = points[i];
+    const auto& v = results[i];
+    t.add_row({npbmz::to_string(pt.bench), pt.procs * pt.threads,
+               std::to_string(pt.procs) + " x " + std::to_string(pt.threads),
+               Cell(v[0], 1), Cell(v[1], 3), Cell(v[2], 2)});
   }
   r.tables.push_back(std::move(t));
   return r;

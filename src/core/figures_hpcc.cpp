@@ -18,6 +18,9 @@ using machine::Placement;
 
 const std::vector<int> kSingleBoxCpus{4, 8, 16, 32, 64, 128, 256, 512};
 const std::vector<int> kMultiBoxCpus{64, 128, 256, 512, 1024, 2048};
+
+const std::vector<NodeType> kNodeTypes{
+    NodeType::Altix3700, NodeType::AltixBX2a, NodeType::AltixBX2b};
 }  // namespace
 
 std::string Report::render() const {
@@ -27,25 +30,53 @@ std::string Report::render() const {
   return os.str();
 }
 
-Report table1_node_characteristics() {
+Report table1_node_characteristics(const Exec&) {
   Report r;
   r.tables.push_back(machine::node_characteristics_table());
   return r;
 }
 
-Report fig5_hpcc_single_box() {
+Report fig5_hpcc_single_box(const Exec& exec) {
+  // Sweep points: per node type the DGEMM/STREAM summary, then per
+  // (node type, CPU count) one b_eff engine run. Each scenario builds its
+  // own Cluster so nothing is shared across host threads.
+  std::vector<Scenario> scenarios;
+  for (auto type : kNodeTypes) {
+    scenarios.push_back(
+        {"fig5/summary/" + machine::to_string(type), [type] {
+           const auto spec = machine::NodeSpec::of(type);
+           return std::vector<double>{
+               hpcc::dgemm_model_gflops(spec),
+               hpcc::stream_model_gbs(spec, hpcc::StreamOp::Triad, 2)};
+         }});
+  }
+  for (auto type : kNodeTypes) {
+    for (int cpus : kSingleBoxCpus) {
+      scenarios.push_back(
+          {"fig5/" + machine::to_string(type) + "/" + std::to_string(cpus),
+           [type, cpus] {
+             auto cluster = Cluster::single(type);
+             Beff beff(cluster, Placement::dense(cluster, cpus));
+             const LatBw pp = beff.ping_pong(8);
+             const LatBw nr = beff.natural_ring(2);
+             const LatBw rr = beff.random_ring(2, 2);
+             return std::vector<double>{
+                 units::to_usec(pp.latency), units::to_usec(nr.latency),
+                 units::to_usec(rr.latency), pp.bandwidth / 1e9,
+                 nr.bandwidth / 1e9,         rr.bandwidth / 1e9};
+           }});
+    }
+  }
+  const auto results = run_scenarios(scenarios, exec);
+
   Report r;
+  std::size_t k = 0;
   // DGEMM / STREAM summary (the text results of §4.1.1).
   Table summary("HPCC single-box summary (per CPU)",
                 {"Node", "DGEMM Gflop/s", "STREAM Triad GB/s (dense)"});
-  for (auto type : {NodeType::Altix3700, NodeType::AltixBX2a,
-                    NodeType::AltixBX2b}) {
-    const auto spec = machine::NodeSpec::of(type);
-    summary.add_row({machine::to_string(type),
-                     Cell(hpcc::dgemm_model_gflops(spec), 2),
-                     Cell(hpcc::stream_model_gbs(spec,
-                                                 hpcc::StreamOp::Triad, 2),
-                          2)});
+  for (auto type : kNodeTypes) {
+    const auto& v = results[k++];
+    summary.add_row({machine::to_string(type), Cell(v[0], 2), Cell(v[1], 2)});
   }
   r.tables.push_back(std::move(summary));
 
@@ -53,8 +84,7 @@ Report fig5_hpcc_single_box() {
              "CPUs", "latency (usec)");
   Figure bw("Fig. 5 (bandwidth): ping-pong / natural ring / random ring",
             "CPUs", "bandwidth (GB/s per CPU)");
-  for (auto type : {NodeType::Altix3700, NodeType::AltixBX2a,
-                    NodeType::AltixBX2b}) {
+  for (auto type : kNodeTypes) {
     const std::string name = machine::to_string(type);
     auto& pp_l = lat.add_series("PingPong " + name);
     auto& nr_l = lat.add_series("NaturalRing " + name);
@@ -62,18 +92,14 @@ Report fig5_hpcc_single_box() {
     auto& pp_b = bw.add_series("PingPong " + name);
     auto& nr_b = bw.add_series("NaturalRing " + name);
     auto& rr_b = bw.add_series("RandomRing " + name);
-    auto cluster = Cluster::single(type);
     for (int cpus : kSingleBoxCpus) {
-      Beff beff(cluster, Placement::dense(cluster, cpus));
-      const LatBw pp = beff.ping_pong(8);
-      const LatBw nr = beff.natural_ring(2);
-      const LatBw rr = beff.random_ring(2, 2);
-      pp_l.add(cpus, units::to_usec(pp.latency));
-      nr_l.add(cpus, units::to_usec(nr.latency));
-      rr_l.add(cpus, units::to_usec(rr.latency));
-      pp_b.add(cpus, pp.bandwidth / 1e9);
-      nr_b.add(cpus, nr.bandwidth / 1e9);
-      rr_b.add(cpus, rr.bandwidth / 1e9);
+      const auto& v = results[k++];
+      pp_l.add(cpus, v[0]);
+      nr_l.add(cpus, v[1]);
+      rr_l.add(cpus, v[2]);
+      pp_b.add(cpus, v[3]);
+      nr_b.add(cpus, v[4]);
+      rr_b.add(cpus, v[5]);
     }
   }
   r.figures.push_back(std::move(lat));
@@ -81,82 +107,122 @@ Report fig5_hpcc_single_box() {
   return r;
 }
 
-Report sec42_cpu_stride() {
+Report sec42_cpu_stride(const Exec& exec) {
+  std::vector<Scenario> scenarios;
+  // Kernel rates under dense vs spread placement (bus-sharing effect).
+  scenarios.push_back({"sec42/kernels", [] {
+                         const auto spec = machine::NodeSpec::bx2b();
+                         return std::vector<double>{
+                             hpcc::dgemm_model_gflops(spec),
+                             hpcc::stream_model_gbs(
+                                 spec, hpcc::StreamOp::Triad, 2),
+                             hpcc::stream_model_gbs(
+                                 spec, hpcc::StreamOp::Triad, 1)};
+                       }});
+  // Latency/bandwidth at stride 1 vs 2 vs 4 (64 ranks).
+  for (int stride : {1, 2, 4}) {
+    scenarios.push_back(
+        {"sec42/stride" + std::to_string(stride), [stride] {
+           auto cluster = Cluster::single(NodeType::AltixBX2b);
+           Beff beff(cluster, Placement::strided(cluster, 64, stride));
+           const LatBw pp = beff.ping_pong(8);
+           const LatBw rr = beff.random_ring(2, 2);
+           return std::vector<double>{units::to_usec(pp.latency),
+                                      rr.bandwidth / 1e9};
+         }});
+  }
+  const auto results = run_scenarios(scenarios, exec);
+
   Report r;
   Table t("Sec. 4.2: CPU stride effects (BX2b)",
           {"Metric", "stride 1", "stride 2", "stride 4"});
-  const auto spec = machine::NodeSpec::bx2b();
+  const double dg = results[0][0];
+  const double dense = results[0][1];
+  const double spread = results[0][2];
   // DGEMM: unaffected by the shared bus.
-  const double dg = hpcc::dgemm_model_gflops(spec);
   t.add_row({"DGEMM (Gflop/s)", Cell(dg, 2), Cell(dg * 1.002, 2),
              Cell(dg * 1.002, 2)});
   // STREAM Triad: strided placement leaves each bus to one CPU.
-  const double dense = hpcc::stream_model_gbs(spec, hpcc::StreamOp::Triad, 2);
-  const double spread = hpcc::stream_model_gbs(spec, hpcc::StreamOp::Triad, 1);
   t.add_row({"STREAM Triad (GB/s per CPU)", Cell(dense, 2), Cell(spread, 2),
              Cell(spread, 2)});
   t.add_row({"Triad spread/dense ratio", "1.00",
              Cell(spread / dense, 2), Cell(spread / dense, 2)});
-
-  // Latency/bandwidth at stride 1 vs 2 vs 4 (64 ranks).
-  auto cluster = Cluster::single(NodeType::AltixBX2b);
-  std::vector<LatBw> pp, rr;
-  for (int stride : {1, 2, 4}) {
-    Beff beff(cluster, Placement::strided(cluster, 64, stride));
-    pp.push_back(beff.ping_pong(8));
-    rr.push_back(beff.random_ring(2, 2));
-  }
-  t.add_row({"Ping-Pong latency (usec)", Cell(units::to_usec(pp[0].latency), 2),
-             Cell(units::to_usec(pp[1].latency), 2),
-             Cell(units::to_usec(pp[2].latency), 2)});
-  t.add_row({"Random Ring bandwidth (GB/s)", Cell(rr[0].bandwidth / 1e9, 3),
-             Cell(rr[1].bandwidth / 1e9, 3),
-             Cell(rr[2].bandwidth / 1e9, 3)});
+  t.add_row({"Ping-Pong latency (usec)", Cell(results[1][0], 2),
+             Cell(results[2][0], 2), Cell(results[3][0], 2)});
+  t.add_row({"Random Ring bandwidth (GB/s)", Cell(results[1][1], 3),
+             Cell(results[2][1], 3), Cell(results[3][1], 3)});
   r.tables.push_back(std::move(t));
   return r;
 }
 
-Report fig10_hpcc_multinode() {
+Report fig10_hpcc_multinode(const Exec& exec) {
+  struct Config {
+    std::string name;
+    bool numalink;
+    int nodes;
+  };
+  const std::vector<Config> configs{
+      {"NUMAlink4 2 boxes", true, 2},
+      {"NUMAlink4 4 boxes", true, 4},
+      {"InfiniBand 2 boxes", false, 2},
+      {"InfiniBand 4 boxes", false, 4},
+  };
+  auto build_cluster = [](const Config& cfg) {
+    return cfg.numalink
+               ? Cluster::numalink4_bx2b(cfg.nodes)
+               : Cluster::infiniband_cluster(NodeType::AltixBX2b, cfg.nodes);
+  };
+
+  struct Point {
+    std::size_t config;
+    int cpus;
+  };
+  std::vector<Point> points;
+  std::vector<Scenario> scenarios;
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const Config cfg = configs[c];
+    const auto prototype = build_cluster(cfg);
+    for (int cpus : kMultiBoxCpus) {
+      if (cpus > prototype.total_cpus()) continue;
+      if (cpus % cfg.nodes != 0) continue;
+      points.push_back({c, cpus});
+      scenarios.push_back(
+          {"fig10/" + cfg.name + "/" + std::to_string(cpus),
+           [cfg, cpus, build_cluster] {
+             auto cluster = build_cluster(cfg);
+             Beff beff(cluster,
+                       Placement::across_nodes(cluster, cpus, cfg.nodes));
+             const LatBw pp = beff.ping_pong(8);
+             const LatBw nr = beff.natural_ring(2);
+             const LatBw rr = beff.random_ring(2, 2);
+             return std::vector<double>{
+                 units::to_usec(pp.latency), units::to_usec(rr.latency),
+                 pp.bandwidth / 1e9,         nr.bandwidth / 1e9,
+                 rr.bandwidth / 1e9};
+           }});
+    }
+  }
+  const auto results = run_scenarios(scenarios, exec);
+
   Report r;
   Figure lat("Fig. 10 (latency): NUMAlink4 vs InfiniBand across BX2b boxes",
              "CPUs", "latency (usec)");
   Figure bw("Fig. 10 (bandwidth): NUMAlink4 vs InfiniBand across BX2b boxes",
             "CPUs", "bandwidth (GB/s per CPU)");
-
-  struct Config {
-    std::string name;
-    Cluster cluster;
-    int nodes;
-  };
-  std::vector<Config> configs;
-  configs.push_back({"NUMAlink4 2 boxes", Cluster::numalink4_bx2b(2), 2});
-  configs.push_back({"NUMAlink4 4 boxes", Cluster::numalink4_bx2b(4), 4});
-  configs.push_back(
-      {"InfiniBand 2 boxes",
-       Cluster::infiniband_cluster(NodeType::AltixBX2b, 2), 2});
-  configs.push_back(
-      {"InfiniBand 4 boxes",
-       Cluster::infiniband_cluster(NodeType::AltixBX2b, 4), 4});
-
-  for (auto& cfg : configs) {
-    auto& pp_l = lat.add_series("PingPong " + cfg.name);
-    auto& rr_l = lat.add_series("RandomRing " + cfg.name);
-    auto& pp_b = bw.add_series("PingPong " + cfg.name);
-    auto& nr_b = bw.add_series("NaturalRing " + cfg.name);
-    auto& rr_b = bw.add_series("RandomRing " + cfg.name);
-    for (int cpus : kMultiBoxCpus) {
-      if (cpus > cfg.cluster.total_cpus()) continue;
-      if (cpus % cfg.nodes != 0) continue;
-      Beff beff(cfg.cluster,
-                Placement::across_nodes(cfg.cluster, cpus, cfg.nodes));
-      const LatBw pp = beff.ping_pong(8);
-      const LatBw nr = beff.natural_ring(2);
-      const LatBw rr = beff.random_ring(2, 2);
-      pp_l.add(cpus, units::to_usec(pp.latency));
-      rr_l.add(cpus, units::to_usec(rr.latency));
-      pp_b.add(cpus, pp.bandwidth / 1e9);
-      nr_b.add(cpus, nr.bandwidth / 1e9);
-      rr_b.add(cpus, rr.bandwidth / 1e9);
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    auto& pp_l = lat.add_series("PingPong " + configs[c].name);
+    auto& rr_l = lat.add_series("RandomRing " + configs[c].name);
+    auto& pp_b = bw.add_series("PingPong " + configs[c].name);
+    auto& nr_b = bw.add_series("NaturalRing " + configs[c].name);
+    auto& rr_b = bw.add_series("RandomRing " + configs[c].name);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (points[i].config != c) continue;
+      const auto& v = results[i];
+      pp_l.add(points[i].cpus, v[0]);
+      rr_l.add(points[i].cpus, v[1]);
+      pp_b.add(points[i].cpus, v[2]);
+      nr_b.add(points[i].cpus, v[3]);
+      rr_b.add(points[i].cpus, v[4]);
     }
   }
   r.figures.push_back(std::move(lat));

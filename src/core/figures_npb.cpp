@@ -11,28 +11,50 @@ using npb::Benchmark;
 using npbmz::MzBenchmark;
 using npbmz::MzConfig;
 using perfmodel::CompilerVersion;
+
+const std::vector<Benchmark> kNpbBenches{Benchmark::CG, Benchmark::FT,
+                                         Benchmark::MG, Benchmark::BT};
+const std::vector<NodeType> kNodeTypes{
+    NodeType::Altix3700, NodeType::AltixBX2a, NodeType::AltixBX2b};
 }  // namespace
 
-Report fig6_npb_node_types() {
+Report fig6_npb_node_types(const Exec& exec) {
+  const std::vector<int> counts{4, 8, 16, 32, 64, 128, 256, 512};
+  std::vector<Scenario> scenarios;
+  for (auto bench : kNpbBenches) {
+    for (auto type : kNodeTypes) {
+      for (int p : counts) {
+        scenarios.push_back(
+            {"fig6/" + npb::to_string(bench) + "/" +
+                 machine::to_string(type) + "/" + std::to_string(p),
+             [bench, type, p] {
+               auto cluster = Cluster::single(type);
+               const auto spec = machine::NodeSpec::of(type);
+               return std::vector<double>{
+                   npb::npb_mpi_rate(bench, 'B', cluster, p).gflops_per_cpu,
+                   npb::npb_omp_rate(bench, 'B', spec, p).gflops_per_cpu};
+             }});
+      }
+    }
+  }
+  const auto results = run_scenarios(scenarios, exec);
+
   Report r;
   Figure mpi("Fig. 6 (MPI): NPB per-CPU Gflop/s on the three node types",
              "CPUs", "Gflop/s per CPU");
   Figure omp("Fig. 6 (OpenMP): NPB per-CPU Gflop/s on the three node types",
              "threads", "Gflop/s per CPU");
-  const std::vector<int> counts{4, 8, 16, 32, 64, 128, 256, 512};
-  for (auto bench : {Benchmark::CG, Benchmark::FT, Benchmark::MG,
-                     Benchmark::BT}) {
-    for (auto type : {NodeType::Altix3700, NodeType::AltixBX2a,
-                      NodeType::AltixBX2b}) {
+  std::size_t k = 0;
+  for (auto bench : kNpbBenches) {
+    for (auto type : kNodeTypes) {
       const std::string label =
           npb::to_string(bench) + " " + machine::to_string(type);
-      auto cluster = Cluster::single(type);
-      const auto spec = machine::NodeSpec::of(type);
       auto& sm = mpi.add_series(label);
       auto& so = omp.add_series(label);
       for (int p : counts) {
-        sm.add(p, npb::npb_mpi_rate(bench, 'B', cluster, p).gflops_per_cpu);
-        so.add(p, npb::npb_omp_rate(bench, 'B', spec, p).gflops_per_cpu);
+        const auto& v = results[k++];
+        sm.add(p, v[0]);
+        so.add(p, v[1]);
       }
     }
   }
@@ -41,53 +63,94 @@ Report fig6_npb_node_types() {
   return r;
 }
 
-Report fig7_pinning() {
-  Report r;
-  Figure f("Fig. 7: SP-MZ class C, pinning vs no pinning (BX2b)",
-           "threads per process", "seconds per step");
-  auto cluster = Cluster::single(NodeType::AltixBX2b);
+Report fig7_pinning(const Exec& exec) {
+  struct Point {
+    int cpus;
+    int threads;
+  };
+  std::vector<Point> points;
+  std::vector<Scenario> scenarios;
+  const auto zones = npbmz::mz_problem(MzBenchmark::SPMZ, 'C');
   for (int cpus : {64, 128, 256}) {
-    auto& pinned =
-        f.add_series(std::to_string(cpus) + " CPUs, pinned");
-    auto& unpinned =
-        f.add_series(std::to_string(cpus) + " CPUs, no pinning");
     for (int threads : {1, 2, 4, 8, 16, 32, 64}) {
       if (cpus % threads != 0) continue;
       const int procs = cpus / threads;
-      const auto zones = npbmz::mz_problem(MzBenchmark::SPMZ, 'C');
       if (procs > zones.num_zones()) continue;
-      MzConfig cfg;
-      cfg.nprocs = procs;
-      cfg.threads_per_proc = threads;
-      cfg.pin = simomp::Pinning::Pinned;
-      pinned.add(threads, npbmz::mz_rate(MzBenchmark::SPMZ, 'C', cluster,
-                                         cfg)
-                              .seconds_per_step);
-      cfg.pin = simomp::Pinning::Unpinned;
-      unpinned.add(threads, npbmz::mz_rate(MzBenchmark::SPMZ, 'C', cluster,
-                                           cfg)
-                                .seconds_per_step);
+      points.push_back({cpus, threads});
+      scenarios.push_back(
+          {"fig7/" + std::to_string(cpus) + "x" + std::to_string(threads),
+           [cpus, threads] {
+             auto cluster = Cluster::single(NodeType::AltixBX2b);
+             MzConfig cfg;
+             cfg.nprocs = cpus / threads;
+             cfg.threads_per_proc = threads;
+             cfg.pin = simomp::Pinning::Pinned;
+             const double pinned =
+                 npbmz::mz_rate(MzBenchmark::SPMZ, 'C', cluster, cfg)
+                     .seconds_per_step;
+             cfg.pin = simomp::Pinning::Unpinned;
+             const double unpinned =
+                 npbmz::mz_rate(MzBenchmark::SPMZ, 'C', cluster, cfg)
+                     .seconds_per_step;
+             return std::vector<double>{pinned, unpinned};
+           }});
+    }
+  }
+  const auto results = run_scenarios(scenarios, exec);
+
+  Report r;
+  Figure f("Fig. 7: SP-MZ class C, pinning vs no pinning (BX2b)",
+           "threads per process", "seconds per step");
+  for (int cpus : {64, 128, 256}) {
+    auto& pinned = f.add_series(std::to_string(cpus) + " CPUs, pinned");
+    auto& unpinned =
+        f.add_series(std::to_string(cpus) + " CPUs, no pinning");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (points[i].cpus != cpus) continue;
+      pinned.add(points[i].threads, results[i][0]);
+      unpinned.add(points[i].threads, results[i][1]);
     }
   }
   r.figures.push_back(std::move(f));
   return r;
 }
 
-Report fig8_compiler_versions() {
+Report fig8_compiler_versions(const Exec& exec) {
+  const std::vector<CompilerVersion> versions{
+      CompilerVersion::Intel7_1, CompilerVersion::Intel8_0,
+      CompilerVersion::Intel8_1, CompilerVersion::Intel9_0b};
+  const std::vector<int> threads_sweep{4, 8, 16, 32, 64, 128, 256};
+  std::vector<Scenario> scenarios;
+  for (auto bench : kNpbBenches) {
+    for (auto ver : versions) {
+      scenarios.push_back(
+          {"fig8/" + npb::to_string(bench) + "/" + perfmodel::to_string(ver),
+           [bench, ver, threads_sweep] {
+             const auto node = machine::NodeSpec::bx2b();
+             std::vector<double> rates;
+             rates.reserve(threads_sweep.size());
+             for (int threads : threads_sweep) {
+               rates.push_back(
+                   npb::npb_omp_rate(bench, 'B', node, threads, ver)
+                       .gflops_per_cpu);
+             }
+             return rates;
+           }});
+    }
+  }
+  const auto results = run_scenarios(scenarios, exec);
+
   Report r;
   Figure f("Fig. 8: Intel compiler versions, OpenMP NPB class B (BX2b)",
            "threads", "Gflop/s per CPU");
-  const auto node = machine::NodeSpec::bx2b();
-  for (auto bench : {Benchmark::CG, Benchmark::FT, Benchmark::MG,
-                     Benchmark::BT}) {
-    for (auto ver : {CompilerVersion::Intel7_1, CompilerVersion::Intel8_0,
-                     CompilerVersion::Intel8_1, CompilerVersion::Intel9_0b}) {
+  std::size_t k = 0;
+  for (auto bench : kNpbBenches) {
+    for (auto ver : versions) {
       auto& s = f.add_series(npb::to_string(bench) + " " +
                              perfmodel::to_string(ver));
-      for (int threads : {4, 8, 16, 32, 64, 128, 256}) {
-        s.add(threads,
-              npb::npb_omp_rate(bench, 'B', node, threads, ver)
-                  .gflops_per_cpu);
+      const auto& v = results[k++];
+      for (std::size_t i = 0; i < threads_sweep.size(); ++i) {
+        s.add(threads_sweep[i], v[i]);
       }
     }
   }
@@ -95,7 +158,51 @@ Report fig8_compiler_versions() {
   return r;
 }
 
-Report fig9_process_thread_mixes() {
+Report fig9_process_thread_mixes(const Exec& exec) {
+  struct Point {
+    int procs;
+    int threads;
+  };
+  const auto problem = npbmz::mz_problem(MzBenchmark::BTMZ, 'C');
+  const int cpus_per_node =
+      Cluster::single(NodeType::AltixBX2b).cpus_per_node();
+
+  auto rate_scenario = [](int procs, int threads) {
+    return Scenario{
+        "fig9/" + std::to_string(procs) + "x" + std::to_string(threads),
+        [procs, threads] {
+          auto cluster = Cluster::single(NodeType::AltixBX2b);
+          MzConfig cfg;
+          cfg.nprocs = procs;
+          cfg.threads_per_proc = threads;
+          return std::vector<double>{
+              npbmz::mz_rate(MzBenchmark::BTMZ, 'C', cluster, cfg)
+                  .gflops_total};
+        }};
+  };
+
+  // Left panel: MPI scaling at fixed thread counts; right panel: OpenMP
+  // scaling at fixed process counts. One scenario per valid combination,
+  // left panel's points first.
+  std::vector<Point> left, right;
+  std::vector<Scenario> scenarios;
+  for (int threads : {1, 2, 4}) {
+    for (int procs : {1, 4, 16, 64, 256}) {
+      if (procs > problem.num_zones()) continue;
+      if (procs * threads > cpus_per_node) continue;
+      left.push_back({procs, threads});
+      scenarios.push_back(rate_scenario(procs, threads));
+    }
+  }
+  for (int procs : {1, 4, 16, 64, 256}) {
+    for (int threads : {1, 2, 4, 8, 16, 32}) {
+      if (procs * threads > cpus_per_node) continue;
+      right.push_back({procs, threads});
+      scenarios.push_back(rate_scenario(procs, threads));
+    }
+  }
+  const auto results = run_scenarios(scenarios, exec);
+
   Report r;
   Figure fixed_threads(
       "Fig. 9 (left): BT-MZ class C, MPI scaling at fixed thread counts",
@@ -104,32 +211,20 @@ Report fig9_process_thread_mixes() {
       "Fig. 9 (right): BT-MZ class C, OpenMP scaling at fixed process "
       "counts",
       "total CPUs", "Gflop/s total");
-  auto cluster = Cluster::single(NodeType::AltixBX2b);
-  const auto problem = npbmz::mz_problem(MzBenchmark::BTMZ, 'C');
-
+  std::size_t k = 0;
   for (int threads : {1, 2, 4}) {
     auto& s = fixed_threads.add_series(std::to_string(threads) + " omp");
-    for (int procs : {1, 4, 16, 64, 256}) {
-      if (procs > problem.num_zones()) continue;
-      if (procs * threads > cluster.cpus_per_node()) continue;
-      MzConfig cfg;
-      cfg.nprocs = procs;
-      cfg.threads_per_proc = threads;
-      s.add(procs * threads,
-            npbmz::mz_rate(MzBenchmark::BTMZ, 'C', cluster, cfg)
-                .gflops_total);
+    for (std::size_t i = 0; i < left.size(); ++i) {
+      if (left[i].threads != threads) continue;
+      s.add(left[i].procs * left[i].threads, results[k + i][0]);
     }
   }
+  k = left.size();
   for (int procs : {1, 4, 16, 64, 256}) {
     auto& s = fixed_procs.add_series(std::to_string(procs) + " mpi");
-    for (int threads : {1, 2, 4, 8, 16, 32}) {
-      if (procs * threads > cluster.cpus_per_node()) continue;
-      MzConfig cfg;
-      cfg.nprocs = procs;
-      cfg.threads_per_proc = threads;
-      s.add(procs * threads,
-            npbmz::mz_rate(MzBenchmark::BTMZ, 'C', cluster, cfg)
-                .gflops_total);
+    for (std::size_t i = 0; i < right.size(); ++i) {
+      if (right[i].procs != procs) continue;
+      s.add(right[i].procs * right[i].threads, results[k + i][0]);
     }
   }
   r.figures.push_back(std::move(fixed_threads));
@@ -137,19 +232,21 @@ Report fig9_process_thread_mixes() {
   return r;
 }
 
-Report fig11_npbmz_multinode() {
-  Report r;
-  Figure percpu(
-      "Fig. 11 (top): class E per-CPU Gflop/s, NUMAlink4 vs one box",
-      "CPUs", "Gflop/s per CPU");
-  Figure total(
-      "Fig. 11 (bottom): class E total Gflop/s, NUMAlink4 vs InfiniBand",
-      "CPUs", "Gflop/s total");
-
-  auto nl4 = Cluster::numalink4_bx2b(4);
-  auto one_box = Cluster::single(NodeType::AltixBX2b);
-  auto run = [](MzBenchmark b, const Cluster& c, int procs, int threads,
-                int nodes) {
+Report fig11_npbmz_multinode(const Exec& exec) {
+  const std::vector<int> cpu_sweep{256, 512, 1024, 2048};
+  enum class Fabric { NumaLink4, OneBox, IbBeta, IbReleased };
+  auto rate = [](MzBenchmark b, Fabric fabric, int procs, int threads,
+                 int nodes) {
+    Cluster c = fabric == Fabric::NumaLink4 ? Cluster::numalink4_bx2b(4)
+                : fabric == Fabric::OneBox  ? Cluster::single(
+                                                 NodeType::AltixBX2b)
+                : fabric == Fabric::IbBeta
+                    ? Cluster::infiniband_cluster(
+                          NodeType::AltixBX2b, 4,
+                          machine::MptVersion::Beta_1_11b)
+                    : Cluster::infiniband_cluster(
+                          NodeType::AltixBX2b, 4,
+                          machine::MptVersion::Released_1_11r);
     MzConfig cfg;
     cfg.nprocs = procs;
     cfg.threads_per_proc = threads;
@@ -157,45 +254,88 @@ Report fig11_npbmz_multinode() {
     return npbmz::mz_rate(b, 'E', c, cfg);
   };
 
+  // Top panel: per (benchmark, cpus) the NL4 1-thread, NL4 2-thread and
+  // one-box per-CPU rates (0 where the configuration is inapplicable).
+  // Bottom panel: per (benchmark, cpus) total rates on the three fabrics.
+  std::vector<Scenario> scenarios;
+  for (auto bench : {MzBenchmark::BTMZ, MzBenchmark::SPMZ}) {
+    for (int cpus : cpu_sweep) {
+      scenarios.push_back(
+          {"fig11/percpu/" + npbmz::to_string(bench) + "/" +
+               std::to_string(cpus),
+           [bench, cpus, rate] {
+             const int nodes = std::max(1, cpus / 512);
+             std::vector<double> v(3, 0.0);
+             v[0] = rate(bench, Fabric::NumaLink4, cpus, 1, nodes)
+                        .gflops_per_cpu;
+             if (cpus >= 2 * nodes) {
+               v[1] = rate(bench, Fabric::NumaLink4, cpus / 2, 2, nodes)
+                          .gflops_per_cpu;
+             }
+             if (cpus <= 512) {
+               v[2] = rate(bench, Fabric::OneBox, cpus, 1, 1).gflops_per_cpu;
+             }
+             return v;
+           }});
+    }
+  }
+  for (auto bench : {MzBenchmark::BTMZ, MzBenchmark::SPMZ}) {
+    for (int cpus : cpu_sweep) {
+      scenarios.push_back(
+          {"fig11/total/" + npbmz::to_string(bench) + "/" +
+               std::to_string(cpus),
+           [bench, cpus, rate] {
+             const int nodes = std::max(1, cpus / 512);
+             // InfiniBand runs always span at least two boxes (a single-box
+             // "IB" run would never touch the switch).
+             const int ib_nodes = std::max(2, nodes);
+             // Best process/thread combination under the IB connection
+             // limit: 2 threads per process everywhere keeps configurations
+             // comparable.
+             const int procs = cpus / 2;
+             return std::vector<double>{
+                 rate(bench, Fabric::NumaLink4, procs, 2, nodes)
+                     .gflops_total,
+                 rate(bench, Fabric::IbBeta, procs, 2, ib_nodes)
+                     .gflops_total,
+                 rate(bench, Fabric::IbReleased, procs, 2, ib_nodes)
+                     .gflops_total};
+           }});
+    }
+  }
+  const auto results = run_scenarios(scenarios, exec);
+
+  Report r;
+  Figure percpu(
+      "Fig. 11 (top): class E per-CPU Gflop/s, NUMAlink4 vs one box",
+      "CPUs", "Gflop/s per CPU");
+  Figure total(
+      "Fig. 11 (bottom): class E total Gflop/s, NUMAlink4 vs InfiniBand",
+      "CPUs", "Gflop/s total");
+  std::size_t k = 0;
   for (auto bench : {MzBenchmark::BTMZ, MzBenchmark::SPMZ}) {
     const std::string bn = npbmz::to_string(bench);
     auto& s_nl1 = percpu.add_series(bn + " NL4 1 thread");
     auto& s_nl2 = percpu.add_series(bn + " NL4 2 threads");
     auto& s_box = percpu.add_series(bn + " one box");
-    for (int cpus : {256, 512, 1024, 2048}) {
+    for (int cpus : cpu_sweep) {
       const int nodes = std::max(1, cpus / 512);
-      s_nl1.add(cpus,
-                run(bench, nl4, cpus, 1, nodes).gflops_per_cpu);
-      if (cpus >= 2 * nodes) {
-        s_nl2.add(cpus,
-                  run(bench, nl4, cpus / 2, 2, nodes).gflops_per_cpu);
-      }
-      if (cpus <= 512) {
-        s_box.add(cpus, run(bench, one_box, cpus, 1, 1).gflops_per_cpu);
-      }
+      const auto& v = results[k++];
+      s_nl1.add(cpus, v[0]);
+      if (cpus >= 2 * nodes) s_nl2.add(cpus, v[1]);
+      if (cpus <= 512) s_box.add(cpus, v[2]);
     }
   }
-
-  auto ib_beta = Cluster::infiniband_cluster(NodeType::AltixBX2b, 4,
-                                             machine::MptVersion::Beta_1_11b);
-  auto ib_rel = Cluster::infiniband_cluster(
-      NodeType::AltixBX2b, 4, machine::MptVersion::Released_1_11r);
   for (auto bench : {MzBenchmark::BTMZ, MzBenchmark::SPMZ}) {
     const std::string bn = npbmz::to_string(bench);
     auto& s_nl = total.add_series(bn + " NUMAlink4");
     auto& s_ibb = total.add_series(bn + " InfiniBand (mpt beta)");
     auto& s_ibr = total.add_series(bn + " InfiniBand (mpt released)");
-    for (int cpus : {256, 512, 1024, 2048}) {
-      const int nodes = std::max(1, cpus / 512);
-      // InfiniBand runs always span at least two boxes (a single-box "IB"
-      // run would never touch the switch).
-      const int ib_nodes = std::max(2, nodes);
-      // Best process/thread combination under the IB connection limit:
-      // 2 threads per process everywhere keeps configurations comparable.
-      const int procs = cpus / 2;
-      s_nl.add(cpus, run(bench, nl4, procs, 2, nodes).gflops_total);
-      s_ibb.add(cpus, run(bench, ib_beta, procs, 2, ib_nodes).gflops_total);
-      s_ibr.add(cpus, run(bench, ib_rel, procs, 2, ib_nodes).gflops_total);
+    for (int cpus : cpu_sweep) {
+      const auto& v = results[k++];
+      s_nl.add(cpus, v[0]);
+      s_ibb.add(cpus, v[1]);
+      s_ibr.add(cpus, v[2]);
     }
   }
   r.figures.push_back(std::move(percpu));

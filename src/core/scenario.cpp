@@ -1,0 +1,30 @@
+#include "core/scenario.hpp"
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+
+namespace columbia::core {
+
+std::vector<std::vector<double>> run_scenarios(
+    const std::vector<Scenario>& scenarios, const Exec& exec) {
+  std::vector<std::vector<double>> results(scenarios.size());
+  if (exec.mode == Exec::Mode::Sequential) {
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      COL_REQUIRE(static_cast<bool>(scenarios[i].run),
+                  "scenario has no run closure");
+      results[i] = scenarios[i].run();
+    }
+    return results;
+  }
+  common::parallel_for(
+      scenarios.size(),
+      [&](std::size_t i) {
+        COL_REQUIRE(static_cast<bool>(scenarios[i].run),
+                    "scenario has no run closure");
+        results[i] = scenarios[i].run();
+      },
+      exec.jobs);
+  return results;
+}
+
+}  // namespace columbia::core

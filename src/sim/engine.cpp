@@ -1,6 +1,8 @@
 #include "sim/engine.hpp"
 
-#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -9,9 +11,17 @@ namespace columbia::sim {
 namespace {
 // The engine currently executing a resume step; used by Task's promise to
 // find its engine during final_suspend / unhandled_exception without
-// threading a pointer through every coroutine. Single-threaded by design.
+// threading a pointer through every coroutine. thread_local so that
+// independent engines may run on different host threads concurrently.
 thread_local Engine* g_current_engine = nullptr;
+
+// Cross-engine, cross-thread event total for the bench harness.
+std::atomic<std::uint64_t> g_total_events{0};
 }  // namespace
+
+std::uint64_t total_events_processed() {
+  return g_total_events.load(std::memory_order_relaxed);
+}
 
 std::suspend_always Task::promise_type::final_suspend() noexcept {
   Engine* e = engine ? engine : g_current_engine;
@@ -27,6 +37,12 @@ void Task::promise_type::unhandled_exception() noexcept {
   if (e) e->on_task_exception(std::current_exception());
 }
 
+Engine::Engine() {
+  // A typical scenario schedules hundreds of concurrent ranks; start with
+  // room for them so the first run() does not grow the heap step by step.
+  heap_.reserve(1024);
+}
+
 Engine::~Engine() {
   // Destroy any still-suspended top-level frames; their child CoTask frames
   // are destroyed transitively because the CoTask objects live in the
@@ -39,15 +55,52 @@ Engine::~Engine() {
 void Engine::spawn(Task task) {
   auto h = task.release();
   h.promise().engine = this;
+  owned_index_.emplace(h.address(), owned_.size());
   owned_.push_back(h);
   ++live_tasks_;
   schedule_at(now_, h);
 }
 
+void Engine::heap_push(Event ev) {
+  // Inline sift-up on the reusable vector: one comparison per level, no
+  // comparator object, no container adaptor indirection.
+  std::size_t i = heap_.size();
+  heap_.push_back(ev);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heap_[i].before(heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+Engine::Event Engine::heap_pop() {
+  Event top = heap_.front();
+  Event last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n > 0) {
+    // Sift the former last element down from the root.
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t left = 2 * i + 1;
+      if (left >= n) break;
+      const std::size_t right = left + 1;
+      std::size_t best = left;
+      if (right < n && heap_[right].before(heap_[left])) best = right;
+      if (!heap_[best].before(last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
+}
+
 void Engine::schedule_at(Time t, std::coroutine_handle<> h) {
   COL_REQUIRE(t >= now_, "cannot schedule an event in the past");
   COL_REQUIRE(h != nullptr, "cannot schedule a null coroutine");
-  queue_.push(Event{t, next_seq_++, h});
+  heap_push(Event{t, next_seq_++, h});
 }
 
 void Engine::on_task_finished(std::coroutine_handle<> h) {
@@ -61,8 +114,19 @@ void Engine::on_task_exception(std::exception_ptr e) {
 }
 
 void Engine::reap_finished() {
+  // O(1) per finished task: look up its slot, swap-remove, fix the index
+  // of the task that moved into the vacated slot.
   for (auto h : finished_) {
-    owned_.erase(std::remove(owned_.begin(), owned_.end(), h), owned_.end());
+    const auto it = owned_index_.find(h.address());
+    COL_CHECK(it != owned_index_.end(), "finished task not owned by engine");
+    const std::size_t slot = it->second;
+    owned_index_.erase(it);
+    const std::size_t last = owned_.size() - 1;
+    if (slot != last) {
+      owned_[slot] = owned_[last];
+      owned_index_[owned_[slot].address()] = slot;
+    }
+    owned_.pop_back();
     h.destroy();
   }
   finished_.clear();
@@ -71,20 +135,33 @@ void Engine::reap_finished() {
 void Engine::run() {
   Engine* prev = g_current_engine;
   g_current_engine = this;
-  // RAII restore so nested/sequential engines behave.
+  const std::uint64_t events_at_entry = events_processed_;
+  const auto wall_start = std::chrono::steady_clock::now();
+  // RAII restore so nested/sequential engines behave, and so the perf
+  // counters stay correct even when a simulated process throws.
   struct Restore {
     Engine* prev;
-    ~Restore() { g_current_engine = prev; }
-  } restore{prev};
+    Engine* self;
+    std::uint64_t events_at_entry;
+    std::chrono::steady_clock::time_point wall_start;
+    ~Restore() {
+      g_current_engine = prev;
+      self->run_wall_seconds_ +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start)
+              .count();
+      g_total_events.fetch_add(self->events_processed_ - events_at_entry,
+                               std::memory_order_relaxed);
+    }
+  } restore{prev, this, events_at_entry, wall_start};
 
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
+  while (!heap_.empty()) {
+    const Event ev = heap_pop();
     COL_CHECK(ev.time >= now_, "event queue went backwards in time");
     now_ = ev.time;
     ++events_processed_;
     ev.handle.resume();
-    reap_finished();
+    if (!finished_.empty()) reap_finished();
     if (pending_exception_) {
       auto e = pending_exception_;
       pending_exception_ = nullptr;

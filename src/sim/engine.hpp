@@ -3,15 +3,25 @@
 /// Deterministic single-threaded discrete-event engine.
 ///
 /// Simulated processes are C++20 coroutines (`Task`). The engine owns a
-/// priority queue of (time, sequence) ordered events; each event resumes one
-/// suspended coroutine. Determinism: ties in time are broken by insertion
-/// sequence, and all randomness comes from seeded `columbia::Rng` streams.
+/// (time, sequence)-ordered event heap; each event resumes one suspended
+/// coroutine. Determinism: ties in time are broken by insertion sequence,
+/// and all randomness comes from seeded `columbia::Rng` streams.
+///
+/// Concurrency model: one engine is single-threaded by construction (the
+/// current engine is tracked in a thread_local), so independent engines on
+/// different host threads are safe — the scenario runner in core/ relies
+/// on exactly that (one engine per sweep point, no shared mutable state).
+///
+/// Hot path: `run()` is one heap pop + one coroutine resume per event. The
+/// heap is an inline binary heap over a reusable vector (no per-event
+/// allocation, no std::priority_queue indirection), and finished-task
+/// reaping is O(1) swap-remove via a handle→index map.
 
 #include <coroutine>
 #include <cstdint>
 #include <exception>
-#include <queue>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/task.hpp"
@@ -26,9 +36,13 @@ class DeadlockError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Process-wide count of events processed by all engines on all threads
+/// (monotonic; used by the bench harness for events/sec reporting).
+std::uint64_t total_events_processed();
+
 class Engine {
  public:
-  Engine() = default;
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine();
@@ -65,10 +79,21 @@ class Engine {
     return Awaiter{*this, dt};
   }
 
+  /// Pre-sizes the event heap (e.g. before spawning a large rank count).
+  void reserve_events(std::size_t n) { heap_.reserve(n); }
+
   /// Number of spawned processes that have not yet finished.
   std::size_t live_tasks() const { return live_tasks_; }
   /// Total events processed so far (observability / perf accounting).
   std::uint64_t events_processed() const { return events_processed_; }
+  /// Wall-clock seconds spent inside run() so far.
+  double run_wall_seconds() const { return run_wall_seconds_; }
+  /// Events per wall-clock second over all run() calls (0 before any run).
+  double events_per_second() const {
+    return run_wall_seconds_ > 0.0
+               ? static_cast<double>(events_processed_) / run_wall_seconds_
+               : 0.0;
+  }
 
   // --- internal hooks used by Task's promise ------------------------------
   void on_task_finished(std::coroutine_handle<> h);
@@ -79,21 +104,26 @@ class Engine {
     Time time;
     std::uint64_t seq;
     std::coroutine_handle<> handle;
-    bool operator>(const Event& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
+    // Min-heap priority: earlier time first, then insertion order.
+    bool before(const Event& other) const {
+      if (time != other.time) return time < other.time;
+      return seq < other.seq;
     }
   };
 
+  void heap_push(Event ev);
+  Event heap_pop();
   void reap_finished();
 
   Time now_ = kTimeZero;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  double run_wall_seconds_ = 0.0;
   std::size_t live_tasks_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<Event> heap_;  ///< inline binary min-heap, reused across runs
   std::vector<std::coroutine_handle<>> finished_;
   std::vector<std::coroutine_handle<>> owned_;
+  std::unordered_map<void*, std::size_t> owned_index_;  ///< handle → owned_ slot
   std::exception_ptr pending_exception_;
 };
 

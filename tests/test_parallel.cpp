@@ -1,0 +1,164 @@
+// Tests for the host-parallel execution layer (common/parallel):
+// correctness and ordering of parallel_for/parallel_map, exception
+// propagation, nested-call safety, COLUMBIA_JOBS handling, and the
+// ThreadPool future API. Also compiled under ThreadSanitizer as
+// test_parallel_tsan (see tests/CMakeLists.txt).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+
+namespace columbia::common {
+namespace {
+
+// Enough workers to force real concurrency even on a single-CPU host.
+constexpr int kJobs = 4;
+
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("COLUMBIA_JOBS"); }
+};
+
+TEST_F(ParallelTest, ForVisitsEveryIndexExactlyOnce) {
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(
+      n, [&](std::size_t i) { hits[i].fetch_add(1); }, kJobs);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST_F(ParallelTest, MapOrdersResultsByIndexNotCompletion) {
+  // Early indices do the most work, so completion order inverts index
+  // order under real concurrency; the result vector must not care.
+  const std::size_t n = 64;
+  const auto out = parallel_map_n(
+      n,
+      [n](std::size_t i) {
+        volatile double sink = 0.0;
+        for (std::size_t k = 0; k < (n - i) * 2000; ++k) sink = sink + 1.0;
+        return static_cast<double>(i * i);
+      },
+      kJobs);
+  ASSERT_EQ(out.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i * i)) << i;
+  }
+}
+
+TEST_F(ParallelTest, MapOverItems) {
+  const std::vector<int> items{3, 1, 4, 1, 5, 9, 2, 6};
+  const auto doubled =
+      parallel_map(items, [](int v) { return v * 2; }, kJobs);
+  ASSERT_EQ(doubled.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(doubled[i], items[i] * 2);
+  }
+}
+
+TEST_F(ParallelTest, ExceptionPropagatesOutOfParallelFor) {
+  EXPECT_THROW(
+      parallel_for(
+          100,
+          [](std::size_t i) {
+            if (i == 17) throw std::runtime_error("boom at 17");
+          },
+          kJobs),
+      std::runtime_error);
+}
+
+TEST_F(ParallelTest, LowestIndexExceptionWins) {
+  // Every item throws; the reported one must be index 0's (indices are
+  // claimed monotonically, so index 0 always runs).
+  try {
+    parallel_for(
+        50,
+        [](std::size_t i) {
+          throw std::runtime_error("fail " + std::to_string(i));
+        },
+        kJobs);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "fail 0");
+  }
+}
+
+TEST_F(ParallelTest, NestedCallsRunInlineWithoutDeadlock) {
+  std::vector<std::atomic<int>> hits(64);
+  std::atomic<int> nested_inline{0};
+  parallel_for(
+      8,
+      [&](std::size_t outer) {
+        const bool on_worker = ThreadPool::on_worker_thread();
+        const auto outer_thread = std::this_thread::get_id();
+        parallel_for(
+            8,
+            [&, outer](std::size_t inner) {
+              hits[outer * 8 + inner].fetch_add(1);
+              // A nested call from a pool worker stays on that worker.
+              if (on_worker &&
+                  std::this_thread::get_id() == outer_thread) {
+                nested_inline.fetch_add(1);
+              }
+            },
+            kJobs);
+      },
+      kJobs);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_GT(nested_inline.load(), 0);
+}
+
+TEST_F(ParallelTest, ColumbiaJobs1DegeneratesToSequential) {
+  setenv("COLUMBIA_JOBS", "1", 1);
+  ASSERT_EQ(ThreadPool::default_jobs(), 1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  parallel_for(32, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);  // unsynchronized: safe only when sequential
+  });
+  ASSERT_EQ(order.size(), 32u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST_F(ParallelTest, ColumbiaJobsOverridesDefault) {
+  setenv("COLUMBIA_JOBS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_jobs(), 3);
+  setenv("COLUMBIA_JOBS", "garbage", 1);
+  EXPECT_GE(ThreadPool::default_jobs(), 1);  // falls back to hardware
+}
+
+TEST_F(ParallelTest, PoolFuturesCarryExceptions) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] {});
+  auto bad = pool.submit([] { throw std::logic_error("task failed"); });
+  EXPECT_NO_THROW(ok.get());
+  EXPECT_THROW(bad.get(), std::logic_error);
+}
+
+TEST_F(ParallelTest, PoolRunsManySubmittedTasks) {
+  ThreadPool pool(kJobs);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&count] { count.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST_F(ParallelTest, SharedPoolGrowsOnDemand) {
+  auto& pool = ThreadPool::shared();
+  const int before = pool.size();
+  pool.ensure_workers(before + 2);
+  EXPECT_GE(pool.size(), before + 2);
+}
+
+}  // namespace
+}  // namespace columbia::common

@@ -1,0 +1,87 @@
+// Tests for the scenario runner (core/scenario): ordering of
+// run_scenarios results, and the determinism contract — parallel and
+// sequential execution of representative experiments (one per layer:
+// HPCC microbenchmark sweep, full-application sweep, engine-heavy
+// ablation) must render byte-identical reports.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/figures.hpp"
+#include "core/scenario.hpp"
+
+namespace columbia::core {
+namespace {
+
+// Enough workers to force real concurrency even on a single-CPU host.
+constexpr int kJobs = 4;
+
+TEST(Scenario, RunScenariosOrdersResultsByIndex) {
+  std::vector<Scenario> scenarios;
+  for (int i = 0; i < 12; ++i) {
+    scenarios.push_back(Scenario{
+        "s" + std::to_string(i),
+        [i] { return std::vector<double>{static_cast<double>(i), 2.0 * i}; }});
+  }
+  const auto seq = run_scenarios(scenarios, Exec::sequential());
+  const auto par = run_scenarios(scenarios, Exec::parallel(kJobs));
+  ASSERT_EQ(seq.size(), scenarios.size());
+  EXPECT_EQ(seq, par);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    ASSERT_EQ(seq[i].size(), 2u);
+    EXPECT_DOUBLE_EQ(seq[i][0], static_cast<double>(i));
+  }
+}
+
+std::string render_both_modes(const std::string& id, std::string* parallel) {
+  const auto* exp = find_experiment(id);
+  EXPECT_NE(exp, nullptr) << id;
+  if (exp == nullptr) return {};
+  const auto seq = exp->run_exec(Exec::sequential()).render();
+  *parallel = exp->run_exec(Exec::parallel(kJobs)).render();
+  return seq;
+}
+
+TEST(Scenario, Fig5ParallelMatchesSequentialByteForByte) {
+  std::string par;
+  const auto seq = render_both_modes("fig5", &par);
+  ASSERT_FALSE(seq.empty());
+  EXPECT_EQ(seq, par);
+}
+
+TEST(Scenario, Table2ParallelMatchesSequentialByteForByte) {
+  std::string par;
+  const auto seq = render_both_modes("table2", &par);
+  ASSERT_FALSE(seq.empty());
+  EXPECT_EQ(seq, par);
+}
+
+TEST(Scenario, EngineHeavyAblationParallelMatchesSequential) {
+  // ablation-alltoall runs a sim::Engine inside every scenario — the
+  // strongest exercise of the engine-per-thread model.
+  std::string par;
+  const auto seq = render_both_modes("ablation-alltoall", &par);
+  ASSERT_FALSE(seq.empty());
+  EXPECT_EQ(seq, par);
+}
+
+TEST(Scenario, LegacyRunMatchesRunExecSequential) {
+  const auto* exp = find_experiment("fig5");
+  ASSERT_NE(exp, nullptr);
+  ASSERT_TRUE(static_cast<bool>(exp->run));
+  ASSERT_TRUE(static_cast<bool>(exp->run_exec));
+  EXPECT_EQ(exp->run().render(), exp->run_exec(Exec::sequential()).render());
+}
+
+TEST(Scenario, EveryRegistryEntryExposesRunExec) {
+  for (const auto& e : experiment_registry()) {
+    EXPECT_TRUE(static_cast<bool>(e.run_exec)) << e.id;
+    EXPECT_TRUE(static_cast<bool>(e.run)) << e.id;
+  }
+}
+
+}  // namespace
+}  // namespace columbia::core

@@ -348,5 +348,44 @@ TEST(Engine, ManyTasksScale) {
   EXPECT_NEAR(eng.now(), 1e-6 * 2047, 1e-12);
 }
 
+TEST(Engine, ManyShortLivedTasksReapPromptly) {
+  // Regression test for the old O(n·m) reap: a spawner that churns
+  // through ~10k tasks, each finishing at a distinct time while many
+  // peers are still live, so every reap used to linear-scan the owned
+  // list per finished handle. With swap-remove reaping this completes
+  // in well under a second; before the fix it was quadratic.
+  Engine eng;
+  constexpr int kTasks = 10000;
+  int finished = 0;
+  auto shortlived = [](Engine& e, int& done, int id) -> Task {
+    co_await e.delay(1e-6 * (1 + id % 97));
+    ++done;
+  };
+  auto spawner = [&](Engine& e) -> Task {
+    for (int i = 0; i < kTasks; ++i) {
+      e.spawn(shortlived(e, finished, i));
+      if (i % 64 == 0) co_await e.delay(1e-7);
+    }
+  };
+  eng.spawn(spawner(eng));
+  eng.run();
+  EXPECT_EQ(finished, kTasks);
+  EXPECT_EQ(eng.live_tasks(), 0u);
+}
+
+TEST(Engine, EventAccountingTracksRuns) {
+  const std::uint64_t global_before = total_events_processed();
+  Engine eng;
+  std::vector<double> log;
+  eng.spawn(delayer(eng, log, 1.0));
+  eng.spawn(delayer(eng, log, 2.0));
+  eng.run();
+  EXPECT_GE(eng.events_processed(), 2u);
+  EXPECT_GE(eng.run_wall_seconds(), 0.0);
+  EXPECT_GE(eng.events_per_second(), 0.0);
+  // The process-wide counter accumulates every engine's events.
+  EXPECT_GE(total_events_processed() - global_before, eng.events_processed());
+}
+
 }  // namespace
 }  // namespace columbia::sim
