@@ -5,12 +5,16 @@
 // trajectory of the harness is tracked PR over PR.
 //
 //   bench_all [--repeat N] [--jobs N] [--mode seq|par|both]
-//             [--strategy outer|inner] [--out FILE]
+//             [--strategy outer|inner] [--out FILE] [--check]
 //
 // Strategies for the parallel pass:
 //   outer — one pool task per experiment (default; coarse, low overhead)
 //   inner — experiments in order, each one's scenarios fanned out
 //           (finer grain; better when one experiment dominates)
+//
+// --check runs every pass under the simcheck communication-correctness
+// analyzer, embeds its report under "check" in the JSON summary, and
+// fails the run on any diagnostic.
 
 #include <chrono>
 #include <cstdio>
@@ -26,6 +30,7 @@
 #include "common/parallel.hpp"
 #include "core/experiment.hpp"
 #include "sim/engine.hpp"
+#include "simcheck/checker.hpp"
 
 namespace {
 
@@ -98,6 +103,7 @@ int main(int argc, char** argv) {
   std::string mode = "both";
   std::string strategy = "outer";
   std::string out = "bench_results/BENCH_summary.json";
+  bool check = false;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -116,10 +122,12 @@ int main(int argc, char** argv) {
       strategy = next("--strategy");
     } else if (std::strcmp(argv[i], "--out") == 0) {
       out = next("--out");
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--repeat N] [--jobs N] [--mode seq|par|both] "
-                   "[--strategy outer|inner] [--out FILE]\n",
+                   "[--strategy outer|inner] [--out FILE] [--check]\n",
                    argv[0]);
       return 2;
     }
@@ -128,6 +136,7 @@ int main(int argc, char** argv) {
       jobs > 0 ? jobs : columbia::common::ThreadPool::default_jobs();
   const auto& registry = columbia::core::experiment_registry();
 
+  if (check) columbia::simcheck::enable_global_check();
   PassResult seq, par;
   const bool want_seq = mode == "both" || mode == "seq";
   const bool want_par = mode == "both" || mode == "par";
@@ -144,6 +153,12 @@ int main(int argc, char** argv) {
     par = run_parallel(registry, repeat, jobs, strategy);
     std::printf("  %.2f s total, %.0f events/s\n", par.total_seconds,
                 par.events / std::max(par.total_seconds, 1e-12));
+  }
+
+  columbia::simcheck::CheckReport check_report;
+  if (check) {
+    check_report = columbia::simcheck::drain_global_check_report();
+    std::fputs(check_report.render().c_str(), stderr);
   }
 
   bool identical = true;
@@ -181,7 +196,7 @@ int main(int argc, char** argv) {
       os << columbia::bench::timing_to_json(seq.timings[i], 6)
          << (i + 1 < seq.timings.size() ? ",\n" : "\n");
     }
-    os << "    ]\n  }" << (want_par ? ",\n" : "\n");
+    os << "    ]\n  }" << (want_par || check ? ",\n" : "\n");
   }
   if (want_par) {
     os << "  \"parallel\": {\n";
@@ -191,7 +206,7 @@ int main(int argc, char** argv) {
     os << "    \"events_per_second\": "
        << columbia::bench::json_number(
               par.events / std::max(par.total_seconds, 1e-12))
-       << "\n  }" << (want_seq ? ",\n" : "\n");
+       << "\n  }" << (want_seq || check ? ",\n" : "\n");
   }
   if (want_seq && want_par) {
     os << "  \"speedup\": "
@@ -199,7 +214,10 @@ int main(int argc, char** argv) {
               seq.total_seconds / std::max(par.total_seconds, 1e-12))
        << ",\n";
     os << "  \"reports_identical\": " << (identical ? "true" : "false")
-       << "\n";
+       << (check ? ",\n" : "\n");
+  }
+  if (check) {
+    os << "  \"check\":\n" << check_report.to_json(2) << "\n";
   }
   os << "}\n";
 
@@ -211,5 +229,5 @@ int main(int argc, char** argv) {
   } else {
     std::printf("wrote %s\n", out.c_str());
   }
-  return identical ? 0 : 1;
+  return identical && check_report.clean() ? 0 : 1;
 }

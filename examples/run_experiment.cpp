@@ -7,8 +7,11 @@
 //   $ ./run_experiment fig6 fig8        # several in one go
 //   $ ./run_experiment --filter ext-    # every id containing "ext-"
 //   $ ./run_experiment --parallel fig5  # scenarios over the thread pool
+//   $ ./run_experiment --check table2   # run under the simcheck analyzer
 //
-// Exits non-zero on an unknown id or a --filter that matches nothing.
+// Exits non-zero on an unknown id, a --filter that matches nothing, or —
+// with --check — any communication-correctness diagnostic. The analyzer
+// is a pure listener, so checked runs produce byte-identical reports.
 
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +21,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "simcheck/checker.hpp"
 
 namespace {
 
@@ -47,9 +51,12 @@ int main(int argc, char** argv) {
   std::vector<std::string> ids;
   std::vector<std::string> filters;
   bool list_only = false;
+  bool check = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--list") == 0) {
       list_only = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
     } else if (std::strcmp(argv[i], "--filter") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--filter needs a substring argument\n");
@@ -68,7 +75,7 @@ int main(int argc, char** argv) {
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: %s [--list] [--filter <substr>] "
-                   "[--parallel] [--jobs N] [<id> ...]\n",
+                   "[--parallel] [--jobs N] [--check] [<id> ...]\n",
                    argv[i], argv[0]);
       return 2;
     } else {
@@ -80,12 +87,13 @@ int main(int argc, char** argv) {
     print_registry();
     if (!list_only) {
       std::printf("\nusage: %s [--list] [--filter <substr>] [--parallel] "
-                  "[--jobs N] [<id> ...]\n",
+                  "[--jobs N] [--check] [<id> ...]\n",
                   argv[0]);
     }
     return 0;
   }
 
+  if (check) columbia::simcheck::enable_global_check();
   for (const auto& id : ids) {
     const auto* exp = find_experiment(id);
     if (exp == nullptr) {
@@ -108,6 +116,11 @@ int main(int argc, char** argv) {
                    needle.c_str());
       return 1;
     }
+  }
+  if (check) {
+    const auto report = columbia::simcheck::drain_global_check_report();
+    std::fputs(report.render().c_str(), stderr);
+    if (!report.clean()) return 1;
   }
   return 0;
 }

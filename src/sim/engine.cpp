@@ -169,6 +169,7 @@ void Engine::run() {
     }
   }
   if (live_tasks_ > 0) {
+    if (deadlock_hook_) deadlock_hook_();
     throw DeadlockError("simulation deadlock: event queue empty with " +
                         std::to_string(live_tasks_) +
                         " process(es) still suspended");

@@ -20,6 +20,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
@@ -82,6 +83,14 @@ class Engine {
   /// Pre-sizes the event heap (e.g. before spawning a large rank count).
   void reserve_events(std::size_t n) { heap_.reserve(n); }
 
+  /// Hook invoked when run() drains the queue while live processes remain
+  /// suspended, immediately before DeadlockError is thrown. simcheck's
+  /// analyzer uses it to snapshot the wait-for graph while the blocked
+  /// state is still observable. Pass nullptr to clear.
+  void set_deadlock_hook(std::function<void()> hook) {
+    deadlock_hook_ = std::move(hook);
+  }
+
   /// Number of spawned processes that have not yet finished.
   std::size_t live_tasks() const { return live_tasks_; }
   /// Total events processed so far (observability / perf accounting).
@@ -125,6 +134,7 @@ class Engine {
   std::vector<std::coroutine_handle<>> owned_;
   std::unordered_map<void*, std::size_t> owned_index_;  ///< handle → owned_ slot
   std::exception_ptr pending_exception_;
+  std::function<void()> deadlock_hook_;
 };
 
 }  // namespace columbia::sim

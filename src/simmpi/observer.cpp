@@ -1,0 +1,30 @@
+#include "simmpi/observer.hpp"
+
+namespace columbia::simmpi {
+
+const char* coll_op_name(CollOp op) {
+  switch (op) {
+    case CollOp::Barrier: return "barrier";
+    case CollOp::Bcast: return "bcast";
+    case CollOp::Reduce: return "reduce";
+    case CollOp::Allreduce: return "allreduce";
+    case CollOp::AllreduceSum: return "allreduce_sum";
+    case CollOp::Alltoall: return "alltoall";
+    case CollOp::Allgather: return "allgather";
+    case CollOp::AllgatherValues: return "allgather_values";
+    case CollOp::AlltoallValues: return "alltoall_values";
+  }
+  return "?";
+}
+
+namespace {
+ObserverFactory g_factory;
+}  // namespace
+
+void set_world_observer_factory(ObserverFactory factory) {
+  g_factory = std::move(factory);
+}
+
+const ObserverFactory& world_observer_factory() { return g_factory; }
+
+}  // namespace columbia::simmpi

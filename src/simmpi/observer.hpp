@@ -1,0 +1,112 @@
+#pragma once
+/// \file observer.hpp
+/// Communication-event hooks for the simulated MPI layer.
+///
+/// A `CommObserver` attached to a `World` (World::set_observer, or globally
+/// via set_world_observer_factory) receives one callback per semantic event:
+/// operation posted / matched / completed, request lifecycle, collective
+/// entry, rank exit, and end-of-run finalize. Observers are pure listeners —
+/// they never interact with the engine, so an attached observer cannot
+/// change simulated timing or matching; reports stay byte-identical.
+///
+/// The concrete analyzer built on these hooks is `simcheck::Checker`
+/// (src/simcheck); this header keeps simmpi free of any dependency on it.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace columbia::simmpi {
+
+class World;
+
+/// Collective operations, for call-sequence consistency checking.
+enum class CollOp {
+  Barrier,
+  Bcast,
+  Reduce,
+  Allreduce,
+  AllreduceSum,
+  Alltoall,
+  Allgather,
+  AllgatherValues,
+  AlltoallValues,
+};
+
+const char* coll_op_name(CollOp op);
+
+/// One message eligible for a receive at its match point. More than one
+/// candidate at a wildcard match means the outcome depends on arrival
+/// order — a nondeterminism hazard on a real machine.
+struct Candidate {
+  int source = 0;
+  int tag = 0;
+};
+
+/// Event listener. All methods default to no-ops so observers implement
+/// only what they need. Operation ids are unique per World (sends and
+/// receives share the id space); request serials are a separate space.
+class CommObserver {
+ public:
+  virtual ~CommObserver() = default;
+
+  /// A send posted its envelope. `rendezvous` = above the eager threshold.
+  virtual void on_send_posted(std::uint64_t id, int rank, int dst, int tag,
+                              double bytes, bool rendezvous) {
+    (void)id, (void)rank, (void)dst, (void)tag, (void)bytes, (void)rendezvous;
+  }
+  /// The sender's blocking call returned (eager: after the library copy,
+  /// possibly long before any receive matches the message).
+  virtual void on_send_completed(std::uint64_t id) { (void)id; }
+
+  /// A receive was posted with the given (src, tag) pattern (kAny wildcards).
+  virtual void on_recv_posted(std::uint64_t id, int rank, int src, int tag) {
+    (void)id, (void)rank, (void)src, (void)tag;
+  }
+  /// The receive claimed the message sent as op `send_id`. `eligible` lists
+  /// every unclaimed pending message that matched the pattern at this
+  /// moment, in queue order; eligible[0] is the claimed one.
+  virtual void on_recv_matched(std::uint64_t recv_id, std::uint64_t send_id,
+                               const std::vector<Candidate>& eligible) {
+    (void)recv_id, (void)send_id, (void)eligible;
+  }
+  /// The receive delivered its message to the caller.
+  virtual void on_recv_completed(std::uint64_t id) { (void)id; }
+
+  /// isend/irecv created a request. Requests must be retired with
+  /// wait/wait_all; `on_request_waited` fires when that happens.
+  virtual void on_request_posted(int rank, std::uint64_t serial, bool is_send,
+                                 int peer, int tag) {
+    (void)rank, (void)serial, (void)is_send, (void)peer, (void)tag;
+  }
+  virtual void on_request_waited(int rank, std::uint64_t serial) {
+    (void)rank, (void)serial;
+  }
+
+  /// A rank entered a collective. `root` is -1 for rootless collectives;
+  /// `bytes` is -1 when per-rank sizes may legitimately differ
+  /// (allgather_values / alltoall_values).
+  virtual void on_collective(int rank, CollOp op, int root, double bytes) {
+    (void)rank, (void)op, (void)root, (void)bytes;
+  }
+
+  /// A rank's program returned.
+  virtual void on_rank_finished(int rank) { (void)rank; }
+
+  /// The run drained normally (every process finished). Not called on
+  /// deadlock — the engine's deadlock hook fires instead.
+  virtual void on_finalize() {}
+};
+
+/// Process-global opt-in: when a factory is installed, every subsequently
+/// constructed World creates and owns an observer from it (simcheck's
+/// global `--check` mode uses this so experiment drivers need no wiring).
+/// Install/clear only while no Worlds are being constructed; the factory
+/// itself must be callable from several host threads at once (scenario
+/// sweeps construct Worlds on pool threads).
+using ObserverFactory = std::function<std::shared_ptr<CommObserver>(World&)>;
+void set_world_observer_factory(ObserverFactory factory);
+const ObserverFactory& world_observer_factory();
+
+}  // namespace columbia::simmpi

@@ -41,6 +41,12 @@ void Rank::deposit(std::unique_ptr<Envelope> env) {
       pending_.erase(it);
       env->claimed = true;
       p->matched = env.get();
+      if (auto* obs = world_->observer()) {
+        // A blocked receive matches the moment one message arrives, so the
+        // candidate set is exactly that message.
+        obs->on_recv_matched(p->check_id, env->check_id,
+                             {{env->src, env->tag}});
+      }
       unexpected_.push_back(std::move(env));  // keep alive until recv copies
       p->ready->fire();
       return;
@@ -83,6 +89,14 @@ sim::CoTask<void> Rank::send_impl(int dst, double bytes,
   env->eager = bytes <= World::kEagerThreshold;
   env->delivered = std::make_unique<sim::Trigger>(eng);
 
+  CommObserver* obs = world_->observer();
+  std::uint64_t op_id = 0;
+  if (obs) {
+    op_id = world_->next_check_id();
+    env->check_id = op_id;
+    obs->on_send_posted(op_id, rank_, dst, tag, bytes, !env->eager);
+  }
+
   Rank& receiver = world_->rank(dst);
   machine::Network& net = world_->network();
 
@@ -110,6 +124,7 @@ sim::CoTask<void> Rank::send_impl(int dst, double bytes,
     co_await net.transfer(cpu_, dst_cpu, bytes);
     delivered.fire();
   }
+  if (obs) obs->on_send_completed(op_id);
   comm_seconds_ += eng.now() - t0;
   trace_span(world_, rank_, sim::SpanKind::Communication, t0, eng.now());
 }
@@ -118,12 +133,33 @@ sim::CoTask<Message> Rank::recv(int src, int tag) {
   auto& eng = engine();
   const double t0 = eng.now();
 
+  CommObserver* obs = world_->observer();
+  std::uint64_t recv_id = 0;
+  if (obs) {
+    recv_id = world_->next_check_id();
+    obs->on_recv_posted(recv_id, rank_, src, tag);
+  }
+
   Envelope* env = nullptr;
   // First look at already-announced (unexpected) messages, FIFO order.
-  for (auto& e : unexpected_) {
-    if (!e->claimed && matches(src, tag, *e)) {
-      env = e.get();
-      break;
+  if (obs) {
+    // Observer attached: collect the whole eligible set (the match is
+    // still the first in queue order, so semantics and timing are
+    // unchanged; the candidates feed the wildcard-race detector).
+    std::vector<Candidate> eligible;
+    for (auto& e : unexpected_) {
+      if (!e->claimed && matches(src, tag, *e)) {
+        if (env == nullptr) env = e.get();
+        eligible.push_back({e->src, e->tag});
+      }
+    }
+    if (env != nullptr) obs->on_recv_matched(recv_id, env->check_id, eligible);
+  } else {
+    for (auto& e : unexpected_) {
+      if (!e->claimed && matches(src, tag, *e)) {
+        env = e.get();
+        break;
+      }
     }
   }
   if (env != nullptr) {
@@ -132,6 +168,7 @@ sim::CoTask<Message> Rank::recv(int src, int tag) {
     PendingRecv p;
     p.src = src;
     p.tag = tag;
+    p.check_id = recv_id;
     p.ready = std::make_unique<sim::Trigger>(eng);
     pending_.push_back(&p);
     co_await p.ready->wait();
@@ -167,6 +204,7 @@ sim::CoTask<Message> Rank::recv(int src, int tag) {
       break;
     }
   }
+  if (obs) obs->on_recv_completed(recv_id);
   comm_seconds_ += eng.now() - t0;
   trace_span(world_, rank_, sim::SpanKind::Communication, t0, eng.now());
   co_return msg;
@@ -213,6 +251,11 @@ sim::Task drive_recv(Rank& r, int src, int tag,
 Request Rank::isend(int dst, double bytes, int tag) {
   Request req;
   req.state_ = std::make_shared<Request::State>(engine());
+  if (auto* obs = world_->observer()) {
+    req.state_->check_serial = world_->next_check_id();
+    obs->on_request_posted(rank_, req.state_->check_serial, /*is_send=*/true,
+                           dst, tag);
+  }
   engine().spawn(drive_send(*this, dst, bytes, tag, req.state_));
   return req;
 }
@@ -220,12 +263,22 @@ Request Rank::isend(int dst, double bytes, int tag) {
 Request Rank::irecv(int src, int tag) {
   Request req;
   req.state_ = std::make_shared<Request::State>(engine());
+  if (auto* obs = world_->observer()) {
+    req.state_->check_serial = world_->next_check_id();
+    obs->on_request_posted(rank_, req.state_->check_serial, /*is_send=*/false,
+                           src, tag);
+  }
   engine().spawn(drive_recv(*this, src, tag, req.state_));
   return req;
 }
 
 sim::CoTask<Message> Rank::wait(Request& request) {
   COL_REQUIRE(request.valid(), "wait() on an invalid request");
+  if (auto* obs = world_->observer()) {
+    if (request.state_->check_serial != 0) {
+      obs->on_request_waited(rank_, request.state_->check_serial);
+    }
+  }
   if (!request.state_->complete) {
     co_await request.state_->done.wait();
   }
@@ -254,6 +307,8 @@ sim::CoTask<void> Rank::compute(double seconds) {
 
 sim::CoTask<void> Rank::barrier() {
   const int n = size();
+  if (auto* obs = world_->observer())
+    obs->on_collective(rank_, CollOp::Barrier, -1, 0.0);
   // Dissemination barrier: ceil(log2 n) rounds of disjoint sendrecv pairs.
   for (int k = 1; k < n; k <<= 1) {
     const int dst = (rank_ + k) % n;
@@ -265,6 +320,8 @@ sim::CoTask<void> Rank::barrier() {
 sim::CoTask<void> Rank::bcast(int root, double bytes) {
   const int n = size();
   COL_REQUIRE(root >= 0 && root < n, "bcast root out of range");
+  if (auto* obs = world_->observer())
+    obs->on_collective(rank_, CollOp::Bcast, root, bytes);
   const int rel = (rank_ - root + n) % n;
   // Binomial tree (MPICH-style): find the bit where we receive, then fan
   // out to the remaining subtrees.
@@ -290,6 +347,8 @@ sim::CoTask<void> Rank::bcast(int root, double bytes) {
 sim::CoTask<void> Rank::reduce(int root, double bytes) {
   const int n = size();
   COL_REQUIRE(root >= 0 && root < n, "reduce root out of range");
+  if (auto* obs = world_->observer())
+    obs->on_collective(rank_, CollOp::Reduce, root, bytes);
   const int rel = (rank_ - root + n) % n;
   // Reverse binomial tree: leaves send first.
   for (int mask = 1; mask < n; mask <<= 1) {
@@ -308,6 +367,8 @@ sim::CoTask<void> Rank::reduce(int root, double bytes) {
 
 sim::CoTask<void> Rank::allreduce(double bytes) {
   const int n = size();
+  if (auto* obs = world_->observer())
+    obs->on_collective(rank_, CollOp::Allreduce, -1, bytes);
   if (is_pow2(n)) {
     // Recursive doubling.
     for (int mask = 1; mask < n; mask <<= 1) {
@@ -323,6 +384,10 @@ sim::CoTask<void> Rank::allreduce(double bytes) {
 sim::CoTask<std::vector<double>> Rank::allreduce_sum(
     std::vector<double> data) {
   const int n = size();
+  if (auto* obs = world_->observer()) {
+    obs->on_collective(rank_, CollOp::AllreduceSum, -1,
+                       static_cast<double>(data.size()) * sizeof(double));
+  }
   // Binomial reduce to rank 0 with real summation, then binomial bcast of
   // the result. Matches the cost-only reduce/bcast trees.
   for (int mask = 1; mask < n; mask <<= 1) {
@@ -364,6 +429,8 @@ sim::CoTask<std::vector<double>> Rank::allreduce_sum(
 
 sim::CoTask<void> Rank::alltoall(double bytes_per_pair, AlltoallAlgo algo) {
   const int n = size();
+  if (auto* obs = world_->observer())
+    obs->on_collective(rank_, CollOp::Alltoall, -1, bytes_per_pair);
   if (n == 1) co_return;
   if (algo == AlltoallAlgo::Flood) {
     // Everything at once: maximal overlap, maximal contention.
@@ -394,6 +461,8 @@ sim::CoTask<void> Rank::alltoall(double bytes_per_pair, AlltoallAlgo algo) {
 
 sim::CoTask<void> Rank::allgather(double bytes_per_rank) {
   const int n = size();
+  if (auto* obs = world_->observer())
+    obs->on_collective(rank_, CollOp::Allgather, -1, bytes_per_rank);
   if (n == 1) co_return;
   // Ring: n-1 steps, each forwarding the previously received block.
   const int dst = (rank_ + 1) % n;
@@ -406,6 +475,9 @@ sim::CoTask<void> Rank::allgather(double bytes_per_rank) {
 sim::CoTask<std::vector<double>> Rank::allgather_values(
     std::vector<double> mine) {
   const int n = size();
+  // bytes = -1: per-rank contributions may legitimately differ in size.
+  if (auto* obs = world_->observer())
+    obs->on_collective(rank_, CollOp::AllgatherValues, -1, -1.0);
   std::vector<std::vector<double>> blocks(static_cast<std::size_t>(n));
   blocks[static_cast<std::size_t>(rank_)] = std::move(mine);
   if (n > 1) {
@@ -442,6 +514,8 @@ sim::CoTask<std::vector<double>> Rank::allgather_values(
 sim::CoTask<std::vector<std::vector<double>>> Rank::alltoall_values(
     std::vector<std::vector<double>> send) {
   const int n = size();
+  if (auto* obs = world_->observer())
+    obs->on_collective(rank_, CollOp::AlltoallValues, -1, -1.0);
   COL_REQUIRE(static_cast<int>(send.size()) == n,
               "alltoall needs one block per destination");
   std::vector<std::vector<double>> recv(static_cast<std::size_t>(n));
@@ -482,6 +556,17 @@ World::World(sim::Engine& engine, machine::Network& network,
     rank->cpu_ = placement_.cpu_of(r);
     ranks_.push_back(std::move(rank));
   }
+  // Global opt-in checking: own an observer from the installed factory
+  // (the factory attaches it — observer + engine deadlock hook).
+  if (const auto& factory = world_observer_factory()) {
+    owned_observer_ = factory(*this);
+  }
+}
+
+World::~World() {
+  // An owned observer (typically simcheck's Checker) registered an engine
+  // deadlock hook pointing into itself; sever it before the observer dies.
+  if (owned_observer_ != nullptr) engine_->set_deadlock_hook(nullptr);
 }
 
 Rank& World::rank(int r) {
@@ -491,6 +576,7 @@ Rank& World::rank(int r) {
 
 sim::Task World::rank_main(Rank& r, const Program& program) {
   co_await program(r);
+  if (auto* obs = r.world_->observer()) obs->on_rank_finished(r.rank());
 }
 
 double World::run(const Program& program) {
@@ -499,6 +585,7 @@ double World::run(const Program& program) {
     engine_->spawn(rank_main(*r, program));
   }
   engine_->run();
+  if (observer_ != nullptr) observer_->on_finalize();
   return engine_->now() - t0;
 }
 

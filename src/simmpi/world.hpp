@@ -22,6 +22,7 @@
 #include "sim/task.hpp"
 #include "sim/trace.hpp"
 #include "sim/trigger.hpp"
+#include "simmpi/observer.hpp"
 
 namespace columbia::simmpi {
 
@@ -61,6 +62,7 @@ class Request {
     explicit State(sim::Engine& e) : done(e) {}
     sim::Trigger done;
     bool complete = false;
+    std::uint64_t check_serial = 0;  // observer request id (0 = untracked)
     Message message;  // irecv only
   };
 
@@ -149,6 +151,7 @@ class Rank {
     std::vector<double> payload;
     bool eager;
     bool claimed = false;  // already matched to a receive
+    std::uint64_t check_id = 0;  // observer op id (0 = untracked)
     std::unique_ptr<sim::Trigger> delivered;     // data arrived at receiver
     std::unique_ptr<sim::Trigger> rts_matched;   // rendezvous handshake
   };
@@ -156,6 +159,7 @@ class Rank {
     int src;
     int tag;
     Envelope* matched = nullptr;
+    std::uint64_t check_id = 0;  // observer op id (0 = untracked)
     std::unique_ptr<sim::Trigger> ready;
   };
 
@@ -184,6 +188,7 @@ class World {
 
   World(sim::Engine& engine, machine::Network& network,
         machine::Placement placement);
+  ~World();
 
   int size() const { return static_cast<int>(ranks_.size()); }
   sim::Engine& engine() const { return *engine_; }
@@ -199,6 +204,14 @@ class World {
   /// must outlive the run.
   void set_trace(sim::TraceRecorder* trace) { trace_ = trace; }
   sim::TraceRecorder* trace() const { return trace_; }
+
+  /// Optional correctness observer (see observer.hpp). The observer must
+  /// outlive the run. A World constructed while a global observer factory
+  /// is installed owns one automatically.
+  void set_observer(CommObserver* observer) { observer_ = observer; }
+  CommObserver* observer() const { return observer_; }
+  /// Allocates the next operation id (internal, used by Rank's hooks).
+  std::uint64_t next_check_id() { return next_check_id_++; }
 
   /// Mean over ranks of time spent in communication calls. Overlapping
   /// operations (sendrecv halves, wait-all members) each count their own
@@ -217,6 +230,9 @@ class World {
   machine::Network* network_;
   machine::Placement placement_;
   sim::TraceRecorder* trace_ = nullptr;
+  CommObserver* observer_ = nullptr;
+  std::shared_ptr<CommObserver> owned_observer_;  // global-factory product
+  std::uint64_t next_check_id_ = 1;
   std::vector<std::unique_ptr<Rank>> ranks_;
 };
 

@@ -7,6 +7,16 @@
 
 namespace columbia::simomp {
 
+namespace {
+RegionObserver g_region_observer;
+}  // namespace
+
+void set_region_observer(RegionObserver observer) {
+  g_region_observer = std::move(observer);
+}
+
+const RegionObserver& region_observer() { return g_region_observer; }
+
 OmpModel::OmpModel(const machine::NodeSpec& node,
                    perfmodel::CompilerVersion compiler)
     : model_(node, compiler) {}
@@ -34,6 +44,7 @@ double OmpModel::migration_penalty(int nthreads, Pinning pin) const {
 double OmpModel::region_time(const RegionSpec& region, int nthreads,
                              Pinning pin, perfmodel::KernelClass kernel,
                              int bus_sharers_override) const {
+  if (const auto& obs = region_observer()) obs(region, nthreads);
   COL_REQUIRE(nthreads >= 1, "need at least one thread");
   COL_REQUIRE(nthreads <= node().num_cpus, "team exceeds node size");
   COL_REQUIRE(region.shared_traffic_fraction >= 0.0 &&

@@ -16,6 +16,8 @@
 ///   4. data/thread placement: without pinning, threads migrate and lose
 ///      first-touch locality (Fig. 7) — hybrid codes suffer most.
 
+#include <functional>
+
 #include "machine/spec.hpp"
 #include "perfmodel/compute.hpp"
 #include "perfmodel/work.hpp"
@@ -40,6 +42,16 @@ struct RegionSpec {
   /// 64 CPUs). 0 = use the team size.
   int compiler_width = 0;
 };
+
+/// Process-global observer called at every region_time() evaluation (before
+/// argument validation, so it also sees specs the contracts reject).
+/// simcheck's `--check` mode installs a validator that flags non-finite or
+/// negative demand — values the contract checks cannot catch because NaN
+/// compares false. Must be callable from several host threads at once;
+/// install/clear only while no sweeps are running. Pass nullptr to clear.
+using RegionObserver = std::function<void(const RegionSpec&, int nthreads)>;
+void set_region_observer(RegionObserver observer);
+const RegionObserver& region_observer();
 
 class OmpModel {
  public:

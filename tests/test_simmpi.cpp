@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <numeric>
+#include <utility>
 
 #include "common/check.hpp"
 #include "machine/network.hpp"
@@ -113,6 +114,31 @@ TEST(P2P, WildcardSourceAndTag) {
     }
   });
   EXPECT_EQ(got_from, 1);  // earliest arrival matched first
+}
+
+TEST(P2P, WildcardRecvsDrainInArrivalOrder) {
+  // Messages from several sources, consumed entirely through wildcards:
+  // matching is deterministic arrival order, and per-source streams still
+  // obey non-overtaking.
+  Rig rig(3);
+  std::vector<std::pair<int, int>> seen;  // (source, tag)
+  rig.world.run([&](Rank& r) -> sim::CoTask<void> {
+    if (r.rank() == 1) {
+      co_await r.send(0, 16.0, 10);
+      co_await r.engine().delay(2.0);
+      co_await r.send(0, 16.0, 11);
+    } else if (r.rank() == 2) {
+      co_await r.engine().delay(1.0);
+      co_await r.send(0, 16.0, 20);
+    } else {
+      co_await r.engine().delay(5.0);  // let everything arrive first
+      for (int i = 0; i < 3; ++i) {
+        Message m = co_await r.recv(kAny, kAny);
+        seen.emplace_back(m.source, m.tag);
+      }
+    }
+  });
+  EXPECT_EQ(seen, (std::vector<std::pair<int, int>>{{1, 10}, {2, 20}, {1, 11}}));
 }
 
 TEST(P2P, RendezvousWaitsForReceiver) {
@@ -251,6 +277,36 @@ TEST(Nonblocking, TestReflectsCompletion) {
   });
   EXPECT_FALSE(before);
   EXPECT_TRUE(after);
+}
+
+TEST(Nonblocking, IsendTestReflectsCompletion) {
+  // A rendezvous isend cannot have completed before the receiver posts;
+  // after wait it must test() true.
+  Rig rig(2);
+  bool before = true, after = false;
+  rig.world.run([&](Rank& r) -> sim::CoTask<void> {
+    if (r.rank() == 0) {
+      Request req = r.isend(1, 1e6, 0);  // rendezvous
+      before = req.test();
+      (void)co_await r.wait(req);
+      after = req.test();
+    } else {
+      co_await r.engine().delay(1.0);
+      (void)co_await r.recv(0, 0);
+    }
+  });
+  EXPECT_FALSE(before);
+  EXPECT_TRUE(after);
+}
+
+TEST(Nonblocking, WaitAllOnEmptyVectorIsANoop) {
+  Rig rig(2);
+  double elapsed = rig.world.run([&](Rank& r) -> sim::CoTask<void> {
+    std::vector<Request> none;
+    co_await r.wait_all(none);  // must neither block nor throw
+    co_return;
+  });
+  EXPECT_DOUBLE_EQ(elapsed, 0.0);
 }
 
 TEST(Nonblocking, WaitAllDrainsManyRequests) {
