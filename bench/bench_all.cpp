@@ -15,6 +15,11 @@
 // --check runs every pass under the simcheck communication-correctness
 // analyzer, embeds its report under "check" in the JSON summary, and
 // fails the run on any diagnostic.
+//
+// --profile runs every pass under the simprof profiler (roll-up only, no
+// timeline retention) and embeds its report under "profile" in the JSON
+// summary. Both analyzers are pure listeners, so the sequential/parallel
+// identity check still holds with either enabled.
 
 #include <chrono>
 #include <cstdio>
@@ -31,6 +36,7 @@
 #include "core/experiment.hpp"
 #include "sim/engine.hpp"
 #include "simcheck/checker.hpp"
+#include "simprof/profiler.hpp"
 
 namespace {
 
@@ -104,6 +110,7 @@ int main(int argc, char** argv) {
   std::string strategy = "outer";
   std::string out = "bench_results/BENCH_summary.json";
   bool check = false;
+  bool profile = false;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -124,10 +131,13 @@ int main(int argc, char** argv) {
       out = next("--out");
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--repeat N] [--jobs N] [--mode seq|par|both] "
-                   "[--strategy outer|inner] [--out FILE] [--check]\n",
+                   "[--strategy outer|inner] [--out FILE] [--check] "
+                   "[--profile]\n",
                    argv[0]);
       return 2;
     }
@@ -137,6 +147,12 @@ int main(int argc, char** argv) {
   const auto& registry = columbia::core::experiment_registry();
 
   if (check) columbia::simcheck::enable_global_check();
+  if (profile) {
+    // Roll-up only: the summary embeds aggregate profiles, not timelines.
+    columbia::simprof::ProfileOptions opts;
+    opts.retain_timeline = false;
+    columbia::simprof::enable_global_profile(opts);
+  }
   PassResult seq, par;
   const bool want_seq = mode == "both" || mode == "seq";
   const bool want_par = mode == "both" || mode == "par";
@@ -159,6 +175,11 @@ int main(int argc, char** argv) {
   if (check) {
     check_report = columbia::simcheck::drain_global_check_report();
     std::fputs(check_report.render().c_str(), stderr);
+  }
+  columbia::simprof::ProfileReport profile_report;
+  if (profile) {
+    profile_report = columbia::simprof::drain_global_profile_report();
+    std::fputs(profile_report.render().c_str(), stderr);
   }
 
   bool identical = true;
@@ -196,7 +217,7 @@ int main(int argc, char** argv) {
       os << columbia::bench::timing_to_json(seq.timings[i], 6)
          << (i + 1 < seq.timings.size() ? ",\n" : "\n");
     }
-    os << "    ]\n  }" << (want_par || check ? ",\n" : "\n");
+    os << "    ]\n  }" << (want_par || check || profile ? ",\n" : "\n");
   }
   if (want_par) {
     os << "  \"parallel\": {\n";
@@ -206,7 +227,7 @@ int main(int argc, char** argv) {
     os << "    \"events_per_second\": "
        << columbia::bench::json_number(
               par.events / std::max(par.total_seconds, 1e-12))
-       << "\n  }" << (want_seq || check ? ",\n" : "\n");
+       << "\n  }" << (want_seq || check || profile ? ",\n" : "\n");
   }
   if (want_seq && want_par) {
     os << "  \"speedup\": "
@@ -214,10 +235,14 @@ int main(int argc, char** argv) {
               seq.total_seconds / std::max(par.total_seconds, 1e-12))
        << ",\n";
     os << "  \"reports_identical\": " << (identical ? "true" : "false")
-       << (check ? ",\n" : "\n");
+       << (check || profile ? ",\n" : "\n");
   }
   if (check) {
-    os << "  \"check\":\n" << check_report.to_json(2) << "\n";
+    os << "  \"check\":\n" << check_report.to_json(2)
+       << (profile ? ",\n" : "\n");
+  }
+  if (profile) {
+    os << "  \"profile\":\n" << profile_report.to_json(2) << "\n";
   }
   os << "}\n";
 

@@ -8,20 +8,31 @@
 //   $ ./run_experiment --filter ext-    # every id containing "ext-"
 //   $ ./run_experiment --parallel fig5  # scenarios over the thread pool
 //   $ ./run_experiment --check table2   # run under the simcheck analyzer
+//   $ ./run_experiment --profile --out prof table2
+//                                       # profile: per-experiment Chrome
+//                                       # trace, Gantt CSV, comm matrix,
+//                                       # and ProfileReport JSON in prof/
+//
+// --check and --profile compose (both analyzers attach through the World
+// observer fan-out). Both are pure listeners, so checked/profiled runs
+// produce byte-identical reports on stdout; analyzer output goes to
+// stderr and (for --profile) to the artifact directory.
 //
 // Exits non-zero on an unknown id, a --filter that matches nothing, or —
-// with --check — any communication-correctness diagnostic. The analyzer
-// is a pure listener, so checked runs produce byte-identical reports.
+// with --check — any communication-correctness diagnostic.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
 #include "simcheck/checker.hpp"
+#include "simprof/profiler.hpp"
 
 namespace {
 
@@ -36,11 +47,53 @@ void print_registry() {
   }
 }
 
+std::string sanitize_id(const std::string& id) {
+  std::string out = id;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+bool write_file(const std::filesystem::path& path, const std::string& body) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    std::fprintf(stderr, "simprof: cannot write %s\n", path.string().c_str());
+    return false;
+  }
+  os << body;
+  return true;
+}
+
+/// Drains the per-experiment profiling window and writes the artifacts:
+/// <id>.trace.json (chrome://tracing), <id>.gantt.csv, <id>.comm.csv,
+/// <id>.profile.json; renders the roll-up to stderr.
+void export_profile(const std::string& id, const std::string& out_dir) {
+  namespace fs = std::filesystem;
+  using namespace columbia::simprof;
+  const auto report = drain_global_profile_report();
+  const auto trace = drain_global_profile_trace();
+  const fs::path dir(out_dir);
+  const std::string base = sanitize_id(id);
+  write_file(dir / (base + ".profile.json"), report.to_json() + "\n");
+  if (trace.valid) {
+    write_file(dir / (base + ".trace.json"), trace.chrome_json());
+    write_file(dir / (base + ".gantt.csv"), trace.gantt_csv());
+    write_file(dir / (base + ".comm.csv"), trace.comm_csv());
+  }
+  std::fprintf(stderr, "--- profile: %s ---\n", id.c_str());
+  std::fputs(report.render().c_str(), stderr);
+}
+
 void run_one(const columbia::core::Experiment& exp,
-             const columbia::core::Exec& exec) {
+             const columbia::core::Exec& exec, bool profile,
+             const std::string& out_dir) {
   std::printf("### %s — %s\n### %s\n\n", exp.id.c_str(),
               exp.paper_ref.c_str(), exp.title.c_str());
   std::cout << exp.run_exec(exec).render() << "\n";
+  if (profile) export_profile(exp.id, out_dir);
 }
 
 }  // namespace
@@ -50,13 +103,23 @@ int main(int argc, char** argv) {
   Exec exec = Exec::sequential();
   std::vector<std::string> ids;
   std::vector<std::string> filters;
+  std::string out_dir = ".";
   bool list_only = false;
   bool check = false;
+  bool profile = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--list") == 0) {
       list_only = true;
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--out needs a directory argument\n");
+        return 2;
+      }
+      out_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--filter") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--filter needs a substring argument\n");
@@ -75,7 +138,8 @@ int main(int argc, char** argv) {
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: %s [--list] [--filter <substr>] "
-                   "[--parallel] [--jobs N] [--check] [<id> ...]\n",
+                   "[--parallel] [--jobs N] [--check] [--profile] "
+                   "[--out <dir>] [<id> ...]\n",
                    argv[i], argv[0]);
       return 2;
     } else {
@@ -87,12 +151,23 @@ int main(int argc, char** argv) {
     print_registry();
     if (!list_only) {
       std::printf("\nusage: %s [--list] [--filter <substr>] [--parallel] "
-                  "[--jobs N] [--check] [<id> ...]\n",
+                  "[--jobs N] [--check] [--profile] [--out <dir>] "
+                  "[<id> ...]\n",
                   argv[0]);
     }
     return 0;
   }
 
+  if (profile) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create --out directory %s: %s\n",
+                   out_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+    columbia::simprof::enable_global_profile();
+  }
   if (check) columbia::simcheck::enable_global_check();
   for (const auto& id : ids) {
     const auto* exp = find_experiment(id);
@@ -102,14 +177,14 @@ int main(int argc, char** argv) {
                    id.c_str());
       return 1;
     }
-    run_one(*exp, exec);
+    run_one(*exp, exec, profile, out_dir);
   }
   for (const auto& needle : filters) {
     int matched = 0;
     for (const auto& e : experiment_registry()) {
       if (e.id.find(needle) == std::string::npos) continue;
       ++matched;
-      run_one(e, exec);
+      run_one(e, exec, profile, out_dir);
     }
     if (matched == 0) {
       std::fprintf(stderr, "--filter %s matched no experiment ids\n",

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "sim/trace.hpp"
 
 namespace columbia::machine {
 
@@ -43,6 +44,8 @@ sim::CoTask<void> Network::transfer(int src, int dst, double bytes) {
   COL_REQUIRE(dst >= 0 && dst < cluster_->total_cpus(), "dst out of range");
   COL_REQUIRE(bytes >= 0, "negative message size");
 
+  const double span_begin = engine_->now();
+
   if (src == dst) {
     // Local self-message: a memcpy.
     if (bytes > 0) {
@@ -50,6 +53,9 @@ sim::CoTask<void> Network::transfer(int src, int dst, double bytes) {
                               cluster_->node_spec().mem.cpu_stream_bw);
     }
     ++transfers_completed_;
+    if (auto* sink = engine_->span_sink()) {
+      sink->on_span({src, sim::SpanKind::Wire, span_begin, engine_->now()});
+    }
     co_return;
   }
 
@@ -103,6 +109,11 @@ sim::CoTask<void> Network::transfer(int src, int dst, double bytes) {
   // observes arrival when this coroutine completes.
   co_await engine_->delay(lat);
   ++transfers_completed_;
+  // Span hook: one Wire span per transfer, covering queueing + hold +
+  // latency, on the source CPU's track (pure listener, no timing effect).
+  if (auto* sink = engine_->span_sink()) {
+    sink->on_span({src, sim::SpanKind::Wire, span_begin, engine_->now()});
+  }
 }
 
 }  // namespace columbia::machine

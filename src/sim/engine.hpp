@@ -30,6 +30,8 @@
 
 namespace columbia::sim {
 
+class SpanSink;
+
 /// Thrown by Engine::run when the event queue drains while simulated
 /// processes are still suspended (e.g. a recv with no matching send).
 class DeadlockError : public std::runtime_error {
@@ -91,6 +93,14 @@ class Engine {
     deadlock_hook_ = std::move(hook);
   }
 
+  /// Optional span sink (see trace.hpp): layers that know what an actor
+  /// was doing (simmpi's World, machine's Network) emit activity spans
+  /// into it. Sinks are pure listeners, so attaching one cannot change
+  /// simulated timing. Pass nullptr to clear; the sink must outlive every
+  /// run that emits into it.
+  void set_span_sink(SpanSink* sink) { span_sink_ = sink; }
+  SpanSink* span_sink() const { return span_sink_; }
+
   /// Number of spawned processes that have not yet finished.
   std::size_t live_tasks() const { return live_tasks_; }
   /// Total events processed so far (observability / perf accounting).
@@ -135,6 +145,7 @@ class Engine {
   std::unordered_map<void*, std::size_t> owned_index_;  ///< handle → owned_ slot
   std::exception_ptr pending_exception_;
   std::function<void()> deadlock_hook_;
+  SpanSink* span_sink_ = nullptr;
 };
 
 }  // namespace columbia::sim

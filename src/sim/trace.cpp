@@ -1,9 +1,5 @@
 #include "sim/trace.hpp"
 
-#include <sstream>
-
-#include "common/check.hpp"
-
 namespace columbia::sim {
 
 std::string to_string(SpanKind kind) {
@@ -14,43 +10,10 @@ std::string to_string(SpanKind kind) {
       return "comm";
     case SpanKind::Io:
       return "io";
+    case SpanKind::Wire:
+      return "wire";
   }
   return "?";
-}
-
-void TraceRecorder::record(int actor, SpanKind kind, Time begin, Time end) {
-  COL_REQUIRE(end >= begin, "span ends before it begins");
-  if (end == begin) return;  // zero-length spans add nothing
-  spans_.push_back(Span{actor, kind, begin, end});
-}
-
-Time TraceRecorder::total(SpanKind kind, int actor) const {
-  Time sum = 0.0;
-  for (const auto& s : spans_) {
-    if (s.kind != kind) continue;
-    if (actor >= 0 && s.actor != actor) continue;
-    sum += s.duration();
-  }
-  return sum;
-}
-
-double TraceRecorder::utilization(int actor, Time makespan) const {
-  COL_REQUIRE(makespan > 0, "makespan must be positive");
-  Time busy = 0.0;
-  for (const auto& s : spans_) {
-    if (s.actor == actor) busy += s.duration();
-  }
-  return busy / makespan;
-}
-
-std::string TraceRecorder::csv() const {
-  std::ostringstream os;
-  os << "actor,kind,begin,end\n";
-  for (const auto& s : spans_) {
-    os << s.actor << ',' << to_string(s.kind) << ',' << s.begin << ','
-       << s.end << '\n';
-  }
-  return os.str();
 }
 
 }  // namespace columbia::sim

@@ -1,26 +1,36 @@
 #pragma once
 /// \file trace.hpp
-/// Span tracing for simulated runs: who was computing/communicating when.
+/// The span model and sink seam for simulated-run profiling.
 ///
-/// The paper's application tables separate "comm" from "exec" time; this
-/// recorder generalizes that to full per-rank timelines, so any run can be
-/// inspected as a Gantt chart (CSV export) or summarized as utilization.
-/// Recording is opt-in and has no effect on simulated timing.
+/// A `Span` is one half-open interval of activity on one actor (rank, PE,
+/// or CPU). The engine exposes a single `SpanSink*` hook (Engine::
+/// set_span_sink); layers that know what an actor was doing — simmpi's
+/// World for compute/communication calls, machine's Network for wire
+/// occupancy — emit spans into it. Sinks are pure listeners: they read
+/// `Engine::now()` and never schedule, so an attached sink cannot change
+/// simulated timing.
+///
+/// The concrete recorder (storage, aggregation, CSV / Chrome-trace
+/// export) lives in `src/simprof` (simprof::TraceRecorder); this header
+/// keeps sim free of any dependency on it.
 
-#include <cstddef>
 #include <string>
-#include <vector>
 
 #include "sim/time.hpp"
 
 namespace columbia::sim {
 
-enum class SpanKind { Compute, Communication, Io };
+enum class SpanKind {
+  Compute,        ///< rank-local computation (actor = rank)
+  Communication,  ///< time inside a blocking communication call (actor = rank)
+  Io,             ///< time inside an I/O call (actor = rank)
+  Wire,           ///< one network transfer's occupancy (actor = source CPU)
+};
 
 std::string to_string(SpanKind kind);
 
 struct Span {
-  int actor = 0;  ///< rank / PE / group id
+  int actor = 0;  ///< rank / PE / group id (source CPU for Wire spans)
   SpanKind kind = SpanKind::Compute;
   Time begin = 0.0;
   Time end = 0.0;
@@ -28,24 +38,12 @@ struct Span {
   Time duration() const { return end - begin; }
 };
 
-class TraceRecorder {
+/// Listener for emitted spans (see file comment). Implementations must not
+/// interact with the engine beyond reading `now()`.
+class SpanSink {
  public:
-  void record(int actor, SpanKind kind, Time begin, Time end);
-
-  const std::vector<Span>& spans() const { return spans_; }
-  std::size_t size() const { return spans_.size(); }
-
-  /// Summed duration of `kind` spans for one actor (-1: all actors).
-  Time total(SpanKind kind, int actor = -1) const;
-
-  /// Busy fraction of [0, makespan] for one actor.
-  double utilization(int actor, Time makespan) const;
-
-  /// Gantt-ready CSV: actor,kind,begin,end.
-  std::string csv() const;
-
- private:
-  std::vector<Span> spans_;
+  virtual ~SpanSink() = default;
+  virtual void on_span(const Span& span) = 0;
 };
 
 }  // namespace columbia::sim

@@ -472,6 +472,8 @@ std::mutex g_mutex;
 CheckReport g_report;
 std::atomic<bool> g_enabled{false};
 std::atomic<std::uint64_t> g_regions{0};
+std::uint64_t g_world_factory_handle = 0;
+std::uint64_t g_region_observer_handle = 0;
 
 void publish_global(const CheckReport& report) {
   std::lock_guard<std::mutex> lock(g_mutex);
@@ -518,14 +520,16 @@ void enable_global_check() {
   }
   g_regions.store(0, std::memory_order_relaxed);
   g_enabled.store(true, std::memory_order_relaxed);
-  simmpi::set_world_observer_factory(
+  // Handle-based registration so --check composes with other global
+  // analyzers (simprof's --profile) instead of displacing them.
+  g_world_factory_handle = simmpi::add_world_observer_factory(
       [](simmpi::World& world) -> std::shared_ptr<simmpi::CommObserver> {
         auto checker = std::make_shared<Checker>();
         checker->set_publish_globally(true);
         checker->attach(world);
         return checker;
       });
-  simomp::set_region_observer(
+  g_region_observer_handle = simomp::add_region_observer(
       [](const simomp::RegionSpec& region, int nthreads) {
         g_regions.fetch_add(1, std::memory_order_relaxed);
         CheckReport local;
@@ -536,8 +540,10 @@ void enable_global_check() {
 
 void disable_global_check() {
   g_enabled.store(false, std::memory_order_relaxed);
-  simmpi::set_world_observer_factory(nullptr);
-  simomp::set_region_observer(nullptr);
+  simmpi::remove_world_observer_factory(g_world_factory_handle);
+  simomp::remove_region_observer(g_region_observer_handle);
+  g_world_factory_handle = 0;
+  g_region_observer_handle = 0;
 }
 
 bool global_check_enabled() {

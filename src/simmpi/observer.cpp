@@ -1,5 +1,7 @@
 #include "simmpi/observer.hpp"
 
+#include <utility>
+
 namespace columbia::simmpi {
 
 const char* coll_op_name(CollOp op) {
@@ -17,14 +19,101 @@ const char* coll_op_name(CollOp op) {
   return "?";
 }
 
-namespace {
-ObserverFactory g_factory;
-}  // namespace
+// ---------------------------------------------------------------------------
+// ObserverFanout
+// ---------------------------------------------------------------------------
 
-void set_world_observer_factory(ObserverFactory factory) {
-  g_factory = std::move(factory);
+void ObserverFanout::on_send_posted(std::uint64_t id, int rank, int dst,
+                                    int tag, double bytes, bool rendezvous) {
+  for (auto* c : children_)
+    c->on_send_posted(id, rank, dst, tag, bytes, rendezvous);
+}
+void ObserverFanout::on_send_completed(std::uint64_t id) {
+  for (auto* c : children_) c->on_send_completed(id);
+}
+void ObserverFanout::on_recv_posted(std::uint64_t id, int rank, int src,
+                                    int tag) {
+  for (auto* c : children_) c->on_recv_posted(id, rank, src, tag);
+}
+void ObserverFanout::on_recv_matched(std::uint64_t recv_id,
+                                     std::uint64_t send_id,
+                                     const std::vector<Candidate>& eligible) {
+  for (auto* c : children_) c->on_recv_matched(recv_id, send_id, eligible);
+}
+void ObserverFanout::on_recv_delivered(std::uint64_t id) {
+  for (auto* c : children_) c->on_recv_delivered(id);
+}
+void ObserverFanout::on_recv_completed(std::uint64_t id) {
+  for (auto* c : children_) c->on_recv_completed(id);
+}
+void ObserverFanout::on_request_posted(int rank, std::uint64_t serial,
+                                       bool is_send, int peer, int tag) {
+  for (auto* c : children_)
+    c->on_request_posted(rank, serial, is_send, peer, tag);
+}
+void ObserverFanout::on_request_waited(int rank, std::uint64_t serial) {
+  for (auto* c : children_) c->on_request_waited(rank, serial);
+}
+void ObserverFanout::on_collective(int rank, CollOp op, int root,
+                                   double bytes) {
+  for (auto* c : children_) c->on_collective(rank, op, root, bytes);
+}
+void ObserverFanout::on_rank_finished(int rank) {
+  for (auto* c : children_) c->on_rank_finished(rank);
+}
+void ObserverFanout::on_finalize() {
+  for (auto* c : children_) c->on_finalize();
 }
 
-const ObserverFactory& world_observer_factory() { return g_factory; }
+// ---------------------------------------------------------------------------
+// Factory registry
+// ---------------------------------------------------------------------------
+
+namespace {
+// Mutated only while no Worlds are being constructed (the documented
+// contract), so the snapshot can be read lock-free from pool threads.
+struct FactoryEntry {
+  std::uint64_t handle;
+  ObserverFactory factory;
+};
+std::vector<FactoryEntry> g_entries;
+std::vector<ObserverFactory> g_snapshot;
+std::uint64_t g_next_handle = 1;
+// Handle of the factory installed through the legacy single-slot setter.
+constexpr std::uint64_t kLegacyHandle = 0;
+
+void rebuild_snapshot() {
+  g_snapshot.clear();
+  g_snapshot.reserve(g_entries.size());
+  for (const auto& e : g_entries) g_snapshot.push_back(e.factory);
+}
+}  // namespace
+
+std::uint64_t add_world_observer_factory(ObserverFactory factory) {
+  const std::uint64_t handle = g_next_handle++;
+  g_entries.push_back({handle, std::move(factory)});
+  rebuild_snapshot();
+  return handle;
+}
+
+void remove_world_observer_factory(std::uint64_t handle) {
+  for (auto it = g_entries.begin(); it != g_entries.end(); ++it) {
+    if (it->handle == handle) {
+      g_entries.erase(it);
+      break;
+    }
+  }
+  rebuild_snapshot();
+}
+
+void set_world_observer_factory(ObserverFactory factory) {
+  remove_world_observer_factory(kLegacyHandle);
+  if (factory) g_entries.push_back({kLegacyHandle, std::move(factory)});
+  rebuild_snapshot();
+}
+
+const std::vector<ObserverFactory>& world_observer_factories() {
+  return g_snapshot;
+}
 
 }  // namespace columbia::simmpi

@@ -9,8 +9,12 @@
 /// they never interact with the engine, so an attached observer cannot
 /// change simulated timing or matching; reports stay byte-identical.
 ///
-/// The concrete analyzer built on these hooks is `simcheck::Checker`
-/// (src/simcheck); this header keeps simmpi free of any dependency on it.
+/// The concrete analyzers built on these hooks are `simcheck::Checker`
+/// (src/simcheck) and `simprof::Profiler` (src/simprof); this header keeps
+/// simmpi free of any dependency on them. Several observers can coexist:
+/// each analyzer registers its own factory (add_world_observer_factory),
+/// and a World constructed while several are installed fans events out to
+/// all of their products (ObserverFanout).
 
 #include <cstdint>
 #include <functional>
@@ -71,6 +75,11 @@ class CommObserver {
                                const std::vector<Candidate>& eligible) {
     (void)recv_id, (void)send_id, (void)eligible;
   }
+  /// The receive's message finished arriving (transfer + latency done, or
+  /// it was already waiting in the library buffer); fires just before the
+  /// receiver-side software costs, so `completed - delivered` is the local
+  /// matching/copy time and `delivered` bounds the wire wait.
+  virtual void on_recv_delivered(std::uint64_t id) { (void)id; }
   /// The receive delivered its message to the caller.
   virtual void on_recv_completed(std::uint64_t id) { (void)id; }
 
@@ -99,14 +108,54 @@ class CommObserver {
   virtual void on_finalize() {}
 };
 
-/// Process-global opt-in: when a factory is installed, every subsequently
-/// constructed World creates and owns an observer from it (simcheck's
-/// global `--check` mode uses this so experiment drivers need no wiring).
-/// Install/clear only while no Worlds are being constructed; the factory
-/// itself must be callable from several host threads at once (scenario
-/// sweeps construct Worlds on pool threads).
+/// Fans every callback out to a list of child observers, in registration
+/// order. A World constructed while several observer factories are
+/// installed owns one of these wrapping all of their products, so `--check`
+/// and `--profile` compose. Children are borrowed, not owned.
+class ObserverFanout final : public CommObserver {
+ public:
+  explicit ObserverFanout(std::vector<CommObserver*> children)
+      : children_(std::move(children)) {}
+
+  void on_send_posted(std::uint64_t id, int rank, int dst, int tag,
+                      double bytes, bool rendezvous) override;
+  void on_send_completed(std::uint64_t id) override;
+  void on_recv_posted(std::uint64_t id, int rank, int src, int tag) override;
+  void on_recv_matched(std::uint64_t recv_id, std::uint64_t send_id,
+                       const std::vector<Candidate>& eligible) override;
+  void on_recv_delivered(std::uint64_t id) override;
+  void on_recv_completed(std::uint64_t id) override;
+  void on_request_posted(int rank, std::uint64_t serial, bool is_send,
+                         int peer, int tag) override;
+  void on_request_waited(int rank, std::uint64_t serial) override;
+  void on_collective(int rank, CollOp op, int root, double bytes) override;
+  void on_rank_finished(int rank) override;
+  void on_finalize() override;
+
+ private:
+  std::vector<CommObserver*> children_;
+};
+
+/// Process-global opt-in: while factories are installed, every subsequently
+/// constructed World creates and owns an observer from each (simcheck's
+/// global `--check` mode and simprof's `--profile` mode use this so
+/// experiment drivers need no wiring; with more than one installed the
+/// World fans events out to all products). Install/remove only while no
+/// Worlds are being constructed; each factory must be callable from
+/// several host threads at once (scenario sweeps construct Worlds on pool
+/// threads).
 using ObserverFactory = std::function<std::shared_ptr<CommObserver>(World&)>;
+
+/// Registers a factory; the returned handle removes exactly it.
+std::uint64_t add_world_observer_factory(ObserverFactory factory);
+void remove_world_observer_factory(std::uint64_t handle);
+
+/// Legacy single-slot interface: replaces the previously `set` factory
+/// (factories added via add_world_observer_factory are unaffected);
+/// nullptr clears the slot.
 void set_world_observer_factory(ObserverFactory factory);
-const ObserverFactory& world_observer_factory();
+
+/// Snapshot of the installed factories, registration order.
+const std::vector<ObserverFactory>& world_observer_factories();
 
 }  // namespace columbia::simmpi

@@ -25,7 +25,10 @@ sim::Engine& Rank::engine() const { return world_->engine(); }
 namespace {
 inline void trace_span(World* world, int rank, sim::SpanKind kind,
                        double begin, double end) {
-  if (auto* trace = world->trace()) trace->record(rank, kind, begin, end);
+  if (end <= begin) return;  // zero-length spans add nothing
+  if (auto* sink = world->engine().span_sink()) {
+    sink->on_span({rank, kind, begin, end});
+  }
 }
 }  // namespace
 
@@ -180,6 +183,7 @@ sim::CoTask<Message> Rank::recv(int src, int tag) {
     env->rts_matched->fire();  // clear-to-send
   }
   co_await env->delivered->wait();
+  if (obs) obs->on_recv_delivered(recv_id);
   // Receiver-side software: queue matching, plus (eager only) the copy
   // from the library bounce buffer into the user buffer. One-sided SHMEM
   // puts have neither — the latency edge the paradigm exists for.
@@ -556,17 +560,31 @@ World::World(sim::Engine& engine, machine::Network& network,
     rank->cpu_ = placement_.cpu_of(r);
     ranks_.push_back(std::move(rank));
   }
-  // Global opt-in checking: own an observer from the installed factory
-  // (the factory attaches it — observer + engine deadlock hook).
-  if (const auto& factory = world_observer_factory()) {
-    owned_observer_ = factory(*this);
+  // Global opt-in analysis: own one observer per installed factory (each
+  // factory attaches its product — observer slot, engine deadlock hook,
+  // engine span sink as it needs). With several products, fan events out
+  // to all of them so `--check` and `--profile` compose.
+  for (const auto& factory : world_observer_factories()) {
+    if (auto product = factory(*this)) {
+      owned_observers_.push_back(std::move(product));
+    }
+  }
+  if (owned_observers_.size() == 1 && observer_ == nullptr) {
+    observer_ = owned_observers_.front().get();
+  } else if (owned_observers_.size() > 1) {
+    std::vector<CommObserver*> children;
+    children.reserve(owned_observers_.size());
+    for (const auto& o : owned_observers_) children.push_back(o.get());
+    fanout_ = std::make_unique<ObserverFanout>(std::move(children));
+    observer_ = fanout_.get();
   }
 }
 
 World::~World() {
   // An owned observer (typically simcheck's Checker) registered an engine
   // deadlock hook pointing into itself; sever it before the observer dies.
-  if (owned_observer_ != nullptr) engine_->set_deadlock_hook(nullptr);
+  // (A profiler severs its own engine span sink in its destructor.)
+  if (!owned_observers_.empty()) engine_->set_deadlock_hook(nullptr);
 }
 
 Rank& World::rank(int r) {

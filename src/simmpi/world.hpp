@@ -199,15 +199,12 @@ class World {
   /// Returns the simulated makespan (seconds from launch to last exit).
   double run(const Program& program);
 
-  /// Optional span tracing: pass a recorder to capture per-rank
-  /// compute/communication timelines (nullptr disables). The recorder
-  /// must outlive the run.
-  void set_trace(sim::TraceRecorder* trace) { trace_ = trace; }
-  sim::TraceRecorder* trace() const { return trace_; }
-
-  /// Optional correctness observer (see observer.hpp). The observer must
-  /// outlive the run. A World constructed while a global observer factory
-  /// is installed owns one automatically.
+  /// Optional event observer (see observer.hpp). The observer must
+  /// outlive the run. A World constructed while global observer factories
+  /// are installed owns one product per factory automatically (fanning
+  /// events out to all of them when there is more than one). Per-rank
+  /// compute/communication span tracing goes through the engine's span
+  /// sink instead (sim::Engine::set_span_sink).
   void set_observer(CommObserver* observer) { observer_ = observer; }
   CommObserver* observer() const { return observer_; }
   /// Allocates the next operation id (internal, used by Rank's hooks).
@@ -229,9 +226,9 @@ class World {
   sim::Engine* engine_;
   machine::Network* network_;
   machine::Placement placement_;
-  sim::TraceRecorder* trace_ = nullptr;
   CommObserver* observer_ = nullptr;
-  std::shared_ptr<CommObserver> owned_observer_;  // global-factory product
+  std::vector<std::shared_ptr<CommObserver>> owned_observers_;  // factory products
+  std::unique_ptr<ObserverFanout> fanout_;  // when several factories installed
   std::uint64_t next_check_id_ = 1;
   std::vector<std::unique_ptr<Rank>> ranks_;
 };

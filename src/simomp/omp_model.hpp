@@ -16,7 +16,9 @@
 ///   4. data/thread placement: without pinning, threads migrate and lose
 ///      first-touch locality (Fig. 7) — hybrid codes suffer most.
 
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "machine/spec.hpp"
 #include "perfmodel/compute.hpp"
@@ -43,15 +45,26 @@ struct RegionSpec {
   int compiler_width = 0;
 };
 
-/// Process-global observer called at every region_time() evaluation (before
-/// argument validation, so it also sees specs the contracts reject).
+/// Process-global observers called at every region_time() evaluation (before
+/// argument validation, so they also see specs the contracts reject).
 /// simcheck's `--check` mode installs a validator that flags non-finite or
 /// negative demand — values the contract checks cannot catch because NaN
-/// compares false. Must be callable from several host threads at once;
-/// install/clear only while no sweeps are running. Pass nullptr to clear.
+/// compares false; simprof's `--profile` mode installs a region counter.
+/// Each must be callable from several host threads at once; install/remove
+/// only while no sweeps are running.
 using RegionObserver = std::function<void(const RegionSpec&, int nthreads)>;
+
+/// Registers an observer; the returned handle removes exactly it.
+std::uint64_t add_region_observer(RegionObserver observer);
+void remove_region_observer(std::uint64_t handle);
+
+/// Legacy single-slot interface: replaces the previously `set` observer
+/// (observers added via add_region_observer are unaffected); nullptr clears
+/// the slot.
 void set_region_observer(RegionObserver observer);
-const RegionObserver& region_observer();
+
+/// Snapshot of the installed observers, registration order.
+const std::vector<RegionObserver>& region_observers();
 
 class OmpModel {
  public:

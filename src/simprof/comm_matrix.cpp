@@ -1,0 +1,162 @@
+#include "simprof/comm_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace columbia::simprof {
+
+namespace {
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+}  // namespace
+
+void CommMatrix::resize(int n) {
+  COL_REQUIRE(n >= 0, "negative rank count");
+  if (n <= n_) return;
+  std::vector<double> nb(static_cast<std::size_t>(n) *
+                         static_cast<std::size_t>(n));
+  std::vector<std::uint64_t> nm(nb.size());
+  for (int s = 0; s < n_; ++s) {
+    for (int d = 0; d < n_; ++d) {
+      nb[static_cast<std::size_t>(s) * static_cast<std::size_t>(n) +
+         static_cast<std::size_t>(d)] = bytes_[idx(s, d)];
+      nm[static_cast<std::size_t>(s) * static_cast<std::size_t>(n) +
+         static_cast<std::size_t>(d)] = messages_[idx(s, d)];
+    }
+  }
+  bytes_ = std::move(nb);
+  messages_ = std::move(nm);
+  n_ = n;
+}
+
+void CommMatrix::record(int src, int dst, double bytes) {
+  COL_REQUIRE(src >= 0 && dst >= 0, "negative rank");
+  COL_REQUIRE(bytes >= 0, "negative message size");
+  if (src >= n_ || dst >= n_) resize(std::max(src, dst) + 1);
+  bytes_[idx(src, dst)] += bytes;
+  ++messages_[idx(src, dst)];
+  total_bytes_ += bytes;
+  ++total_messages_;
+  ++hist_[bucket_of(bytes)];
+}
+
+double CommMatrix::bytes(int src, int dst) const {
+  if (src < 0 || dst < 0 || src >= n_ || dst >= n_) return 0.0;
+  return bytes_[idx(src, dst)];
+}
+
+std::uint64_t CommMatrix::messages(int src, int dst) const {
+  if (src < 0 || dst < 0 || src >= n_ || dst >= n_) return 0;
+  return messages_[idx(src, dst)];
+}
+
+int CommMatrix::bucket_of(double bytes) {
+  if (!(bytes >= 1.0)) return 0;
+  const int b = 1 + static_cast<int>(std::floor(std::log2(bytes)));
+  return std::min(b, kHistBuckets - 1);
+}
+
+std::string CommMatrix::bucket_label(int b) {
+  if (b <= 0) return "[0, 1)";
+  if (b >= kHistBuckets - 1) {
+    return "[2^" + std::to_string(kHistBuckets - 2) + ", inf)";
+  }
+  return "[2^" + std::to_string(b - 1) + ", 2^" + std::to_string(b) + ")";
+}
+
+void CommMatrix::merge(const CommMatrix& other) {
+  resize(other.n_);
+  for (int s = 0; s < other.n_; ++s) {
+    for (int d = 0; d < other.n_; ++d) {
+      bytes_[idx(s, d)] += other.bytes(s, d);
+      messages_[idx(s, d)] += other.messages(s, d);
+    }
+  }
+  for (int b = 0; b < kHistBuckets; ++b) hist_[b] += other.hist_[b];
+  total_bytes_ += other.total_bytes_;
+  total_messages_ += other.total_messages_;
+}
+
+std::string CommMatrix::csv() const {
+  std::ostringstream os;
+  os << "src,dst,messages,bytes\n";
+  for (int s = 0; s < n_; ++s) {
+    for (int d = 0; d < n_; ++d) {
+      if (messages(s, d) == 0) continue;
+      os << s << ',' << d << ',' << messages(s, d) << ',' << fmt(bytes(s, d))
+         << '\n';
+    }
+  }
+  os << "# size_histogram\n";
+  for (int b = 0; b < kHistBuckets; ++b) {
+    if (hist_[b] == 0) continue;
+    os << "# " << bucket_label(b) << "," << hist_[b] << '\n';
+  }
+  return os.str();
+}
+
+std::string CommMatrix::render() const {
+  std::ostringstream os;
+  os << "comm matrix: " << n_ << " ranks, " << total_messages_
+     << " messages, " << fmt(total_bytes_) << " bytes\n";
+  constexpr int kMaxShown = 16;
+  if (n_ > 0 && n_ <= kMaxShown) {
+    os << "bytes (rows = src):\n";
+    for (int s = 0; s < n_; ++s) {
+      os << "  " << s << ":";
+      for (int d = 0; d < n_; ++d) os << ' ' << fmt(bytes(s, d));
+      os << '\n';
+    }
+  } else if (n_ > kMaxShown) {
+    os << "  (matrix elided at " << n_ << " ranks; see CSV)\n";
+  }
+  os << "message sizes:\n";
+  for (int b = 0; b < kHistBuckets; ++b) {
+    if (hist_[b] == 0) continue;
+    os << "  " << bucket_label(b) << ": " << hist_[b] << '\n';
+  }
+  return os.str();
+}
+
+std::string CommMatrix::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::ostringstream os;
+  os << pad << "{\n";
+  os << pad << "  \"ranks\": " << n_ << ",\n";
+  os << pad << "  \"total_messages\": " << total_messages_ << ",\n";
+  os << pad << "  \"total_bytes\": " << fmt(total_bytes_) << ",\n";
+  os << pad << "  \"pairs\": [";
+  bool first = true;
+  for (int s = 0; s < n_; ++s) {
+    for (int d = 0; d < n_; ++d) {
+      if (messages(s, d) == 0) continue;
+      os << (first ? "" : ",") << "\n"
+         << pad << "    {\"src\": " << s << ", \"dst\": " << d
+         << ", \"messages\": " << messages(s, d) << ", \"bytes\": "
+         << fmt(bytes(s, d)) << "}";
+      first = false;
+    }
+  }
+  os << (first ? "" : "\n" + pad + "  ") << "],\n";
+  os << pad << "  \"size_histogram\": [";
+  bool hfirst = true;
+  for (int b = 0; b < kHistBuckets; ++b) {
+    if (hist_[b] == 0) continue;
+    os << (hfirst ? "" : ",") << "\n"
+       << pad << "    {\"bucket\": \"" << bucket_label(b)
+       << "\", \"messages\": " << hist_[b] << "}";
+    hfirst = false;
+  }
+  os << (hfirst ? "" : "\n" + pad + "  ") << "]\n";
+  os << pad << "}";
+  return os.str();
+}
+
+}  // namespace columbia::simprof

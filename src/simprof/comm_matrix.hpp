@@ -1,0 +1,67 @@
+#pragma once
+/// \file comm_matrix.hpp
+/// P×P communication matrix: bytes and message counts per (source,
+/// destination) rank pair, plus a global log2 message-size histogram.
+///
+/// Fed from the profiler's `on_send_posted` hook, so it counts traffic as
+/// injected (an unreceived send still shows up — exactly the thing one
+/// wants to see in a heat map of a broken pattern). Rendered as CSV
+/// (machine-readable, one row per nonzero pair), a small human-readable
+/// matrix, or JSON.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace columbia::simprof {
+
+class CommMatrix {
+ public:
+  /// Histogram buckets: [0,1), [1,2), [2,4), ... [2^30, inf).
+  static constexpr int kHistBuckets = 32;
+
+  CommMatrix() = default;
+  explicit CommMatrix(int n) { resize(n); }
+
+  /// Grows to `n` ranks (never shrinks; existing counts are kept).
+  void resize(int n);
+  int size() const { return n_; }
+
+  /// Records one message. Out-of-range ranks grow the matrix.
+  void record(int src, int dst, double bytes);
+
+  double bytes(int src, int dst) const;
+  std::uint64_t messages(int src, int dst) const;
+  double total_bytes() const { return total_bytes_; }
+  std::uint64_t total_messages() const { return total_messages_; }
+  const std::uint64_t* histogram() const { return hist_; }
+
+  /// Bucket index for a message of `bytes` (log2 scale, clamped).
+  static int bucket_of(double bytes);
+  /// "[2^k, 2^k+1)" style label for bucket `b`.
+  static std::string bucket_label(int b);
+
+  void merge(const CommMatrix& other);
+
+  /// "src,dst,messages,bytes" rows for every nonzero pair, then the
+  /// histogram as "# size_histogram" comment rows.
+  std::string csv() const;
+  /// Human-readable byte matrix (elided when P is large) + histogram.
+  std::string render() const;
+  std::string to_json(int indent = 0) const;
+
+ private:
+  std::size_t idx(int src, int dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  int n_ = 0;
+  std::vector<double> bytes_;
+  std::vector<std::uint64_t> messages_;
+  std::uint64_t hist_[kHistBuckets] = {};
+  double total_bytes_ = 0.0;
+  std::uint64_t total_messages_ = 0;
+};
+
+}  // namespace columbia::simprof

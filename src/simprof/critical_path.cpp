@@ -1,0 +1,254 @@
+#include "simprof/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace columbia::simprof {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+enum class ActKind { Compute, Io, Send, Recv };
+
+/// One thing a rank was doing over an interval: a Compute/Io span or a
+/// p2p operation's [posted, completed] window.
+struct Activity {
+  double begin = 0.0;
+  double end = 0.0;
+  ActKind kind = ActKind::Compute;
+  const OpSample* op = nullptr;
+};
+
+/// Preference when several activities cover the cursor (nonblocking
+/// overlap): operations carry dependency structure, receives most of all.
+int pref(ActKind k) {
+  switch (k) {
+    case ActKind::Recv: return 3;
+    case ActKind::Send: return 2;
+    case ActKind::Io: return 1;
+    case ActKind::Compute: return 0;
+  }
+  return 0;
+}
+
+struct RankTimeline {
+  std::vector<Activity> acts;          // sorted by begin
+  std::vector<double> prefix_max_end;  // over acts[0..i]
+};
+
+}  // namespace
+
+std::string CriticalPathResult::render() const {
+  std::ostringstream os;
+  os << "critical path (end rank " << end_rank << ", makespan "
+     << fmt(makespan) << " s" << (truncated ? ", TRUNCATED" : "") << "):\n";
+  auto line = [&](const char* name, double v) {
+    const double pct = makespan > 0 ? 100.0 * v / makespan : 0.0;
+    os << "  " << name << ": " << fmt(v) << " s (" << fmt(pct) << "%)\n";
+  };
+  line("compute      ", compute);
+  line("serialization", serialization);
+  line("wire         ", wire);
+  line("blocked wait ", blocked_wait);
+  line("io           ", io);
+  return os.str();
+}
+
+CriticalPathResult analyze_critical_path(const std::vector<OpSample>& ops,
+                                         const std::vector<sim::Span>& spans,
+                                         int nranks, double t_start,
+                                         double t_end) {
+  COL_REQUIRE(nranks >= 0, "negative rank count");
+  CriticalPathResult out;
+  out.makespan = t_end > t_start ? t_end - t_start : 0.0;
+  if (nranks == 0 || out.makespan <= 0.0) return out;
+
+  // --- build per-rank activity timelines ----------------------------------
+  std::vector<RankTimeline> ranks(static_cast<std::size_t>(nranks));
+  std::unordered_map<std::uint64_t, const OpSample*> by_id;
+  by_id.reserve(ops.size());
+  for (const auto& op : ops) {
+    if (op.id != 0) by_id.emplace(op.id, &op);
+    if (op.rank < 0 || op.rank >= nranks) continue;
+    if (op.posted < 0 || op.completed <= op.posted) continue;
+    ranks[static_cast<std::size_t>(op.rank)].acts.push_back(
+        {op.posted, op.completed, op.is_send ? ActKind::Send : ActKind::Recv,
+         &op});
+  }
+  for (const auto& s : spans) {
+    if (s.kind != sim::SpanKind::Compute && s.kind != sim::SpanKind::Io)
+      continue;  // Communication/Wire: the op samples carry more structure
+    if (s.actor < 0 || s.actor >= nranks) continue;
+    if (s.end <= s.begin) continue;
+    ranks[static_cast<std::size_t>(s.actor)].acts.push_back(
+        {s.begin, s.end,
+         s.kind == sim::SpanKind::Io ? ActKind::Io : ActKind::Compute,
+         nullptr});
+  }
+  std::size_t total_acts = 0;
+  for (auto& rt : ranks) {
+    std::sort(rt.acts.begin(), rt.acts.end(),
+              [](const Activity& a, const Activity& b) {
+                return a.begin != b.begin ? a.begin < b.begin : a.end < b.end;
+              });
+    rt.prefix_max_end.resize(rt.acts.size());
+    double m = -1.0;
+    for (std::size_t i = 0; i < rt.acts.size(); ++i) {
+      m = std::max(m, rt.acts[i].end);
+      rt.prefix_max_end[i] = m;
+    }
+    total_acts += rt.acts.size();
+  }
+
+  // --- walk origin: the rank whose activity ends latest --------------------
+  out.end_rank = 0;
+  double latest = -1.0;
+  for (int r = 0; r < nranks; ++r) {
+    const auto& rt = ranks[static_cast<std::size_t>(r)];
+    const double e = rt.acts.empty() ? -1.0 : rt.prefix_max_end.back();
+    if (e > latest) {
+      latest = e;
+      out.end_rank = r;
+    }
+  }
+
+  int r = out.end_rank;
+  double t = t_end;
+  // Ops already walked at the *current* cursor time; consuming any interval
+  // clears it. Breaks same-timestamp sender<->receiver jump cycles that
+  // symmetric exchange patterns can produce.
+  std::unordered_set<std::uint64_t> visited_at_t;
+  const std::uint64_t step_cap =
+      16 * static_cast<std::uint64_t>(total_acts) + 1024;
+
+  auto consume = [&](double lo, double& component) {
+    const double lo_c = std::max(lo, t_start);
+    if (t > lo_c) {
+      component += t - lo_c;
+      t = lo_c;
+      visited_at_t.clear();
+    }
+  };
+
+  while (t > t_start && out.steps < step_cap) {
+    ++out.steps;
+    const auto& rt = ranks[static_cast<std::size_t>(r)];
+
+    // Last activity with begin < t.
+    const auto it = std::lower_bound(
+        rt.acts.begin(), rt.acts.end(), t,
+        [](const Activity& a, double v) { return a.begin < v; });
+    if (it == rt.acts.begin()) {
+      // Nothing before t on this rank: idle from the start.
+      consume(t_start, out.blocked_wait);
+      break;
+    }
+    const std::size_t last = static_cast<std::size_t>(it - rt.acts.begin()) - 1;
+
+    // Covering activity (begin < t <= end) with the greatest begin; the
+    // prefix max-end lets the backward scan stop as soon as no earlier
+    // activity can still reach t.
+    const Activity* best = nullptr;
+    for (std::size_t i = last + 1; i-- > 0;) {
+      if (rt.prefix_max_end[i] < t) break;
+      const Activity& a = rt.acts[i];
+      if (a.end < t) continue;
+      if (best == nullptr || a.begin > best->begin ||
+          (a.begin == best->begin && pref(a.kind) > pref(best->kind))) {
+        best = &a;
+      }
+      if (best != nullptr && a.begin < best->begin) break;  // sorted: done
+    }
+
+    if (best == nullptr) {
+      // Gap: idle until the previous activity's end.
+      consume(rt.prefix_max_end[last], out.blocked_wait);
+      continue;
+    }
+
+    switch (best->kind) {
+      case ActKind::Compute:
+        consume(best->begin, out.compute);
+        break;
+      case ActKind::Io:
+        consume(best->begin, out.io);
+        break;
+      case ActKind::Recv: {
+        const OpSample& R = *best->op;
+        if (!visited_at_t.insert(R.id).second) {
+          // Already walked through this op at this instant: attribute the
+          // remainder of its window as waiting and move on.
+          consume(R.posted, out.blocked_wait);
+          break;
+        }
+        double td = R.delivered >= 0 ? R.delivered : R.posted;
+        td = std::clamp(td, R.posted, best->end);
+        // [delivered, completed]: receiver-side matching + eager copy.
+        if (t > td) consume(td, out.serialization);
+        if (t <= t_start) break;
+        // Wire start: when the message actually began moving toward us.
+        const OpSample* S = nullptr;
+        if (R.match_id != 0) {
+          const auto sit = by_id.find(R.match_id);
+          if (sit != by_id.end()) S = sit->second;
+        }
+        double w0 = R.posted;
+        if (S != nullptr) {
+          // Eager: the transfer departs at the send post. Rendezvous: the
+          // handshake completes at the match (deposit is synchronous, so
+          // matched == max(send posted, recv posted)); CTS + transfer
+          // follow it.
+          w0 = S->rendezvous ? R.matched : S->posted;
+          if (w0 < R.posted) w0 = R.posted;  // wire overlapped our arrival
+        }
+        if (w0 > td) w0 = td;
+        if (t > w0) consume(w0, out.wire);
+        if (S != nullptr && w0 > R.posted && t > t_start) {
+          r = S->rank;  // the peer bounds this wait: continue there
+        }
+        break;
+      }
+      case ActKind::Send: {
+        const OpSample& S = *best->op;
+        if (!visited_at_t.insert(S.id).second) {
+          consume(S.posted, out.blocked_wait);
+          break;
+        }
+        if (!S.rendezvous) {
+          // Eager send: the blocking call is the library copy.
+          consume(S.posted, out.serialization);
+          break;
+        }
+        // Rendezvous: [matched, completed] is CTS + transfer; before the
+        // match the sender is waiting on the receiver.
+        double wm = S.matched >= 0 ? S.matched : S.posted;
+        wm = std::clamp(wm, S.posted, best->end);
+        if (t > wm) consume(wm, out.wire);
+        if (wm > S.posted && t > t_start && S.peer >= 0 && S.peer < nranks) {
+          r = S.peer;  // jump to the receiver that granted the CTS
+        }
+        break;
+      }
+    }
+  }
+
+  if (t > t_start) {
+    // Step cap hit (malformed or adversarial input): keep the partition
+    // identity by charging the unattributed remainder as blocked time.
+    out.truncated = true;
+    out.blocked_wait += t - t_start;
+  }
+  return out;
+}
+
+}  // namespace columbia::simprof

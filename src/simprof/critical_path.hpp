@@ -1,0 +1,86 @@
+#pragma once
+/// \file critical_path.hpp
+/// Critical-path analysis over a profiled run's dependency structure.
+///
+/// Input: the timestamped point-to-point operation samples collected by
+/// the profiler (send/recv posted / matched / delivered / completed) plus
+/// the Compute/Io spans from the trace recorder. Collectives need no
+/// special handling — they are implemented over p2p, so their internal
+/// sends and receives appear as ordinary ops.
+///
+/// The analyzer walks *backwards* from the activity that ends latest.
+/// At a cursor (rank r, time t) it finds what r was doing just before t
+/// and attributes the interval walked over to one of five components:
+///   * compute      — inside a compute() span,
+///   * io           — inside an I/O span,
+///   * serialization— software costs of messaging: eager library copies
+///                    and receiver-side matching/copy (completed−delivered),
+///   * wire         — network time: transfer + latency the path actually
+///                    waited on (recv delivered−wire start, rendezvous
+///                    CTS+transfer on the sender),
+///   * blocked_wait — idle gaps: waiting on a peer that had not yet
+///                    reached the matching operation.
+/// When an operation's wait is bounded by the *peer* (a receive whose
+/// sender posted late, a rendezvous send whose receiver matched late),
+/// the walk jumps to the peer's rank at the handoff time and continues
+/// there — that is what makes this a critical-*path* analysis rather than
+/// a per-rank breakdown.
+///
+/// By construction the walk partitions [t_start, t_end], so the five
+/// components sum to the makespan exactly (floating-point addition being
+/// the only error source). A step cap guards against malformed input;
+/// if it triggers, `truncated` is set and the unattributed remainder is
+/// counted as blocked_wait so the identity still holds.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace columbia::simprof {
+
+/// One point-to-point operation's observed lifecycle (times are engine
+/// timestamps; -1 = never reached that state).
+struct OpSample {
+  std::uint64_t id = 0;
+  int rank = 0;
+  int peer = -1;  ///< dst for sends; posted src pattern for receives
+  int tag = 0;
+  bool is_send = false;
+  bool rendezvous = false;
+  double bytes = 0.0;
+  double posted = -1.0;
+  double matched = -1.0;    ///< both sides: when on_recv_matched fired
+  double delivered = -1.0;  ///< recv only: message fully arrived
+  double completed = -1.0;
+  std::uint64_t match_id = 0;  ///< the op on the other side (0 = unknown)
+};
+
+struct CriticalPathResult {
+  double compute = 0.0;
+  double serialization = 0.0;
+  double wire = 0.0;
+  double blocked_wait = 0.0;
+  double io = 0.0;
+  double makespan = 0.0;  ///< t_end - t_start as analyzed
+  int end_rank = -1;      ///< rank whose activity ends last (walk origin)
+  std::uint64_t steps = 0;
+  bool truncated = false;  ///< step cap hit; remainder went to blocked_wait
+
+  double sum() const {
+    return compute + serialization + wire + blocked_wait + io;
+  }
+  std::string render() const;
+};
+
+/// Walks the dependency graph backwards from the latest activity end.
+/// `spans` supplies Compute/Io intervals (Communication and Wire spans are
+/// ignored: the op samples carry strictly more structure). `t_start` and
+/// `t_end` bound the run ([launch, finalize] in engine time).
+CriticalPathResult analyze_critical_path(const std::vector<OpSample>& ops,
+                                         const std::vector<sim::Span>& spans,
+                                         int nranks, double t_start,
+                                         double t_end);
+
+}  // namespace columbia::simprof

@@ -1,0 +1,203 @@
+#pragma once
+/// \file profiler.hpp
+/// simprof: opt-in run profiler for the simulated MPI/OpenMP layers.
+///
+/// A `Profiler` attaches to one `simmpi::World` through the CommObserver
+/// hooks and the engine's span sink, and at finalize distills:
+///   1. per-rank timelines — compute / communication / io spans plus phase
+///      markers (collective entries, rank exits), exportable as a Gantt
+///      CSV or a chrome://tracing JSON document;
+///   2. the P×P communication matrix (bytes, message counts, size
+///      histogram) of everything the ranks injected;
+///   3. a critical-path analysis attributing the makespan to compute,
+///      serialization, wire time, and blocked waiting (critical_path.hpp);
+///   4. a `WorldProfile` roll-up: per-rank comm fractions, load imbalance,
+///      utilization.
+///
+/// Like simcheck's Checker, the profiler is a pure listener — it reads
+/// `engine().now()` and stores samples, never schedules — so a profiled
+/// run's timing and output are byte-identical to an unprofiled one.
+///
+/// Two ways to use it:
+///   * standalone (tests): `Profiler p; p.attach(world); world.run(...);`
+///     then inspect `p.profile()`;
+///   * globally (`--profile` on run_experiment / bench_all):
+///     `enable_global_profile()` registers an observer factory (composing
+///     with simcheck's `--check` via the factory fan-out), every
+///     subsequently constructed World owns a profiler, and
+///     `drain_global_profile_report()` / `drain_global_profile_trace()`
+///     collect the merged report and the retained representative timeline.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simmpi/observer.hpp"
+#include "simmpi/world.hpp"
+#include "simprof/comm_matrix.hpp"
+#include "simprof/critical_path.hpp"
+#include "simprof/recorder.hpp"
+
+namespace columbia::simprof {
+
+struct ProfileOptions {
+  /// Keep a representative world's full span timeline + comm matrix for
+  /// export (run_experiment --profile). bench_all turns this off: it only
+  /// embeds the roll-up report.
+  bool retain_timeline = true;
+  std::size_t max_spans = TraceRecorder::kDefaultMaxSpans;
+  std::size_t max_ops = std::size_t{1} << 20;
+  /// Per-world profiles kept in the global report; beyond it only the
+  /// aggregate stats accumulate (worlds_dropped counts them).
+  std::size_t max_worlds = 512;
+};
+
+struct RankBreakdown {
+  int rank = 0;
+  double compute_s = 0.0;
+  double comm_s = 0.0;
+  double io_s = 0.0;
+
+  /// Share of this rank's busy time spent communicating (paper's
+  /// comm-vs-execution-time breakdown); 0 when the rank did nothing.
+  double comm_fraction() const {
+    const double busy = compute_s + comm_s + io_s;
+    return busy > 0.0 ? comm_s / busy : 0.0;
+  }
+};
+
+/// One world's roll-up, built at finalize.
+struct WorldProfile {
+  int nranks = 0;
+  double t_start = 0.0;
+  double t_end = 0.0;
+  double makespan = 0.0;
+  std::vector<RankBreakdown> ranks;
+  CriticalPathResult critical_path;
+  double total_bytes = 0.0;
+  std::uint64_t total_messages = 0;
+
+  /// max/mean of per-rank compute time (1 = perfectly balanced).
+  double load_imbalance() const;
+  /// Mean over ranks of busy-time / makespan. Overlapping nonblocking
+  /// comm spans (e.g. sendrecv's concurrent halves) double-count, so
+  /// this can exceed 1.
+  double mean_utilization() const;
+  /// Aggregate comm fraction over all ranks' busy time.
+  double comm_fraction() const;
+};
+
+struct ProfileStats {
+  std::uint64_t worlds = 0;
+  std::uint64_t p2p_ops = 0;
+  std::uint64_t collectives = 0;
+  std::uint64_t regions = 0;      ///< OpenMP region evaluations observed
+  std::uint64_t spans_dropped = 0;  ///< timeline cap overflows (totals exact)
+  std::uint64_t ops_dropped = 0;    ///< op samples beyond the cap
+  std::uint64_t worlds_dropped = 0; ///< profiles beyond max_worlds
+};
+
+struct ProfileReport {
+  std::vector<WorldProfile> worlds;
+  ProfileStats stats;
+
+  void merge(const ProfileReport& other, std::size_t max_worlds);
+  /// Human-readable summary: one line of stats, then one block per world.
+  std::string render() const;
+  /// JSON object (the shape bench_all embeds under "profile").
+  std::string to_json(int indent = 0) const;
+};
+
+/// The retained representative timeline of a drained profiling window
+/// (the largest world by (nranks, makespan)).
+struct TraceArtifacts {
+  bool valid = false;
+  int nranks = 0;
+  double makespan = 0.0;
+  std::vector<sim::Span> spans;
+  std::vector<Mark> marks;
+  CommMatrix matrix;
+  std::uint64_t spans_dropped = 0;
+
+  std::string chrome_json() const { return chrome_trace_json(spans, marks); }
+  std::string gantt_csv() const;
+  std::string comm_csv() const { return matrix.csv(); }
+};
+
+class Profiler final : public simmpi::CommObserver {
+ public:
+  explicit Profiler(ProfileOptions opts = {});
+  ~Profiler() override;
+
+  /// Hooks `world` (sets its observer and the engine's span sink). The
+  /// profiler must outlive the world's runs.
+  void attach(simmpi::World& world);
+
+  TraceRecorder& recorder() { return recorder_; }
+  const TraceRecorder& recorder() const { return recorder_; }
+  const CommMatrix& comm_matrix() const { return matrix_; }
+  /// Collected op samples (arbitrary order; test/analysis input).
+  std::vector<OpSample> op_samples() const;
+
+  bool finalized() const { return finalized_; }
+  /// The roll-up; valid once the attached world's run drained normally.
+  const WorldProfile& profile() const { return profile_; }
+
+  /// When set, the profile is appended to the process-global collector at
+  /// finalize (used by the global --profile factory).
+  void set_publish_globally(bool publish) { publish_globally_ = publish; }
+
+  // --- CommObserver ------------------------------------------------------
+  void on_send_posted(std::uint64_t id, int rank, int dst, int tag,
+                      double bytes, bool rendezvous) override;
+  void on_send_completed(std::uint64_t id) override;
+  void on_recv_posted(std::uint64_t id, int rank, int src, int tag) override;
+  void on_recv_matched(std::uint64_t recv_id, std::uint64_t send_id,
+                       const std::vector<simmpi::Candidate>& eligible) override;
+  void on_recv_delivered(std::uint64_t id) override;
+  void on_recv_completed(std::uint64_t id) override;
+  void on_collective(int rank, simmpi::CollOp op, int root,
+                     double bytes) override;
+  void on_rank_finished(int rank) override;
+  void on_finalize() override;
+
+ private:
+  double now() const;
+  OpSample* find(std::uint64_t id);
+  OpSample* track(std::uint64_t id);
+
+  ProfileOptions opts_;
+  simmpi::World* world_ = nullptr;
+  sim::Engine* engine_ = nullptr;
+  double t_start_ = 0.0;
+  bool finalized_ = false;
+  bool publish_globally_ = false;
+  TraceRecorder recorder_;
+  CommMatrix matrix_;
+  std::unordered_map<std::uint64_t, OpSample> ops_;
+  std::uint64_t ops_dropped_ = 0;
+  std::uint64_t p2p_ops_ = 0;
+  std::uint64_t collectives_ = 0;
+  WorldProfile profile_;
+};
+
+// --- Global opt-in (`--profile`) --------------------------------------------
+
+/// Installs the World observer factory and an OpenMP region counter: every
+/// World constructed afterwards is profiled, and all results flow into one
+/// process-global report. Resets any previously drained state. Composes
+/// with simcheck's enable_global_check (both factories' products receive
+/// events through the World's observer fan-out).
+void enable_global_profile(ProfileOptions opts = {});
+void disable_global_profile();
+bool global_profile_enabled();
+
+/// Moves the accumulated global report out (and clears it).
+ProfileReport drain_global_profile_report();
+/// Moves the retained representative timeline out (and clears it).
+/// `valid` is false when no world finished since the last drain or
+/// retain_timeline was off.
+TraceArtifacts drain_global_profile_trace();
+
+}  // namespace columbia::simprof

@@ -1,0 +1,138 @@
+#include "simprof/recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace columbia::simprof {
+
+namespace {
+
+std::string fmt_time(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::ostringstream os;
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void TraceRecorder::record(int actor, sim::SpanKind kind, sim::Time begin,
+                           sim::Time end) {
+  COL_REQUIRE(end >= begin, "span with negative duration");
+  if (end == begin) return;  // zero-length spans carry no time
+  const std::size_t k = kind_index(kind);
+  global_totals_[k] += end - begin;
+  actor_totals_[actor][k] += end - begin;
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back({actor, kind, begin, end});
+}
+
+void TraceRecorder::mark(int actor, std::string name, sim::Time at) {
+  marks_.push_back({actor, std::move(name), at});
+}
+
+double TraceRecorder::total(sim::SpanKind kind, int actor) const {
+  const std::size_t k = kind_index(kind);
+  if (actor < 0) return global_totals_[k];
+  const auto it = actor_totals_.find(actor);
+  return it == actor_totals_.end() ? 0.0 : it->second[k];
+}
+
+double TraceRecorder::utilization(int actor, sim::Time makespan) const {
+  if (makespan <= 0.0) return 0.0;
+  const double busy = total(sim::SpanKind::Compute, actor) +
+                      total(sim::SpanKind::Communication, actor) +
+                      total(sim::SpanKind::Io, actor);
+  return busy / makespan;
+}
+
+std::string TraceRecorder::csv() const {
+  std::ostringstream os;
+  os << "actor,kind,begin,end,duration\n";
+  for (const auto& s : spans_) {
+    os << s.actor << ',' << sim::to_string(s.kind) << ',' << fmt_time(s.begin)
+       << ',' << fmt_time(s.end) << ',' << fmt_time(s.duration()) << '\n';
+  }
+  return os.str();
+}
+
+void TraceRecorder::clear() {
+  spans_.clear();
+  marks_.clear();
+  dropped_ = 0;
+  for (auto& t : global_totals_) t = 0.0;
+  actor_totals_.clear();
+}
+
+std::string chrome_trace_json(const std::vector<sim::Span>& spans,
+                              const std::vector<Mark>& marks) {
+  // chrome://tracing times are microseconds; simulated time is seconds.
+  constexpr double kScale = 1e6;
+  std::ostringstream os;
+  os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  bool have_ranks = false;
+  bool have_wire = false;
+  for (const auto& s : spans) {
+    const bool wire = s.kind == sim::SpanKind::Wire;
+    (wire ? have_wire : have_ranks) = true;
+    sep();
+    os << " {\"name\": \"" << sim::to_string(s.kind) << "\", \"ph\": \"X\""
+       << ", \"pid\": " << (wire ? 1 : 0) << ", \"tid\": " << s.actor
+       << ", \"ts\": " << fmt_time(s.begin * kScale)
+       << ", \"dur\": " << fmt_time(s.duration() * kScale) << ", \"cat\": \""
+       << sim::to_string(s.kind) << "\"}";
+  }
+  for (const auto& m : marks) {
+    have_ranks = true;
+    sep();
+    os << " {\"name\": \"" << json_escape(m.name) << "\", \"ph\": \"i\""
+       << ", \"pid\": 0, \"tid\": " << m.actor
+       << ", \"ts\": " << fmt_time(m.at * kScale) << ", \"s\": \"t\"}";
+  }
+  // Metadata events name the two process tracks.
+  if (have_ranks) {
+    sep();
+    os << " {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+          "\"args\": {\"name\": \"ranks\"}}";
+  }
+  if (have_wire) {
+    sep();
+    os << " {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+          "\"args\": {\"name\": \"network (by source cpu)\"}}";
+  }
+  os << "\n]\n}\n";
+  return os.str();
+}
+
+}  // namespace columbia::simprof

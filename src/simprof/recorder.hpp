@@ -1,0 +1,97 @@
+#pragma once
+/// \file recorder.hpp
+/// TraceRecorder: the concrete span store behind the engine's span-sink
+/// seam (sim::SpanSink).
+///
+/// The recorder keeps two representations at once:
+///   * exact per-actor per-kind duration totals, accumulated incrementally
+///     on every span — these are never affected by the storage cap;
+///   * the span list itself (the timeline), retained up to `max_spans`;
+///     overflow increments `dropped()` instead of failing silently-wrong.
+/// Phase markers (`mark`) are instants on an actor's track — collective
+/// entries and rank exits in profiled runs, or anything a test wants to
+/// pin to the timeline.
+///
+/// Exports: `csv()` (one Gantt row per span) and `chrome_json()` — a
+/// chrome://tracing "traceEvents" document with one complete ("ph":"X")
+/// event per span and one instant ("ph":"i") event per marker; ranks live
+/// under pid 0 and network wire occupancy under pid 1.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace columbia::simprof {
+
+/// An instant on one actor's track (phase boundary, collective entry,
+/// rank exit, ...).
+struct Mark {
+  int actor = 0;
+  std::string name;
+  sim::Time at = 0.0;
+};
+
+/// Renders spans + marks as a chrome://tracing JSON document (times are
+/// converted from simulated seconds to trace microseconds).
+std::string chrome_trace_json(const std::vector<sim::Span>& spans,
+                              const std::vector<Mark>& marks);
+
+class TraceRecorder final : public sim::SpanSink {
+ public:
+  /// Default timeline retention cap (spans beyond it only count totals).
+  static constexpr std::size_t kDefaultMaxSpans = std::size_t{1} << 21;
+
+  explicit TraceRecorder(std::size_t max_spans = kDefaultMaxSpans)
+      : max_spans_(max_spans) {}
+
+  // --- intake --------------------------------------------------------------
+  void on_span(const sim::Span& span) override {
+    record(span.actor, span.kind, span.begin, span.end);
+  }
+  /// Records one span. Zero-length spans are dropped (they carry no time);
+  /// negative durations violate the contract.
+  void record(int actor, sim::SpanKind kind, sim::Time begin, sim::Time end);
+  void mark(int actor, std::string name, sim::Time at);
+
+  // --- inspection ----------------------------------------------------------
+  const std::vector<sim::Span>& spans() const { return spans_; }
+  const std::vector<Mark>& marks() const { return marks_; }
+  std::size_t size() const { return spans_.size(); }
+  /// Spans not retained in the timeline because of the cap (their durations
+  /// still count toward the totals).
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Total recorded duration of `kind`; `actor` = -1 sums over all actors.
+  /// Exact regardless of the timeline cap.
+  double total(sim::SpanKind kind, int actor = -1) const;
+  /// Fraction of `makespan` the actor spent in Compute/Communication/Io
+  /// spans (Wire spans belong to CPUs, not ranks, and are excluded).
+  /// Returns 0 for a non-positive makespan.
+  double utilization(int actor, sim::Time makespan) const;
+
+  // --- export --------------------------------------------------------------
+  /// "actor,kind,begin,end,duration" rows, one per retained span.
+  std::string csv() const;
+  std::string chrome_json() const { return chrome_trace_json(spans_, marks_); }
+
+  void clear();
+
+ private:
+  static constexpr std::size_t kKinds = 4;
+  static std::size_t kind_index(sim::SpanKind kind) {
+    return static_cast<std::size_t>(kind);
+  }
+
+  std::size_t max_spans_;
+  std::vector<sim::Span> spans_;
+  std::vector<Mark> marks_;
+  std::uint64_t dropped_ = 0;
+  double global_totals_[kKinds] = {0, 0, 0, 0};
+  std::unordered_map<int, std::array<double, kKinds>> actor_totals_;
+};
+
+}  // namespace columbia::simprof

@@ -307,32 +307,26 @@ TEST(Engine, DeterministicTimelineAcrossRuns) {
   EXPECT_EQ(run_once(), run_once());
 }
 
-TEST(Trace, RecordsTotalsAndUtilization) {
-  TraceRecorder trace;
-  trace.record(0, SpanKind::Compute, 0.0, 2.0);
-  trace.record(0, SpanKind::Communication, 2.0, 3.0);
-  trace.record(1, SpanKind::Compute, 0.0, 1.0);
-  EXPECT_EQ(trace.size(), 3u);
-  EXPECT_DOUBLE_EQ(trace.total(SpanKind::Compute), 3.0);
-  EXPECT_DOUBLE_EQ(trace.total(SpanKind::Compute, 0), 2.0);
-  EXPECT_DOUBLE_EQ(trace.total(SpanKind::Communication, 1), 0.0);
-  EXPECT_DOUBLE_EQ(trace.utilization(0, 4.0), 0.75);
-  EXPECT_DOUBLE_EQ(trace.utilization(1, 4.0), 0.25);
-}
-
-TEST(Trace, DropsZeroLengthAndRejectsNegative) {
-  TraceRecorder trace;
-  trace.record(0, SpanKind::Io, 1.0, 1.0);
-  EXPECT_EQ(trace.size(), 0u);
-  EXPECT_THROW(trace.record(0, SpanKind::Io, 2.0, 1.0), ContractError);
-}
-
-TEST(Trace, CsvRendersEveryRow) {
-  TraceRecorder trace;
-  trace.record(3, SpanKind::Communication, 0.5, 1.5);
-  const auto csv = trace.csv();
-  EXPECT_NE(csv.find("actor,kind,begin,end"), std::string::npos);
-  EXPECT_NE(csv.find("3,comm,0.5,1.5"), std::string::npos);
+TEST(Trace, SpanSinkSeamDeliversSpansAndNames) {
+  struct Collector final : SpanSink {
+    std::vector<Span> spans;
+    void on_span(const Span& s) override { spans.push_back(s); }
+  } sink;
+  Engine eng;
+  EXPECT_EQ(eng.span_sink(), nullptr);
+  eng.set_span_sink(&sink);
+  ASSERT_EQ(eng.span_sink(), &sink);
+  eng.span_sink()->on_span({7, SpanKind::Io, 1.0, 2.5});
+  ASSERT_EQ(sink.spans.size(), 1u);
+  EXPECT_EQ(sink.spans[0].actor, 7);
+  EXPECT_EQ(sink.spans[0].kind, SpanKind::Io);
+  EXPECT_DOUBLE_EQ(sink.spans[0].duration(), 1.5);
+  EXPECT_EQ(to_string(SpanKind::Compute), "compute");
+  EXPECT_EQ(to_string(SpanKind::Communication), "comm");
+  EXPECT_EQ(to_string(SpanKind::Io), "io");
+  EXPECT_EQ(to_string(SpanKind::Wire), "wire");
+  eng.set_span_sink(nullptr);
+  EXPECT_EQ(eng.span_sink(), nullptr);
 }
 
 TEST(Engine, ManyTasksScale) {
