@@ -4,8 +4,10 @@
 // aggregate timing to bench_results/BENCH_summary.json so the perf
 // trajectory of the harness is tracked PR over PR.
 //
-//   bench_all [--repeat N] [--jobs N] [--mode seq|par|both]
-//             [--strategy outer|inner] [--out FILE] [--check]
+// Flags parse through core::RunOptions (shared with run_experiment):
+//   bench_all [--list] [--filter <substr>] [--repeat N] [--jobs N]
+//             [--parallel] [--mode seq|par|both] [--strategy outer|inner]
+//             [--out FILE] [--check] [--profile] [--faults seed:intensity]
 //
 // Strategies for the parallel pass:
 //   outer — one pool task per experiment (default; coarse, low overhead)
@@ -18,15 +20,20 @@
 //
 // --profile runs every pass under the simprof profiler (roll-up only, no
 // timeline retention) and embeds its report under "profile" in the JSON
-// summary. Both analyzers are pure listeners, so the sequential/parallel
-// identity check still holds with either enabled.
+// summary.
+//
+// --faults runs every pass under seeded fault injection and embeds the
+// drop/retry/loss counters under "faults". All three analyzers leave the
+// sequential/parallel identity check intact (faults are deterministic per
+// seed; the analyzers are pure listeners).
+//
+// The summary carries "schema_version" (bench_json.hpp); readers assert
+// it before consuming the file.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <filesystem>
-#include <numeric>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -34,8 +41,10 @@
 #include "bench_json.hpp"
 #include "common/parallel.hpp"
 #include "core/experiment.hpp"
+#include "core/run_options.hpp"
 #include "sim/engine.hpp"
 #include "simcheck/checker.hpp"
+#include "simfault/global.hpp"
 #include "simprof/profiler.hpp"
 
 namespace {
@@ -104,54 +113,84 @@ PassResult run_parallel(const std::vector<Experiment>& registry, int repeat,
 }  // namespace
 
 int main(int argc, char** argv) {
+  using columbia::core::RunOptions;
+  using columbia::core::RunOptionsParser;
+
   int repeat = 1;
-  int jobs = 0;
-  std::string mode = "both";
+  std::string mode;  // empty until --mode/--parallel decide; default "both"
   std::string strategy = "outer";
-  std::string out = "bench_results/BENCH_summary.json";
-  bool check = false;
-  bool profile = false;
-  for (int i = 1; i < argc; ++i) {
-    auto next = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s needs a value\n", flag);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (std::strcmp(argv[i], "--repeat") == 0) {
-      repeat = std::max(1, std::atoi(next("--repeat")));
-    } else if (std::strcmp(argv[i], "--jobs") == 0) {
-      jobs = std::atoi(next("--jobs"));
-    } else if (std::strcmp(argv[i], "--mode") == 0) {
-      mode = next("--mode");
-    } else if (std::strcmp(argv[i], "--strategy") == 0) {
-      strategy = next("--strategy");
-    } else if (std::strcmp(argv[i], "--out") == 0) {
-      out = next("--out");
-    } else if (std::strcmp(argv[i], "--check") == 0) {
-      check = true;
-    } else if (std::strcmp(argv[i], "--profile") == 0) {
-      profile = true;
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--repeat N] [--jobs N] [--mode seq|par|both] "
-                   "[--strategy outer|inner] [--out FILE] [--check] "
-                   "[--profile]\n",
-                   argv[0]);
-      return 2;
-    }
+
+  RunOptionsParser parser("bench_all", "[options]");
+  parser.add_flag("--repeat", "<n>", "repetitions per experiment",
+                  [&repeat](const std::string& v, std::string& err) {
+                    const int n = std::atoi(v.c_str());
+                    if (n < 1) {
+                      err = "--repeat expects a positive integer, got '" + v +
+                            "'";
+                      return false;
+                    }
+                    repeat = n;
+                    return true;
+                  });
+  parser.add_flag("--mode", "<seq|par|both>", "which passes to run",
+                  [&mode](const std::string& v, std::string& err) {
+                    if (v != "seq" && v != "par" && v != "both") {
+                      err = "--mode expects seq, par, or both, got '" + v +
+                            "'";
+                      return false;
+                    }
+                    mode = v;
+                    return true;
+                  });
+  parser.add_flag("--strategy", "<outer|inner>",
+                  "parallel pass grain (per-experiment or per-scenario)",
+                  [&strategy](const std::string& v, std::string& err) {
+                    if (v != "outer" && v != "inner") {
+                      err = "--strategy expects outer or inner, got '" + v +
+                            "'";
+                      return false;
+                    }
+                    strategy = v;
+                    return true;
+                  });
+  RunOptions opts;
+  if (!parser.parse(argc, argv, opts)) return 2;
+  if (opts.help) return 0;
+  if (opts.list) {
+    std::fputs(columbia::core::registry_listing().c_str(), stdout);
+    return 0;
   }
+  if (mode.empty()) {
+    // Bare --parallel means "just the parallel pass"; the default compares
+    // both.
+    mode = opts.exec.mode == Exec::Mode::Parallel ? "par" : "both";
+  }
+  const int jobs = opts.exec.jobs;
+  const std::string out =
+      opts.out.empty() ? "bench_results/BENCH_summary.json" : opts.out;
+
   const int effective_jobs =
       jobs > 0 ? jobs : columbia::common::ThreadPool::default_jobs();
-  const auto& registry = columbia::core::experiment_registry();
+  std::vector<Experiment> registry;
+  for (const auto& e : columbia::core::experiment_registry()) {
+    if (opts.matches_filter(e.id)) registry.push_back(e);
+  }
+  if (registry.empty()) {
+    std::fprintf(stderr, "--filter matched no experiment ids\n");
+    return 1;
+  }
 
-  if (check) columbia::simcheck::enable_global_check();
-  if (profile) {
+  if (opts.check) columbia::simcheck::enable_global_check();
+  if (opts.profile) {
     // Roll-up only: the summary embeds aggregate profiles, not timelines.
-    columbia::simprof::ProfileOptions opts;
-    opts.retain_timeline = false;
-    columbia::simprof::enable_global_profile(opts);
+    columbia::simprof::ProfileOptions popts;
+    popts.retain_timeline = false;
+    columbia::simprof::enable_global_profile(popts);
+  }
+  if (opts.faults) {
+    columbia::simfault::enable_global_faults(
+        columbia::simfault::FaultSpec::uniform(opts.fault_seed,
+                                               opts.fault_intensity));
   }
   PassResult seq, par;
   const bool want_seq = mode == "both" || mode == "seq";
@@ -172,14 +211,26 @@ int main(int argc, char** argv) {
   }
 
   columbia::simcheck::CheckReport check_report;
-  if (check) {
+  if (opts.check) {
     check_report = columbia::simcheck::drain_global_check_report();
     std::fputs(check_report.render().c_str(), stderr);
   }
   columbia::simprof::ProfileReport profile_report;
-  if (profile) {
+  if (opts.profile) {
     profile_report = columbia::simprof::drain_global_profile_report();
     std::fputs(profile_report.render().c_str(), stderr);
+  }
+  columbia::simfault::FaultStats fault_stats;
+  if (opts.faults) {
+    fault_stats = columbia::simfault::drain_global_fault_stats();
+    std::fprintf(stderr,
+                 "faults: %llu worlds, %llu dropped, %llu retries, "
+                 "%llu lost\n",
+                 static_cast<unsigned long long>(fault_stats.worlds),
+                 static_cast<unsigned long long>(fault_stats.messages_dropped),
+                 static_cast<unsigned long long>(fault_stats.retries),
+                 static_cast<unsigned long long>(fault_stats.messages_lost));
+    columbia::simfault::disable_global_faults();
   }
 
   bool identical = true;
@@ -198,11 +249,25 @@ int main(int argc, char** argv) {
 
   std::ostringstream os;
   os << "{\n";
+  os << "  \"schema_version\": " << columbia::bench::kBenchSummarySchemaVersion
+     << ",\n";
   os << "  \"host_cpus\": " << columbia::bench::host_cpus() << ",\n";
   os << "  \"jobs\": " << effective_jobs << ",\n";
   os << "  \"repeat\": " << repeat << ",\n";
   os << "  \"strategy\": \"" << strategy << "\",\n";
   os << "  \"num_experiments\": " << registry.size() << ",\n";
+  if (opts.faults) {
+    os << "  \"faults\": {\n";
+    os << "    \"seed\": " << opts.fault_seed << ",\n";
+    os << "    \"intensity\": "
+       << columbia::bench::json_number(opts.fault_intensity) << ",\n";
+    os << "    \"worlds\": " << fault_stats.worlds << ",\n";
+    os << "    \"messages_dropped\": " << fault_stats.messages_dropped
+       << ",\n";
+    os << "    \"retries\": " << fault_stats.retries << ",\n";
+    os << "    \"messages_lost\": " << fault_stats.messages_lost << "\n";
+    os << "  },\n";
+  }
   if (want_seq) {
     os << "  \"sequential\": {\n";
     os << "    \"total_seconds\": "
@@ -217,7 +282,8 @@ int main(int argc, char** argv) {
       os << columbia::bench::timing_to_json(seq.timings[i], 6)
          << (i + 1 < seq.timings.size() ? ",\n" : "\n");
     }
-    os << "    ]\n  }" << (want_par || check || profile ? ",\n" : "\n");
+    os << "    ]\n  }"
+       << (want_par || opts.check || opts.profile ? ",\n" : "\n");
   }
   if (want_par) {
     os << "  \"parallel\": {\n";
@@ -227,7 +293,8 @@ int main(int argc, char** argv) {
     os << "    \"events_per_second\": "
        << columbia::bench::json_number(
               par.events / std::max(par.total_seconds, 1e-12))
-       << "\n  }" << (want_seq || check || profile ? ",\n" : "\n");
+       << "\n  }"
+       << (want_seq || opts.check || opts.profile ? ",\n" : "\n");
   }
   if (want_seq && want_par) {
     os << "  \"speedup\": "
@@ -235,16 +302,18 @@ int main(int argc, char** argv) {
               seq.total_seconds / std::max(par.total_seconds, 1e-12))
        << ",\n";
     os << "  \"reports_identical\": " << (identical ? "true" : "false")
-       << (check || profile ? ",\n" : "\n");
+       << (opts.check || opts.profile ? ",\n" : "\n");
   }
-  if (check) {
+  if (opts.check) {
     os << "  \"check\":\n" << check_report.to_json(2)
-       << (profile ? ",\n" : "\n");
+       << (opts.profile ? ",\n" : "\n");
   }
-  if (profile) {
+  if (opts.profile) {
     os << "  \"profile\":\n" << profile_report.to_json(2) << "\n";
   }
   os << "}\n";
+  // Self-check: the summary we emit must satisfy the read-side contract.
+  columbia::bench::assert_summary_schema(os.str());
 
   std::error_code ec;
   std::filesystem::create_directories(

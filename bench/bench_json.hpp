@@ -12,10 +12,44 @@
 #include <thread>
 #include <vector>
 
+#include "common/check.hpp"
 #include "core/experiment.hpp"
 #include "sim/engine.hpp"
 
 namespace columbia::bench {
+
+/// Schema of bench_results/BENCH_summary.json. History:
+///   1 — implicit pre-schema layout (no "schema_version" key)
+///   2 — adds "schema_version" itself and the optional "faults" block
+///       (seed/intensity + drop/retry/loss counters) written by
+///       `bench_all --faults`
+inline constexpr int kBenchSummarySchemaVersion = 2;
+
+/// Schema version of a serialized summary; version-1 files predate the
+/// key, so a missing key reads as 1. Malformed values read as 0.
+inline int summary_schema_version(const std::string& json) {
+  const std::string key = "\"schema_version\":";
+  const std::size_t at = json.find(key);
+  if (at == std::string::npos) return 1;
+  std::size_t pos = at + key.size();
+  while (pos < json.size() && json[pos] == ' ') ++pos;
+  int value = 0;
+  bool any = false;
+  while (pos < json.size() && json[pos] >= '0' && json[pos] <= '9') {
+    value = value * 10 + (json[pos] - '0');
+    ++pos;
+    any = true;
+  }
+  return any ? value : 0;
+}
+
+/// Readers call this before consuming a summary: a version the reader
+/// does not understand is a contract violation, not a parse error.
+inline void assert_summary_schema(const std::string& json) {
+  const int version = summary_schema_version(json);
+  COL_REQUIRE(version >= 1 && version <= kBenchSummarySchemaVersion,
+              "unsupported BENCH_summary.json schema_version");
+}
 
 /// Timing of `repeat` regenerations of one experiment.
 struct ExperimentTiming {

@@ -8,13 +8,18 @@
 //   $ ./run_experiment --filter ext-    # every id containing "ext-"
 //   $ ./run_experiment --parallel fig5  # scenarios over the thread pool
 //   $ ./run_experiment --check table2   # run under the simcheck analyzer
+//   $ ./run_experiment --faults 42:0.5 fig11
+//                                       # seeded fault injection at
+//                                       # intensity 0.5 (same seed =>
+//                                       # byte-identical report)
 //   $ ./run_experiment --profile --out prof table2
 //                                       # profile: per-experiment Chrome
 //                                       # trace, Gantt CSV, comm matrix,
 //                                       # and ProfileReport JSON in prof/
 //
-// --check and --profile compose (both analyzers attach through the World
-// observer fan-out). Both are pure listeners, so checked/profiled runs
+// All flags parse through core::RunOptions (shared with bench_all);
+// unknown flags are hard errors. --check, --profile, and --faults
+// compose: the analyzers are pure listeners, so checked/profiled runs
 // produce byte-identical reports on stdout; analyzer output goes to
 // stderr and (for --profile) to the artifact directory.
 //
@@ -22,8 +27,6 @@
 // with --check — any communication-correctness diagnostic.
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -31,21 +34,12 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/run_options.hpp"
 #include "simcheck/checker.hpp"
+#include "simfault/global.hpp"
 #include "simprof/profiler.hpp"
 
 namespace {
-
-void print_registry() {
-  using namespace columbia::core;
-  std::printf("columbia experiment registry (%d paper artifacts):\n\n",
-              paper_artifact_count());
-  std::printf("%-22s %-26s %s\n", "id", "paper reference", "title");
-  for (const auto& e : experiment_registry()) {
-    std::printf("%-22s %-26s %s\n", e.id.c_str(), e.paper_ref.c_str(),
-                e.title.c_str());
-  }
-}
 
 std::string sanitize_id(const std::string& id) {
   std::string out = id;
@@ -100,65 +94,21 @@ void run_one(const columbia::core::Experiment& exp,
 
 int main(int argc, char** argv) {
   using namespace columbia::core;
-  Exec exec = Exec::sequential();
-  std::vector<std::string> ids;
-  std::vector<std::string> filters;
-  std::string out_dir = ".";
-  bool list_only = false;
-  bool check = false;
-  bool profile = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--list") == 0) {
-      list_only = true;
-    } else if (std::strcmp(argv[i], "--check") == 0) {
-      check = true;
-    } else if (std::strcmp(argv[i], "--profile") == 0) {
-      profile = true;
-    } else if (std::strcmp(argv[i], "--out") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "--out needs a directory argument\n");
-        return 2;
-      }
-      out_dir = argv[++i];
-    } else if (std::strcmp(argv[i], "--filter") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "--filter needs a substring argument\n");
-        return 2;
-      }
-      filters.emplace_back(argv[++i]);
-    } else if (std::strcmp(argv[i], "--parallel") == 0) {
-      exec.mode = Exec::Mode::Parallel;
-    } else if (std::strcmp(argv[i], "--jobs") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "--jobs needs a number\n");
-        return 2;
-      }
-      exec.mode = Exec::Mode::Parallel;
-      exec.jobs = std::atoi(argv[++i]);
-    } else if (argv[i][0] == '-') {
-      std::fprintf(stderr,
-                   "unknown flag %s\nusage: %s [--list] [--filter <substr>] "
-                   "[--parallel] [--jobs N] [--check] [--profile] "
-                   "[--out <dir>] [<id> ...]\n",
-                   argv[i], argv[0]);
-      return 2;
-    } else {
-      ids.emplace_back(argv[i]);
-    }
-  }
+  RunOptionsParser parser("run_experiment", "[options] [experiment-id...]");
+  parser.allow_positional();
+  RunOptions opts;
+  if (!parser.parse(argc, argv, opts)) return 2;
+  if (opts.help) return 0;
+  const std::string out_dir = opts.out.empty() ? "." : opts.out;
 
-  if (list_only || (ids.empty() && filters.empty())) {
-    print_registry();
-    if (!list_only) {
-      std::printf("\nusage: %s [--list] [--filter <substr>] [--parallel] "
-                  "[--jobs N] [--check] [--profile] [--out <dir>] "
-                  "[<id> ...]\n",
-                  argv[0]);
-    }
+  if (opts.list || (opts.ids.empty() && opts.filters.empty())) {
+    std::printf("columbia experiment registry (%d paper artifacts):\n\n%s",
+                paper_artifact_count(), registry_listing().c_str());
+    if (!opts.list) std::printf("\n%s", parser.help().c_str());
     return 0;
   }
 
-  if (profile) {
+  if (opts.profile) {
     std::error_code ec;
     std::filesystem::create_directories(out_dir, ec);
     if (ec) {
@@ -168,8 +118,13 @@ int main(int argc, char** argv) {
     }
     columbia::simprof::enable_global_profile();
   }
-  if (check) columbia::simcheck::enable_global_check();
-  for (const auto& id : ids) {
+  if (opts.check) columbia::simcheck::enable_global_check();
+  if (opts.faults) {
+    columbia::simfault::enable_global_faults(
+        columbia::simfault::FaultSpec::uniform(opts.fault_seed,
+                                               opts.fault_intensity));
+  }
+  for (const auto& id : opts.ids) {
     const auto* exp = find_experiment(id);
     if (exp == nullptr) {
       std::fprintf(stderr, "unknown experiment id: %s (run with --list "
@@ -177,14 +132,14 @@ int main(int argc, char** argv) {
                    id.c_str());
       return 1;
     }
-    run_one(*exp, exec, profile, out_dir);
+    run_one(*exp, opts.exec, opts.profile, out_dir);
   }
-  for (const auto& needle : filters) {
+  for (const auto& needle : opts.filters) {
     int matched = 0;
     for (const auto& e : experiment_registry()) {
       if (e.id.find(needle) == std::string::npos) continue;
       ++matched;
-      run_one(e, exec, profile, out_dir);
+      run_one(e, opts.exec, opts.profile, out_dir);
     }
     if (matched == 0) {
       std::fprintf(stderr, "--filter %s matched no experiment ids\n",
@@ -192,7 +147,20 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (check) {
+  if (opts.faults) {
+    const auto stats = columbia::simfault::drain_global_fault_stats();
+    std::fprintf(stderr,
+                 "--- faults: seed %llu intensity %g — %llu worlds, "
+                 "%llu dropped, %llu retries, %llu lost ---\n",
+                 static_cast<unsigned long long>(opts.fault_seed),
+                 opts.fault_intensity,
+                 static_cast<unsigned long long>(stats.worlds),
+                 static_cast<unsigned long long>(stats.messages_dropped),
+                 static_cast<unsigned long long>(stats.retries),
+                 static_cast<unsigned long long>(stats.messages_lost));
+    columbia::simfault::disable_global_faults();
+  }
+  if (opts.check) {
     const auto report = columbia::simcheck::drain_global_check_report();
     std::fputs(report.render().c_str(), stderr);
     if (!report.clean()) return 1;

@@ -1,20 +1,18 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 namespace columbia::core {
 
 namespace {
 
-// Binds one driver function into both registry forms: the legacy
-// sequential `run` and the policy-aware `run_exec`.
 Experiment make(std::string id, std::string paper_ref, std::string title,
                 Report (*driver)(const Exec&)) {
   Experiment e;
   e.id = std::move(id);
   e.paper_ref = std::move(paper_ref);
   e.title = std::move(title);
-  e.run = [driver] { return driver(Exec::sequential()); };
   e.run_exec = driver;
   return e;
 }
@@ -79,6 +77,12 @@ const std::vector<Experiment>& experiment_registry() {
       make("ablation-cache", "DESIGN.md",
            "Working-set crossover behind the BX2b cache jump",
            ablation_cache_slab),
+      make("ablation-variability", "DESIGN.md (simfault)",
+           "Run-to-run slowdown distribution vs OS-jitter intensity",
+           ablation_variability),
+      make("ablation-degraded-fabric", "DESIGN.md (simfault)",
+           "Makespan vs fraction of degraded links, NUMAlink4 vs IB",
+           ablation_degraded_fabric),
   };
   return registry;
 }
@@ -89,6 +93,20 @@ const Experiment* find_experiment(const std::string& id) {
       reg.begin(), reg.end(),
       [&](const Experiment& e) { return e.id == id; });
   return it == reg.end() ? nullptr : &*it;
+}
+
+std::string registry_listing() {
+  std::size_t width = 0;
+  for (const auto& e : experiment_registry()) {
+    width = std::max(width, e.id.size());
+  }
+  std::ostringstream os;
+  os << "Available experiments:\n";
+  for (const auto& e : experiment_registry()) {
+    os << "  " << e.id << std::string(width - e.id.size() + 2, ' ')
+       << e.paper_ref << " — " << e.title << "\n";
+  }
+  return os.str();
 }
 
 int paper_artifact_count() {

@@ -18,10 +18,9 @@ struct Experiment {
   std::string id;         ///< e.g. "table2", "fig11", "ablation-grouping"
   std::string paper_ref;  ///< section/figure in the paper
   std::string title;
-  /// Sequential regeneration (back-compat; equals run_exec(sequential)).
-  std::function<Report()> run;
-  /// Policy-aware regeneration: the driver's scenarios execute under the
+  /// The single entry point: the driver's scenarios execute under the
   /// given Exec (sequential or host-parallel), with identical output.
+  /// Sequential regeneration is run_exec(Exec::sequential()).
   std::function<Report(const Exec&)> run_exec;
 };
 
@@ -33,5 +32,9 @@ const Experiment* find_experiment(const std::string& id);
 
 /// Number of paper artifacts (non-ablation experiments).
 int paper_artifact_count();
+
+/// Human-readable registry listing ("id  paper_ref  title" rows), shared
+/// by every binary's --list output.
+std::string registry_listing();
 
 }  // namespace columbia::core

@@ -91,5 +91,11 @@ Report ablation_alltoall_algorithms(const Exec& exec = {});
 Report ablation_grouping_strategies(const Exec& exec = {});
 /// The cache-slab assumption behind the BX2b CFD advantage.
 Report ablation_cache_slab(const Exec& exec = {});
+/// simfault: run-to-run slowdown distribution vs OS-jitter intensity
+/// (dedicated-vs-shared variability, §4 throughout).
+Report ablation_variability(const Exec& exec = {});
+/// simfault: makespan vs fraction of degraded links, NUMAlink4 vs
+/// InfiniBand, plus the degraded-node-avoiding placement fallback.
+Report ablation_degraded_fabric(const Exec& exec = {});
 
 }  // namespace columbia::core

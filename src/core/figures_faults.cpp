@@ -1,0 +1,198 @@
+// simfault ablations: what the paper's "system state" effects look like in
+// the model.
+//  * ablation-variability     — run-to-run slowdown distribution vs
+//                               OS-jitter intensity (the shared-vs-dedicated
+//                               variability the paper reports throughout §4)
+//  * ablation-degraded-fabric — makespan vs fraction of degraded links,
+//                               NUMAlink4 vs InfiniBand, plus the
+//                               degraded-node-avoiding placement fallback
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/figures.hpp"
+#include "machine/network.hpp"
+#include "machine/placement.hpp"
+#include "simfault/schedule.hpp"
+#include "simmpi/world.hpp"
+
+namespace columbia::core {
+
+namespace {
+
+using machine::Cluster;
+using machine::NodeType;
+using machine::Placement;
+
+/// One faulted job: `nranks` ranks iterating compute + a small allreduce —
+/// the bulk-synchronous shape whose makespan jitter windows stretch.
+sim::CoTask<void> jitter_program(simmpi::Rank& rank) {
+  for (int iter = 0; iter < 24; ++iter) {
+    // A mild static imbalance so ranks do not move in lockstep.
+    co_await rank.compute(1.2e-3 +
+                          25e-6 * static_cast<double>(rank.rank() % 4));
+    co_await rank.allreduce(512.0);
+  }
+}
+
+/// A 256 KiB boundary slab circulating the rank ring (the pipelined
+/// multi-zone boundary-exchange shape): one token, six laps, one transfer
+/// in flight at a time. The makespan is the *sum* of hop costs, so every
+/// link a fault schedule sickens lengthens it — the curve cannot saturate
+/// at the single worst node the way a concurrent all-to-all does.
+sim::CoTask<void> fabric_program(simmpi::Rank& rank) {
+  const int n = rank.size();
+  const int right = (rank.rank() + 1) % n;
+  const int left = (rank.rank() + n - 1) % n;
+  const double slab = 256.0 * 1024;  // rendezvous-sized
+  for (int lap = 0; lap < 6; ++lap) {
+    if (rank.rank() != 0 || lap != 0) co_await rank.recv(left, 0);
+    co_await rank.compute(50e-6);
+    // The token retires at the last rank's last lap instead of returning.
+    if (rank.rank() != n - 1 || lap != 5) co_await rank.send(right, slab, 0);
+  }
+}
+
+/// Runs `program` on `cluster`/`placement` with a fault model built from
+/// `spec` (none when the spec is healthy); returns the makespan.
+double faulted_makespan(const Cluster& cluster, const Placement& placement,
+                        const simfault::FaultSpec& spec,
+                        const simmpi::World::Program& program) {
+  sim::Engine engine;
+  machine::Network network(engine, cluster);
+  simmpi::World world(engine, network, placement);
+  std::unique_ptr<simfault::ScheduledFaultModel> model;
+  if (spec.enabled()) {
+    model = std::make_unique<simfault::ScheduledFaultModel>(spec, cluster);
+    world.set_fault_model(model.get());
+  }
+  return world.run(program);
+}
+
+}  // namespace
+
+Report ablation_variability(const Exec& exec) {
+  const std::vector<double> intensities{0.0, 0.25, 0.5, 0.75, 1.0};
+  const std::vector<std::uint64_t> seeds{11, 23, 37};
+
+  std::vector<Scenario> scenarios;
+  for (double intensity : intensities) {
+    for (std::uint64_t seed : seeds) {
+      scenarios.push_back(
+          {"ablation-variability/i" + std::to_string(intensity) + "/s" +
+               std::to_string(seed),
+           [intensity, seed] {
+             auto cluster = Cluster::single(NodeType::AltixBX2b);
+             const auto placement = Placement::dense(cluster, 16);
+             const auto spec =
+                 simfault::FaultSpec::jitter_only(seed, intensity);
+             return std::vector<double>{faulted_makespan(
+                 cluster, placement, spec, jitter_program)};
+           }});
+    }
+  }
+  const auto results = run_scenarios(scenarios, exec);
+
+  const std::size_t nseeds = seeds.size();
+  const double clean = results[0][0];  // intensity 0 (any seed: identical)
+  Report r;
+  Table t("Ablation: run-to-run variability vs OS-jitter intensity "
+          "(16 ranks, one BX2b, 3 schedule seeds)",
+          {"jitter intensity", "min (ms)", "mean (ms)", "max (ms)",
+           "spread (max/min)", "mean slowdown"});
+  for (std::size_t i = 0; i < intensities.size(); ++i) {
+    double lo = results[i * nseeds][0];
+    double hi = lo;
+    double sum = 0.0;
+    for (std::size_t s = 0; s < nseeds; ++s) {
+      const double v = results[i * nseeds + s][0];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      sum += v;
+    }
+    const double mean = sum / static_cast<double>(nseeds);
+    t.add_row({Cell(intensities[i], 2), Cell(lo * 1e3, 3),
+               Cell(mean * 1e3, 3), Cell(hi * 1e3, 3), Cell(hi / lo, 3),
+               Cell(mean / clean, 3)});
+  }
+  r.tables.push_back(std::move(t));
+  return r;
+}
+
+Report ablation_degraded_fabric(const Exec& exec) {
+  const std::vector<double> fractions{0.0, 0.25, 0.5, 1.0};
+  constexpr std::uint64_t kSeed = 101;
+
+  std::vector<Scenario> scenarios;
+  for (int fab = 0; fab < 2; ++fab) {
+    const bool numalink = fab == 0;
+    for (double fraction : fractions) {
+      scenarios.push_back(
+          {std::string("ablation-degraded-fabric/") +
+               (numalink ? "nl4" : "ib") + "/f" + std::to_string(fraction),
+           [numalink, fraction] {
+             auto cluster =
+                 numalink
+                     ? Cluster::numalink4_bx2b(4)
+                     : Cluster::infiniband_cluster(NodeType::AltixBX2b, 4);
+             const auto placement = Placement::across_nodes(cluster, 32, 4);
+             const auto spec =
+                 simfault::FaultSpec::fabric_only(kSeed, fraction);
+             return std::vector<double>{faulted_makespan(
+                 cluster, placement, spec, fabric_program)};
+           }});
+    }
+  }
+  // Placement fallback at 50% degraded links: a 2-of-4-node job placed
+  // naively vs steered onto the healthy boxes.
+  for (int avoid = 0; avoid < 2; ++avoid) {
+    scenarios.push_back(
+        {std::string("ablation-degraded-fabric/placement/") +
+             (avoid != 0 ? "avoiding" : "naive"),
+         [avoid] {
+           auto cluster = Cluster::numalink4_bx2b(4);
+           const auto spec = simfault::FaultSpec::fabric_only(kSeed, 0.5);
+           simfault::ScheduledFaultModel schedule(spec, cluster);
+           const auto placement =
+               avoid != 0
+                   ? Placement::across_nodes_avoiding(cluster, 16, 2,
+                                                      &schedule)
+                   : Placement::across_nodes(cluster, 16, 2);
+           return std::vector<double>{faulted_makespan(
+               cluster, placement, spec, fabric_program)};
+         }});
+  }
+  const auto results = run_scenarios(scenarios, exec);
+
+  Report r;
+  Table t("Ablation: makespan vs fraction of degraded links "
+          "(32 ranks over 4 BX2b, 256 KiB ring pipeline, seed 101)",
+          {"degraded fraction", "NUMAlink4 (ms)", "NL4 slowdown",
+           "InfiniBand (ms)", "IB slowdown"});
+  const double nl4_clean = results[0][0];
+  const double ib_clean = results[fractions.size()][0];
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    const double nl4 = results[i][0];
+    const double ib = results[fractions.size() + i][0];
+    t.add_row({Cell(fractions[i], 2), Cell(nl4 * 1e3, 3),
+               Cell(nl4 / nl4_clean, 3), Cell(ib * 1e3, 3),
+               Cell(ib / ib_clean, 3)});
+  }
+  r.tables.push_back(std::move(t));
+
+  const double naive = results[2 * fractions.size()][0];
+  const double avoiding = results[2 * fractions.size() + 1][0];
+  Table p("Placement fallback at 50% degraded links "
+          "(16 ranks on 2 of 4 BX2b)",
+          {"placement", "makespan (ms)", "vs naive"});
+  p.add_row({"across_nodes (naive)", Cell(naive * 1e3, 3), Cell(1.0, 3)});
+  p.add_row({"across_nodes_avoiding", Cell(avoiding * 1e3, 3),
+             Cell(avoiding / naive, 3)});
+  r.tables.push_back(std::move(p));
+  return r;
+}
+
+}  // namespace columbia::core

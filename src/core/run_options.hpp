@@ -1,0 +1,93 @@
+#pragma once
+/// \file run_options.hpp
+/// The shared command-line surface of the experiment binaries.
+///
+/// `run_experiment` and `bench_all` accept the same core flags — list,
+/// filter, check, profile, parallel/jobs, out, faults — and used to parse
+/// them with two drifting argv loops. `RunOptionsParser` is the single
+/// parser behind both: the shared flags are built in, each binary
+/// registers its extras (`add_flag`), `--help` text is generated from the
+/// table, and unknown flags or malformed values are hard errors.
+///
+/// `--faults <seed:intensity>` only *parses* here (core does not depend on
+/// simfault); binaries hand the numbers to
+/// simfault::enable_global_faults(FaultSpec::uniform(seed, intensity)).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace columbia::core {
+
+/// Parsed shared flags. Binary-specific flags land in the closures the
+/// binary registered instead.
+struct RunOptions {
+  Exec exec;                  ///< --parallel / --jobs N (jobs implies parallel)
+  bool list = false;          ///< --list
+  bool check = false;         ///< --check
+  bool profile = false;       ///< --profile
+  bool help = false;          ///< --help (help text already printed)
+  std::string out;            ///< --out <path>
+  std::vector<std::string> filters;  ///< --filter <substr>, repeatable
+  std::vector<std::string> ids;      ///< positional arguments, argv order
+
+  bool faults = false;        ///< --faults <seed:intensity>
+  std::uint64_t fault_seed = 0;
+  double fault_intensity = 0.0;
+
+  /// True when `id` passes the --filter set (substring, any-of; an empty
+  /// set passes everything).
+  bool matches_filter(const std::string& id) const;
+};
+
+/// Parses "seed:intensity" (intensity in [0, 1]). Returns false with a
+/// message in `error` on malformed input.
+bool parse_fault_arg(const std::string& arg, std::uint64_t& seed,
+                     double& intensity, std::string& error);
+
+class RunOptionsParser {
+ public:
+  /// `usage_tail` follows the program name in the usage line, e.g.
+  /// "[options] [experiment-id...]".
+  RunOptionsParser(std::string program, std::string usage_tail);
+
+  /// Registers a binary-specific flag after the shared ones. Empty
+  /// `value_name` = boolean flag (handler receives ""). The handler
+  /// returns false (after filling `error`) to reject the value.
+  void add_flag(std::string name, std::string value_name, std::string help,
+                std::function<bool(const std::string& value,
+                                   std::string& error)> handler);
+
+  /// Allows positional arguments (collected into RunOptions::ids);
+  /// without this call a positional argument is a hard error.
+  void allow_positional();
+
+  /// Parses argv into `opts`. On --help, prints help() to stdout, sets
+  /// opts.help and returns true. Unknown flags, missing values, malformed
+  /// values, and unexpected positionals return false with a message on
+  /// stderr.
+  bool parse(int argc, const char* const* argv, RunOptions& opts) const;
+
+  /// Generated usage text (shared flags first, then registered extras).
+  std::string help() const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string value_name;  // empty = boolean
+    std::string help;
+    std::function<bool(const std::string& value, RunOptions& opts,
+                       std::string& error)>
+        apply;
+  };
+
+  std::string program_;
+  std::string usage_tail_;
+  std::vector<Flag> flags_;
+  bool allow_positional_ = false;
+};
+
+}  // namespace columbia::core

@@ -1,0 +1,107 @@
+#pragma once
+/// \file fault.hpp
+/// The fault-model seam: how degraded machine state enters the simulation.
+///
+/// A `FaultModel` answers point queries about the health of the machine at
+/// a simulated time: how much fabric bandwidth a path has left, how much
+/// reroute latency a failed link adds, how much longer a compute burst
+/// takes on a jittery node, and whether a message-delivery attempt is
+/// lost. The consumers are the layers that own timing:
+///   * `machine::Network` queries bandwidth/latency factors per transfer,
+///   * `simmpi::World` stretches compute bursts and drives the
+///     retry/timeout loop around message delivery,
+///   * `machine::Placement::across_nodes_avoiding` steers ranks away from
+///     degraded nodes.
+/// With no model attached (the default) every query short-circuits, so
+/// clean runs are byte-identical to pre-fault builds.
+///
+/// Determinism contract: every method must be a pure function of its
+/// arguments and the model's construction-time state. Models are queried
+/// from scenario closures running on several host threads at once (one
+/// model per World), so `const` methods must be thread-compatible. The
+/// concrete seed-driven implementation lives in `src/simfault`
+/// (simfault::ScheduledFaultModel); this header keeps machine free of any
+/// dependency on it.
+
+#include <cstdint>
+
+#include "sim/trace.hpp"
+
+namespace columbia::machine {
+
+/// Fate of one message-delivery attempt (see FaultModel::message_verdict).
+struct MessageVerdict {
+  /// The attempt is lost in the fabric; the sender's retry policy decides
+  /// whether to retransmit.
+  bool dropped = false;
+  /// Added injection delay (seconds) when the attempt is delivered.
+  double extra_delay = 0.0;
+};
+
+/// Point-query interface for degraded machine state. All methods default
+/// to "healthy", so implementations override only the faults they model.
+class FaultModel {
+ public:
+  FaultModel() = default;
+  FaultModel(const FaultModel&) = delete;
+  FaultModel& operator=(const FaultModel&) = delete;
+  virtual ~FaultModel() = default;
+
+  /// Multiplier in (0, 1] on the path bandwidth of a cross-node transfer
+  /// leaving `src_cpu` for `dst_cpu` at simulated time `now`.
+  virtual double bandwidth_factor(int src_cpu, int dst_cpu,
+                                  double now) const {
+    (void)src_cpu, (void)dst_cpu, (void)now;
+    return 1.0;
+  }
+
+  /// Added one-way wire latency (seconds) for a cross-node transfer at
+  /// `now` — the fat-tree reroute penalty of a failed link.
+  virtual double added_latency(int src_cpu, int dst_cpu, double now) const {
+    (void)src_cpu, (void)dst_cpu, (void)now;
+    return 0.0;
+  }
+
+  /// Wall duration of `seconds` of nominal computation starting at `t0`
+  /// on `cpu` (>= 0; > `seconds` inside a slowdown window).
+  virtual double stretched_compute(int cpu, double t0, double seconds) const {
+    (void)cpu, (void)t0;
+    return seconds;
+  }
+
+  /// Fate of delivery attempt `attempt` (0-based) of the sender's
+  /// `serial`-th message from `src_cpu` to `dst_cpu`. Must be a pure
+  /// function of the arguments so verdicts do not depend on event order.
+  virtual MessageVerdict message_verdict(int src_cpu, int dst_cpu,
+                                         double bytes, std::uint64_t serial,
+                                         int attempt) const {
+    (void)src_cpu, (void)dst_cpu, (void)bytes, (void)serial, (void)attempt;
+    return {};
+  }
+
+  /// True if `node` is unhealthy enough that placement should avoid it
+  /// when alternatives exist.
+  virtual bool node_degraded(int node) const {
+    (void)node;
+    return false;
+  }
+
+  /// Emits one sim::SpanKind::Fault span (actor = node id) per fault
+  /// window intersecting [t0, t1], clipped to that range — called by the
+  /// World after a run so profiled timelines show when the machine was
+  /// sick. Pure listener: implementations only write into `sink`.
+  virtual void emit_fault_spans(double t0, double t1,
+                                sim::SpanSink& sink) const {
+    (void)t0, (void)t1, (void)sink;
+  }
+
+  // --- accounting hooks (called by simmpi's retry loop) --------------------
+  /// A delivery attempt was dropped.
+  virtual void note_message_dropped() {}
+  /// A dropped attempt is being retransmitted after its timeout.
+  virtual void note_retry() {}
+  /// Retries exhausted; the message is lost for good.
+  virtual void note_message_lost() {}
+};
+
+}  // namespace columbia::machine

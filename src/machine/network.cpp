@@ -59,13 +59,24 @@ sim::CoTask<void> Network::transfer(int src, int dst, double bytes) {
     co_return;
   }
 
-  const double lat = cluster_->latency(src, dst);
-  const double bw = cluster_->bandwidth(src, dst, bytes);
-  const double duration = bytes > 0 ? bytes / bw : 0.0;
+  double lat = cluster_->latency(src, dst);
+  double bw = cluster_->bandwidth(src, dst, bytes);
 
   const auto& topo = cluster_->topology();
   const int src_node = cluster_->node_of(src);
   const int dst_node = cluster_->node_of(dst);
+  // Degraded-fabric state is sampled once, at injection time, so a
+  // transfer's cost is a pure function of (path, bytes, start time).
+  if (fault_model_ != nullptr && src_node != dst_node) {
+    const double factor = fault_model_->bandwidth_factor(src, dst, span_begin);
+    COL_REQUIRE(factor > 0.0 && factor <= 1.0,
+                "fault bandwidth factor outside (0, 1]");
+    bw *= factor;
+    const double reroute = fault_model_->added_latency(src, dst, span_begin);
+    COL_REQUIRE(reroute >= 0.0, "negative fault reroute latency");
+    lat += reroute;
+  }
+  const double duration = bytes > 0 ? bytes / bw : 0.0;
   const int src_local = cluster_->local_cpu(src);
   const int dst_local = cluster_->local_cpu(dst);
   const int src_bus = src_node * topo.num_buses() + topo.bus_of(src_local);

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "machine/cluster.hpp"
+#include "machine/fault.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 #include "sim/task.hpp"
@@ -35,6 +36,13 @@ class Network {
 
   const Cluster& cluster() const { return *cluster_; }
   sim::Engine& engine() const { return *engine_; }
+
+  /// Attaches a fault model: cross-node transfers query it for bandwidth
+  /// degradation and reroute latency (fault.hpp). The model must outlive
+  /// every transfer; nullptr (the default) restores clean behaviour —
+  /// and a clean network is byte-identical to a pre-fault build.
+  void set_fault_model(const FaultModel* model) { fault_model_ = model; }
+  const FaultModel* fault_model() const { return fault_model_; }
 
   /// Moves `bytes` from `src` to `dst` (global CPU ids). The coroutine
   /// completes at delivery time. `bytes == 0` models a pure handshake.
@@ -55,6 +63,7 @@ class Network {
   std::vector<std::unique_ptr<sim::Resource>> spine_;        // per node
   std::vector<std::unique_ptr<sim::Resource>> node_egress_;  // per node
   std::vector<std::unique_ptr<sim::Resource>> node_ingress_; // per node
+  const FaultModel* fault_model_ = nullptr;
   std::uint64_t transfers_completed_ = 0;
 };
 

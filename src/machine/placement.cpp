@@ -1,6 +1,7 @@
 #include "machine/placement.hpp"
 
 #include "common/check.hpp"
+#include "machine/fault.hpp"
 
 namespace columbia::machine {
 
@@ -46,6 +47,41 @@ Placement Placement::across_nodes(const Cluster& cluster, int nranks,
   std::vector<int> cpus(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     const int node = r / per_node;
+    const int slot = r % per_node;
+    cpus[static_cast<std::size_t>(r)] =
+        cluster.global_cpu(node, slot * threads_per_rank);
+  }
+  return Placement(std::move(cpus));
+}
+
+Placement Placement::across_nodes_avoiding(const Cluster& cluster, int nranks,
+                                           int n_nodes,
+                                           const FaultModel* faults,
+                                           int threads_per_rank) {
+  COL_REQUIRE(n_nodes >= 1 && n_nodes <= cluster.num_nodes(),
+              "n_nodes out of range");
+  COL_REQUIRE(nranks % n_nodes == 0,
+              "ranks must divide evenly across nodes");
+  const int per_node = nranks / n_nodes;
+  COL_REQUIRE(per_node * threads_per_rank <= cluster.cpus_per_node(),
+              "node over-subscribed");
+  // Healthy nodes first (index order preserved), degraded ones only as a
+  // fallback when the job needs more boxes than are healthy.
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(cluster.num_nodes()));
+  for (int node = 0; node < cluster.num_nodes(); ++node) {
+    if (faults == nullptr || !faults->node_degraded(node)) {
+      order.push_back(node);
+    }
+  }
+  for (int node = 0; node < cluster.num_nodes(); ++node) {
+    if (faults != nullptr && faults->node_degraded(node)) {
+      order.push_back(node);
+    }
+  }
+  std::vector<int> cpus(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    const int node = order[static_cast<std::size_t>(r / per_node)];
     const int slot = r % per_node;
     cpus[static_cast<std::size_t>(r)] =
         cluster.global_cpu(node, slot * threads_per_rank);

@@ -14,6 +14,8 @@
 
 namespace columbia::machine {
 
+class FaultModel;
+
 class Placement {
  public:
   Placement() = default;
@@ -38,6 +40,16 @@ class Placement {
   /// each node (paper §4.6 multinode runs).
   static Placement across_nodes(const Cluster& cluster, int nranks,
                                 int n_nodes, int threads_per_rank = 1);
+
+  /// Degraded-node avoidance fallback: like `across_nodes`, but the
+  /// `n_nodes` boxes are chosen healthy-first (nodes `faults` does not
+  /// flag as degraded, in index order), falling back onto degraded nodes
+  /// only when too few healthy ones exist. A null `faults` reproduces
+  /// `across_nodes` exactly.
+  static Placement across_nodes_avoiding(const Cluster& cluster, int nranks,
+                                         int n_nodes,
+                                         const FaultModel* faults,
+                                         int threads_per_rank = 1);
 
  private:
   std::vector<int> cpu_of_rank_;

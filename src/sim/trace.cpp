@@ -12,6 +12,8 @@ std::string to_string(SpanKind kind) {
       return "io";
     case SpanKind::Wire:
       return "wire";
+    case SpanKind::Fault:
+      return "fault";
   }
   return "?";
 }

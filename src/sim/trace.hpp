@@ -25,6 +25,7 @@ enum class SpanKind {
   Communication,  ///< time inside a blocking communication call (actor = rank)
   Io,             ///< time inside an I/O call (actor = rank)
   Wire,           ///< one network transfer's occupancy (actor = source CPU)
+  Fault,          ///< one fault window on a sick machine part (actor = node)
 };
 
 std::string to_string(SpanKind kind);

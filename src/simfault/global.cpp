@@ -1,0 +1,71 @@
+#include "simfault/global.hpp"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "simmpi/observer.hpp"
+#include "simmpi/world.hpp"
+
+namespace columbia::simfault {
+
+namespace {
+std::mutex g_mutex;
+FaultSpec g_spec;
+FaultStats g_stats;
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+void enable_global_faults(const FaultSpec& spec) {
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_spec = spec;
+    g_stats = FaultStats{};
+  }
+  g_enabled.store(true, std::memory_order_relaxed);
+  simmpi::set_world_fault_factory(
+      [](simmpi::World& world) -> std::shared_ptr<machine::FaultModel> {
+        FaultSpec spec;
+        {
+          std::lock_guard<std::mutex> lock(g_mutex);
+          spec = g_spec;
+        }
+        // A healthy spec builds no model: the run must be byte-identical
+        // to one with no factory installed.
+        if (!spec.enabled()) return nullptr;
+        auto model = std::make_shared<ScheduledFaultModel>(
+            spec, world.network().cluster());
+        model->set_publish_globally(true);
+        return model;
+      });
+}
+
+void disable_global_faults() {
+  g_enabled.store(false, std::memory_order_relaxed);
+  simmpi::set_world_fault_factory(nullptr);
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_spec = FaultSpec{};
+}
+
+bool global_faults_enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+FaultSpec global_fault_spec() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_spec;
+}
+
+void publish_global_fault_stats(const FaultStats& stats) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_stats.merge(stats);
+}
+
+FaultStats drain_global_fault_stats() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  FaultStats out = g_stats;
+  g_stats = FaultStats{};
+  return out;
+}
+
+}  // namespace columbia::simfault

@@ -1,0 +1,34 @@
+#pragma once
+/// \file global.hpp
+/// Process-global fault injection — the `--faults <seed:intensity>` mode.
+///
+/// `enable_global_faults(spec)` installs the single-slot fault factory
+/// (simmpi::set_world_fault_factory): every subsequently constructed World
+/// builds a ScheduledFaultModel from `spec` and the World's own cluster
+/// shape and attaches it. A spec with `enabled() == false` builds no model
+/// at all, so `--faults 0:0` runs are byte-identical to clean runs.
+/// At each World's teardown its model publishes its counters here;
+/// `drain_global_fault_stats()` collects the merged result (thread-safe —
+/// scenario sweeps tear Worlds down on pool threads).
+
+#include "simfault/schedule.hpp"
+
+namespace columbia::simfault {
+
+/// Installs the global fault factory and resets the stats collector.
+/// Replaces any previously enabled spec.
+void enable_global_faults(const FaultSpec& spec);
+/// Clears the factory; Worlds constructed afterwards run clean.
+void disable_global_faults();
+bool global_faults_enabled();
+/// The spec passed to enable_global_faults (default-constructed when
+/// disabled).
+FaultSpec global_fault_spec();
+
+/// Merges one model's counters into the collector (called from
+/// ScheduledFaultModel's destructor when publishing is on).
+void publish_global_fault_stats(const FaultStats& stats);
+/// Returns the merged counters and resets the collector.
+FaultStats drain_global_fault_stats();
+
+}  // namespace columbia::simfault

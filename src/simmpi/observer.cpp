@@ -116,4 +116,14 @@ const std::vector<ObserverFactory>& world_observer_factories() {
   return g_snapshot;
 }
 
+namespace {
+FaultModelFactory g_fault_factory;
+}  // namespace
+
+void set_world_fault_factory(FaultModelFactory factory) {
+  g_fault_factory = std::move(factory);
+}
+
+const FaultModelFactory& world_fault_factory() { return g_fault_factory; }
+
 }  // namespace columbia::simmpi

@@ -21,6 +21,10 @@
 #include <memory>
 #include <vector>
 
+namespace columbia::machine {
+class FaultModel;
+}  // namespace columbia::machine
+
 namespace columbia::simmpi {
 
 class World;
@@ -157,5 +161,21 @@ void set_world_observer_factory(ObserverFactory factory);
 
 /// Snapshot of the installed factories, registration order.
 const std::vector<ObserverFactory>& world_observer_factories();
+
+/// Process-global fault-model opt-in (the `--faults` path): while a factory
+/// is installed, every subsequently constructed World asks it for a
+/// machine::FaultModel and, when the result is non-null, owns it and
+/// attaches it (World::set_fault_model). Single slot — unlike observers,
+/// two fault models cannot compose on one network. Same install/threading
+/// contract as observer factories; the concrete seed-driven factory lives
+/// in src/simfault.
+using FaultModelFactory =
+    std::function<std::shared_ptr<machine::FaultModel>(World&)>;
+
+/// Installs/replaces the factory; nullptr clears the slot.
+void set_world_fault_factory(FaultModelFactory factory);
+
+/// The installed factory (empty std::function when none).
+const FaultModelFactory& world_fault_factory();
 
 }  // namespace columbia::simmpi

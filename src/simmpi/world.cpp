@@ -1,3 +1,4 @@
+#include <cstdio>
 #include "simmpi/world.hpp"
 
 #include <algorithm>
@@ -69,11 +70,18 @@ sim::CoTask<void> Rank::send_value(int dst, std::vector<double> data,
 }
 
 namespace {
-/// Detached eager delivery: move the bytes, then signal arrival.
-sim::Task eager_delivery(machine::Network& net, int src_cpu, int dst_cpu,
-                         double bytes, sim::Trigger& delivered) {
-  co_await net.transfer(src_cpu, dst_cpu, bytes);
-  delivered.fire();
+/// Detached eager delivery: move the bytes (running the fault/retry loop
+/// when a model is attached), then signal arrival. A lost message never
+/// fires `delivered`, so the matched receive stalls and the engine
+/// surfaces a DeadlockError.
+sim::Task eager_delivery(World& world, int src_cpu, int dst_cpu,
+                         double bytes, std::uint64_t serial,
+                         sim::Trigger& delivered) {
+  // Await hoisted out of the `if` (see send_impl's rendezvous path).
+  const bool ok = co_await world.deliver(src_cpu, dst_cpu, bytes, serial);
+  if (ok) {
+    delivered.fire();
+  }
 }
 }  // namespace
 
@@ -83,6 +91,7 @@ sim::CoTask<void> Rank::send_impl(int dst, double bytes,
   COL_REQUIRE(bytes >= 0, "negative message size");
   auto& eng = engine();
   const double t0 = eng.now();
+  const std::uint64_t serial = send_serial_++;
 
   auto env = std::make_unique<Envelope>();
   env->src = rank_;
@@ -109,7 +118,8 @@ sim::CoTask<void> Rank::send_impl(int dst, double bytes,
     // port resource).
     sim::Trigger& delivered = *env->delivered;
     receiver.deposit(std::move(env));
-    eng.spawn(eager_delivery(net, cpu_, receiver.cpu_, bytes, delivered));
+    eng.spawn(eager_delivery(*world_, cpu_, receiver.cpu_, bytes, serial,
+                             delivered));
     const double copy_cost =
         0.4e-6 + bytes / net.cluster().node_spec().mem.cpu_stream_bw;
     co_await eng.delay(copy_cost);
@@ -124,8 +134,14 @@ sim::CoTask<void> Rank::send_impl(int dst, double bytes,
     receiver.deposit(std::move(env));
     co_await rts.wait();
     co_await eng.delay(net.cluster().latency(cpu_, dst_cpu));  // CTS trip
-    co_await net.transfer(cpu_, dst_cpu, bytes);
-    delivered.fire();
+    // Handshake traffic is reliable control traffic; fault verdicts apply
+    // to the bulk transfer, whose retries the (blocked) sender pays for.
+    // (The await is hoisted out of the `if`: awaiting a temporary CoTask
+    // inside a condition miscompiles under this toolchain.)
+    const bool ok = co_await world_->deliver(cpu_, dst_cpu, bytes, serial);
+    if (ok) {
+      delivered.fire();
+    }
   }
   if (obs) obs->on_send_completed(op_id);
   comm_seconds_ += eng.now() - t0;
@@ -299,9 +315,16 @@ sim::CoTask<void> Rank::wait_all(std::vector<Request>& requests) {
 
 sim::CoTask<void> Rank::compute(double seconds) {
   COL_REQUIRE(seconds >= 0, "negative compute time");
-  compute_seconds_ += seconds;
   const double t0 = engine().now();
-  co_await engine().delay(seconds);
+  double wall = seconds;
+  if (const auto* fm = world_->fault_model()) {
+    // Jitter shows up *as* compute time, the way daemon noise does on a
+    // real machine: the stretched duration is what the rank accounts.
+    wall = fm->stretched_compute(cpu_, t0, seconds);
+    COL_REQUIRE(wall >= 0, "fault model produced negative compute time");
+  }
+  compute_seconds_ += wall;
+  co_await engine().delay(wall);
   trace_span(world_, rank_, sim::SpanKind::Compute, t0, engine().now());
 }
 
@@ -578,6 +601,15 @@ World::World(sim::Engine& engine, machine::Network& network,
     fanout_ = std::make_unique<ObserverFanout>(std::move(children));
     observer_ = fanout_.get();
   }
+  // Global fault opt-in (the `--faults` path): single slot, nullable
+  // product (a zero-intensity spec builds no model, keeping the run
+  // byte-identical to a clean one).
+  if (const auto& fault_factory = world_fault_factory()) {
+    if (auto model = fault_factory(*this)) {
+      fault_model_owned_ = std::move(model);
+      set_fault_model(fault_model_owned_.get());
+    }
+  }
 }
 
 World::~World() {
@@ -585,6 +617,9 @@ World::~World() {
   // deadlock hook pointing into itself; sever it before the observer dies.
   // (A profiler severs its own engine span sink in its destructor.)
   if (!owned_observers_.empty()) engine_->set_deadlock_hook(nullptr);
+  // The network may outlive this job; don't leave it pointing at a fault
+  // model that dies with us.
+  if (fault_model_ != nullptr) network_->set_fault_model(nullptr);
 }
 
 Rank& World::rank(int r) {
@@ -597,12 +632,52 @@ sim::Task World::rank_main(Rank& r, const Program& program) {
   if (auto* obs = r.world_->observer()) obs->on_rank_finished(r.rank());
 }
 
+sim::CoTask<bool> World::deliver(int src_cpu, int dst_cpu, double bytes,
+                                 std::uint64_t serial) {
+  machine::FaultModel* fm = fault_model_;
+  if (fm == nullptr) {
+    co_await network_->transfer(src_cpu, dst_cpu, bytes);
+    co_return true;
+  }
+  double wait = retry_policy_.timeout;
+  for (int attempt = 0;; ++attempt) {
+    const machine::MessageVerdict verdict =
+        fm->message_verdict(src_cpu, dst_cpu, bytes, serial, attempt);
+    if (!verdict.dropped) {
+      if (verdict.extra_delay > 0.0) co_await engine_->delay(verdict.extra_delay);
+      co_await network_->transfer(src_cpu, dst_cpu, bytes);
+      co_return true;
+    }
+    ++messages_dropped_;
+    fm->note_message_dropped();
+    if (attempt >= retry_policy_.max_retries) {
+      ++messages_lost_;
+      fm->note_message_lost();
+      co_return false;
+    }
+    // The sender detects the loss by timeout, then retransmits; each
+    // successive detection waits `backoff` times longer.
+    co_await engine_->delay(wait);
+    wait *= retry_policy_.backoff;
+    ++retries_;
+    fm->note_retry();
+  }
+}
+
 double World::run(const Program& program) {
   const double t0 = engine_->now();
   for (auto& r : ranks_) {
     engine_->spawn(rank_main(*r, program));
   }
   engine_->run();
+  // Fault windows become spans only after the run, when the makespan is
+  // known; the model is a pure listener on the sink (profiled timelines
+  // gain a "when was the machine sick" track).
+  if (fault_model_ != nullptr) {
+    if (auto* sink = engine_->span_sink()) {
+      fault_model_->emit_fault_spans(t0, engine_->now(), *sink);
+    }
+  }
   if (observer_ != nullptr) observer_->on_finalize();
   return engine_->now() - t0;
 }

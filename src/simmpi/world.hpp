@@ -29,6 +29,19 @@ namespace columbia::simmpi {
 /// Wildcard for Rank::recv source/tag matching (MPI_ANY_SOURCE/TAG).
 inline constexpr int kAny = -1;
 
+/// Sender-side reliability knobs, consulted only when a fault model is
+/// attached (clean runs never query it). A delivery attempt the model
+/// drops costs the sender `timeout * backoff^attempt` before the
+/// retransmission; after `max_retries` retransmissions the message is
+/// abandoned — the matched receive then never completes and the engine
+/// surfaces the stall as a sim::DeadlockError (simcheck reports it as a
+/// Deadlock diagnostic).
+struct RetryPolicy {
+  int max_retries = 6;
+  double timeout = 50e-6;
+  double backoff = 2.0;
+};
+
 /// A received message's metadata (payload optional, used by value-bearing
 /// operations in tests).
 struct Message {
@@ -174,6 +187,10 @@ class Rank {
   int cpu_ = 0;
   double comm_seconds_ = 0.0;
   double compute_seconds_ = 0.0;
+  /// Count of messages this rank has sent; feeds the fault model's
+  /// per-message verdict. Deliberately independent of the observer id
+  /// space so `--check`/`--profile` cannot perturb fault draws.
+  std::uint64_t send_serial_ = 0;
   std::deque<std::unique_ptr<Envelope>> unexpected_;
   std::deque<PendingRecv*> pending_;
 };
@@ -210,6 +227,35 @@ class World {
   /// Allocates the next operation id (internal, used by Rank's hooks).
   std::uint64_t next_check_id() { return next_check_id_++; }
 
+  /// Attaches a fault model to this job: compute bursts stretch, the
+  /// network degrades (forwarded to Network::set_fault_model), and message
+  /// deliveries run the retry loop. The model must outlive the World;
+  /// nullptr restores clean behaviour. A World constructed while a global
+  /// fault factory is installed (observer.hpp: set_world_fault_factory)
+  /// owns its product and attaches it automatically.
+  void set_fault_model(machine::FaultModel* model) {
+    fault_model_ = model;
+    network_->set_fault_model(model);
+  }
+  const machine::FaultModel* fault_model() const { return fault_model_; }
+
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  /// Delivery attempts the fault model dropped.
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+  /// Retransmissions after a dropped attempt.
+  std::uint64_t retries() const { return retries_; }
+  /// Messages abandoned with retries exhausted (each leaves a receiver
+  /// permanently blocked).
+  std::uint64_t messages_lost() const { return messages_lost_; }
+
+  /// Moves `bytes` to the destination CPU, applying fault verdicts and the
+  /// retry policy; resolves true on delivery, false when the message was
+  /// lost for good (internal, used by Rank's delivery paths).
+  sim::CoTask<bool> deliver(int src_cpu, int dst_cpu, double bytes,
+                            std::uint64_t serial);
+
   /// Mean over ranks of time spent in communication calls. Overlapping
   /// operations (sendrecv halves, wait-all members) each count their own
   /// duration, so this can exceed wall time; it measures "time inside
@@ -229,6 +275,12 @@ class World {
   CommObserver* observer_ = nullptr;
   std::vector<std::shared_ptr<CommObserver>> owned_observers_;  // factory products
   std::unique_ptr<ObserverFanout> fanout_;  // when several factories installed
+  machine::FaultModel* fault_model_ = nullptr;
+  std::shared_ptr<machine::FaultModel> fault_model_owned_;  // factory product
+  RetryPolicy retry_policy_;
+  std::uint64_t messages_dropped_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t messages_lost_ = 0;
   std::uint64_t next_check_id_ = 1;
   std::vector<std::unique_ptr<Rank>> ranks_;
 };

@@ -103,12 +103,14 @@ std::string chrome_trace_json(const std::vector<sim::Span>& spans,
   };
   bool have_ranks = false;
   bool have_wire = false;
+  bool have_fault = false;
   for (const auto& s : spans) {
     const bool wire = s.kind == sim::SpanKind::Wire;
-    (wire ? have_wire : have_ranks) = true;
+    const bool fault = s.kind == sim::SpanKind::Fault;
+    (fault ? have_fault : wire ? have_wire : have_ranks) = true;
     sep();
     os << " {\"name\": \"" << sim::to_string(s.kind) << "\", \"ph\": \"X\""
-       << ", \"pid\": " << (wire ? 1 : 0) << ", \"tid\": " << s.actor
+       << ", \"pid\": " << (fault ? 2 : wire ? 1 : 0) << ", \"tid\": " << s.actor
        << ", \"ts\": " << fmt_time(s.begin * kScale)
        << ", \"dur\": " << fmt_time(s.duration() * kScale) << ", \"cat\": \""
        << sim::to_string(s.kind) << "\"}";
@@ -130,6 +132,11 @@ std::string chrome_trace_json(const std::vector<sim::Span>& spans,
     sep();
     os << " {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
           "\"args\": {\"name\": \"network (by source cpu)\"}}";
+  }
+  if (have_fault) {
+    sep();
+    os << " {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 2, "
+          "\"args\": {\"name\": \"faults (by node)\"}}";
   }
   os << "\n]\n}\n";
   return os.str();

@@ -15,7 +15,8 @@
 /// Exports: `csv()` (one Gantt row per span) and `chrome_json()` — a
 /// chrome://tracing "traceEvents" document with one complete ("ph":"X")
 /// event per span and one instant ("ph":"i") event per marker; ranks live
-/// under pid 0 and network wire occupancy under pid 1.
+/// under pid 0, network wire occupancy under pid 1, and fault windows
+/// (actor = node) under pid 2.
 
 #include <array>
 #include <cstdint>
@@ -81,7 +82,7 @@ class TraceRecorder final : public sim::SpanSink {
   void clear();
 
  private:
-  static constexpr std::size_t kKinds = 4;
+  static constexpr std::size_t kKinds = 5;
   static std::size_t kind_index(sim::SpanKind kind) {
     return static_cast<std::size_t>(kind);
   }
@@ -90,7 +91,7 @@ class TraceRecorder final : public sim::SpanSink {
   std::vector<sim::Span> spans_;
   std::vector<Mark> marks_;
   std::uint64_t dropped_ = 0;
-  double global_totals_[kKinds] = {0, 0, 0, 0};
+  double global_totals_[kKinds] = {0, 0, 0, 0, 0};
   std::unordered_map<int, std::array<double, kKinds>> actor_totals_;
 };
 

@@ -33,7 +33,7 @@ TEST(Registry, IdsAreUniqueAndRunnable) {
   std::set<std::string> seen;
   for (const auto& e : experiment_registry()) {
     EXPECT_TRUE(seen.insert(e.id).second) << "duplicate id " << e.id;
-    EXPECT_TRUE(static_cast<bool>(e.run)) << e.id;
+    EXPECT_TRUE(static_cast<bool>(e.run_exec)) << e.id;
     EXPECT_FALSE(e.paper_ref.empty()) << e.id;
   }
 }

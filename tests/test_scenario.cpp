@@ -68,18 +68,11 @@ TEST(Scenario, EngineHeavyAblationParallelMatchesSequential) {
   EXPECT_EQ(seq, par);
 }
 
-TEST(Scenario, LegacyRunMatchesRunExecSequential) {
-  const auto* exp = find_experiment("fig5");
-  ASSERT_NE(exp, nullptr);
-  ASSERT_TRUE(static_cast<bool>(exp->run));
-  ASSERT_TRUE(static_cast<bool>(exp->run_exec));
-  EXPECT_EQ(exp->run().render(), exp->run_exec(Exec::sequential()).render());
-}
-
 TEST(Scenario, EveryRegistryEntryExposesRunExec) {
+  // run_exec is the registry's single entry point (the legacy zero-arg
+  // `run` callback is gone).
   for (const auto& e : experiment_registry()) {
     EXPECT_TRUE(static_cast<bool>(e.run_exec)) << e.id;
-    EXPECT_TRUE(static_cast<bool>(e.run)) << e.id;
   }
 }
 
