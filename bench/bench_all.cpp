@@ -65,6 +65,7 @@ PassResult run_sequential(const std::vector<Experiment>& registry,
                           int repeat) {
   PassResult pass;
   const std::uint64_t events_before = columbia::sim::total_events_processed();
+  // simlint:allow(nondet-source) — wall-clock pass timing, not sim state
   const auto t0 = std::chrono::steady_clock::now();
   for (const auto& exp : registry) {
     Report report;
@@ -74,6 +75,7 @@ PassResult run_sequential(const std::vector<Experiment>& registry,
     pass.timings.push_back(std::move(timing));
   }
   pass.total_seconds = std::chrono::duration<double>(
+                           // simlint:allow(nondet-source) — wall-clock timing
                            std::chrono::steady_clock::now() - t0)
                            .count();
   pass.events = columbia::sim::total_events_processed() - events_before;
@@ -85,6 +87,7 @@ PassResult run_parallel(const std::vector<Experiment>& registry, int repeat,
   PassResult pass;
   pass.rendered.resize(registry.size());
   const std::uint64_t events_before = columbia::sim::total_events_processed();
+  // simlint:allow(nondet-source) — wall-clock pass timing, not sim state
   const auto t0 = std::chrono::steady_clock::now();
   for (int rep = 0; rep < repeat; ++rep) {
     if (strategy == "inner") {
@@ -102,6 +105,7 @@ PassResult run_parallel(const std::vector<Experiment>& registry, int repeat,
     }
   }
   pass.total_seconds = std::chrono::duration<double>(
+                           // simlint:allow(nondet-source) — wall-clock timing
                            std::chrono::steady_clock::now() - t0)
                            .count() /
                        repeat;

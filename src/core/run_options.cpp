@@ -50,10 +50,18 @@ bool parse_fault_arg(const std::string& arg, std::uint64_t& seed,
   return true;
 }
 
-RunOptionsParser::RunOptionsParser(std::string program,
-                                   std::string usage_tail)
+RunOptionsParser::RunOptionsParser(std::string program, std::string usage_tail,
+                                   FlagSet flags)
     : program_(std::move(program)), usage_tail_(std::move(usage_tail)) {
-  // The shared surface, identical across binaries.
+  if (flags == FlagSet::kBare) {
+    flags_.push_back({"--help", "", "print this message and exit",
+                      [](const std::string&, RunOptions& o, std::string&) {
+                        o.help = true;
+                        return true;
+                      }});
+    return;
+  }
+  // The shared surface, identical across experiment binaries.
   flags_.push_back({"--list", "", "list registry experiments and exit",
                     [](const std::string&, RunOptions& o, std::string&) {
                       o.list = true;

@@ -50,9 +50,19 @@ bool parse_fault_arg(const std::string& arg, std::uint64_t& seed,
 
 class RunOptionsParser {
  public:
+  /// Which flags the parser starts with. Experiment binaries
+  /// (run_experiment, bench_all) share the full run surface; tool
+  /// binaries (simlint) want only `--help` plus what they register —
+  /// same table-driven parsing, generated help, and hard-error policy.
+  enum class FlagSet {
+    kExperiment,  ///< --list/--filter/--check/--profile/--parallel/… + --help
+    kBare,        ///< --help only
+  };
+
   /// `usage_tail` follows the program name in the usage line, e.g.
   /// "[options] [experiment-id...]".
-  RunOptionsParser(std::string program, std::string usage_tail);
+  RunOptionsParser(std::string program, std::string usage_tail,
+                   FlagSet flags = FlagSet::kExperiment);
 
   /// Registers a binary-specific flag after the shared ones. Empty
   /// `value_name` = boolean flag (handler receives ""). The handler

@@ -136,6 +136,8 @@ void Engine::run() {
   Engine* prev = g_current_engine;
   g_current_engine = this;
   const std::uint64_t events_at_entry = events_processed_;
+  // simlint:allow(nondet-source) — wall-seconds perf counter; feeds the
+  // events/sec diagnostic, never a simulated clock or a report value.
   const auto wall_start = std::chrono::steady_clock::now();
   // RAII restore so nested/sequential engines behave, and so the perf
   // counters stay correct even when a simulated process throws.
@@ -147,6 +149,7 @@ void Engine::run() {
     ~Restore() {
       g_current_engine = prev;
       self->run_wall_seconds_ +=
+          // simlint:allow(nondet-source) — wall-seconds perf counter
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         wall_start)
               .count();

@@ -1,0 +1,60 @@
+#pragma once
+/// \file driver.hpp
+/// simlint's run orchestration: file discovery, the two analysis passes,
+/// inline `// simlint:allow(rule)` suppressions, the checked-in baseline,
+/// and human/JSON rendering.
+///
+/// Determinism of the linter itself is part of the contract: discovered
+/// files are sorted, findings are sorted, and output is byte-stable for
+/// a given tree.
+
+#include <string>
+#include <vector>
+
+#include "simlint/rules.hpp"
+
+namespace columbia::simlint {
+
+struct DriverOptions {
+  /// Project root; findings are reported relative to it.
+  std::string root = ".";
+  /// Files or directories (relative to root unless absolute). Directories
+  /// are walked recursively for .hpp/.cpp/.h/.cc/.hxx/.cxx files;
+  /// directories named `simlint_fixtures` are skipped (they hold
+  /// deliberately-dirty rule fixtures) — name one explicitly to lint it.
+  std::vector<std::string> paths = {"src", "tests", "bench", "examples"};
+  /// Baseline file of `file:line:rule` entries to ignore ("" = none).
+  std::string baseline;
+};
+
+struct RunResult {
+  /// Unsuppressed, non-baselined findings, sorted.
+  std::vector<Finding> findings;
+  int files_scanned = 0;
+  int suppressed = 0;       ///< dropped by inline simlint:allow comments
+  int baselined = 0;        ///< dropped by the baseline file
+  std::vector<std::string> stale_baseline;  ///< baseline entries that no
+                                            ///< longer match anything
+  std::vector<std::string> errors;  ///< unreadable paths etc.
+
+  bool clean() const { return findings.empty() && errors.empty(); }
+};
+
+/// Runs the analyzer over the configured paths.
+RunResult run(const DriverOptions& opts);
+
+/// One finding per line: `file:line: rule: message`, plus a summary line.
+std::string render_human(const RunResult& result);
+
+/// JSON document: {"findings": [{file, line, rule, message}...], stats}.
+std::string render_json(const RunResult& result);
+
+/// Baseline serialization of the current findings (`file:line:rule` lines,
+/// sorted, with a header comment).
+std::string render_baseline(const std::vector<Finding>& findings);
+
+/// Parses a baseline document (one `file:line:rule` per line, `#` comments
+/// and blank lines ignored).
+std::vector<std::string> parse_baseline(const std::string& text);
+
+}  // namespace columbia::simlint

@@ -1,0 +1,195 @@
+#include "simlint/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace columbia::simlint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Longest-match punctuator list. Three-char first, then two-char; any
+/// other byte lexes as a single-char Punct.
+constexpr std::array<std::string_view, 5> kPunct3 = {"<<=", ">>=", "...",
+                                                     "->*", "<=>"};
+constexpr std::array<std::string_view, 20> kPunct2 = {
+    "::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--"};
+
+}  // namespace
+
+LexedFile lex(std::string_view src) {
+  LexedFile out;
+  std::size_t i = 0;
+  int line = 1;
+  const std::size_t n = src.size();
+
+  auto peek = [&](std::size_t off) -> char {
+    return i + off < n ? src[i + off] : '\0';
+  };
+  auto bump_lines = [&](std::string_view text) {
+    for (char c : text) {
+      if (c == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+
+    // Whitespace.
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      const std::size_t start = i + 2;
+      while (i < n && src[i] != '\n') ++i;
+      out.comments.push_back({line, std::string(src.substr(start, i - start))});
+      continue;  // newline handled by the whitespace branch
+    }
+
+    // Block comment.
+    if (c == '/' && peek(1) == '*') {
+      const int start_line = line;
+      const std::size_t start = i + 2;
+      i += 2;
+      while (i < n && !(src[i] == '*' && peek(1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      out.comments.push_back(
+          {start_line, std::string(src.substr(start, i - start))});
+      if (i < n) i += 2;  // closing */
+      continue;
+    }
+
+    // Preprocessor directive: only when '#' is the first non-whitespace
+    // character on its line (which it is here: any earlier token on the
+    // line would have consumed up to it). Skip to end of line, honoring
+    // backslash continuations; comments inside directives are rare enough
+    // to ignore.
+    if (c == '#') {
+      while (i < n) {
+        if (src[i] == '\\' && peek(1) == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;  // leave \n for the whitespace branch
+        ++i;
+      }
+      continue;
+    }
+
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(' && src[j] != '"' && src[j] != '\n') {
+        delim += src[j++];
+      }
+      if (j < n && src[j] == '(') {
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t end = src.find(closer, j + 1);
+        const std::size_t stop = end == std::string_view::npos
+                                     ? n
+                                     : end + closer.size();
+        const std::string_view text = src.substr(i, stop - i);
+        out.tokens.push_back({TokKind::String, std::string(text), line});
+        bump_lines(text);
+        i = stop;
+        continue;
+      }
+      // Not actually a raw string ("R" identifier follows) — fall through.
+    }
+
+    // String / char literal (with escape handling).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      const std::size_t stop = j < n ? j + 1 : n;
+      out.tokens.push_back({quote == '"' ? TokKind::String : TokKind::Char,
+                            std::string(src.substr(i, stop - i)), start_line});
+      i = stop;
+      continue;
+    }
+
+    // Identifier (string-literal prefixes like u8"..." lex as an ident
+    // followed by a string, which is fine for the rules).
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(src[j])) ++j;
+      out.tokens.push_back(
+          {TokKind::Ident, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+
+    // pp-number: digits, idents, '.', digit separators, exponent signs.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = src[j];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') &&
+                   (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                    src[j - 1] == 'p' || src[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back(
+          {TokKind::Number, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    bool matched = false;
+    for (std::string_view p : kPunct3) {
+      if (src.substr(i, 3) == p) {
+        out.tokens.push_back({TokKind::Punct, std::string(p), line});
+        i += 3;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (std::string_view p : kPunct2) {
+      if (src.substr(i, 2) == p) {
+        out.tokens.push_back({TokKind::Punct, std::string(p), line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    out.tokens.push_back({TokKind::Punct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace columbia::simlint

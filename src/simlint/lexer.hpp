@@ -1,0 +1,59 @@
+#pragma once
+/// \file lexer.hpp
+/// A lightweight C++ lexer for the simlint static analyzer.
+///
+/// simlint works on token streams, not ASTs: the rules it enforces
+/// (coroutine-safety and determinism hazards, see rules.hpp) are all
+/// expressible as token patterns plus scope tracking, which keeps the
+/// analyzer free of any libclang dependency and fast enough to run as a
+/// tier-1 test over the whole tree.
+///
+/// The lexer understands exactly as much C++ as the rules need:
+///   * identifiers / numbers / string / char literals (raw strings too)
+///   * multi-character punctuation (`::`, `->`, `<<`, `>>`, ...)
+///   * comments, kept out of the token stream but retained with line
+///     numbers so the driver can honor `// simlint:allow(rule)` lines
+///   * preprocessor directives, skipped whole (with continuations) so
+///     `#include <vector>` never confuses angle-bracket matching
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace columbia::simlint {
+
+enum class TokKind {
+  Ident,   ///< identifier or keyword (keywords are not distinguished)
+  Number,  ///< pp-number (integer / float literal)
+  String,  ///< string literal, including raw strings
+  Char,    ///< character literal
+  Punct,   ///< operator / punctuator, longest-match (e.g. "::", "<<")
+};
+
+struct Token {
+  TokKind kind = TokKind::Punct;
+  std::string text;
+  int line = 0;  ///< 1-based source line of the token's first character
+
+  bool is(std::string_view t) const { return text == t; }
+  bool ident(std::string_view t) const {
+    return kind == TokKind::Ident && text == t;
+  }
+};
+
+/// A comment with its starting line, `//` / `/* */` markers stripped.
+struct Comment {
+  int line = 0;
+  std::string text;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes `source`. Never fails: unrecognized bytes become single-char
+/// Punct tokens, unterminated literals run to end of file.
+LexedFile lex(std::string_view source);
+
+}  // namespace columbia::simlint

@@ -1,0 +1,17 @@
+// Fixture: the sanctioned form — hoist the await into a named local,
+// then branch on the local.
+#include "sim/task.hpp"
+
+struct Gate {
+  sim::CoTask<bool> armed();
+};
+
+sim::CoTask<void> drain(Gate& gate) {
+  const bool armed_now = co_await gate.armed();
+  if (armed_now) {
+    co_return;
+  }
+  while (armed_now) {
+    co_return;
+  }
+}

@@ -1,0 +1,16 @@
+// Fixture: co_await of a call inside a branch condition — the awaited
+// temporary in the condition is the shape the toolchain miscompiles.
+#include "sim/task.hpp"
+
+struct Gate {
+  sim::CoTask<bool> armed();
+};
+
+sim::CoTask<void> drain(Gate& gate) {
+  if (co_await gate.armed()) {  // expect-lint: coawait-in-condition
+    co_return;
+  }
+  while (co_await gate.armed()) {  // expect-lint: coawait-in-condition
+    co_return;
+  }
+}

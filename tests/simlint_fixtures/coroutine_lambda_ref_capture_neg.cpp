@@ -1,0 +1,18 @@
+// Fixture: the codebase's backbone idiom — a ref-capturing coroutine
+// lambda handed to the synchronous World::run driver (the driver blocks
+// until every frame completes, so the closure outlives them all) — and
+// an immediately invoked lambda whose captures are by value.
+#include "sim/task.hpp"
+#include "simmpi/world.hpp"
+
+void drive(simmpi::World& world) {
+  int hops = 0;
+  world.run([&](simmpi::Rank& r) -> sim::CoTask<void> {
+    co_await r.barrier();
+    ++hops;
+  });
+  auto detached = [hops]() -> sim::CoTask<int> {
+    co_return hops;
+  }();
+  static_cast<void>(detached);
+}

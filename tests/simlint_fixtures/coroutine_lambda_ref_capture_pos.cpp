@@ -1,0 +1,14 @@
+// Fixture: immediately invoked coroutine lambda with a reference
+// capture — the closure object is a temporary destroyed at the end of
+// the full expression, while the frame keeps reading captures through it.
+#include "sim/task.hpp"
+#include "sim/trigger.hpp"
+
+sim::CoTask<void> step(sim::Trigger& gate) {
+  int hops = 0;
+  auto task = [&]() -> sim::CoTask<void> {  // expect-lint: coroutine-lambda-ref-capture
+    co_await gate.wait();
+    ++hops;
+  }();
+  co_await task;
+}

@@ -1,0 +1,19 @@
+// Fixture: a pure listener — records into its own members only, no
+// scheduling, no global writes. This is what every shipping observer
+// (Checker, Profiler, TraceRecorder) does.
+#include <cstddef>
+#include <cstdint>
+
+#include "simmpi/observer.hpp"
+
+struct ByteCounter : columbia::simmpi::CommObserver {
+  void on_send(int src, int dst, std::size_t bytes) override {
+    ++sends_;
+    total_bytes_ += bytes;
+    last_pair_ = src * 65536 + dst;
+  }
+
+  std::uint64_t sends_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  int last_pair_ = 0;
+};

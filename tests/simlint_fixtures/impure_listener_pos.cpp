@@ -1,0 +1,20 @@
+// Fixture: a CommObserver that schedules work from its callback —
+// listeners run during parallel sweeps and must never steer the
+// simulation (or write globals, the second shape below).
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/engine.hpp"
+#include "simmpi/observer.hpp"
+
+extern std::uint64_t g_total_sends;
+
+struct SteeringObserver : columbia::simmpi::CommObserver {
+  void on_send(int src, int dst, std::size_t bytes) override {
+    engine_.schedule(after_, dst);  // expect-lint: impure-listener
+    g_total_sends += bytes;  // expect-lint: impure-listener
+  }
+
+  columbia::sim::Engine& engine_;
+  double after_ = 0.0;
+};

@@ -1,0 +1,14 @@
+// Fixture: the sanctioned source — the run's seeded common::Rng — plus
+// innocent members that merely *name* time/clock (ComputeModel::time is
+// all over the performance layer).
+#include "common/rng.hpp"
+
+struct ComputeModel {
+  double time(double work) const;
+  double clock(double work) const;
+};
+
+double sample(columbia::common::Rng& rng, const ComputeModel& model) {
+  const double u = rng.uniform();
+  return model.time(u) + model.clock(u);
+}

@@ -1,0 +1,14 @@
+// Fixture: the three banned entropy/wall-clock families — hardware
+// entropy, the C PRNG, and a chrono clock read — outside common::Rng.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+double jitter() {
+  std::random_device entropy;  // expect-lint: nondet-source
+  const int coarse = std::rand();  // expect-lint: nondet-source
+  const auto t0 = std::chrono::steady_clock::now();  // expect-lint: nondet-source
+  const double wall =
+      static_cast<double>(t0.time_since_epoch().count());
+  return static_cast<double>(entropy() + coarse) + wall;
+}

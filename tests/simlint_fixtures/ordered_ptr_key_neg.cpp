@@ -1,0 +1,16 @@
+// Fixture: the sanctioned forms — an explicit comparator over pointee
+// identity, and pointers that are values rather than keys.
+#include <map>
+
+struct Node {
+  int id;
+};
+
+struct ByNodeId {
+  bool operator()(const Node* a, const Node* b) const {
+    return a->id < b->id;
+  }
+};
+
+std::map<Node*, int, ByNodeId> owner;
+std::map<int, Node*> by_id;

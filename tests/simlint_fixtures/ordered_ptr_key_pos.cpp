@@ -1,0 +1,12 @@
+// Fixture: std::map / std::set keyed on pointers with the default
+// comparator — iteration order is allocation order, different each run.
+#include <map>
+#include <memory>
+#include <set>
+
+struct Node {
+  int id;
+};
+
+std::map<Node*, int> owner;  // expect-lint: ordered-ptr-key
+std::set<std::shared_ptr<Node>> live;  // expect-lint: ordered-ptr-key

@@ -1,0 +1,18 @@
+// Fixture: the sanctioned forms — copy the element before suspending,
+// or re-index after resuming. The vector still grows elsewhere in the
+// file, so only the held-reference shape would have been flagged.
+#include <cstddef>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/trigger.hpp"
+
+std::vector<double> cells;
+
+sim::CoTask<void> relax(sim::Trigger& gate, std::size_t i) {
+  double cell = cells[i];
+  co_await gate.wait();
+  cells[i] = cell + 1.0;
+}
+
+void refine() { cells.push_back(0.0); }

@@ -1,0 +1,18 @@
+// Fixture: a reference into a std::vector element held across a
+// co_await while the same file also grows the vector — a reallocation
+// during the suspension leaves the reference dangling.
+#include <cstddef>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/trigger.hpp"
+
+std::vector<double> cells;
+
+sim::CoTask<void> relax(sim::Trigger& gate, std::size_t i) {
+  double& cell = cells[i];  // expect-lint: ref-across-suspend
+  co_await gate.wait();
+  cell += 1.0;
+}
+
+void refine() { cells.push_back(0.0); }

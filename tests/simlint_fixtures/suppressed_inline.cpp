@@ -1,0 +1,11 @@
+// Fixture: both suppression placements — trailing on the flagged line,
+// and a standalone comment covering the next code line (here with the
+// `all` wildcard). test_simlint expects zero findings, two suppressed.
+#include <chrono>
+
+double wall_interval() {
+  const auto t0 = std::chrono::steady_clock::now();  // simlint:allow(nondet-source)
+  // simlint:allow(all)
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}

@@ -1,0 +1,14 @@
+// Fixture: sanctioned consumptions of a coroutine result — awaited,
+// explicitly void-cast, or bound to a named task awaited later.
+#include "sim/task.hpp"
+
+struct Rank {
+  sim::CoTask<void> ping(int payload);
+};
+
+sim::CoTask<void> exchange(Rank& r) {
+  co_await r.ping(1);
+  (void)r.ping(2);
+  auto deferred = r.ping(3);
+  co_await deferred;
+}

@@ -1,0 +1,12 @@
+// Fixture: a CoTask-returning call as a bare statement — the frame is
+// created suspended and destroyed without ever running.
+#include "sim/task.hpp"
+
+struct Rank {
+  sim::CoTask<void> ping(int payload);
+};
+
+sim::CoTask<void> exchange(Rank& r) {
+  r.ping(1);  // expect-lint: task-discarded
+  co_await r.ping(2);
+}

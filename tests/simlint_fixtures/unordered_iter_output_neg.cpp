@@ -1,0 +1,22 @@
+// Fixture: the sanctioned collect-sort-emit idiom — iterate the
+// unordered container only to fill a vector, sort that, then print.
+#include <algorithm>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Tally {
+  std::unordered_map<std::string, double> totals_;
+
+  void render(std::ostream& os) const {
+    std::vector<std::string> keys;
+    for (const auto& kv : totals_) {
+      keys.push_back(kv.first);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (const auto& key : keys) {
+      os << key << "=" << totals_.at(key) << "\n";
+    }
+  }
+};

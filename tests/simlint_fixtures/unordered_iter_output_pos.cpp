@@ -1,0 +1,16 @@
+// Fixture: range-for over an unordered container feeding stream output —
+// hash order differs across standard libraries and runs, so the emitted
+// report is not byte-stable.
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+struct Tally {
+  std::unordered_map<std::string, double> totals_;
+
+  void render(std::ostream& os) const {
+    for (const auto& kv : totals_) {  // expect-lint: unordered-iter-output
+      os << kv.first << "=" << kv.second << "\n";
+    }
+  }
+};

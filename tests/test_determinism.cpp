@@ -1,0 +1,92 @@
+// The repo-wide golden determinism gate: the entire experiment registry
+// runs twice with every optional subsystem switched on at once — MPI
+// correctness checking (--check), profiling with trace export
+// (--profile), and seeded fault injection (--faults 42:0.25) — and every
+// artifact either pass emits must be byte-identical: rendered reports,
+// check reports (text + JSON), profile reports (text + JSON), Chrome
+// traces, gantt/comm CSVs, and the merged fault counters.
+//
+// This is the determinism contract stated in DESIGN.md made executable:
+// a run is a pure function of (spec, seed). A deterministic *failure* is
+// still deterministic — exceptions are folded into the golden string
+// rather than aborting the pass, so both passes must throw identically
+// or not at all.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <sstream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "simcheck/checker.hpp"
+#include "simfault/global.hpp"
+#include "simprof/profiler.hpp"
+
+namespace columbia {
+namespace {
+
+/// One full registry sweep with check + profile + faults enabled,
+/// concatenating every emitted artifact into a single golden string.
+std::string golden_pass() {
+  std::ostringstream os;
+  const auto exec = core::Exec::sequential();
+  simfault::enable_global_faults(simfault::FaultSpec::uniform(42, 0.25));
+  for (const auto& exp : core::experiment_registry()) {
+    os << "==== " << exp.id << " ====\n";
+    simcheck::enable_global_check();
+    simprof::enable_global_profile();
+    try {
+      os << exp.run_exec(exec).render();
+    } catch (const std::exception& e) {
+      os << "exception: " << e.what() << "\n";
+    } catch (...) {
+      os << "exception: (non-standard)\n";
+    }
+    const simprof::ProfileReport prof = simprof::drain_global_profile_report();
+    const simprof::TraceArtifacts trace = simprof::drain_global_profile_trace();
+    simprof::disable_global_profile();
+    const simcheck::CheckReport check = simcheck::drain_global_check_report();
+    // enable registers a fresh observer factory each call — without the
+    // paired disable, every World would grow one checker per experiment.
+    simcheck::disable_global_check();
+
+    os << check.render() << check.to_json() << prof.render() << prof.to_json();
+    if (trace.valid) {
+      os << trace.chrome_json() << trace.gantt_csv() << trace.comm_csv();
+    }
+  }
+  simfault::disable_global_faults();
+  const simfault::FaultStats stats = simfault::drain_global_fault_stats();
+  os << "faults: worlds=" << stats.worlds
+     << " dropped=" << stats.messages_dropped << " retries=" << stats.retries
+     << " lost=" << stats.messages_lost << "\n";
+  return os.str();
+}
+
+/// Context around the first differing byte — EXPECT_EQ on multi-megabyte
+/// strings would drown the log.
+std::string first_divergence(const std::string& a, const std::string& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t at = 0;
+  while (at < n && a[at] == b[at]) ++at;
+  if (at == n && a.size() == b.size()) return "(identical)";
+  const std::size_t lo = at < 120 ? 0 : at - 120;
+  std::ostringstream os;
+  os << "first divergence at byte " << at << " (sizes " << a.size() << " vs "
+     << b.size() << ")\n"
+     << "pass 1: …" << a.substr(lo, 240) << "…\n"
+     << "pass 2: …" << b.substr(lo, 240) << "…\n";
+  return os.str();
+}
+
+TEST(GoldenDeterminism, RegistryWithCheckProfileFaultsIsByteIdentical) {
+  const std::string pass1 = golden_pass();
+  const std::string pass2 = golden_pass();
+  ASSERT_FALSE(pass1.empty());
+  EXPECT_TRUE(pass1 == pass2) << first_divergence(pass1, pass2);
+}
+
+}  // namespace
+}  // namespace columbia
