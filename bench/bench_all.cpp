@@ -8,6 +8,15 @@
 //   bench_all [--list] [--filter <substr>] [--repeat N] [--jobs N]
 //             [--parallel] [--mode seq|par|both] [--strategy outer|inner]
 //             [--out FILE] [--check] [--profile] [--faults seed:intensity]
+//             [--transport event|flow] [--flow-speedup]
+//
+// --transport selects the network backend for every pass; the summary
+// records it in the top-level "transport" field.
+//
+// --flow-speedup additionally times the all-to-all-heavy experiments
+// (fig5, table6) under BOTH backends — on a clean engine, before any
+// analyzer is enabled — and embeds the per-experiment event counts,
+// best wall seconds, and flow/event ratios under "flow_speedup".
 //
 // Strategies for the parallel pass:
 //   outer — one pool task per experiment (default; coarse, low overhead)
@@ -42,6 +51,7 @@
 #include "common/parallel.hpp"
 #include "core/experiment.hpp"
 #include "core/run_options.hpp"
+#include "machine/transport.hpp"
 #include "sim/engine.hpp"
 #include "simcheck/checker.hpp"
 #include "simfault/global.hpp"
@@ -114,6 +124,34 @@ PassResult run_parallel(const std::vector<Experiment>& registry, int repeat,
   return pass;
 }
 
+/// One experiment timed under both transports (clean engine, sequential).
+struct FlowSpeedup {
+  std::string id;
+  ExperimentTiming event;
+  ExperimentTiming flow;
+
+  double event_reduction() const {
+    return static_cast<double>(event.events) /
+           std::max<double>(static_cast<double>(flow.events), 1.0);
+  }
+  double wall_speedup() const {
+    return event.best_seconds() / std::max(flow.best_seconds(), 1e-12);
+  }
+};
+
+/// Times `exp` under the event backend, then the flow backend. The caller
+/// restores the global transport afterwards.
+FlowSpeedup measure_flow_speedup(const Experiment& exp, int repeat) {
+  using columbia::machine::TransportModel;
+  FlowSpeedup fs;
+  fs.id = exp.id;
+  columbia::machine::set_global_transport(TransportModel::Event);
+  fs.event = columbia::bench::time_experiment(exp, Exec::sequential(), repeat);
+  columbia::machine::set_global_transport(TransportModel::Flow);
+  fs.flow = columbia::bench::time_experiment(exp, Exec::sequential(), repeat);
+  return fs;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -123,6 +161,7 @@ int main(int argc, char** argv) {
   int repeat = 1;
   std::string mode;  // empty until --mode/--parallel decide; default "both"
   std::string strategy = "outer";
+  bool flow_speedup = false;
 
   RunOptionsParser parser("bench_all", "[options]");
   parser.add_flag("--repeat", "<n>", "repetitions per experiment",
@@ -157,9 +196,24 @@ int main(int argc, char** argv) {
                     strategy = v;
                     return true;
                   });
+  parser.add_flag("--flow-speedup", "",
+                  "time fig5/table6 under both transports, embed the ratios",
+                  [&flow_speedup](const std::string&, std::string&) {
+                    flow_speedup = true;
+                    return true;
+                  });
   RunOptions opts;
   if (!parser.parse(argc, argv, opts)) return 2;
   if (opts.help) return 0;
+  columbia::machine::TransportModel transport_model;
+  {
+    std::string terr;
+    if (!columbia::machine::parse_transport(opts.transport, transport_model,
+                                            terr)) {
+      std::fprintf(stderr, "bench_all: %s\n", terr.c_str());
+      return 2;
+    }
+  }
   if (opts.list) {
     std::fputs(columbia::core::registry_listing().c_str(), stdout);
     return 0;
@@ -183,6 +237,27 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--filter matched no experiment ids\n");
     return 1;
   }
+
+  // Backend comparison runs first, on a clean engine (no analyzers, no
+  // faults), so the ratios measure the transports and nothing else.
+  std::vector<FlowSpeedup> speedups;
+  if (flow_speedup) {
+    for (const char* id : {"fig5", "table6"}) {
+      const auto* exp = columbia::core::find_experiment(id);
+      if (exp == nullptr) continue;
+      std::printf("flow-speedup: %s x%d under event, then flow...\n", id,
+                  repeat);
+      speedups.push_back(measure_flow_speedup(*exp, repeat));
+      const auto& fs = speedups.back();
+      std::printf("  events %llu -> %llu (%.1fx fewer), best %.3f s -> "
+                  "%.3f s (%.2fx)\n",
+                  static_cast<unsigned long long>(fs.event.events),
+                  static_cast<unsigned long long>(fs.flow.events),
+                  fs.event_reduction(), fs.event.best_seconds(),
+                  fs.flow.best_seconds(), fs.wall_speedup());
+    }
+  }
+  columbia::machine::set_global_transport(transport_model);
 
   if (opts.check) columbia::simcheck::enable_global_check();
   if (opts.profile) {
@@ -259,7 +334,31 @@ int main(int argc, char** argv) {
   os << "  \"jobs\": " << effective_jobs << ",\n";
   os << "  \"repeat\": " << repeat << ",\n";
   os << "  \"strategy\": \"" << strategy << "\",\n";
+  os << "  \"transport\": \""
+     << columbia::machine::to_string(transport_model) << "\",\n";
   os << "  \"num_experiments\": " << registry.size() << ",\n";
+  if (!speedups.empty()) {
+    os << "  \"flow_speedup\": {\n";
+    os << "    \"repeat\": " << repeat << ",\n";
+    os << "    \"experiments\": [\n";
+    for (std::size_t i = 0; i < speedups.size(); ++i) {
+      const auto& fs = speedups[i];
+      os << "      {\n";
+      os << "        \"id\": \"" << fs.id << "\",\n";
+      os << "        \"event_events\": " << fs.event.events << ",\n";
+      os << "        \"flow_events\": " << fs.flow.events << ",\n";
+      os << "        \"event_reduction\": "
+         << columbia::bench::json_number(fs.event_reduction()) << ",\n";
+      os << "        \"event_best_seconds\": "
+         << columbia::bench::json_number(fs.event.best_seconds()) << ",\n";
+      os << "        \"flow_best_seconds\": "
+         << columbia::bench::json_number(fs.flow.best_seconds()) << ",\n";
+      os << "        \"wall_speedup\": "
+         << columbia::bench::json_number(fs.wall_speedup()) << "\n";
+      os << "      }" << (i + 1 < speedups.size() ? ",\n" : "\n");
+    }
+    os << "    ]\n  },\n";
+  }
   if (opts.faults) {
     os << "  \"faults\": {\n";
     os << "    \"seed\": " << opts.fault_seed << ",\n";

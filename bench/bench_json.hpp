@@ -23,7 +23,12 @@ namespace columbia::bench {
 ///   2 — adds "schema_version" itself and the optional "faults" block
 ///       (seed/intensity + drop/retry/loss counters) written by
 ///       `bench_all --faults`
-inline constexpr int kBenchSummarySchemaVersion = 2;
+///   3 — adds the top-level "transport" field (which network backend the
+///       passes ran under, "event" or "flow") and the optional
+///       "flow_speedup" block (per-experiment event-count and wall-clock
+///       comparison of the two backends) written by
+///       `bench_all --flow-speedup`
+inline constexpr int kBenchSummarySchemaVersion = 3;
 
 /// Schema version of a serialized summary; version-1 files predate the
 /// key, so a missing key reads as 1. Malformed values read as 0.

@@ -16,6 +16,13 @@
 //                                       # profile: per-experiment Chrome
 //                                       # trace, Gantt CSV, comm matrix,
 //                                       # and ProfileReport JSON in prof/
+//   $ ./run_experiment --transport flow table6
+//                                       # fluid flow-solver network backend
+//                                       # (order-of-magnitude fewer events
+//                                       # on contention-heavy patterns)
+//   $ ./run_experiment ext-columbia-full
+//                                       # all 20 Columbia boxes, 10240
+//                                       # CPUs (forces the flow backend)
 //
 // All flags parse through core::RunOptions (shared with bench_all);
 // unknown flags are hard errors. --check, --profile, and --faults
@@ -35,6 +42,7 @@
 
 #include "core/experiment.hpp"
 #include "core/run_options.hpp"
+#include "machine/transport.hpp"
 #include "simcheck/checker.hpp"
 #include "simfault/global.hpp"
 #include "simprof/profiler.hpp"
@@ -99,6 +107,15 @@ int main(int argc, char** argv) {
   RunOptions opts;
   if (!parser.parse(argc, argv, opts)) return 2;
   if (opts.help) return 0;
+  {
+    columbia::machine::TransportModel tm;
+    std::string terr;
+    if (!columbia::machine::parse_transport(opts.transport, tm, terr)) {
+      std::fprintf(stderr, "run_experiment: %s\n", terr.c_str());
+      return 2;
+    }
+    columbia::machine::set_global_transport(tm);
+  }
   const std::string out_dir = opts.out.empty() ? "." : opts.out;
 
   if (opts.list || (opts.ids.empty() && opts.filters.empty())) {

@@ -68,6 +68,9 @@ const std::vector<Experiment>& experiment_registry() {
            ext_io_filesystems),
       make("ext-classf", "Sec. 3.2 (new classes)",
            "NPB-MZ Class F on the full 20-box Columbia", ext_class_f),
+      make("ext-columbia-full", "Sec. 2 (whole machine)",
+           "Full 10240-CPU Columbia rings + FT transpose (flow transport)",
+           ext_columbia_full),
       make("ablation-alltoall", "DESIGN.md",
            "All-to-all algorithm choice (pairwise vs flood)",
            ablation_alltoall_algorithms),

@@ -82,6 +82,11 @@ Report ext_ins3d_multinode(const Exec& exec = {});
 Report ext_io_filesystems(const Exec& exec = {});
 /// NPB-MZ Class F on the full 20-box machine (defined in §3.2, never run).
 Report ext_class_f(const Exec& exec = {});
+/// The whole 20-box, 10,240-CPU Columbia under the flow transport: HPCC
+/// rings at full scale plus an FT-style transpose at the §2 IB connection
+/// limit. Forces TransportModel::Flow per network; intractable under the
+/// event model.
+Report ext_columbia_full(const Exec& exec = {});
 
 // --- Ablations (design choices called out in DESIGN.md) ----------------------
 /// All-to-all algorithm choice vs the FT/Fig. 6 result shape.

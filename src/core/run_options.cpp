@@ -54,15 +54,17 @@ RunOptionsParser::RunOptionsParser(std::string program, std::string usage_tail,
                                    FlagSet flags)
     : program_(std::move(program)), usage_tail_(std::move(usage_tail)) {
   if (flags == FlagSet::kBare) {
-    flags_.push_back({"--help", "", "print this message and exit",
+    flags_.push_back({"--help", "", "print this message and exit", "general",
                       [](const std::string&, RunOptions& o, std::string&) {
                         o.help = true;
                         return true;
                       }});
     return;
   }
-  // The shared surface, identical across experiment binaries.
+  // The shared surface, identical across experiment binaries. Each flag
+  // names its help group; help() renders the groups by subsystem.
   flags_.push_back({"--list", "", "list registry experiments and exit",
+                    "general",
                     [](const std::string&, RunOptions& o, std::string&) {
                       o.list = true;
                       return true;
@@ -70,30 +72,20 @@ RunOptionsParser::RunOptionsParser(std::string program, std::string usage_tail,
   flags_.push_back(
       {"--filter", "<substr>",
        "keep experiments whose id contains <substr> (repeatable, any-of)",
+       "general",
        [](const std::string& v, RunOptions& o, std::string&) {
          o.filters.push_back(v);
          return true;
        }});
-  flags_.push_back({"--check", "",
-                    "run with the simcheck MPI correctness analyzer",
-                    [](const std::string&, RunOptions& o, std::string&) {
-                      o.check = true;
-                      return true;
-                    }});
-  flags_.push_back({"--profile", "",
-                    "run with the simprof critical-path profiler",
-                    [](const std::string&, RunOptions& o, std::string&) {
-                      o.profile = true;
-                      return true;
-                    }});
   flags_.push_back({"--parallel", "",
-                    "run scenario sweeps on the host thread pool",
+                    "run scenario sweeps on the host thread pool", "general",
                     [](const std::string&, RunOptions& o, std::string&) {
                       o.exec = Exec::parallel(o.exec.jobs);
                       return true;
                     }});
   flags_.push_back(
       {"--jobs", "<n>", "worker threads for --parallel (implies it)",
+       "general",
        [](const std::string& v, RunOptions& o, std::string& err) {
          errno = 0;
          char* end = nullptr;
@@ -106,13 +98,31 @@ RunOptionsParser::RunOptionsParser(std::string program, std::string usage_tail,
          return true;
        }});
   flags_.push_back({"--out", "<path>", "write outputs under <path>",
+                    "general",
                     [](const std::string& v, RunOptions& o, std::string&) {
                       o.out = v;
                       return true;
                     }});
+  flags_.push_back({"--help", "", "print this message and exit", "general",
+                    [](const std::string&, RunOptions& o, std::string&) {
+                      o.help = true;
+                      return true;
+                    }});
+  flags_.push_back({"--check", "",
+                    "run with the simcheck MPI correctness analyzer", "check",
+                    [](const std::string&, RunOptions& o, std::string&) {
+                      o.check = true;
+                      return true;
+                    }});
+  flags_.push_back({"--profile", "",
+                    "run with the simprof critical-path profiler", "profile",
+                    [](const std::string&, RunOptions& o, std::string&) {
+                      o.profile = true;
+                      return true;
+                    }});
   flags_.push_back(
       {"--faults", "<seed:intensity>",
-       "inject seeded faults (intensity in [0,1]; 0 = clean run)",
+       "inject seeded faults (intensity in [0,1]; 0 = clean run)", "faults",
        [](const std::string& v, RunOptions& o, std::string& err) {
          if (!parse_fault_arg(v, o.fault_seed, o.fault_intensity, err)) {
            return false;
@@ -120,18 +130,25 @@ RunOptionsParser::RunOptionsParser(std::string program, std::string usage_tail,
          o.faults = true;
          return true;
        }});
-  flags_.push_back({"--help", "", "print this message and exit",
-                    [](const std::string&, RunOptions& o, std::string&) {
-                      o.help = true;
-                      return true;
-                    }});
+  flags_.push_back(
+      {"--transport", "<event|flow>",
+       "network backend: per-hop event queueing or fluid flow solver",
+       "transport",
+       [](const std::string& v, RunOptions& o, std::string& err) {
+         if (v != "event" && v != "flow") {
+           err = "--transport expects 'event' or 'flow', got '" + v + "'";
+           return false;
+         }
+         o.transport = v;
+         return true;
+       }});
 }
 
 void RunOptionsParser::add_flag(
     std::string name, std::string value_name, std::string help,
     std::function<bool(const std::string&, std::string&)> handler) {
   flags_.push_back(
-      {std::move(name), std::move(value_name), std::move(help),
+      {std::move(name), std::move(value_name), std::move(help), program_,
        [handler = std::move(handler)](const std::string& v, RunOptions&,
                                       std::string& err) {
          return handler(v, err);
@@ -193,13 +210,30 @@ std::string RunOptionsParser::help() const {
                                                  ? 0
                                                  : f.value_name.size() + 1));
   }
-  std::ostringstream os;
-  os << "usage: " << program_ << " " << usage_tail_ << "\n\noptions:\n";
+  // Render flags grouped by subsystem: the shared groups in a fixed order,
+  // then the program-specific extras (group == program name) last.
+  std::vector<std::string> groups = {"general", "check", "profile", "faults",
+                                     "transport"};
   for (const auto& f : flags_) {
-    std::string head = f.name;
-    if (!f.value_name.empty()) head += " " + f.value_name;
-    os << "  " << head << std::string(width - head.size() + 2, ' ')
-       << f.help << "\n";
+    if (std::find(groups.begin(), groups.end(), f.group) == groups.end()) {
+      groups.push_back(f.group);
+    }
+  }
+  std::ostringstream os;
+  os << "usage: " << program_ << " " << usage_tail_ << "\n";
+  for (const auto& g : groups) {
+    bool header = false;
+    for (const auto& f : flags_) {
+      if (f.group != g) continue;
+      if (!header) {
+        os << "\n" << (g == "general" ? "options" : g + " options") << ":\n";
+        header = true;
+      }
+      std::string head = f.name;
+      if (!f.value_name.empty()) head += " " + f.value_name;
+      os << "  " << head << std::string(width - head.size() + 2, ' ')
+         << f.help << "\n";
+    }
   }
   return os.str();
 }

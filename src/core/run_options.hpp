@@ -38,6 +38,11 @@ struct RunOptions {
   std::uint64_t fault_seed = 0;
   double fault_intensity = 0.0;
 
+  /// --transport <event|flow>; validated at parse time (anything else is a
+  /// hard usage error). Core stays decoupled from machine: binaries hand
+  /// this to machine::set_global_transport().
+  std::string transport = "event";
+
   /// True when `id` passes the --filter set (substring, any-of; an empty
   /// set passes everything).
   bool matches_filter(const std::string& id) const;
@@ -66,7 +71,8 @@ class RunOptionsParser {
 
   /// Registers a binary-specific flag after the shared ones. Empty
   /// `value_name` = boolean flag (handler receives ""). The handler
-  /// returns false (after filling `error`) to reject the value.
+  /// returns false (after filling `error`) to reject the value. The flag
+  /// renders in the help's trailing program-specific group.
   void add_flag(std::string name, std::string value_name, std::string help,
                 std::function<bool(const std::string& value,
                                    std::string& error)> handler);
@@ -81,7 +87,8 @@ class RunOptionsParser {
   /// stderr.
   bool parse(int argc, const char* const* argv, RunOptions& opts) const;
 
-  /// Generated usage text (shared flags first, then registered extras).
+  /// Generated usage text, grouped by subsystem (general, then
+  /// check/profile/faults/transport, then the program-specific extras).
   std::string help() const;
 
  private:
@@ -89,6 +96,7 @@ class RunOptionsParser {
     std::string name;
     std::string value_name;  // empty = boolean
     std::string help;
+    std::string group;       // help section: "general", "check", ...
     std::function<bool(const std::string& value, RunOptions& opts,
                        std::string& error)>
         apply;

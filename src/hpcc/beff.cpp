@@ -14,9 +14,10 @@ namespace {
 /// One ping-pong episode between two ranks; everyone else exits at once.
 double time_ping_pong(const machine::Cluster& cluster,
                       const machine::Placement& placement, int a, int b,
-                      double bytes, int round_trips) {
+                      double bytes, int round_trips,
+                      machine::TransportModel transport) {
   sim::Engine engine;
-  machine::Network network(engine, cluster);
+  machine::Network network(engine, cluster, transport);
   simmpi::World world(engine, network, placement);
   return world.run([&](simmpi::Rank& r) -> sim::CoTask<void> {
     if (r.rank() == a) {
@@ -36,8 +37,11 @@ double time_ping_pong(const machine::Cluster& cluster,
 }  // namespace
 
 Beff::Beff(const machine::Cluster& cluster, machine::Placement placement,
-           std::uint64_t seed)
-    : cluster_(&cluster), placement_(std::move(placement)), seed_(seed) {
+           std::uint64_t seed, machine::TransportModel transport)
+    : cluster_(&cluster),
+      placement_(std::move(placement)),
+      seed_(seed),
+      transport_(transport) {
   COL_REQUIRE(placement_.num_ranks() >= 2, "b_eff needs at least two ranks");
 }
 
@@ -52,9 +56,10 @@ LatBw Beff::ping_pong(int sample_pairs) const {
     int b = static_cast<int>(rng.next_below(static_cast<unsigned>(n)));
     if (b == a) b = (a + 1 + s) % n;
     const double t_lat = time_ping_pong(*cluster_, placement_, a, b,
-                                        kLatencyBytes, kRoundTrips);
+                                        kLatencyBytes, kRoundTrips, transport_);
     const double t_bw = time_ping_pong(*cluster_, placement_, a, b,
-                                       kBandwidthBytes, kRoundTrips);
+                                       kBandwidthBytes, kRoundTrips,
+                                       transport_);
     lat.add(t_lat / (2.0 * kRoundTrips));
     bw.add(kBandwidthBytes / (t_bw / (2.0 * kRoundTrips)));
   }
@@ -70,7 +75,7 @@ Beff::RingTimes Beff::run_ring(const std::vector<int>& order,
 
   auto run_once = [&](double bytes) {
     sim::Engine engine;
-    machine::Network network(engine, *cluster_);
+    machine::Network network(engine, *cluster_, transport_);
     simmpi::World world(engine, network, placement_);
     return world.run([&](simmpi::Rank& r) -> sim::CoTask<void> {
       const int p = pos[static_cast<std::size_t>(r.rank())];

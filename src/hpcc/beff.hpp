@@ -15,6 +15,7 @@
 #include "common/rng.hpp"
 #include "machine/cluster.hpp"
 #include "machine/placement.hpp"
+#include "machine/transport.hpp"
 
 namespace columbia::hpcc {
 
@@ -31,8 +32,13 @@ inline constexpr double kBandwidthBytes = 2.0e6;
 
 class Beff {
  public:
+  /// `transport` selects the network backend for every internal world this
+  /// component builds; the default follows the process-wide selection, so
+  /// drivers that must pin a backend (e.g. ext-columbia-full forcing the
+  /// flow model) pass it explicitly instead of mutating global state.
   Beff(const machine::Cluster& cluster, machine::Placement placement,
-       std::uint64_t seed = 0xBEEFull);
+       std::uint64_t seed = 0xBEEFull,
+       machine::TransportModel transport = machine::global_transport());
 
   int num_ranks() const { return placement_.num_ranks(); }
 
@@ -58,6 +64,7 @@ class Beff {
   const machine::Cluster* cluster_;
   machine::Placement placement_;
   std::uint64_t seed_;
+  machine::TransportModel transport_;
 };
 
 }  // namespace columbia::hpcc

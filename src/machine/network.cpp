@@ -7,27 +7,50 @@
 
 namespace columbia::machine {
 
-Network::Network(sim::Engine& engine, const Cluster& cluster)
-    : engine_(&engine), cluster_(&cluster) {
+Network::Network(sim::Engine& engine, const Cluster& cluster,
+                 TransportModel transport)
+    : engine_(&engine), cluster_(&cluster), transport_(transport) {
   const int cpus = cluster.total_cpus();
-  injection_.reserve(static_cast<std::size_t>(cpus));
-  for (int i = 0; i < cpus; ++i) {
-    injection_.push_back(std::make_unique<sim::Resource>(engine, 1));
-  }
   const int buses = cluster.num_nodes() * cluster.topology().num_buses();
-  for (int i = 0; i < buses; ++i) {
-    bus_egress_.push_back(std::make_unique<sim::Resource>(engine, 1));
-    bus_ingress_.push_back(std::make_unique<sim::Resource>(engine, 1));
-  }
   const int links = cluster.fabric().type == FabricType::None
                         ? 1
                         : cluster.fabric().links_per_node;
   const int spine_units = std::max(1, cluster.topology().num_buses() / 2);
-  for (int i = 0; i < cluster.num_nodes(); ++i) {
-    spine_.push_back(std::make_unique<sim::Resource>(engine, spine_units));
-    node_egress_.push_back(std::make_unique<sim::Resource>(engine, links));
-    node_ingress_.push_back(std::make_unique<sim::Resource>(engine, links));
+
+  if (transport_ == TransportModel::Event) {
+    injection_.reserve(static_cast<std::size_t>(cpus));
+    for (int i = 0; i < cpus; ++i) {
+      injection_.push_back(std::make_unique<sim::Resource>(engine, 1));
+    }
+    for (int i = 0; i < buses; ++i) {
+      bus_egress_.push_back(std::make_unique<sim::Resource>(engine, 1));
+      bus_ingress_.push_back(std::make_unique<sim::Resource>(engine, 1));
+    }
+    for (int i = 0; i < cluster.num_nodes(); ++i) {
+      spine_.push_back(std::make_unique<sim::Resource>(engine, spine_units));
+      node_egress_.push_back(std::make_unique<sim::Resource>(engine, links));
+      node_ingress_.push_back(std::make_unique<sim::Resource>(engine, links));
+    }
+    return;
   }
+
+  // Flow backend: one capacity entry per serialization point, same layout
+  // and unit counts as the resource vectors above.
+  link_bus_egress_base_ = cpus;
+  link_bus_ingress_base_ = link_bus_egress_base_ + buses;
+  link_spine_base_ = link_bus_ingress_base_ + buses;
+  link_node_egress_base_ = link_spine_base_ + cluster.num_nodes();
+  link_node_ingress_base_ = link_node_egress_base_ + cluster.num_nodes();
+  std::vector<double> caps;
+  caps.reserve(static_cast<std::size_t>(link_node_ingress_base_ +
+                                        cluster.num_nodes()));
+  caps.insert(caps.end(), static_cast<std::size_t>(cpus), 1.0);
+  caps.insert(caps.end(), static_cast<std::size_t>(2 * buses), 1.0);
+  caps.insert(caps.end(), static_cast<std::size_t>(cluster.num_nodes()),
+              static_cast<double>(spine_units));
+  caps.insert(caps.end(), static_cast<std::size_t>(2 * cluster.num_nodes()),
+              static_cast<double>(links));
+  flow_ = std::make_unique<FlowSolver>(engine, std::move(caps));
 }
 
 double Network::uncontended_time(int src, int dst, double bytes) const {
@@ -37,6 +60,22 @@ double Network::uncontended_time(int src, int dst, double bytes) const {
   const double lat = cluster_->latency(src, dst);
   const double bw = cluster_->bandwidth(src, dst, bytes);
   return lat + (bytes > 0 ? bytes / bw : 0.0);
+}
+
+Network::Path Network::classify(int src, int dst) const {
+  const auto& topo = cluster_->topology();
+  Path p;
+  p.src_node = cluster_->node_of(src);
+  p.dst_node = cluster_->node_of(dst);
+  const int src_local = cluster_->local_cpu(src);
+  const int dst_local = cluster_->local_cpu(dst);
+  p.src_bus = p.src_node * topo.num_buses() + topo.bus_of(src_local);
+  p.dst_bus = p.dst_node * topo.num_buses() + topo.bus_of(dst_local);
+  p.cross_node = p.src_node != p.dst_node;
+  p.cross_bus = p.src_bus != p.dst_bus;
+  p.cross_brick = p.cross_node ||
+                  topo.brick_of(src_local) != topo.brick_of(dst_local);
+  return p;
 }
 
 sim::CoTask<void> Network::transfer(int src, int dst, double bytes) {
@@ -62,12 +101,10 @@ sim::CoTask<void> Network::transfer(int src, int dst, double bytes) {
   double lat = cluster_->latency(src, dst);
   double bw = cluster_->bandwidth(src, dst, bytes);
 
-  const auto& topo = cluster_->topology();
-  const int src_node = cluster_->node_of(src);
-  const int dst_node = cluster_->node_of(dst);
+  const Path path = classify(src, dst);
   // Degraded-fabric state is sampled once, at injection time, so a
   // transfer's cost is a pure function of (path, bytes, start time).
-  if (fault_model_ != nullptr && src_node != dst_node) {
+  if (fault_model_ != nullptr && path.cross_node) {
     const double factor = fault_model_->bandwidth_factor(src, dst, span_begin);
     COL_REQUIRE(factor > 0.0 && factor <= 1.0,
                 "fault bandwidth factor outside (0, 1]");
@@ -76,16 +113,42 @@ sim::CoTask<void> Network::transfer(int src, int dst, double bytes) {
     COL_REQUIRE(reroute >= 0.0, "negative fault reroute latency");
     lat += reroute;
   }
-  const double duration = bytes > 0 ? bytes / bw : 0.0;
-  const int src_local = cluster_->local_cpu(src);
-  const int dst_local = cluster_->local_cpu(dst);
-  const int src_bus = src_node * topo.num_buses() + topo.bus_of(src_local);
-  const int dst_bus = dst_node * topo.num_buses() + topo.bus_of(dst_local);
 
-  const bool cross_node = src_node != dst_node;
-  const bool cross_bus = src_bus != dst_bus;
-  const bool cross_brick =
-      cross_node || topo.brick_of(src_local) != topo.brick_of(dst_local);
+  if (transport_ == TransportModel::Flow) {
+    if (bytes > 0) {
+      // One flow over the same serialization points the event backend
+      // queues through; the solver resumes us `lat` after the drain ends.
+      FlowSolver::PathRef ref;
+      ref.links[static_cast<std::size_t>(ref.nlinks++)] = src;  // injection
+      if (path.cross_node) {
+        ref.links[static_cast<std::size_t>(ref.nlinks++)] =
+            link_node_egress_base_ + path.src_node;
+        ref.links[static_cast<std::size_t>(ref.nlinks++)] =
+            link_node_ingress_base_ + path.dst_node;
+      } else if (path.cross_bus) {
+        ref.links[static_cast<std::size_t>(ref.nlinks++)] =
+            link_bus_egress_base_ + path.src_bus;
+        if (path.cross_brick) {
+          ref.links[static_cast<std::size_t>(ref.nlinks++)] =
+              link_spine_base_ + path.src_node;
+        }
+        ref.links[static_cast<std::size_t>(ref.nlinks++)] =
+            link_bus_ingress_base_ + path.dst_bus;
+      }
+      co_await flow_->drain(ref, bytes, bw, lat);
+    } else {
+      // Pure handshake: latency only, exactly as the event backend (whose
+      // zero-byte transfers hold their resources for zero time).
+      co_await engine_->delay(lat);
+    }
+    ++transfers_completed_;
+    if (auto* sink = engine_->span_sink()) {
+      sink->on_span({src, sim::SpanKind::Wire, span_begin, engine_->now()});
+    }
+    co_return;
+  }
+
+  const double duration = bytes > 0 ? bytes / bw : 0.0;
 
   sim::Resource& inj = *injection_[static_cast<std::size_t>(src)];
   co_await inj.acquire();
@@ -95,14 +158,14 @@ sim::CoTask<void> Network::transfer(int src, int dst, double bytes) {
   sim::Resource* egress = nullptr;
   sim::Resource* spine = nullptr;
   sim::Resource* ingress = nullptr;
-  if (cross_node) {
-    egress = node_egress_[static_cast<std::size_t>(src_node)].get();
-    ingress = node_ingress_[static_cast<std::size_t>(dst_node)].get();
-  } else if (cross_bus) {
-    egress = bus_egress_[static_cast<std::size_t>(src_bus)].get();
-    ingress = bus_ingress_[static_cast<std::size_t>(dst_bus)].get();
-    if (cross_brick) {
-      spine = spine_[static_cast<std::size_t>(src_node)].get();
+  if (path.cross_node) {
+    egress = node_egress_[static_cast<std::size_t>(path.src_node)].get();
+    ingress = node_ingress_[static_cast<std::size_t>(path.dst_node)].get();
+  } else if (path.cross_bus) {
+    egress = bus_egress_[static_cast<std::size_t>(path.src_bus)].get();
+    ingress = bus_ingress_[static_cast<std::size_t>(path.dst_bus)].get();
+    if (path.cross_brick) {
+      spine = spine_[static_cast<std::size_t>(path.src_node)].get();
     }
   }
   if (egress != nullptr) co_await egress->acquire();

@@ -1,0 +1,37 @@
+#include "machine/transport.hpp"
+
+#include <atomic>
+
+namespace columbia::machine {
+
+namespace {
+std::atomic<TransportModel> g_transport{TransportModel::Event};
+}  // namespace
+
+const char* to_string(TransportModel model) {
+  return model == TransportModel::Flow ? "flow" : "event";
+}
+
+bool parse_transport(const std::string& name, TransportModel& model,
+                     std::string& error) {
+  if (name == "event") {
+    model = TransportModel::Event;
+    return true;
+  }
+  if (name == "flow") {
+    model = TransportModel::Flow;
+    return true;
+  }
+  error = "--transport expects 'event' or 'flow', got '" + name + "'";
+  return false;
+}
+
+void set_global_transport(TransportModel model) {
+  g_transport.store(model, std::memory_order_relaxed);
+}
+
+TransportModel global_transport() {
+  return g_transport.load(std::memory_order_relaxed);
+}
+
+}  // namespace columbia::machine

@@ -1,0 +1,41 @@
+#pragma once
+/// \file transport.hpp
+/// The Network's transport-model seam: `event` (the original
+/// resource-queueing backend, every serialization hop simulated) or
+/// `flow` (a fluid bulk-transfer backend where contention is resolved by
+/// a max-min fair bandwidth-sharing solver and a transfer costs a single
+/// start/finish event pair).
+///
+/// Selection is per run: the binaries parse `--transport <event|flow>`
+/// through the shared RunOptionsParser and install the result with
+/// set_global_transport() before any experiment runs — mirroring how
+/// `--faults` installs the global fault factory — so the ~30 Network
+/// construction sites pick it up through the constructor's default
+/// argument without signature churn. Code that *requires* one backend
+/// (the full-Columbia experiment is only tractable under flow) passes
+/// the model explicitly instead of mutating the global, keeping parallel
+/// registry sweeps deterministic.
+
+#include <string>
+
+namespace columbia::machine {
+
+enum class TransportModel {
+  Event,  ///< per-hop resource queueing (exact serialization order)
+  Flow,   ///< fluid max-min fair sharing (epoch-solved, event-minimal)
+};
+
+const char* to_string(TransportModel model);
+
+/// Parses "event"/"flow". Returns false (with a message in `error`) on
+/// anything else — the binaries turn that into a hard usage error.
+bool parse_transport(const std::string& name, TransportModel& model,
+                     std::string& error);
+
+/// Process-wide default consulted by Network's constructor. Set once at
+/// startup from --transport; not meant to be toggled mid-run (scenario
+/// closures on pool threads read it concurrently).
+void set_global_transport(TransportModel model);
+TransportModel global_transport();
+
+}  // namespace columbia::machine

@@ -103,6 +103,20 @@ void Engine::schedule_at(Time t, std::coroutine_handle<> h) {
   heap_push(Event{t, next_seq_++, h});
 }
 
+std::uint64_t Engine::schedule_cancellable_at(Time t,
+                                              std::coroutine_handle<> h) {
+  COL_REQUIRE(t >= now_, "cannot schedule an event in the past");
+  COL_REQUIRE(h != nullptr, "cannot schedule a null coroutine");
+  const std::uint64_t token = next_cancel_token_++;
+  heap_push(Event{t, next_seq_++, h, token});
+  return token;
+}
+
+void Engine::cancel_scheduled(std::uint64_t token) {
+  COL_REQUIRE(token != 0, "cannot cancel the null token");
+  cancelled_.insert(token);
+}
+
 void Engine::on_task_finished(std::coroutine_handle<> h) {
   finished_.push_back(h);
   COL_CHECK(live_tasks_ > 0, "task finished with zero live tasks");
@@ -161,6 +175,11 @@ void Engine::run() {
   while (!heap_.empty()) {
     const Event ev = heap_pop();
     COL_CHECK(ev.time >= now_, "event queue went backwards in time");
+    if (ev.token != 0 && cancelled_.erase(ev.token) > 0) {
+      // Revoked before firing: drop it without touching now_ or the event
+      // counters, so a retargeted timer cannot stretch the simulation.
+      continue;
+    }
     now_ = ev.time;
     ++events_processed_;
     ev.handle.resume();

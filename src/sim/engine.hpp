@@ -23,6 +23,7 @@
 #include <functional>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/task.hpp"
@@ -67,6 +68,19 @@ class Engine {
   void schedule_after(Time dt, std::coroutine_handle<> h) {
     schedule_at(now_ + dt, h);
   }
+
+  /// Schedules `h` at `t` like schedule_at, but returns a token that
+  /// cancel_scheduled can later revoke. A cancelled event is discarded
+  /// when it reaches the front of the queue: it resumes nothing, does not
+  /// advance now(), and does not count as a processed event — so a
+  /// retargeted timer leaves no trace in simulated time. Used by the flow
+  /// transport's solver, whose single wake-up moves whenever the active
+  /// flow set changes.
+  std::uint64_t schedule_cancellable_at(Time t, std::coroutine_handle<> h);
+  /// Revokes a pending cancellable event. Must not be called after the
+  /// event has already fired (callers track their own pending state);
+  /// tokens are never reused, so a stale cancel can only leak a set entry.
+  void cancel_scheduled(std::uint64_t token);
 
   /// Awaitable: `co_await engine.delay(dt)` advances this process by dt.
   auto delay(Time dt) {
@@ -123,6 +137,7 @@ class Engine {
     Time time;
     std::uint64_t seq;
     std::coroutine_handle<> handle;
+    std::uint64_t token = 0;  ///< nonzero: revocable via cancel_scheduled
     // Min-heap priority: earlier time first, then insertion order.
     bool before(const Event& other) const {
       if (time != other.time) return time < other.time;
@@ -136,6 +151,8 @@ class Engine {
 
   Time now_ = kTimeZero;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t next_cancel_token_ = 1;
+  std::unordered_set<std::uint64_t> cancelled_;  ///< revoked, not yet popped
   std::uint64_t events_processed_ = 0;
   double run_wall_seconds_ = 0.0;
   std::size_t live_tasks_ = 0;

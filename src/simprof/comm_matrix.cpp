@@ -19,6 +19,7 @@ std::string fmt(double v) {
 
 void CommMatrix::resize(int n) {
   COL_REQUIRE(n >= 0, "negative rank count");
+  if (n > kMaxTrackedRanks + 1) n = kMaxTrackedRanks + 1;
   if (n <= n_) return;
   std::vector<double> nb(static_cast<std::size_t>(n) *
                          static_cast<std::size_t>(n));
@@ -39,6 +40,8 @@ void CommMatrix::resize(int n) {
 void CommMatrix::record(int src, int dst, double bytes) {
   COL_REQUIRE(src >= 0 && dst >= 0, "negative rank");
   COL_REQUIRE(bytes >= 0, "negative message size");
+  if (src > kMaxTrackedRanks) src = kMaxTrackedRanks;
+  if (dst > kMaxTrackedRanks) dst = kMaxTrackedRanks;
   if (src >= n_ || dst >= n_) resize(std::max(src, dst) + 1);
   bytes_[idx(src, dst)] += bytes;
   ++messages_[idx(src, dst)];
@@ -87,6 +90,10 @@ void CommMatrix::merge(const CommMatrix& other) {
 std::string CommMatrix::csv() const {
   std::ostringstream os;
   os << "src,dst,messages,bytes\n";
+  if (n_ > kMaxTrackedRanks) {
+    os << "# ranks >= " << kMaxTrackedRanks << " folded into index "
+       << kMaxTrackedRanks << '\n';
+  }
   for (int s = 0; s < n_; ++s) {
     for (int d = 0; d < n_; ++d) {
       if (messages(s, d) == 0) continue;

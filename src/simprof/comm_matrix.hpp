@@ -20,14 +20,23 @@ class CommMatrix {
   /// Histogram buckets: [0,1), [1,2), [2,4), ... [2^30, inf).
   static constexpr int kHistBuckets = 32;
 
+  /// Per-pair tracking is dense (P^2 doubles + counters), which is 1.7 GB
+  /// at the full Columbia's 10,240 ranks. Ranks at or above this cap fold
+  /// into a single overflow row/column at index kMaxTrackedRanks, so
+  /// full-machine runs keep totals, the histogram, and the sub-cap heat
+  /// map without the quadratic blow-up.
+  static constexpr int kMaxTrackedRanks = 2048;
+
   CommMatrix() = default;
   explicit CommMatrix(int n) { resize(n); }
 
-  /// Grows to `n` ranks (never shrinks; existing counts are kept).
+  /// Grows to `n` ranks (never shrinks; existing counts are kept). Growth
+  /// clamps at kMaxTrackedRanks + 1 (the overflow bucket).
   void resize(int n);
   int size() const { return n_; }
 
-  /// Records one message. Out-of-range ranks grow the matrix.
+  /// Records one message. Out-of-range ranks grow the matrix; ranks at or
+  /// above kMaxTrackedRanks land in the overflow bucket.
   void record(int src, int dst, double bytes);
 
   double bytes(int src, int dst) const;

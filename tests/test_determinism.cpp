@@ -20,6 +20,7 @@
 #include <string>
 
 #include "core/experiment.hpp"
+#include "machine/transport.hpp"
 #include "simcheck/checker.hpp"
 #include "simfault/global.hpp"
 #include "simprof/profiler.hpp"
@@ -84,6 +85,19 @@ std::string first_divergence(const std::string& a, const std::string& b) {
 TEST(GoldenDeterminism, RegistryWithCheckProfileFaultsIsByteIdentical) {
   const std::string pass1 = golden_pass();
   const std::string pass2 = golden_pass();
+  ASSERT_FALSE(pass1.empty());
+  EXPECT_TRUE(pass1 == pass2) << first_divergence(pass1, pass2);
+}
+
+TEST(GoldenDeterminism, RegistryUnderFlowTransportIsByteIdentical) {
+  // The same contract with the fluid network backend selected process-wide
+  // (what `--transport flow` does): every experiment, still under
+  // check + profile + faults, must regenerate byte-identically.
+  const machine::TransportModel saved = machine::global_transport();
+  machine::set_global_transport(machine::TransportModel::Flow);
+  const std::string pass1 = golden_pass();
+  const std::string pass2 = golden_pass();
+  machine::set_global_transport(saved);
   ASSERT_FALSE(pass1.empty());
   EXPECT_TRUE(pass1 == pass2) << first_divergence(pass1, pass2);
 }

@@ -1,0 +1,275 @@
+// Tests for the flow-level transport backend (machine/flow.hpp) and the
+// TransportModel seam (machine/transport.hpp):
+//   * FlowSolver mechanics — exact uncontended drain, slot sharing,
+//     hold-while-queued FIFO admission, capacity > 1;
+//   * Network equivalence — a lone transfer costs the same under both
+//     backends; the seam selects the right implementation;
+//   * cross-validation — fig5, fig10, and table6 regenerate under
+//     `--transport flow` within the documented tolerance of the event
+//     backend (exact off the random-ring series, <=10% on it; table6
+//     <=0.5%), and flow output is byte-deterministic.
+//
+// The registry cross-validation suites are compiled out under
+// COLUMBIA_TRANSPORT_NO_REGISTRY so the ASan build needs only the
+// machine/sim layers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "machine/cluster.hpp"
+#include "machine/flow.hpp"
+#include "machine/network.hpp"
+#include "machine/transport.hpp"
+#include "sim/engine.hpp"
+
+#ifndef COLUMBIA_TRANSPORT_NO_REGISTRY
+#include "core/experiment.hpp"
+#endif
+
+namespace columbia::machine {
+namespace {
+
+/// Pins the process-wide transport for one scope; restores on exit.
+struct ScopedTransport {
+  explicit ScopedTransport(TransportModel m) : saved(global_transport()) {
+    set_global_transport(m);
+  }
+  ~ScopedTransport() { set_global_transport(saved); }
+  TransportModel saved;
+};
+
+TEST(Transport, ParseAndRoundTrip) {
+  TransportModel m = TransportModel::Event;
+  std::string err;
+  EXPECT_TRUE(parse_transport("flow", m, err));
+  EXPECT_EQ(m, TransportModel::Flow);
+  EXPECT_TRUE(parse_transport("event", m, err));
+  EXPECT_EQ(m, TransportModel::Event);
+  EXPECT_STREQ(to_string(TransportModel::Flow), "flow");
+  EXPECT_STREQ(to_string(TransportModel::Event), "event");
+  EXPECT_FALSE(parse_transport("fluid", m, err));
+  EXPECT_NE(err.find("fluid"), std::string::npos);
+}
+
+TEST(FlowSolver, SingleFlowDrainsAtRateCapPlusLatency) {
+  sim::Engine eng;
+  FlowSolver solver(eng, {1.0});
+  FlowSolver::PathRef path;
+  path.links[0] = 0;
+  path.nlinks = 1;
+  double done = -1.0;
+  auto prog = [](sim::Engine& e, FlowSolver& s, FlowSolver::PathRef p,
+                 double& d) -> sim::Task {
+    co_await s.drain(p, 1.0e6, 1.0e9, 2.5e-6);
+    d = e.now();
+  };
+  eng.spawn(prog(eng, solver, path, done));
+  eng.run();
+  EXPECT_NEAR(done, 1.0e6 / 1.0e9 + 2.5e-6, 1e-12);
+  EXPECT_EQ(solver.flows_completed(), 1u);
+}
+
+TEST(FlowSolver, SecondFlowQueuesBehindAFullSlot) {
+  // Lazy admission gives the first flow the whole unit slot; the second
+  // parks in the link's FIFO and drains after — the sequential
+  // acquire-and-hold behaviour the event backend's Resource shows.
+  sim::Engine eng;
+  FlowSolver solver(eng, {1.0});
+  FlowSolver::PathRef path;
+  path.links[0] = 0;
+  path.nlinks = 1;
+  std::vector<double> done;
+  auto prog = [](sim::Engine& e, FlowSolver& s, FlowSolver::PathRef p,
+                 std::vector<double>& d) -> sim::Task {
+    co_await s.drain(p, 1.0e6, 1.0e9, 0.0);
+    d.push_back(e.now());
+  };
+  eng.spawn(prog(eng, solver, path, done));
+  eng.spawn(prog(eng, solver, path, done));
+  eng.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 1.0e-3, 1e-12);
+  EXPECT_NEAR(done[1], 2.0e-3, 1e-9);
+}
+
+TEST(FlowSolver, CapacityTwoRunsBothAtFullRate) {
+  sim::Engine eng;
+  FlowSolver solver(eng, {2.0});
+  FlowSolver::PathRef path;
+  path.links[0] = 0;
+  path.nlinks = 1;
+  std::vector<double> done;
+  auto prog = [](sim::Engine& e, FlowSolver& s, FlowSolver::PathRef p,
+                 std::vector<double>& d) -> sim::Task {
+    co_await s.drain(p, 1.0e6, 1.0e9, 0.0);
+    d.push_back(e.now());
+  };
+  eng.spawn(prog(eng, solver, path, done));
+  eng.spawn(prog(eng, solver, path, done));
+  eng.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 1.0e-3, 1e-12);
+  EXPECT_NEAR(done[1], 1.0e-3, 1e-12);
+}
+
+TEST(FlowSolver, ParkedFlowHoldsUpstreamCapacity) {
+  // A crosses both links and starts first; B needs only link 1; C needs
+  // only link 0. B parks behind A on link 1. A blocked? No — A runs. Make
+  // A hold link 1 by giving it a long drain, start B (parks on link 1,
+  // holding nothing upstream), then C on link 0 — it must wait for
+  // nothing. Then flip: D crosses 0 then 1, parks on 1 while *holding*
+  // link 0, so a later E on link 0 queues even though link 0 is idle —
+  // held capacity is deliberately not work-conserving.
+  sim::Engine eng;
+  FlowSolver solver(eng, {1.0, 1.0});
+  FlowSolver::PathRef both;
+  both.links[0] = 0;
+  both.links[1] = 1;
+  both.nlinks = 2;
+  FlowSolver::PathRef only1;
+  only1.links[0] = 1;
+  only1.nlinks = 1;
+  FlowSolver::PathRef only0;
+  only0.links[0] = 0;
+  only0.nlinks = 1;
+  std::vector<std::pair<char, double>> done;
+  auto prog = [](sim::Engine& e, FlowSolver& s, FlowSolver::PathRef p,
+                 double bytes, char tag,
+                 std::vector<std::pair<char, double>>& d) -> sim::Task {
+    co_await s.drain(p, bytes, 1.0e9, 0.0);
+    d.emplace_back(tag, e.now());
+  };
+  // A: occupies link 1 for 1 ms. D: crosses 0 -> 1, parks at 1 holding 0.
+  // E: wants link 0, queues behind D's hold. Completion order must be
+  // A, D, E — and E cannot start before D finished (its hold persisted).
+  eng.spawn(prog(eng, solver, only1, 1.0e6, 'A', done));
+  eng.spawn(prog(eng, solver, both, 1.0e6, 'D', done));
+  eng.spawn(prog(eng, solver, only0, 1.0e6, 'E', done));
+  eng.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0].first, 'A');
+  EXPECT_EQ(done[1].first, 'D');
+  EXPECT_EQ(done[2].first, 'E');
+  EXPECT_NEAR(done[1].second, 2.0e-3, 1e-9);  // D waited for A
+  EXPECT_NEAR(done[2].second, 3.0e-3, 1e-9);  // E waited for D's hold
+}
+
+TEST(Network, LoneTransferCostsTheSameUnderBothBackends) {
+  auto run_one = [](TransportModel m) {
+    sim::Engine eng;
+    auto c = Cluster::single(NodeType::AltixBX2b);
+    Network net(eng, c, m);
+    double done = -1.0;
+    auto prog = [](sim::Engine& e, Network& n, double& d) -> sim::Task {
+      co_await n.transfer(0, 100, 1.0e6);
+      d = e.now();
+    };
+    eng.spawn(prog(eng, net, done));
+    eng.run();
+    return done;
+  };
+  const double event_t = run_one(TransportModel::Event);
+  const double flow_t = run_one(TransportModel::Flow);
+  EXPECT_GT(event_t, 0.0);
+  EXPECT_NEAR(flow_t, event_t, event_t * 1e-9);
+}
+
+TEST(Network, SeamSelectsTheRequestedBackend) {
+  sim::Engine eng;
+  auto c = Cluster::single(NodeType::Altix3700);
+  Network ev(eng, c, TransportModel::Event);
+  Network fl(eng, c, TransportModel::Flow);
+  EXPECT_EQ(ev.flow_solver(), nullptr);
+  ASSERT_NE(fl.flow_solver(), nullptr);
+  EXPECT_GT(fl.flow_solver()->num_links(), 0u);
+}
+
+TEST(Network, CtorDefaultFollowsGlobalTransport) {
+  ScopedTransport pin(TransportModel::Flow);
+  sim::Engine eng;
+  auto c = Cluster::single(NodeType::Altix3700);
+  Network net(eng, c);
+  EXPECT_NE(net.flow_solver(), nullptr);
+}
+
+#ifndef COLUMBIA_TRANSPORT_NO_REGISTRY
+
+/// Every numeric token of a rendered report, in order.
+std::vector<double> numeric_tokens(const std::string& s) {
+  std::vector<double> out;
+  const char* p = s.c_str();
+  const char* end = p + s.size();
+  while (p < end) {
+    if ((*p >= '0' && *p <= '9') ||
+        (*p == '.' && p + 1 < end && p[1] >= '0' && p[1] <= '9')) {
+      char* after = nullptr;
+      out.push_back(std::strtod(p, &after));
+      p = after;
+    } else {
+      ++p;
+    }
+  }
+  return out;
+}
+
+std::string render_under(const std::string& id, TransportModel m) {
+  ScopedTransport pin(m);
+  const auto* exp = core::find_experiment(id);
+  EXPECT_NE(exp, nullptr) << id;
+  return exp->run_exec(core::Exec::sequential()).render();
+}
+
+/// The documented flow-vs-event tolerance: the fluid model matches the
+/// event model exactly off the random-ring series; random-ring points
+/// differ by up to ~8% (the fluid model resolves the randomized hold
+/// chains slightly differently), so figures containing them get 10%.
+void expect_within(const std::string& id, double rel_tol) {
+  const auto ev = numeric_tokens(render_under(id, TransportModel::Event));
+  const auto fl = numeric_tokens(render_under(id, TransportModel::Flow));
+  ASSERT_EQ(ev.size(), fl.size()) << id << ": report shapes diverged";
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    const double denom = ev[i] == 0.0 ? 1.0 : ev[i];
+    EXPECT_NEAR(fl[i], ev[i], std::abs(denom) * rel_tol)
+        << id << " value #" << i;
+  }
+}
+
+TEST(CrossValidation, Fig5WithinTolerance) { expect_within("fig5", 0.10); }
+
+TEST(CrossValidation, Fig10WithinTolerance) { expect_within("fig10", 0.10); }
+
+TEST(CrossValidation, Table6WithinTolerance) {
+  expect_within("table6", 0.005);
+}
+
+TEST(CrossValidation, FlowRenderIsByteDeterministic) {
+  const std::string a = render_under("fig5", TransportModel::Flow);
+  const std::string b = render_under("fig5", TransportModel::Flow);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ExtColumbiaFull, PinsTheFlowBackendRegardlessOfGlobal) {
+  // The driver forces TransportModel::Flow per network, so its output
+  // must not depend on the process-wide default.
+  const std::string under_event =
+      render_under("ext-columbia-full", TransportModel::Event);
+  const std::string under_flow =
+      render_under("ext-columbia-full", TransportModel::Flow);
+  EXPECT_EQ(under_event, under_flow);
+  EXPECT_NE(under_event.find("10240"), std::string::npos);
+  for (double v : numeric_tokens(under_event)) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+#endif  // COLUMBIA_TRANSPORT_NO_REGISTRY
+
+}  // namespace
+}  // namespace columbia::machine
