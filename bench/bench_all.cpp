@@ -9,6 +9,7 @@
 //             [--parallel] [--mode seq|par|both] [--strategy outer|inner]
 //             [--out FILE] [--check] [--profile] [--faults seed:intensity]
 //             [--transport event|flow] [--flow-speedup]
+//             [--race-explore] [--max-execs N]
 //
 // --transport selects the network backend for every pass; the summary
 // records it in the top-level "transport" field.
@@ -36,6 +37,14 @@
 // sequential/parallel identity check intact (faults are deterministic per
 // seed; the analyzers are pure listeners).
 //
+// --race-explore walks every experiment's wildcard-receive orderings
+// through simrace (sequentially, on a clean engine, before the analyzers
+// attach — run_under installs its own candidate-discovery check), bounded
+// by --max-execs per experiment, and embeds the explored/pruned/
+// infeasible/truncated/diverged totals under "race". A diverged count of
+// anything but zero fails the run: the paper artifacts are expected to be
+// wildcard-race-free.
+//
 // The summary carries "schema_version" (bench_json.hpp); readers assert
 // it before consuming the file.
 
@@ -56,6 +65,7 @@
 #include "simcheck/checker.hpp"
 #include "simfault/global.hpp"
 #include "simprof/profiler.hpp"
+#include "simrace/explorer.hpp"
 
 namespace {
 
@@ -152,6 +162,23 @@ FlowSpeedup measure_flow_speedup(const Experiment& exp, int repeat) {
   return fs;
 }
 
+/// Registry-wide totals of one `--race-explore` pass.
+struct RaceTotals {
+  int explored = 0;
+  int pruned = 0;
+  int infeasible = 0;
+  int truncated = 0;
+  int diverged = 0;  ///< confirmed divergent schedules across the registry
+
+  void add(const columbia::simrace::ExploreResult& r) {
+    explored += r.explored;
+    pruned += r.pruned;
+    infeasible += r.infeasible;
+    truncated += r.truncated;
+    diverged += static_cast<int>(r.divergences.size());
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -202,6 +229,7 @@ int main(int argc, char** argv) {
                     flow_speedup = true;
                     return true;
                   });
+  parser.add_race_flags(/*with_replay=*/false);
   RunOptions opts;
   if (!parser.parse(argc, argv, opts)) return 2;
   if (opts.help) return 0;
@@ -258,6 +286,33 @@ int main(int argc, char** argv) {
     }
   }
   columbia::machine::set_global_transport(transport_model);
+
+  // Wildcard-ordering exploration runs before the analyzers attach:
+  // run_under installs its own scoped candidate-discovery check, and the
+  // walk re-runs each scenario up to --max-execs times, so it must see a
+  // clean engine. Sequential only — schedule keys include the World
+  // construction serial, which parallel execution would not keep stable.
+  RaceTotals race;
+  if (opts.race_explore) {
+    std::printf("race-explore: %zu experiments, max %d execs each...\n",
+                registry.size(), opts.max_execs);
+    for (const auto& exp : registry) {
+      const auto scenario = [&exp] {
+        return exp.run_exec(Exec::sequential()).render();
+      };
+      columbia::simrace::ExploreOptions ropts;
+      ropts.max_execs = opts.max_execs;
+      const auto result = columbia::simrace::explore(scenario, ropts);
+      race.add(result);
+      if (result.raced() || result.baseline_deadlocked) {
+        std::fputs(result.render(exp.id).c_str(), stderr);
+      }
+    }
+    std::printf("  %d executions (%d pruned, %d infeasible, %d truncated), "
+                "%d diverged\n",
+                race.explored, race.pruned, race.infeasible, race.truncated,
+                race.diverged);
+  }
 
   if (opts.check) columbia::simcheck::enable_global_check();
   if (opts.profile) {
@@ -371,6 +426,16 @@ int main(int argc, char** argv) {
     os << "    \"messages_lost\": " << fault_stats.messages_lost << "\n";
     os << "  },\n";
   }
+  if (opts.race_explore) {
+    os << "  \"race\": {\n";
+    os << "    \"max_execs\": " << opts.max_execs << ",\n";
+    os << "    \"explored\": " << race.explored << ",\n";
+    os << "    \"pruned\": " << race.pruned << ",\n";
+    os << "    \"infeasible\": " << race.infeasible << ",\n";
+    os << "    \"truncated\": " << race.truncated << ",\n";
+    os << "    \"diverged\": " << race.diverged << "\n";
+    os << "  },\n";
+  }
   if (want_seq) {
     os << "  \"sequential\": {\n";
     os << "    \"total_seconds\": "
@@ -426,5 +491,5 @@ int main(int argc, char** argv) {
   } else {
     std::printf("wrote %s\n", out.c_str());
   }
-  return identical && check_report.clean() ? 0 : 1;
+  return identical && check_report.clean() && race.diverged == 0 ? 0 : 1;
 }

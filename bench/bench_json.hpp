@@ -28,7 +28,11 @@ namespace columbia::bench {
 ///       "flow_speedup" block (per-experiment event-count and wall-clock
 ///       comparison of the two backends) written by
 ///       `bench_all --flow-speedup`
-inline constexpr int kBenchSummarySchemaVersion = 3;
+///   4 — adds the optional "race" block (wildcard-ordering exploration:
+///       max_execs budget plus explored/pruned/infeasible/truncated/
+///       diverged totals over the registry) written by
+///       `bench_all --race-explore`
+inline constexpr int kBenchSummarySchemaVersion = 4;
 
 /// Schema version of a serialized summary; version-1 files predate the
 /// key, so a missing key reads as 1. Malformed values read as 0.

@@ -144,6 +144,40 @@ RunOptionsParser::RunOptionsParser(std::string program, std::string usage_tail,
        }});
 }
 
+void RunOptionsParser::add_race_flags(bool with_replay) {
+  flags_.push_back(
+      {"--race-explore", "",
+       "explore wildcard-receive orderings for divergent outcomes", "race",
+       [](const std::string&, RunOptions& o, std::string&) {
+         o.race_explore = true;
+         return true;
+       }});
+  flags_.push_back(
+      {"--max-execs", "<n>",
+       "bound on explored executions per scenario (default 64)", "race",
+       [](const std::string& v, RunOptions& o, std::string& err) {
+         errno = 0;
+         char* end = nullptr;
+         const long n = std::strtol(v.c_str(), &end, 10);
+         if (errno != 0 || end == v.c_str() || *end != '\0' || n <= 0) {
+           err = "--max-execs expects a positive integer, got '" + v + "'";
+           return false;
+         }
+         o.max_execs = static_cast<int>(n);
+         return true;
+       }});
+  if (with_replay) {
+    flags_.push_back(
+        {"--replay", "<schedule>",
+         "replay one serialized forcing schedule instead of exploring",
+         "race",
+         [](const std::string& v, RunOptions& o, std::string&) {
+           o.replay = v;
+           return true;
+         }});
+  }
+}
+
 void RunOptionsParser::add_flag(
     std::string name, std::string value_name, std::string help,
     std::function<bool(const std::string&, std::string&)> handler) {
@@ -213,7 +247,7 @@ std::string RunOptionsParser::help() const {
   // Render flags grouped by subsystem: the shared groups in a fixed order,
   // then the program-specific extras (group == program name) last.
   std::vector<std::string> groups = {"general", "check", "profile", "faults",
-                                     "transport"};
+                                     "transport", "race"};
   for (const auto& f : flags_) {
     if (std::find(groups.begin(), groups.end(), f.group) == groups.end()) {
       groups.push_back(f.group);

@@ -43,6 +43,14 @@ struct RunOptions {
   /// this to machine::set_global_transport().
   std::string transport = "event";
 
+  /// Race-exploration surface (opt-in: a binary calls
+  /// RunOptionsParser::add_race_flags() to expose it). Core stays
+  /// decoupled from simrace the same way it is from simfault — it only
+  /// parses; simrace and bench_all act on the values.
+  bool race_explore = false;  ///< --race-explore
+  int max_execs = 64;         ///< --max-execs <n> (exploration budget)
+  std::string replay;         ///< --replay <schedule-file>, simrace only
+
   /// True when `id` passes the --filter set (substring, any-of; an empty
   /// set passes everything).
   bool matches_filter(const std::string& id) const;
@@ -76,6 +84,12 @@ class RunOptionsParser {
   void add_flag(std::string name, std::string value_name, std::string help,
                 std::function<bool(const std::string& value,
                                    std::string& error)> handler);
+
+  /// Registers the shared race-exploration flags (--race-explore,
+  /// --max-execs, and — when `with_replay` — --replay <schedule-file>)
+  /// under a "race" help group. simrace exposes all three; bench_all
+  /// exposes the first two for its --race-explore summary block.
+  void add_race_flags(bool with_replay = true);
 
   /// Allows positional arguments (collected into RunOptions::ids);
   /// without this call a positional argument is a hard error.

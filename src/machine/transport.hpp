@@ -38,4 +38,20 @@ bool parse_transport(const std::string& name, TransportModel& model,
 void set_global_transport(TransportModel model);
 TransportModel global_transport();
 
+/// RAII save/switch/restore of the global transport, for tests and tools
+/// that compare backends within one process. Same caveat as the setter:
+/// construct/destroy only while no Worlds are running.
+struct ScopedTransport {
+  explicit ScopedTransport(TransportModel model)
+      : saved_(global_transport()) {
+    set_global_transport(model);
+  }
+  ~ScopedTransport() { set_global_transport(saved_); }
+  ScopedTransport(const ScopedTransport&) = delete;
+  ScopedTransport& operator=(const ScopedTransport&) = delete;
+
+ private:
+  TransportModel saved_;
+};
+
 }  // namespace columbia::machine

@@ -158,6 +158,7 @@ void Checker::attach(simmpi::World& world) {
   nranks_ = world.size();
   colls_.assign(static_cast<std::size_t>(nranks_), {});
   finished_.assign(static_cast<std::size_t>(nranks_), false);
+  wildcard_counts_.assign(static_cast<std::size_t>(nranks_), 0);
   world.set_observer(this);
   world.engine().set_deadlock_hook([this] { on_deadlock(); });
 }
@@ -182,6 +183,14 @@ void Checker::on_send_posted(std::uint64_t id, int rank, int dst, int tag,
   rec.rendezvous = rendezvous;
   ops_.emplace(id, rec);
   ++report_.stats.p2p_ops;
+  // Candidate discovery: this send is admissible for every open wildcard
+  // receive at its destination whose tag pattern it matches. (The send's
+  // envelope is deposited synchronously right after this hook, so "posted"
+  // and "in the receiver's mailbox" coincide.)
+  for (auto& w : open_wildcards_) {
+    if (w.rank == dst && (w.tag_pattern == simmpi::kAny || w.tag_pattern == tag))
+      w.candidates.insert(rank);
+  }
 }
 
 void Checker::on_send_completed(std::uint64_t id) {
@@ -204,6 +213,18 @@ void Checker::on_recv_posted(std::uint64_t id, int rank, int src, int tag) {
   rec.wildcard = src == simmpi::kAny || tag == simmpi::kAny;
   ops_.emplace(id, rec);
   ++report_.stats.p2p_ops;
+  // Only a wildcard *source* makes the sender choice free (per-source
+  // message order is fixed by program order, so a tag-only wildcard still
+  // has exactly one admissible match). The per-rank index mirrors
+  // simmpi's MatchPolicy counter: posted order, src == kAny only.
+  if (src == simmpi::kAny) {
+    OpenWildcard w;
+    w.recv_id = id;
+    w.rank = rank;
+    w.k = wildcard_counts_[static_cast<std::size_t>(rank)]++;
+    w.tag_pattern = tag;
+    open_wildcards_.push_back(std::move(w));
+  }
 }
 
 void Checker::on_recv_matched(std::uint64_t recv_id, std::uint64_t send_id,
@@ -227,6 +248,13 @@ void Checker::on_recv_matched(std::uint64_t recv_id, std::uint64_t send_id,
       add_diag(DiagKind::WildcardRace, rit->second.rank, os.str());
     }
   }
+  for (auto& w : open_wildcards_) {
+    if (w.recv_id == recv_id) {
+      if (!eligible.empty()) w.chosen = eligible.front().source;
+      for (const auto& c : eligible) w.candidates.insert(c.source);
+      break;
+    }
+  }
   auto sit = ops_.find(send_id);
   if (sit != ops_.end()) {
     sit->second.matched = true;
@@ -239,6 +267,23 @@ void Checker::on_recv_completed(std::uint64_t id) {
   if (it == ops_.end()) return;
   it->second.completed = true;
   if (it->second.matched) ops_.erase(it);
+  for (auto wit = open_wildcards_.begin(); wit != open_wildcards_.end();
+       ++wit) {
+    if (wit->recv_id != id) continue;
+    if (wit->chosen >= 0 && wit->candidates.size() > 1) {
+      RaceDecision d;
+      d.world = world_serial_;
+      d.rank = wit->rank;
+      d.k = wit->k;
+      d.chosen_source = wit->chosen;
+      for (int s : wit->candidates) {
+        if (s != wit->chosen) d.alternative_sources.push_back(s);
+      }
+      decisions_.push_back(std::move(d));
+    }
+    open_wildcards_.erase(wit);
+    break;
+  }
 }
 
 void Checker::on_request_posted(int rank, std::uint64_t serial, bool is_send,
@@ -470,8 +515,10 @@ void Checker::on_finalize() { finalize(); }
 namespace {
 std::mutex g_mutex;
 CheckReport g_report;
+std::vector<RaceDecision> g_race_decisions;
 std::atomic<bool> g_enabled{false};
 std::atomic<std::uint64_t> g_regions{0};
+std::atomic<int> g_world_serial{0};
 std::uint64_t g_world_factory_handle = 0;
 std::uint64_t g_region_observer_handle = 0;
 
@@ -486,6 +533,11 @@ void Checker::publish() {
   published_ = true;
   report_.stats.worlds = 1;
   publish_global(report_);
+  if (!decisions_.empty()) {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_race_decisions.insert(g_race_decisions.end(), decisions_.begin(),
+                            decisions_.end());
+  }
 }
 
 void Checker::check_region(const simomp::RegionSpec& region, int nthreads,
@@ -517,8 +569,10 @@ void enable_global_check() {
   {
     std::lock_guard<std::mutex> lock(g_mutex);
     g_report = CheckReport{};
+    g_race_decisions.clear();
   }
   g_regions.store(0, std::memory_order_relaxed);
+  g_world_serial.store(0, std::memory_order_relaxed);
   g_enabled.store(true, std::memory_order_relaxed);
   // Handle-based registration so --check composes with other global
   // analyzers (simprof's --profile) instead of displacing them.
@@ -526,6 +580,8 @@ void enable_global_check() {
       [](simmpi::World& world) -> std::shared_ptr<simmpi::CommObserver> {
         auto checker = std::make_shared<Checker>();
         checker->set_publish_globally(true);
+        checker->set_world_serial(
+            g_world_serial.fetch_add(1, std::memory_order_relaxed));
         checker->attach(world);
         return checker;
       });
@@ -558,6 +614,22 @@ CheckReport drain_global_check_report() {
     g_report = CheckReport{};
   }
   out.stats.regions += g_regions.exchange(0, std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<RaceDecision> drain_global_race_decisions() {
+  std::vector<RaceDecision> out;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    out = std::move(g_race_decisions);
+    g_race_decisions.clear();
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RaceDecision& a, const RaceDecision& b) {
+              if (a.world != b.world) return a.world < b.world;
+              if (a.rank != b.rank) return a.rank < b.rank;
+              return a.k < b.k;
+            });
   return out;
 }
 

@@ -29,6 +29,7 @@
 ///     `drain_global_check_report()` collects the merged result.
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -64,6 +65,28 @@ struct CheckStats {
   std::uint64_t regions = 0;      ///< OpenMP region evaluations validated
 };
 
+/// One wildcard-receive match the program did not force: more than one
+/// sender was admissible, so a real machine could have taken a different
+/// one. Exported for src/simrace, which re-runs the scenario forcing each
+/// alternative through the simmpi::MatchPolicy seam. `k` is the receiver's
+/// 0-based wildcard-receive index in posting order — the same key
+/// MatchPolicy::forced_source uses — so (world, rank, k) names this
+/// decision stably across replays. Admissible alternatives are the sources
+/// of every matching send that was posted while the receive was open
+/// (posted but not yet completed): by simmpi's synchronous-deposit
+/// property that covers the whole eligible set at match time, plus
+/// senders that posted between the match and the completion — messages a
+/// real machine could have delivered first. Alternatives from the latter
+/// window may be causally infeasible to force; the explorer counts the
+/// resulting deadlock as an infeasible schedule rather than a race.
+struct RaceDecision {
+  int world = 0;  ///< World construction serial (see set_world_serial)
+  int rank = 0;   ///< receiving rank
+  int k = 0;      ///< per-rank wildcard-receive index, posting order
+  int chosen_source = -1;                ///< source actually matched
+  std::vector<int> alternative_sources;  ///< other admissible sources, sorted
+};
+
 struct CheckReport {
   std::vector<Diagnostic> diagnostics;
   CheckStats stats;
@@ -95,6 +118,20 @@ class Checker final : public simmpi::CommObserver {
   void finalize();
 
   const CheckReport& report() const { return report_; }
+
+  /// Wildcard-receive decisions with more than one admissible sender, in
+  /// receive-completion order (populated by finalize/on_deadlock intake;
+  /// records still open at a deadlock are dropped — the run is broken).
+  const std::vector<RaceDecision>& race_decisions() const {
+    return decisions_;
+  }
+
+  /// Tags this checker's decisions with a World construction serial so
+  /// (world, rank, k) is unique across the Worlds of one exploration run.
+  /// The global-check factory assigns serials in construction order —
+  /// deterministic only under sequential execution, which the explorer
+  /// requires anyway.
+  void set_world_serial(int serial) { world_serial_ = serial; }
 
   /// When set, the report is appended to the process-global collector at
   /// finalize/deadlock (used by the global-check factory).
@@ -150,6 +187,16 @@ class Checker final : public simmpi::CommObserver {
     int root = -1;
     double bytes = 0.0;  ///< -1 = per-rank sizes may legitimately differ
   };
+  /// A posted-but-not-completed receive with a wildcard source, gathering
+  /// its admissible sender set as matching sends post.
+  struct OpenWildcard {
+    std::uint64_t recv_id = 0;
+    int rank = 0;
+    int k = 0;
+    int tag_pattern = 0;  ///< may be kAny
+    int chosen = -1;
+    std::set<int> candidates;
+  };
 
   void add_diag(DiagKind kind, int rank, std::string detail);
   /// First content divergence among the per-rank collective sequences;
@@ -162,6 +209,7 @@ class Checker final : public simmpi::CommObserver {
 
   simmpi::World* world_ = nullptr;
   int nranks_ = 0;
+  int world_serial_ = 0;
   bool publish_globally_ = false;
   bool finalized_ = false;
   bool published_ = false;
@@ -169,6 +217,9 @@ class Checker final : public simmpi::CommObserver {
   std::unordered_map<std::uint64_t, RequestRecord> requests_;
   std::vector<std::vector<CollRecord>> colls_;  ///< per-rank call sequences
   std::vector<bool> finished_;                  ///< rank program returned
+  std::vector<int> wildcard_counts_;   ///< per-rank posted wildcard receives
+  std::vector<OpenWildcard> open_wildcards_;
+  std::vector<RaceDecision> decisions_;  ///< completion order
   CheckReport report_;
 };
 
@@ -184,5 +235,22 @@ bool global_check_enabled();
 /// Moves the accumulated global report out (and clears it). Call after
 /// the runs of interest; a non-clean report should fail the process.
 CheckReport drain_global_check_report();
+
+/// Moves the accumulated wildcard race decisions out (and clears them),
+/// sorted by (world, rank, k). Worlds are numbered in construction order
+/// since the last enable_global_check() — run the scenario sequentially
+/// (core::Exec::sequential) for stable world serials. src/simrace's
+/// candidate-discovery path.
+std::vector<RaceDecision> drain_global_race_decisions();
+
+/// RAII pairing for enable_global_check/disable_global_check — looped
+/// test bodies that enable and forget to disable poison every later run
+/// in the process (the footgun test_determinism exposed in PR 5).
+struct ScopedGlobalCheck {
+  ScopedGlobalCheck() { enable_global_check(); }
+  ~ScopedGlobalCheck() { disable_global_check(); }
+  ScopedGlobalCheck(const ScopedGlobalCheck&) = delete;
+  ScopedGlobalCheck& operator=(const ScopedGlobalCheck&) = delete;
+};
 
 }  // namespace columbia::simcheck

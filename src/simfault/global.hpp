@@ -25,6 +25,19 @@ bool global_faults_enabled();
 /// disabled).
 FaultSpec global_fault_spec();
 
+/// RAII enable/disable pair for tests and tools: faults are on for
+/// exactly the guard's scope, so an early return or a failed ASSERT
+/// cannot leak the factory into the next test. Mirrors
+/// simcheck::ScopedGlobalCheck / simprof::ScopedGlobalProfile.
+struct ScopedGlobalFaults {
+  explicit ScopedGlobalFaults(const FaultSpec& spec) {
+    enable_global_faults(spec);
+  }
+  ~ScopedGlobalFaults() { disable_global_faults(); }
+  ScopedGlobalFaults(const ScopedGlobalFaults&) = delete;
+  ScopedGlobalFaults& operator=(const ScopedGlobalFaults&) = delete;
+};
+
 /// Merges one model's counters into the collector (called from
 /// ScheduledFaultModel's destructor when publishing is on).
 void publish_global_fault_stats(const FaultStats& stats);

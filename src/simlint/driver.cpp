@@ -134,6 +134,9 @@ RunResult run(const DriverOptions& opts) {
   for (int pass = 0; pass < 2; ++pass) {
     for (const LexedFile& f : lexed) index_file(f, index);
   }
+  // Close the wildcard-receive returner relation over call edges — the
+  // cross-TU step: a helper in one file, its transitive callers in others.
+  finalize_index(index);
 
   // Pass 2: analyze, then drop inline-suppressed and baselined findings.
   std::set<std::string> baseline;
@@ -168,6 +171,15 @@ RunResult run(const DriverOptions& opts) {
   std::sort(result.findings.begin(), result.findings.end());
   for (const std::string& entry : baseline) {
     if (baseline_hit.count(entry) == 0) result.stale_baseline.push_back(entry);
+  }
+  if (opts.strict_baseline) {
+    // Stale entries rot silently otherwise: the finding they excused is
+    // gone, and the entry would excuse a *new* finding landing on the
+    // same line. Strict mode turns them into errors so clean() fails.
+    for (const std::string& entry : result.stale_baseline) {
+      result.errors.push_back("stale baseline entry (fix the baseline): " +
+                              entry);
+    }
   }
   return result;
 }

@@ -25,6 +25,10 @@ struct DriverOptions {
   std::vector<std::string> paths = {"src", "tests", "bench", "examples"};
   /// Baseline file of `file:line:rule` entries to ignore ("" = none).
   std::string baseline;
+  /// Treat stale baseline entries (ones matching no current finding) as
+  /// hard errors instead of notes, so clean() fails until the baseline is
+  /// pruned. The `lint` build target and test_simlint_clean set this.
+  bool strict_baseline = false;
 };
 
 struct RunResult {

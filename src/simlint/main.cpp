@@ -5,6 +5,8 @@
 //   $ ./simlint --root .                            # same (the default set)
 //   $ ./simlint --json                              # machine-readable
 //   $ ./simlint --baseline simlint_baseline.txt     # ignore known findings
+//   $ ./simlint --baseline simlint_baseline.txt --strict-baseline
+//                                     # ...and fail on stale entries
 //   $ ./simlint --write-baseline simlint_baseline.txt
 //   $ ./simlint --list-rules                        # the rule catalogue
 //
@@ -51,6 +53,13 @@ int main(int argc, char** argv) {
                   "ignore findings listed in <file> (file:line:rule lines)",
                   [&](const std::string& v, std::string&) {
                     driver.baseline = v;
+                    return true;
+                  });
+  parser.add_flag("--strict-baseline", "",
+                  "fail (exit 1) on stale baseline entries instead of "
+                  "printing a note",
+                  [&](const std::string&, std::string&) {
+                    driver.strict_baseline = true;
                     return true;
                   });
   parser.add_flag("--write-baseline", "<file>",

@@ -126,4 +126,16 @@ void set_world_fault_factory(FaultModelFactory factory) {
 
 const FaultModelFactory& world_fault_factory() { return g_fault_factory; }
 
+namespace {
+MatchPolicyFactory g_match_policy_factory;
+}  // namespace
+
+void set_world_match_policy_factory(MatchPolicyFactory factory) {
+  g_match_policy_factory = std::move(factory);
+}
+
+const MatchPolicyFactory& world_match_policy_factory() {
+  return g_match_policy_factory;
+}
+
 }  // namespace columbia::simmpi

@@ -178,4 +178,42 @@ void set_world_fault_factory(FaultModelFactory factory);
 /// The installed factory (empty std::function when none).
 const FaultModelFactory& world_fault_factory();
 
+/// Decides which sender a wildcard receive takes. Unlike CommObserver this
+/// is *not* a pure listener — it changes matching — so it is reserved for
+/// the race explorer (src/simrace), which replays a scenario under the
+/// deterministic engine while forcing alternative sender choices at
+/// wildcard match points.
+///
+/// `forced_source(rank, k)` is consulted once per receive posted with
+/// src == kAny: `rank` is the receiver and `k` its 0-based per-rank
+/// wildcard-receive index, counted in posting (program) order — the index
+/// is a pure function of the rank's program, so the same (rank, k) names
+/// the same receive across replays regardless of match order. Return the
+/// source rank the receive must behave as `recv(src=that)` for, or kAny to
+/// keep default arrival-order matching. Forcing a source that never sends
+/// a matching message leaves the receive blocked forever; the engine
+/// surfaces that as sim::DeadlockError (the explorer counts the schedule
+/// as infeasible). Observers still see the *posted* pattern (kAny), so
+/// analyzers index wildcard receives identically in forced and free runs.
+class MatchPolicy {
+ public:
+  virtual ~MatchPolicy() = default;
+  virtual int forced_source(int rank, int k) = 0;
+};
+
+/// Process-global match-policy opt-in: while a factory is installed, every
+/// subsequently constructed World asks it for a MatchPolicy and, when the
+/// result is non-null, owns it and attaches it (World::set_match_policy).
+/// Single slot — two policies cannot both decide one match. Same
+/// install/threading contract as the fault factory, with one extra caveat:
+/// the explorer keys schedules by World construction order, so exploration
+/// runs must use sequential execution.
+using MatchPolicyFactory = std::function<std::shared_ptr<MatchPolicy>(World&)>;
+
+/// Installs/replaces the factory; nullptr clears the slot.
+void set_world_match_policy_factory(MatchPolicyFactory factory);
+
+/// The installed factory (empty std::function when none).
+const MatchPolicyFactory& world_match_policy_factory();
+
 }  // namespace columbia::simmpi

@@ -156,7 +156,20 @@ sim::CoTask<Message> Rank::recv(int src, int tag) {
   std::uint64_t recv_id = 0;
   if (obs) {
     recv_id = world_->next_check_id();
+    // Observers see the *posted* pattern, not the forced one, so analyzers
+    // number wildcard receives identically in forced and free runs.
     obs->on_recv_posted(recv_id, rank_, src, tag);
+  }
+
+  // Race-exploration seam: an attached MatchPolicy may pin this wildcard
+  // receive to one sender, in which case it behaves exactly as if posted
+  // with that concrete source — in the unexpected-queue scan below and in
+  // the pending record deposit() matches against.
+  int eff_src = src;
+  if (src == kAny && world_->match_policy() != nullptr) {
+    const int forced =
+        world_->match_policy()->forced_source(rank_, wildcard_serial_++);
+    if (forced != kAny) eff_src = forced;
   }
 
   Envelope* env = nullptr;
@@ -167,7 +180,7 @@ sim::CoTask<Message> Rank::recv(int src, int tag) {
     // unchanged; the candidates feed the wildcard-race detector).
     std::vector<Candidate> eligible;
     for (auto& e : unexpected_) {
-      if (!e->claimed && matches(src, tag, *e)) {
+      if (!e->claimed && matches(eff_src, tag, *e)) {
         if (env == nullptr) env = e.get();
         eligible.push_back({e->src, e->tag});
       }
@@ -175,7 +188,7 @@ sim::CoTask<Message> Rank::recv(int src, int tag) {
     if (env != nullptr) obs->on_recv_matched(recv_id, env->check_id, eligible);
   } else {
     for (auto& e : unexpected_) {
-      if (!e->claimed && matches(src, tag, *e)) {
+      if (!e->claimed && matches(eff_src, tag, *e)) {
         env = e.get();
         break;
       }
@@ -185,7 +198,7 @@ sim::CoTask<Message> Rank::recv(int src, int tag) {
     env->claimed = true;
   } else {
     PendingRecv p;
-    p.src = src;
+    p.src = eff_src;
     p.tag = tag;
     p.check_id = recv_id;
     p.ready = std::make_unique<sim::Trigger>(eng);
@@ -608,6 +621,15 @@ World::World(sim::Engine& engine, machine::Network& network,
     if (auto model = fault_factory(*this)) {
       fault_model_owned_ = std::move(model);
       set_fault_model(fault_model_owned_.get());
+    }
+  }
+  // Global match-policy opt-in (src/simrace's exploration path): single
+  // slot, nullable product (a factory with no forcings for this World can
+  // return null and the run stays byte-identical to a free one).
+  if (const auto& policy_factory = world_match_policy_factory()) {
+    if (auto policy = policy_factory(*this)) {
+      match_policy_owned_ = std::move(policy);
+      set_match_policy(match_policy_owned_.get());
     }
   }
 }

@@ -193,6 +193,19 @@ void enable_global_profile(ProfileOptions opts = {});
 void disable_global_profile();
 bool global_profile_enabled();
 
+/// RAII enable/disable pair for tests and tools: profiling is on for
+/// exactly the guard's scope, so an early return or a failed ASSERT
+/// cannot leak the factory into the next test. Mirrors
+/// simcheck::ScopedGlobalCheck / simfault::ScopedGlobalFaults.
+struct ScopedGlobalProfile {
+  explicit ScopedGlobalProfile(ProfileOptions opts = {}) {
+    enable_global_profile(opts);
+  }
+  ~ScopedGlobalProfile() { disable_global_profile(); }
+  ScopedGlobalProfile(const ScopedGlobalProfile&) = delete;
+  ScopedGlobalProfile& operator=(const ScopedGlobalProfile&) = delete;
+};
+
 /// Moves the accumulated global report out (and clears it).
 ProfileReport drain_global_profile_report();
 /// Moves the retained representative timeline out (and clears it).

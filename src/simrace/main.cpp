@@ -1,0 +1,263 @@
+// simrace: wildcard-receive ordering explorer for registry experiments.
+//
+//   $ ./simrace --list                     # registry listing
+//   $ ./simrace fig5                       # explore fig5's orderings
+//   $ ./simrace --race-explore --max-execs 32 --filter ext-
+//   $ ./simrace --replay race.schedule fig5
+//                                          # re-run one forcing schedule;
+//                                          # stdout is byte-deterministic
+//   $ ./simrace --src-root .. fig5         # run the simlint cross-TU pass
+//                                          # first; wildcard-order-sensitive
+//                                          # sites explore first
+//
+// Exploration replays each selected experiment sequentially, forcing every
+// admissible alternative sender at each wildcard-receive decision (simmpi
+// MatchPolicy seam) within the --max-execs budget, and hash-compares the
+// executions. A divergence is a confirmed order-dependence: the forcing
+// schedule is printed (and written under --out as <id>.race<N>.schedule)
+// for `--replay`. Exit status: 0 = no divergence, 1 = at least one
+// confirmed race, 2 = usage/setup error.
+//
+// With --src-root, the simlint project index's cross-TU dataflow pass runs
+// first and its wildcard-order-sensitive findings are printed as static
+// hints; experiments whose id or title mentions a flagged function explore
+// before the rest (name-based mapping — static sites do not carry their
+// dynamic scenario, so this is a prioritization heuristic, not a filter).
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/run_options.hpp"
+#include "machine/transport.hpp"
+#include "simlint/driver.hpp"
+#include "simrace/explorer.hpp"
+#include "simrace/schedule.hpp"
+
+namespace {
+
+using columbia::core::Exec;
+using columbia::core::Experiment;
+
+std::string sanitize_id(const std::string& id) {
+  std::string out = id;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+bool read_file(const std::string& path, std::string& out, std::string& error) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    error = "cannot read " + path;
+    return false;
+  }
+  std::ostringstream os;
+  os << is.rdbuf();
+  out = os.str();
+  return true;
+}
+
+/// The function a wildcard-order-sensitive finding names, e.g. the
+/// `pick_winner` of "function 'pick_winner' branches on ..." ("" if the
+/// message carries no quoted name).
+std::string quoted_name(const std::string& message) {
+  const auto open = message.find('\'');
+  if (open == std::string::npos) return "";
+  const auto close = message.find('\'', open + 1);
+  if (close == std::string::npos) return "";
+  return message.substr(open + 1, close - open - 1);
+}
+
+/// Static front end: run the simlint cross-TU pass over `src_root` and
+/// return the functions flagged wildcard-order-sensitive.
+std::vector<columbia::simlint::Finding> static_hints(
+    const std::string& src_root) {
+  columbia::simlint::DriverOptions opts;
+  opts.root = src_root;
+  auto result = columbia::simlint::run(opts);
+  std::vector<columbia::simlint::Finding> hints;
+  for (auto& f : result.findings) {
+    if (f.rule == "wildcard-order-sensitive") hints.push_back(std::move(f));
+  }
+  return hints;
+}
+
+/// Stable-partitions experiments so those whose id or title mentions a
+/// flagged function come first.
+void prioritize(std::vector<const Experiment*>& exps,
+                const std::vector<columbia::simlint::Finding>& hints) {
+  if (hints.empty()) return;
+  std::vector<const Experiment*> hot;
+  std::vector<const Experiment*> cold;
+  for (const auto* e : exps) {
+    bool flagged = false;
+    for (const auto& h : hints) {
+      const std::string name = quoted_name(h.message);
+      if (!name.empty() && (e->id.find(name) != std::string::npos ||
+                            e->title.find(name) != std::string::npos)) {
+        flagged = true;
+        break;
+      }
+    }
+    (flagged ? hot : cold).push_back(e);
+  }
+  exps = std::move(hot);
+  exps.insert(exps.end(), cold.begin(), cold.end());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace columbia;
+
+  core::RunOptionsParser parser("simrace", "[options] [experiment-id...]");
+  parser.add_race_flags();
+  std::string src_root;
+  parser.add_flag("--src-root", "<path>",
+                  "run the simlint wildcard-order-sensitive pass over "
+                  "<path> and explore flagged sites first",
+                  [&src_root](const std::string& v, std::string&) {
+                    src_root = v;
+                    return true;
+                  });
+  parser.allow_positional();
+  core::RunOptions opts;
+  if (!parser.parse(argc, argv, opts)) return 2;
+  if (opts.help) return 0;
+  {
+    machine::TransportModel tm;
+    std::string terr;
+    if (!machine::parse_transport(opts.transport, tm, terr)) {
+      std::fprintf(stderr, "simrace: %s\n", terr.c_str());
+      return 2;
+    }
+    machine::set_global_transport(tm);
+  }
+
+  if (opts.list) {
+    std::printf("columbia experiment registry (%d paper artifacts):\n\n%s",
+                core::paper_artifact_count(),
+                core::registry_listing().c_str());
+    return 0;
+  }
+
+  // Select experiments: explicit ids, then --filter matches.
+  std::vector<const Experiment*> selected;
+  for (const auto& id : opts.ids) {
+    const auto* exp = core::find_experiment(id);
+    if (exp == nullptr) {
+      std::fprintf(stderr,
+                   "simrace: unknown experiment id: %s (--list for the "
+                   "registry)\n",
+                   id.c_str());
+      return 2;
+    }
+    selected.push_back(exp);
+  }
+  for (const auto& needle : opts.filters) {
+    int matched = 0;
+    for (const auto& e : core::experiment_registry()) {
+      if (e.id.find(needle) == std::string::npos) continue;
+      ++matched;
+      selected.push_back(&e);
+    }
+    if (matched == 0) {
+      std::fprintf(stderr, "simrace: --filter %s matched no experiment ids\n",
+                   needle.c_str());
+      return 2;
+    }
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr,
+                 "simrace: name at least one experiment (or --filter; "
+                 "--list for the registry)\n");
+    return 2;
+  }
+
+  // Exploration keys schedules by World construction order, so scenarios
+  // always run sequentially here regardless of --parallel.
+  auto scenario_of = [](const Experiment* exp) -> simrace::RaceScenario {
+    return [exp] { return exp->run_exec(Exec::sequential()).render(); };
+  };
+
+  if (!opts.replay.empty()) {
+    if (selected.size() != 1) {
+      std::fprintf(stderr,
+                   "simrace: --replay takes exactly one experiment id\n");
+      return 2;
+    }
+    std::string text;
+    std::string err;
+    if (!read_file(opts.replay, text, err)) {
+      std::fprintf(stderr, "simrace: %s\n", err.c_str());
+      return 2;
+    }
+    simrace::ForcingSchedule schedule;
+    if (!simrace::ForcingSchedule::parse(text, schedule, err)) {
+      std::fprintf(stderr, "simrace: %s\n", err.c_str());
+      return 2;
+    }
+    const auto out = simrace::run_under(scenario_of(selected.front()),
+                                        schedule);
+    // stdout is the replay contract: byte-identical across invocations.
+    std::fputs(out.bytes.c_str(), stdout);
+    std::printf("simrace: replay %s under %s: fingerprint %016llx%s\n",
+                selected.front()->id.c_str(),
+                schedule.empty() ? "<free run>" : schedule.canonical().c_str(),
+                static_cast<unsigned long long>(out.fingerprint),
+                out.deadlocked ? " (deadlocked: schedule infeasible)" : "");
+    return 0;
+  }
+
+  // --race-explore is the default action; the flag exists so scripted
+  // callers (and bench_all) can say what they mean.
+  if (!src_root.empty()) {
+    const auto hints = static_hints(src_root);
+    std::fprintf(stderr,
+                 "simrace: static pass: %zu wildcard-order-sensitive "
+                 "site(s)\n",
+                 hints.size());
+    for (const auto& h : hints) {
+      std::fprintf(stderr, "  %s:%d: %s\n", h.file.c_str(), h.line,
+                   h.message.c_str());
+    }
+    prioritize(selected, hints);
+  }
+
+  if (!opts.out.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts.out, ec);
+    if (ec) {
+      std::fprintf(stderr, "simrace: cannot create --out directory %s: %s\n",
+                   opts.out.c_str(), ec.message().c_str());
+      return 2;
+    }
+  }
+
+  bool any_race = false;
+  simrace::ExploreOptions eopts;
+  eopts.max_execs = opts.max_execs;
+  for (const auto* exp : selected) {
+    const auto result = simrace::explore(scenario_of(exp), eopts);
+    std::fputs(result.render(exp->id).c_str(), stdout);
+    any_race = any_race || result.raced();
+    if (!opts.out.empty()) {
+      for (std::size_t i = 0; i < result.divergences.size(); ++i) {
+        const auto path = std::filesystem::path(opts.out) /
+                          (sanitize_id(exp->id) + ".race" +
+                           std::to_string(i) + ".schedule");
+        std::ofstream os(path, std::ios::binary);
+        os << result.divergences[i].schedule.serialize();
+      }
+    }
+  }
+  return any_race ? 1 : 0;
+}

@@ -1,0 +1,110 @@
+#include "simrace/schedule.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+namespace columbia::simrace {
+
+namespace {
+
+bool entry_less(const ScheduleEntry& a, const ScheduleEntry& b) {
+  if (a.world != b.world) return a.world < b.world;
+  if (a.rank != b.rank) return a.rank < b.rank;
+  if (a.k != b.k) return a.k < b.k;
+  return a.source < b.source;
+}
+
+}  // namespace
+
+bool ForcingSchedule::forces(int world, int rank, int k) const {
+  return forced_source(world, rank, k) != -1;
+}
+
+int ForcingSchedule::forced_source(int world, int rank, int k) const {
+  for (const auto& e : entries) {
+    if (e.world == world && e.rank == rank && e.k == k) return e.source;
+  }
+  return -1;
+}
+
+bool ForcingSchedule::touches_world(int world) const {
+  for (const auto& e : entries) {
+    if (e.world == world) return true;
+  }
+  return false;
+}
+
+std::string ForcingSchedule::canonical() const {
+  std::vector<ScheduleEntry> sorted = entries;
+  std::sort(sorted.begin(), sorted.end(), entry_less);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const auto& e = sorted[i];
+    os << (i ? ";" : "") << e.world << ":" << e.rank << ":" << e.k << ":"
+       << e.source;
+  }
+  return os.str();
+}
+
+std::string ForcingSchedule::serialize() const {
+  std::vector<ScheduleEntry> sorted = entries;
+  std::sort(sorted.begin(), sorted.end(), entry_less);
+  std::ostringstream os;
+  os << "# simrace forcing schedule v1 — world:rank:k:source per line\n";
+  for (const auto& e : sorted) {
+    os << e.world << ":" << e.rank << ":" << e.k << ":" << e.source << "\n";
+  }
+  return os.str();
+}
+
+bool ForcingSchedule::parse(const std::string& text, ForcingSchedule& out,
+                            std::string& error) {
+  out.entries.clear();
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    // Trim whitespace; skip blanks and comment lines.
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const auto last = line.find_last_not_of(" \t\r");
+    line = line.substr(first, last - first + 1);
+    if (line[0] == '#') continue;
+
+    int fields[4] = {0, 0, 0, 0};
+    const char* p = line.c_str();
+    bool ok = true;
+    for (int f = 0; f < 4 && ok; ++f) {
+      errno = 0;
+      char* end = nullptr;
+      const long v = std::strtol(p, &end, 10);
+      if (errno != 0 || end == p) {
+        ok = false;
+        break;
+      }
+      fields[f] = static_cast<int>(v);
+      p = end;
+      if (f < 3) {
+        if (*p != ':') {
+          ok = false;
+          break;
+        }
+        ++p;
+      }
+    }
+    if (!ok || *p != '\0' || fields[0] < 0 || fields[1] < 0 || fields[2] < 0 ||
+        fields[3] < 0) {
+      error = "schedule line " + std::to_string(lineno) +
+              " is not 'world:rank:k:source' with non-negative integers: '" +
+              line + "'";
+      return false;
+    }
+    out.entries.push_back({fields[0], fields[1], fields[2], fields[3]});
+  }
+  return true;
+}
+
+}  // namespace columbia::simrace

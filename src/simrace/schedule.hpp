@@ -1,0 +1,51 @@
+#pragma once
+/// \file schedule.hpp
+/// Forcing schedules for wildcard-receive ordering exploration.
+///
+/// A schedule is a partial map (world, rank, k) -> source: at rank's k-th
+/// wildcard receive (posting order) in the world constructed `world`-th,
+/// match only messages from `source`. Unconstrained receives keep default
+/// arrival-order matching, so a schedule pins exactly the decisions the
+/// explorer is branching on and nothing else. Schedules serialize to a
+/// one-line-per-entry text format for `simrace --replay`, and their
+/// canonical form doubles as the explorer's visited-set key (two
+/// derivation orders of the same constraint set collapse to one run —
+/// the sleep-set side of the pruning).
+
+#include <string>
+#include <vector>
+
+namespace columbia::simrace {
+
+struct ScheduleEntry {
+  int world = 0;   ///< World construction serial within the run
+  int rank = 0;    ///< receiving rank
+  int k = 0;       ///< per-rank wildcard-receive index, posting order
+  int source = 0;  ///< sender the receive must take
+};
+
+struct ForcingSchedule {
+  std::vector<ScheduleEntry> entries;
+
+  bool empty() const { return entries.empty(); }
+  bool forces(int world, int rank, int k) const;
+  /// The forced source for a decision, or -1 (simmpi::kAny) when the
+  /// schedule does not constrain it.
+  int forced_source(int world, int rank, int k) const;
+  /// True when any entry names the given world (lets the match-policy
+  /// factory skip worlds the schedule never touches).
+  bool touches_world(int world) const;
+
+  /// Sorted, separator-joined entry list — equal constraint sets compare
+  /// equal regardless of the order entries were appended.
+  std::string canonical() const;
+  /// Replay file format: a comment header, then one `world:rank:k:source`
+  /// line per entry.
+  std::string serialize() const;
+  /// Parses serialize()'s format (comment lines and blank lines ignored).
+  /// Returns false with a message in `error` on malformed input.
+  static bool parse(const std::string& text, ForcingSchedule& out,
+                    std::string& error);
+};
+
+}  // namespace columbia::simrace

@@ -1,0 +1,44 @@
+// Fixture: the sanctioned forms. Receive from a concrete source (one
+// admissible match, no ordering freedom), aggregate every arrival and
+// branch on a sorted view, or normalize with a sort before comparing —
+// the lexically-earlier `sort(` is the deterministic tie-break the rule
+// looks for.
+#include <algorithm>
+#include <vector>
+
+#include "simmpi/world.hpp"
+
+using simmpi::kAny;
+using simmpi::Message;
+using simmpi::Rank;
+
+sim::CoTask<int> tally(Rank& r, int peers) {
+  std::vector<int> sources;
+  for (int i = 0; i < peers; ++i) {
+    Message m = co_await r.recv(kAny, kAny);
+    sources.push_back(m.source);
+  }
+  std::sort(sources.begin(), sources.end());
+  if (sources.front() == 1) {
+    co_return 1;
+  }
+  co_return 0;
+}
+
+sim::CoTask<int> from_root(Rank& r) {
+  Message m = co_await r.recv(0, kAny);
+  if (m.source == 0) {
+    co_return 1;
+  }
+  co_return 0;
+}
+
+sim::CoTask<int> sorted_tie_break(Rank& r) {
+  Message m = co_await r.recv(kAny, kAny);
+  std::vector<int> order = {m.source, 0};
+  std::sort(order.begin(), order.end());
+  if (m.source == order.front()) {
+    co_return 1;
+  }
+  co_return 0;
+}

@@ -1,0 +1,30 @@
+// Fixture: control flow keyed on the source of a wildcard receive, with
+// no deterministic tie-break. Both dataflow shapes: branching on the
+// message of a direct `recv(kAny, …)`, and on one fetched through a
+// returner helper (the call-graph edge the cross-TU closure follows —
+// in-file here because fixtures are indexed in isolation).
+#include "simmpi/world.hpp"
+
+using simmpi::kAny;
+using simmpi::Message;
+using simmpi::Rank;
+
+sim::CoTask<Message> next_any(Rank& r) {
+  co_return co_await r.recv(kAny, kAny);
+}
+
+sim::CoTask<int> pick_winner(Rank& r) {
+  Message first = co_await r.recv(kAny, kAny);
+  if (first.source == 1) {  // expect-lint: wildcard-order-sensitive
+    co_return 1;
+  }
+  co_return 0;
+}
+
+sim::CoTask<int> relay_owner(Rank& r) {
+  Message m = co_await next_any(r);
+  switch (m.source) {  // expect-lint: wildcard-order-sensitive
+    default:
+      co_return m.source;
+  }
+}

@@ -33,11 +33,14 @@ namespace {
 std::string golden_pass() {
   std::ostringstream os;
   const auto exec = core::Exec::sequential();
-  simfault::enable_global_faults(simfault::FaultSpec::uniform(42, 0.25));
+  simfault::ScopedGlobalFaults faults(simfault::FaultSpec::uniform(42, 0.25));
   for (const auto& exp : core::experiment_registry()) {
     os << "==== " << exp.id << " ====\n";
-    simcheck::enable_global_check();
-    simprof::enable_global_profile();
+    // Per-experiment guards: enable registers a fresh observer factory
+    // each call — without the paired disable at scope exit, every World
+    // would grow one checker per experiment.
+    simcheck::ScopedGlobalCheck check_on;
+    simprof::ScopedGlobalProfile profile_on;
     try {
       os << exp.run_exec(exec).render();
     } catch (const std::exception& e) {
@@ -47,18 +50,13 @@ std::string golden_pass() {
     }
     const simprof::ProfileReport prof = simprof::drain_global_profile_report();
     const simprof::TraceArtifacts trace = simprof::drain_global_profile_trace();
-    simprof::disable_global_profile();
     const simcheck::CheckReport check = simcheck::drain_global_check_report();
-    // enable registers a fresh observer factory each call — without the
-    // paired disable, every World would grow one checker per experiment.
-    simcheck::disable_global_check();
 
     os << check.render() << check.to_json() << prof.render() << prof.to_json();
     if (trace.valid) {
       os << trace.chrome_json() << trace.gantt_csv() << trace.comm_csv();
     }
   }
-  simfault::disable_global_faults();
   const simfault::FaultStats stats = simfault::drain_global_fault_stats();
   os << "faults: worlds=" << stats.worlds
      << " dropped=" << stats.messages_dropped << " retries=" << stats.retries
@@ -93,11 +91,9 @@ TEST(GoldenDeterminism, RegistryUnderFlowTransportIsByteIdentical) {
   // The same contract with the fluid network backend selected process-wide
   // (what `--transport flow` does): every experiment, still under
   // check + profile + faults, must regenerate byte-identically.
-  const machine::TransportModel saved = machine::global_transport();
-  machine::set_global_transport(machine::TransportModel::Flow);
+  machine::ScopedTransport pin(machine::TransportModel::Flow);
   const std::string pass1 = golden_pass();
   const std::string pass2 = golden_pass();
-  machine::set_global_transport(saved);
   ASSERT_FALSE(pass1.empty());
   EXPECT_TRUE(pass1 == pass2) << first_divergence(pass1, pass2);
 }

@@ -280,7 +280,7 @@ TEST(Region, NonFiniteAndNegativeDemandFlagged) {
 }
 
 TEST(Region, GlobalCheckSeesRegionEvaluations) {
-  enable_global_check();
+  const ScopedGlobalCheck check_on;
   simomp::OmpModel model(machine::NodeSpec::bx2b());
   simomp::RegionSpec bad;
   bad.total.flops = std::nan("");
@@ -292,7 +292,6 @@ TEST(Region, GlobalCheckSeesRegionEvaluations) {
                               perfmodel::KernelClass::StreamCopy),
       ContractError);
   CheckReport rep = drain_global_check_report();
-  disable_global_check();
   EXPECT_GE(rep.stats.regions, 1u);
   EXPECT_EQ(rep.count(DiagKind::InvalidRegion), 1u) << rep.render();
 }
@@ -375,10 +374,10 @@ TEST(Registry, AllExperimentsCheckCleanWithByteIdenticalReports) {
   for (const auto& exp : core::experiment_registry()) {
     const std::string plain = exp.run_exec(exec).render();
 
-    enable_global_check();
+    // Scoped so a failed EXPECT cannot leak the factory into later tests.
+    const ScopedGlobalCheck check_on;
     const std::string checked = exp.run_exec(exec).render();
     CheckReport rep = drain_global_check_report();
-    disable_global_check();
 
     EXPECT_TRUE(rep.clean()) << exp.id << ":\n" << rep.render();
     EXPECT_EQ(plain, checked) << exp.id << ": checked run altered output";

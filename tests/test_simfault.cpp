@@ -263,7 +263,7 @@ TEST(FaultNetwork, DegradedLinkSlowsCrossNodeTransfer) {
 }
 
 TEST(FaultNetwork, ZeroIntensityGlobalFactoryAttachesNothing) {
-  simfault::enable_global_faults(simfault::FaultSpec::uniform(0, 0.0));
+  const simfault::ScopedGlobalFaults faults(simfault::FaultSpec::uniform(0, 0.0));
   {
     sim::Engine engine;
     auto cluster = Cluster::single(NodeType::AltixBX2b);
@@ -271,12 +271,12 @@ TEST(FaultNetwork, ZeroIntensityGlobalFactoryAttachesNothing) {
     simmpi::World world(engine, network, Placement::dense(cluster, 2));
     EXPECT_EQ(world.fault_model(), nullptr);
   }
-  simfault::disable_global_faults();
   (void)simfault::drain_global_fault_stats();
 }
 
 TEST(FaultNetwork, GlobalFactoryAttachesAndPublishesStats) {
-  simfault::enable_global_faults(simfault::FaultSpec::uniform(11, 0.5));
+  const simfault::ScopedGlobalFaults faults(
+      simfault::FaultSpec::uniform(11, 0.5));
   {
     sim::Engine engine;
     auto cluster = Cluster::single(NodeType::AltixBX2b);
@@ -284,7 +284,6 @@ TEST(FaultNetwork, GlobalFactoryAttachesAndPublishesStats) {
     simmpi::World world(engine, network, Placement::dense(cluster, 2));
     EXPECT_NE(world.fault_model(), nullptr);
   }
-  simfault::disable_global_faults();
   const auto stats = simfault::drain_global_fault_stats();
   EXPECT_EQ(stats.worlds, 1u);
 }
@@ -540,11 +539,11 @@ TEST(FaultRegistry, DegradedFabricCurveIsMonotone) {
 TEST(FaultRegistry, FaultedRunsAreSeedDeterministic) {
   const auto* exp = core::find_experiment("ablation-variability");
   ASSERT_NE(exp, nullptr);
-  simfault::enable_global_faults(simfault::FaultSpec::uniform(9, 0.4));
+  const simfault::ScopedGlobalFaults faults(
+      simfault::FaultSpec::uniform(9, 0.4));
   const auto seq1 = exp->run_exec(core::Exec::sequential()).render();
   const auto seq2 = exp->run_exec(core::Exec::sequential()).render();
   const auto par = exp->run_exec(core::Exec::parallel(2)).render();
-  simfault::disable_global_faults();
   (void)simfault::drain_global_fault_stats();
   EXPECT_EQ(seq1, seq2);
   EXPECT_EQ(seq1, par);
@@ -553,10 +552,12 @@ TEST(FaultRegistry, FaultedRunsAreSeedDeterministic) {
 TEST(FaultRegistry, ZeroIntensityIsByteIdenticalToCleanEverywhere) {
   for (const auto& exp : core::experiment_registry()) {
     const auto clean = exp.run_exec(core::Exec::sequential()).render();
-    simfault::enable_global_faults(simfault::FaultSpec::uniform(0, 0.0));
-    const auto faulted = exp.run_exec(core::Exec::sequential()).render();
-    simfault::disable_global_faults();
-    EXPECT_EQ(clean, faulted) << exp.id;
+    {
+      const simfault::ScopedGlobalFaults faults(
+          simfault::FaultSpec::uniform(0, 0.0));
+      const auto faulted = exp.run_exec(core::Exec::sequential()).render();
+      EXPECT_EQ(clean, faulted) << exp.id;
+    }
   }
   (void)simfault::drain_global_fault_stats();
 }

@@ -68,6 +68,7 @@ constexpr const char* kRuleFixtures[] = {
     "unordered_iter_output",
     "ordered_ptr_key",
     "impure_listener",
+    "wildcard_order_sensitive",
 };
 
 class RuleFixture : public ::testing::TestWithParam<const char*> {};
@@ -111,7 +112,7 @@ INSTANTIATE_TEST_SUITE_P(AllRules, RuleFixture,
                          });
 
 TEST(Catalogue, EveryRuleIsKnownAndHasBothFixtures) {
-  EXPECT_EQ(rule_catalogue().size(), 8u);
+  EXPECT_EQ(rule_catalogue().size(), 9u);
   for (const RuleInfo& rule : rule_catalogue()) {
     EXPECT_TRUE(known_rule(rule.id));
     EXPECT_FALSE(rule.summary.empty()) << rule.id;
@@ -208,6 +209,78 @@ TEST(Baseline, DropsMatchingFindingsAndReportsStaleEntries) {
   ASSERT_EQ(result.stale_baseline.size(), 1u);
   EXPECT_EQ(result.stale_baseline[0], "gone.cpp:1:nondet-source");
   EXPECT_TRUE(result.clean());
+}
+
+TEST(Baseline, StrictModePromotesStaleEntriesToErrors) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "simlint_strict_baseline.txt")
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "gone.cpp:1:nondet-source\n";
+  }
+  DriverOptions opts;
+  opts.root = fixture_dir();
+  opts.paths = {"task_discarded_neg.cpp"};
+  opts.baseline = path;
+
+  // Default: a stale entry is a note; the run still counts as clean.
+  const RunResult lax = run(opts);
+  ASSERT_EQ(lax.stale_baseline.size(), 1u);
+  EXPECT_TRUE(lax.clean());
+
+  opts.strict_baseline = true;
+  const RunResult strict = run(opts);
+  std::filesystem::remove(path);
+  ASSERT_EQ(strict.stale_baseline.size(), 1u);
+  ASSERT_EQ(strict.errors.size(), 1u);
+  EXPECT_NE(strict.errors[0].find("gone.cpp:1:nondet-source"),
+            std::string::npos);
+  EXPECT_FALSE(strict.clean());
+}
+
+TEST(ProjectIndex, WildcardReturnerClosesAcrossTranslationUnits) {
+  // The helper TU defines a direct wildcard returner and a one-hop relay;
+  // the user TU branches on the source of a message fetched through the
+  // relay. Only the closed (cross-TU) relation can connect the two.
+  const LexedFile helper = lex(
+      "sim::CoTask<Message> next_any(Rank& r) {\n"
+      "  co_return co_await r.recv(kAny, kAny);\n"
+      "}\n"
+      "sim::CoTask<Message> relay(Rank& r) {\n"
+      "  co_return co_await next_any(r);\n"
+      "}\n");
+  const LexedFile user = lex(
+      "sim::CoTask<int> owner(Rank& r) {\n"
+      "  Message m = co_await relay(r);\n"
+      "  if (m.source == 1) {\n"
+      "    co_return 1;\n"
+      "  }\n"
+      "  co_return 0;\n"
+      "}\n");
+  ProjectIndex index;
+  for (int pass = 0; pass < 2; ++pass) {
+    index_file(helper, index);
+    index_file(user, index);
+  }
+  finalize_index(index);
+  EXPECT_EQ(index.wildcard_recv_returners.count("next_any"), 1u);
+  EXPECT_EQ(index.wildcard_recv_returners.count("relay"), 1u)
+      << "closure over co_return co_await call edges";
+
+  const auto findings = analyze_file("user.cpp", user, index);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "wildcard-order-sensitive");
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("'owner'"), std::string::npos)
+      << findings[0].message;
+
+  // Without the helper TU in the index the user TU looks clean — the
+  // finding genuinely depends on cross-TU facts.
+  ProjectIndex user_only;
+  for (int pass = 0; pass < 2; ++pass) index_file(user, user_only);
+  finalize_index(user_only);
+  EXPECT_TRUE(analyze_file("user.cpp", user, user_only).empty());
 }
 
 TEST(Render, JsonNamesFindingsAndStats) {

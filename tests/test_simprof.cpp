@@ -322,23 +322,26 @@ TEST(Profiler, ReportRenderAndJsonCarryTheRollup) {
 // --- Global profile + composition with simcheck -----------------------------
 
 TEST(Global, ProfileAndCheckComposeThroughObserverFanout) {
-  enable_global_profile();
-  simcheck::enable_global_check();
+  simcheck::CheckReport check;
+  ProfileReport profile;
+  TraceArtifacts trace;
   double makespan = 0.0;
   {
-    Rig rig(4);
-    makespan = rig.world.run([](Rank& r) -> sim::CoTask<void> {
-      co_await r.compute(1e-3 * (r.rank() + 1));
-      co_await r.allreduce(8192.0);
-      const int peer = r.rank() ^ 1;
-      co_await r.sendrecv(peer, 1e5, peer, 5);
-    });
+    const ScopedGlobalProfile profile_on;
+    const simcheck::ScopedGlobalCheck check_on;
+    {
+      Rig rig(4);
+      makespan = rig.world.run([](Rank& r) -> sim::CoTask<void> {
+        co_await r.compute(1e-3 * (r.rank() + 1));
+        co_await r.allreduce(8192.0);
+        const int peer = r.rank() ^ 1;
+        co_await r.sendrecv(peer, 1e5, peer, 5);
+      });
+    }
+    check = simcheck::drain_global_check_report();
+    profile = drain_global_profile_report();
+    trace = drain_global_profile_trace();
   }
-  simcheck::CheckReport check = simcheck::drain_global_check_report();
-  simcheck::disable_global_check();
-  ProfileReport profile = drain_global_profile_report();
-  TraceArtifacts trace = drain_global_profile_trace();
-  disable_global_profile();
   EXPECT_FALSE(global_profile_enabled());
 
   EXPECT_TRUE(check.clean()) << check.render();

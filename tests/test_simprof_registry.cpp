@@ -19,11 +19,11 @@ TEST(Registry, ProfiledRunsAreByteIdenticalAndSatisfyPathIdentity) {
   for (const auto& exp : core::experiment_registry()) {
     const std::string plain = exp.run_exec(exec).render();
 
-    enable_global_profile();
+    // Scoped so a failed EXPECT cannot leak the factory into later tests.
+    const ScopedGlobalProfile profile_on;
     const std::string profiled = exp.run_exec(exec).render();
     ProfileReport report = drain_global_profile_report();
     TraceArtifacts trace = drain_global_profile_trace();
-    disable_global_profile();
 
     EXPECT_EQ(plain, profiled) << exp.id << ": profiled run altered output";
 

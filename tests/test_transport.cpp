@@ -34,14 +34,8 @@
 namespace columbia::machine {
 namespace {
 
-/// Pins the process-wide transport for one scope; restores on exit.
-struct ScopedTransport {
-  explicit ScopedTransport(TransportModel m) : saved(global_transport()) {
-    set_global_transport(m);
-  }
-  ~ScopedTransport() { set_global_transport(saved); }
-  TransportModel saved;
-};
+// Scope-pinning the process-wide transport uses machine::ScopedTransport
+// (transport.hpp) — the same guard the comparison tools use.
 
 TEST(Transport, ParseAndRoundTrip) {
   TransportModel m = TransportModel::Event;
