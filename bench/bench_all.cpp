@@ -37,6 +37,10 @@
 // sequential/parallel identity check intact (faults are deterministic per
 // seed; the analyzers are pure listeners).
 //
+// Storage-subsystem accounting needs no flag: the timed passes always run
+// with the global simio collector armed (pure accounting, cannot perturb
+// timing) and the merged Filesystem counters land under "io".
+//
 // --race-explore walks every experiment's wildcard-receive orderings
 // through simrace (sequentially, on a clean engine, before the analyzers
 // attach — run_under installs its own candidate-discovery check), bounded
@@ -64,6 +68,7 @@
 #include "sim/engine.hpp"
 #include "simcheck/checker.hpp"
 #include "simfault/global.hpp"
+#include "simio/global.hpp"
 #include "simprof/profiler.hpp"
 #include "simrace/explorer.hpp"
 
@@ -326,6 +331,9 @@ int main(int argc, char** argv) {
         columbia::simfault::FaultSpec::uniform(opts.fault_seed,
                                                opts.fault_intensity));
   }
+  // Always armed: storage accounting is a pure listener, and the "io"
+  // block is part of the schema-5 summary rather than an opt-in.
+  columbia::simio::enable_global_io_stats();
   PassResult seq, par;
   const bool want_seq = mode == "both" || mode == "seq";
   const bool want_par = mode == "both" || mode == "par";
@@ -343,6 +351,17 @@ int main(int argc, char** argv) {
     std::printf("  %.2f s total, %.0f events/s\n", par.total_seconds,
                 par.events / std::max(par.total_seconds, 1e-12));
   }
+
+  const columbia::simio::IoStats io_stats =
+      columbia::simio::drain_global_io_stats();
+  columbia::simio::disable_global_io_stats();
+  std::printf("io: %llu filesystems, %llu opens, %llu writes, %llu reads, "
+              "%llu chunks\n",
+              static_cast<unsigned long long>(io_stats.filesystems),
+              static_cast<unsigned long long>(io_stats.opens),
+              static_cast<unsigned long long>(io_stats.writes),
+              static_cast<unsigned long long>(io_stats.reads),
+              static_cast<unsigned long long>(io_stats.chunks));
 
   columbia::simcheck::CheckReport check_report;
   if (opts.check) {
@@ -436,6 +455,18 @@ int main(int argc, char** argv) {
     os << "    \"diverged\": " << race.diverged << "\n";
     os << "  },\n";
   }
+  // Always present (schema 5): merged counters from every Filesystem the
+  // timed passes constructed. A sequential or parallel block always
+  // follows, so the trailing comma is safe.
+  os << "  \"io\": {\n";
+  os << "    \"filesystems\": " << io_stats.filesystems << ",\n";
+  os << "    \"opens\": " << io_stats.opens << ",\n";
+  os << "    \"writes\": " << io_stats.writes << ",\n";
+  os << "    \"reads\": " << io_stats.reads << ",\n";
+  os << "    \"chunks\": " << io_stats.chunks << ",\n";
+  os << "    \"bytes_written\": " << io_stats.bytes_written << ",\n";
+  os << "    \"bytes_read\": " << io_stats.bytes_read << "\n";
+  os << "  },\n";
   if (want_seq) {
     os << "  \"sequential\": {\n";
     os << "    \"total_seconds\": "

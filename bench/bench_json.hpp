@@ -32,7 +32,11 @@ namespace columbia::bench {
 ///       max_execs budget plus explored/pruned/infeasible/truncated/
 ///       diverged totals over the registry) written by
 ///       `bench_all --race-explore`
-inline constexpr int kBenchSummarySchemaVersion = 4;
+///   5 — adds the always-present "io" block (storage-subsystem counters
+///       merged across every simio::Filesystem the timed passes
+///       construct: filesystems/opens/writes/reads/chunks plus
+///       bytes_written/bytes_read)
+inline constexpr int kBenchSummarySchemaVersion = 5;
 
 /// Schema version of a serialized summary; version-1 files predate the
 /// key, so a missing key reads as 1. Malformed values read as 0.

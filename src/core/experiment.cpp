@@ -66,6 +66,15 @@ const std::vector<Experiment>& experiment_registry() {
       make("ext-io", "Sec. 4.6.4 (I/O caveat)",
            "OVERFLOW-D under shared-parallel vs NFS filesystems",
            ext_io_filesystems),
+      make("ext-checkpoint", "Sec. 5 (resilience)",
+           "Checkpoint/restart interval sweep under storage faults",
+           ext_checkpoint_restart),
+      make("ext-btio", "Sec. 5 (future work)",
+           "BT-IO strided appends: file-per-process vs collective buffering",
+           ext_btio_collective),
+      make("ext-io-overlap", "Sec. 5 (future work)",
+           "I/O-vs-compute overlap via asynchronous dumps",
+           ext_io_overlap),
       make("ext-classf", "Sec. 3.2 (new classes)",
            "NPB-MZ Class F on the full 20-box Columbia", ext_class_f),
       make("ext-columbia-full", "Sec. 2 (whole machine)",

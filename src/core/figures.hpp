@@ -78,8 +78,17 @@ Report ext_linpack(const Exec& exec = {});
 Report ext_shmem_vs_mpi(const Exec& exec = {});
 /// Multinode INS3D over SHMEM/NUMAlink4 vs MPI/InfiniBand.
 Report ext_ins3d_multinode(const Exec& exec = {});
-/// OVERFLOW-D per-step cost under the two 2004 filesystems (§4.6.4).
+/// OVERFLOW-D per-step cost under the two 2004 filesystems (§4.6.4):
+/// closed-form machine::IoModel next to the simulated simio dump.
 Report ext_io_filesystems(const Exec& exec = {});
+/// Checkpoint/restart under storage faults + crashes: interval sweep with
+/// C/R priced by the discrete-event filesystem, Young's optimum alongside.
+Report ext_checkpoint_restart(const Exec& exec = {});
+/// BT-IO-style strided appends at 504 CPUs: file-per-process vs collective
+/// buffering through aggregator ranks, on both 2004 filesystems.
+Report ext_btio_collective(const Exec& exec = {});
+/// I/O-vs-compute overlap: blocking dumps vs write_async double buffering.
+Report ext_io_overlap(const Exec& exec = {});
 /// NPB-MZ Class F on the full 20-box machine (defined in §3.2, never run).
 Report ext_class_f(const Exec& exec = {});
 /// The whole 20-box, 10,240-CPU Columbia under the flow transport: HPCC

@@ -10,7 +10,6 @@
 #include "core/figures.hpp"
 #include "hpcc/beff.hpp"
 #include "hpcc/hpl.hpp"
-#include "machine/io_model.hpp"
 #include "npbmz/hybrid.hpp"
 #include "machine/network.hpp"
 #include "machine/placement.hpp"
@@ -171,61 +170,6 @@ Report ext_ins3d_multinode(const Exec& exec) {
                Cell(v[1], 3), Cell(v[2], 2)});
     t.add_row({points[i].nodes, mix, "MPI / InfiniBand", Cell(v[3], 2),
                Cell(v[4], 3), Cell(v[5], 2)});
-  }
-  r.tables.push_back(std::move(t));
-  return r;
-}
-
-Report ext_io_filesystems(const Exec& exec) {
-  struct FabricCase {
-    std::string name;
-    bool numalink;
-  };
-  const std::vector<FabricCase> fabrics{{"NUMAlink4", true},
-                                        {"InfiniBand", false}};
-  // One q-file dump (5 variables, 75M points, doubles) every 100 steps.
-  const int interval = 100;
-
-  std::vector<Scenario> scenarios;
-  for (const auto& f : fabrics) {
-    scenarios.push_back(
-        {"ext-io/" + f.name, [numalink = f.numalink, interval] {
-           const auto rotor = overset::make_rotor();
-           const double dump_bytes = 5.0 * 8.0 * rotor.total_points();
-           auto cluster =
-               numalink ? Cluster::numalink4_bx2b(4)
-                        : Cluster::infiniband_cluster(NodeType::AltixBX2b, 4);
-           cfd::OverflowConfig cfg;
-           cfg.nprocs = 504;
-           cfg.n_nodes = 4;
-           const auto base = cfd::overflow_model(rotor, cluster, cfg);
-           std::vector<double> v{base.exec_seconds_per_step};
-           for (auto fs : {machine::FilesystemSpec::shared_parallel(),
-                           machine::FilesystemSpec::nfs_over_gige()}) {
-             const machine::IoModel io(fs);
-             v.push_back(io.per_step_cost(cfg.nprocs, dump_bytes, interval));
-           }
-           return v;
-         }});
-  }
-  const auto results = run_scenarios(scenarios, exec);
-
-  Report r;
-  Table t("Extension: OVERFLOW-D per-step cost under the two 2004 "
-          "filesystems (504 CPUs, 4 BX2b boxes)",
-          {"Fabric", "Filesystem", "compute+comm (s)", "I/O (s)",
-           "total (s)", "I/O share"});
-  for (std::size_t i = 0; i < fabrics.size(); ++i) {
-    const double exec_s = results[i][0];
-    std::size_t fs_index = 1;
-    for (auto fs : {machine::FilesystemSpec::shared_parallel(),
-                    machine::FilesystemSpec::nfs_over_gige()}) {
-      const double io_cost = results[i][fs_index++];
-      const double total = exec_s + io_cost;
-      t.add_row({fabrics[i].name, machine::to_string(fs.kind),
-                 Cell(exec_s, 3), Cell(io_cost, 3), Cell(total, 3),
-                 Cell(io_cost / total, 3)});
-    }
   }
   r.tables.push_back(std::move(t));
   return r;

@@ -86,6 +86,32 @@ class FaultModel {
     return false;
   }
 
+  // --- storage faults (consumed by src/simio) ------------------------------
+  /// Multiplier in (0, 1] on the bandwidth of filesystem server disk
+  /// `server` at simulated time `now`. Server indices are
+  /// filesystem-local (0..FilesystemSpec::servers-1), independent of the
+  /// fabric node numbering.
+  virtual double disk_bandwidth_factor(int server, double now) const {
+    (void)server, (void)now;
+    return 1.0;
+  }
+
+  /// Added per-access service latency (seconds) on server disk `server`
+  /// at `now` — a sick controller retrying, a RAID rebuild in progress.
+  virtual double disk_added_latency(int server, double now) const {
+    (void)server, (void)now;
+    return 0.0;
+  }
+
+  /// Time of the first machine-wide crash at or after `now` (the
+  /// checkpoint/restart scenarios' failure source); negative when none is
+  /// scheduled. Must be a pure function of `now` and construction-time
+  /// state, nondecreasing in `now`.
+  virtual double next_crash(double now) const {
+    (void)now;
+    return -1.0;
+  }
+
   /// Emits one sim::SpanKind::Fault span (actor = node id) per fault
   /// window intersecting [t0, t1], clipped to that range — called by the
   /// World after a run so profiled timelines show when the machine was

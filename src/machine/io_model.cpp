@@ -23,6 +23,7 @@ FilesystemSpec FilesystemSpec::shared_parallel() {
   s.per_client_bw = 400e6;
   s.metadata_latency = 2e-3;
   s.servers = 8;
+  s.stripe_bytes = 1 << 20;  // CXFS-style 1 MiB stripe unit
   return s;
 }
 
@@ -35,6 +36,7 @@ FilesystemSpec FilesystemSpec::nfs_over_gige() {
   s.per_client_bw = 60e6;
   s.metadata_latency = 15e-3;  // synchronous NFS metadata round trips
   s.servers = 1;
+  s.stripe_bytes = 512 * 1024;  // NFS wsize-style transfer unit
   return s;
 }
 

@@ -31,6 +31,16 @@ struct FilesystemSpec {
   double metadata_latency = 2e-3;
   /// Clients that can stream concurrently before the backend serializes.
   int servers = 8;
+  /// Stripe unit of the discrete-event model (src/simio): a transfer is
+  /// split into chunks of this size, round-robined across the server
+  /// disks. The closed-form IoModel ignores it.
+  double stripe_bytes = 1 << 20;
+  /// Per-access positioning cost of one server disk. The presets keep it
+  /// at zero (RAID write-back caches absorb it; the metadata_latency
+  /// already charges the per-file protocol overhead) so the simulated
+  /// model stays pinned to the closed form; non-sequential workloads
+  /// (ext-btio's strided appends) raise it explicitly.
+  double server_seek = 0.0;
 
   static FilesystemSpec shared_parallel();
   static FilesystemSpec nfs_over_gige();

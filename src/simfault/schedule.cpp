@@ -48,7 +48,11 @@ bool FaultSpec::enabled() const {
                       jitter_slowdown > 1.0;
   const bool drops = drop_probability > 0.0;
   const bool delays = delay_probability > 0.0 && delay_seconds > 0.0;
-  return fabric || failures || jitter || drops || delays;
+  const bool storage = disk_degraded_fraction > 0.0 &&
+                       (disk_bw_factor < 1.0 || disk_added_latency > 0.0);
+  const bool crashes = crash_period > 0.0 && crash_acceptance > 0.0;
+  return fabric || failures || jitter || drops || delays || storage ||
+         crashes;
 }
 
 FaultSpec FaultSpec::uniform(std::uint64_t seed, double intensity) {
@@ -68,6 +72,11 @@ FaultSpec FaultSpec::uniform(std::uint64_t seed, double intensity) {
   s.drop_probability = 0.01 * intensity;
   s.delay_probability = 0.05 * intensity;
   s.delay_seconds = 20e-6 * intensity;
+  s.disk_degraded_fraction = 0.5 * intensity;
+  s.disk_bw_factor = 1.0 - 0.5 * intensity;
+  s.disk_added_latency = 1e-3 * intensity;
+  // Crashes stay off: only the checkpoint walks consume them, and the
+  // uniform `--faults` mapping must leave ordinary runs completing.
   return s;
 }
 
@@ -97,6 +106,22 @@ FaultSpec FaultSpec::fabric_only(std::uint64_t seed, double fraction) {
   return s;
 }
 
+FaultSpec FaultSpec::storage_only(std::uint64_t seed, double intensity,
+                                  double crash_period) {
+  COL_REQUIRE(intensity >= 0.0 && intensity <= 1.0,
+              "fault intensity must be in [0, 1]");
+  COL_REQUIRE(crash_period >= 0.0, "crash period must be non-negative");
+  FaultSpec s;
+  s.seed = seed;
+  s.intensity = intensity;
+  s.disk_degraded_fraction = intensity;
+  s.disk_bw_factor = 0.4;
+  s.disk_added_latency = 2e-3 * intensity;
+  s.crash_period = crash_period;
+  s.crash_acceptance = intensity;
+  return s;
+}
+
 void FaultStats::merge(const FaultStats& other) {
   worlds += other.worlds;
   messages_dropped += other.messages_dropped;
@@ -123,6 +148,16 @@ ScheduledFaultModel::ScheduledFaultModel(const FaultSpec& spec, int num_nodes,
   COL_REQUIRE(spec_.jitter_period > 0.0, "jitter_period must be positive");
   COL_REQUIRE(spec_.link_fail_window > 0.0,
               "link_fail_window must be positive");
+  COL_REQUIRE(spec_.disk_degraded_fraction >= 0.0 &&
+                  spec_.disk_degraded_fraction <= 1.0,
+              "disk_degraded_fraction outside [0, 1]");
+  COL_REQUIRE(spec_.disk_bw_factor > 0.0 && spec_.disk_bw_factor <= 1.0,
+              "disk_bw_factor outside (0, 1]");
+  COL_REQUIRE(spec_.disk_added_latency >= 0.0,
+              "disk_added_latency must be non-negative");
+  COL_REQUIRE(spec_.crash_period >= 0.0 && spec_.crash_acceptance >= 0.0 &&
+                  spec_.crash_acceptance <= 1.0,
+              "crash schedule knobs out of range");
 
   // One sickness order, one prefix per fault class: raising any fraction
   // grows its set without reshuffling, and per-node draws are made for
@@ -266,6 +301,50 @@ machine::MessageVerdict ScheduledFaultModel::message_verdict(
     verdict.extra_delay = spec_.delay_seconds;
   }
   return verdict;
+}
+
+bool ScheduledFaultModel::disk_degraded(int server) const {
+  if (spec_.disk_degraded_fraction <= 0.0 || server < 0) return false;
+  // Fixed per-server uniform draw vs a growing threshold: the degraded set
+  // nests as the fraction rises, independent of any cluster-side state.
+  std::uint64_t h = mix(spec_.seed ^ 0x6469736Bull);  // "disk" domain tag
+  h = mix(h ^ static_cast<std::uint64_t>(server));
+  return to_unit(h) < spec_.disk_degraded_fraction;
+}
+
+double ScheduledFaultModel::disk_bandwidth_factor(int server,
+                                                  double now) const {
+  (void)now;  // degradation is for the whole run
+  return disk_degraded(server) ? spec_.disk_bw_factor : 1.0;
+}
+
+double ScheduledFaultModel::disk_added_latency(int server, double now) const {
+  (void)now;
+  return disk_degraded(server) ? spec_.disk_added_latency : 0.0;
+}
+
+double ScheduledFaultModel::next_crash(double now) const {
+  if (spec_.crash_period <= 0.0 || spec_.crash_acceptance <= 0.0) {
+    return -1.0;
+  }
+  const double period = spec_.crash_period;
+  std::int64_t i = 0;
+  if (now > period) {
+    i = static_cast<std::int64_t>(std::floor(now / period)) - 1;
+    if (i < 0) i = 0;
+  }
+  // Candidate i sits at (i+1)*period and strikes iff its fixed draw falls
+  // under the acceptance threshold (crash sets nest as acceptance grows).
+  // The scan horizon bounds a query against a near-zero acceptance.
+  constexpr std::int64_t kScanHorizon = 1 << 20;
+  for (std::int64_t end = i + kScanHorizon; i < end; ++i) {
+    const double at = static_cast<double>(i + 1) * period;
+    if (at < now) continue;
+    std::uint64_t h = mix(spec_.seed ^ 0x6372617368ull);  // "crash" tag
+    h = mix(h ^ static_cast<std::uint64_t>(i));
+    if (to_unit(h) < spec_.crash_acceptance) return at;
+  }
+  return -1.0;
 }
 
 bool ScheduledFaultModel::node_degraded(int node) const {

@@ -74,6 +74,23 @@ struct FaultSpec {
   double delay_probability = 0.0;
   double delay_seconds = 0.0;
 
+  // --- storage (consumed by src/simio through the disk queries) -------------
+  /// Fraction of filesystem server disks running degraded. Each server
+  /// keeps a fixed per-seed uniform draw and is degraded iff its draw is
+  /// below the fraction, so raising the fraction only grows the set.
+  double disk_degraded_fraction = 0.0;
+  /// Bandwidth multiplier in (0, 1] on a degraded server disk.
+  double disk_bw_factor = 1.0;
+  /// Added per-access service latency (seconds) on a degraded server.
+  double disk_added_latency = 0.0;
+
+  // --- machine-wide crashes (checkpoint/restart walks) ----------------------
+  /// Candidate crash times sit on the grid (i+1)*crash_period; 0 = off.
+  double crash_period = 0.0;
+  /// Fraction of candidates that actually strike (same threshold-on-fixed-
+  /// draws scheme as the disks, so crash sets nest as acceptance grows).
+  double crash_acceptance = 0.0;
+
   /// True when any knob departs from the healthy machine. A disabled spec
   /// must behave exactly like no fault model at all.
   bool enabled() const;
@@ -88,6 +105,12 @@ struct FaultSpec {
   /// Fabric only (degraded-fabric ablation): `fraction` of the nodes run
   /// with degraded links, half of those also losing a link outright.
   static FaultSpec fabric_only(std::uint64_t seed, double fraction);
+  /// Storage only (checkpoint/restart scenarios): server-disk degradation
+  /// plus machine-wide crashes on a `crash_period` candidate grid, all
+  /// scaled by `intensity`. Fabric/jitter/message faults stay off so the
+  /// I/O effect is isolated and `--check` stays clean.
+  static FaultSpec storage_only(std::uint64_t seed, double intensity,
+                                double crash_period = 0.0);
 };
 
 /// Counters for one run (or merged across runs in global mode).
@@ -123,6 +146,8 @@ class ScheduledFaultModel final : public machine::FaultModel {
   /// True once `node`'s failed link has actually failed at time `now`.
   bool link_failed_by(int node, double now) const;
   bool node_jittery(int node) const;
+  /// True when filesystem server disk `server` runs degraded.
+  bool disk_degraded(int server) const;
 
   // --- machine::FaultModel -------------------------------------------------
   double bandwidth_factor(int src_cpu, int dst_cpu,
@@ -134,6 +159,9 @@ class ScheduledFaultModel final : public machine::FaultModel {
                                           double bytes, std::uint64_t serial,
                                           int attempt) const override;
   bool node_degraded(int node) const override;
+  double disk_bandwidth_factor(int server, double now) const override;
+  double disk_added_latency(int server, double now) const override;
+  double next_crash(double now) const override;
   void emit_fault_spans(double t0, double t1,
                         sim::SpanSink& sink) const override;
   void note_message_dropped() override { ++stats_.messages_dropped; }

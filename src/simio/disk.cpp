@@ -1,0 +1,35 @@
+#include "simio/disk.hpp"
+
+#include "common/check.hpp"
+
+namespace columbia::simio {
+
+Disk::Disk(sim::Engine& engine, DiskSpec spec, int id)
+    : engine_(&engine), spec_(spec), id_(id), channel_(engine, 1) {
+  COL_REQUIRE(spec_.bandwidth > 0.0, "disk bandwidth must be positive");
+  COL_REQUIRE(spec_.seek_latency >= 0.0, "negative seek latency");
+}
+
+sim::CoTask<void> Disk::access(double bytes) {
+  COL_REQUIRE(bytes >= 0.0, "negative access size");
+  co_await channel_.acquire();
+  const double now = engine_->now();
+  double bandwidth = spec_.bandwidth;
+  double extra = 0.0;
+  if (fault_ != nullptr) {
+    const double factor = fault_->disk_bandwidth_factor(id_, now);
+    COL_REQUIRE(factor > 0.0 && factor <= 1.0,
+                "disk bandwidth factor outside (0, 1]");
+    bandwidth *= factor;
+    extra = fault_->disk_added_latency(id_, now);
+    COL_REQUIRE(extra >= 0.0, "negative disk fault latency");
+  }
+  const double service = spec_.seek_latency + extra + bytes / bandwidth;
+  co_await engine_->delay(service);
+  ++accesses_;
+  bytes_served_ += bytes;
+  busy_seconds_ += service;
+  channel_.release();
+}
+
+}  // namespace columbia::simio

@@ -1,0 +1,68 @@
+#pragma once
+/// \file disk.hpp
+/// One storage device as a discrete-event resource.
+///
+/// A `Disk` is a single service channel (sim::Resource of capacity 1):
+/// each access holds the channel for seek + bytes/bandwidth, so concurrent
+/// requests queue FIFO with no overtaking — the same contention semantics
+/// the machine model uses for buses and fabric ports, patterned on
+/// SimGrid's DiskImpl/s4u_Disk one-resource-per-device design. A
+/// machine::FaultModel attached through the owning Filesystem degrades the
+/// device: the bandwidth multiplier and added per-access latency are
+/// sampled at service start, so verdicts are pure functions of
+/// (server id, time) and cannot depend on queue contents.
+
+#include <cstdint>
+
+#include "machine/fault.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+
+namespace columbia::simio {
+
+struct DiskSpec {
+  /// Per-access positioning cost (seconds), charged before the transfer.
+  double seek_latency = 0.0;
+  /// Streaming bandwidth (bytes/second).
+  double bandwidth = 100e6;
+};
+
+class Disk {
+ public:
+  Disk(sim::Engine& engine, DiskSpec spec, int id = 0);
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  const DiskSpec& spec() const { return spec_; }
+  sim::Engine& engine() const { return *engine_; }
+  int id() const { return id_; }
+
+  /// Degrades the device through the storage queries of `model`
+  /// (disk_bandwidth_factor / disk_added_latency keyed by id()); nullptr
+  /// restores clean service. The model must outlive the disk.
+  void set_fault_model(const machine::FaultModel* model) { fault_ = model; }
+
+  /// One request of `bytes`: queue FIFO for the channel, then hold it for
+  /// seek + fault latency + bytes / (bandwidth * fault factor).
+  sim::CoTask<void> access(double bytes);
+
+  // --- accounting -----------------------------------------------------------
+  std::uint64_t accesses() const { return accesses_; }
+  double bytes_served() const { return bytes_served_; }
+  /// Total time the channel was held (utilization = busy / elapsed).
+  double busy_seconds() const { return busy_seconds_; }
+  std::size_t queue_length() const { return channel_.queue_length(); }
+
+ private:
+  sim::Engine* engine_;
+  DiskSpec spec_;
+  int id_;
+  sim::Resource channel_;
+  const machine::FaultModel* fault_ = nullptr;
+  std::uint64_t accesses_ = 0;
+  double bytes_served_ = 0.0;
+  double busy_seconds_ = 0.0;
+};
+
+}  // namespace columbia::simio

@@ -1,0 +1,52 @@
+#include "simio/global.hpp"
+
+#include <atomic>
+#include <mutex>
+
+namespace columbia::simio {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::mutex g_mutex;
+IoStats g_stats;  // guarded by g_mutex
+
+}  // namespace
+
+void IoStats::merge(const IoStats& other) {
+  filesystems += other.filesystems;
+  opens += other.opens;
+  writes += other.writes;
+  reads += other.reads;
+  chunks += other.chunks;
+  bytes_written += other.bytes_written;
+  bytes_read += other.bytes_read;
+}
+
+void enable_global_io_stats() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_stats = IoStats{};
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void disable_global_io_stats() {
+  g_enabled.store(false, std::memory_order_release);
+}
+
+bool global_io_stats_enabled() {
+  return g_enabled.load(std::memory_order_acquire);
+}
+
+void publish_global_io_stats(const IoStats& stats) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_stats.merge(stats);
+}
+
+IoStats drain_global_io_stats() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  IoStats out = g_stats;
+  g_stats = IoStats{};
+  return out;
+}
+
+}  // namespace columbia::simio

@@ -1,0 +1,52 @@
+#pragma once
+/// \file global.hpp
+/// Process-global I/O accounting for the bench binaries.
+///
+/// `enable_global_io_stats()` arms a collector; every Filesystem
+/// constructed while it is armed publishes its counters at destruction,
+/// and `drain_global_io_stats()` returns the merged result (thread-safe —
+/// scenario sweeps tear Worlds and their filesystems down on pool
+/// threads). Collection is pure accounting: it never changes what a
+/// simulation does, so armed and unarmed runs stay byte-identical.
+/// Mirrors simfault's FaultStats collector (simfault/global.hpp).
+
+#include <cstdint>
+
+namespace columbia::simio {
+
+/// Counters merged across every published Filesystem. Byte totals are
+/// integers so cross-thread merge order cannot perturb the sums.
+struct IoStats {
+  std::uint64_t filesystems = 0;
+  std::uint64_t opens = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t chunks = 0;  ///< stripe-unit accesses issued to server disks
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+
+  void merge(const IoStats& other);
+};
+
+/// Arms the collector (resetting it). Filesystems constructed while armed
+/// publish at destruction.
+void enable_global_io_stats();
+/// Disarms the collector; filesystems constructed afterwards stay silent.
+void disable_global_io_stats();
+bool global_io_stats_enabled();
+
+/// RAII arm/disarm pair, mirroring simfault::ScopedGlobalFaults.
+struct ScopedGlobalIoStats {
+  ScopedGlobalIoStats() { enable_global_io_stats(); }
+  ~ScopedGlobalIoStats() { disable_global_io_stats(); }
+  ScopedGlobalIoStats(const ScopedGlobalIoStats&) = delete;
+  ScopedGlobalIoStats& operator=(const ScopedGlobalIoStats&) = delete;
+};
+
+/// Merges one filesystem's counters into the collector (called from
+/// Filesystem's destructor when it was constructed armed).
+void publish_global_io_stats(const IoStats& stats);
+/// Returns the merged counters and resets the collector.
+IoStats drain_global_io_stats();
+
+}  // namespace columbia::simio

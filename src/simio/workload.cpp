@@ -1,0 +1,95 @@
+#include "simio/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "simio/filesystem.hpp"
+
+namespace columbia::simio {
+
+namespace {
+
+sim::Task client_job(Filesystem& fs, int cpu, double bytes, bool is_read) {
+  File f = fs.file(cpu);
+  co_await f.open();
+  if (is_read) {
+    co_await f.read(bytes);
+  } else {
+    co_await f.write(bytes);
+  }
+  co_await f.close();
+}
+
+double simulate_dump(const machine::FilesystemSpec& spec, int nclients,
+                     double bytes_per_client, bool is_read,
+                     const machine::FaultModel* faults) {
+  COL_REQUIRE(nclients >= 1, "need at least one client");
+  COL_REQUIRE(bytes_per_client >= 0.0, "negative transfer volume");
+  sim::Engine engine;
+  Filesystem fs(engine, spec);
+  if (faults != nullptr) fs.set_fault_model(faults);
+  for (int c = 0; c < nclients; ++c) {
+    engine.spawn(client_job(fs, c, bytes_per_client, is_read));
+  }
+  engine.run();
+  return engine.now();
+}
+
+}  // namespace
+
+double simulated_write_time(const machine::FilesystemSpec& spec,
+                            int nclients, double bytes_per_client,
+                            const machine::FaultModel* faults) {
+  return simulate_dump(spec, nclients, bytes_per_client, /*is_read=*/false,
+                       faults);
+}
+
+double simulated_read_time(const machine::FilesystemSpec& spec, int nclients,
+                           double bytes_per_client,
+                           const machine::FaultModel* faults) {
+  return simulate_dump(spec, nclients, bytes_per_client, /*is_read=*/true,
+                       faults);
+}
+
+double checkpoint_makespan(const CheckpointParams& p,
+                           const machine::FaultModel& faults) {
+  COL_REQUIRE(p.work >= 0.0, "negative work");
+  COL_REQUIRE(p.interval > 0.0, "checkpoint interval must be positive");
+  COL_REQUIRE(p.checkpoint_cost >= 0.0 && p.restart_cost >= 0.0,
+              "negative checkpoint/restart cost");
+  const double horizon =
+      p.horizon > 0.0
+          ? p.horizon
+          : 1000.0 * (p.work + p.interval + p.checkpoint_cost +
+                      p.restart_cost);
+  double t = 0.0;
+  double done = 0.0;
+  // The iteration cap backs up the horizon against a zero-cost restart
+  // looping on one crash instant without advancing t.
+  for (std::uint64_t iter = 0; done < p.work; ++iter) {
+    if (t >= horizon || iter > 10'000'000) return horizon;
+    const double seg = std::min(p.interval, p.work - done);
+    const bool last = done + seg >= p.work;
+    const double fin = t + seg + (last ? 0.0 : p.checkpoint_cost);
+    const double crash = faults.next_crash(t);
+    if (crash >= 0.0 && crash < fin) {
+      t = crash + p.restart_cost;
+      continue;
+    }
+    t = fin;
+    done += seg;
+  }
+  return t;
+}
+
+double young_interval(double checkpoint_cost, double mtbf) {
+  COL_REQUIRE(checkpoint_cost >= 0.0 && mtbf > 0.0,
+              "Young's interval needs C >= 0 and MTBF > 0");
+  return std::sqrt(2.0 * checkpoint_cost * mtbf);
+}
+
+}  // namespace columbia::simio

@@ -1,0 +1,55 @@
+#pragma once
+/// \file workload.hpp
+/// Canonical storage workloads and the checkpoint/restart replay walk.
+///
+/// `simulated_write_time` / `simulated_read_time` run the
+/// file-per-process dump shape — the exact configuration the closed-form
+/// machine::IoModel::write_time charges — against a fresh Filesystem, so
+/// the two models can be pinned against each other (tests/test_simio.cpp)
+/// and experiments can price checkpoint/restart phases.
+///
+/// `checkpoint_makespan` replays a checkpointed run against a fault
+/// model's machine-wide crash schedule. It is plain arithmetic over pure
+/// next_crash queries, so curves over (interval, intensity) are exactly
+/// reproducible and — with nested crash sets (simfault's threshold
+/// scheme) — monotone in the fault intensity.
+
+#include "machine/fault.hpp"
+#include "machine/io_model.hpp"
+
+namespace columbia::simio {
+
+/// Makespan of `nclients` concurrent clients each opening its own file,
+/// writing `bytes_per_client`, and closing (no fabric attached; `faults`
+/// optionally degrades the server disks).
+double simulated_write_time(const machine::FilesystemSpec& spec,
+                            int nclients, double bytes_per_client,
+                            const machine::FaultModel* faults = nullptr);
+/// Same shape, reading (a restart's state-load phase).
+double simulated_read_time(const machine::FilesystemSpec& spec,
+                           int nclients, double bytes_per_client,
+                           const machine::FaultModel* faults = nullptr);
+
+/// One checkpointed run (times in simulated seconds).
+struct CheckpointParams {
+  double work = 0.0;             ///< useful compute to finish
+  double interval = 0.0;         ///< tau: work between checkpoints
+  double checkpoint_cost = 0.0;  ///< C: one checkpoint write
+  double restart_cost = 0.0;     ///< R: reboot + state read after a crash
+  double horizon = 0.0;          ///< censoring bound (0 = a generous default)
+};
+
+/// Deterministic replay: work proceeds in `interval` segments, each
+/// followed by a checkpoint write (none after the last); a crash striking
+/// a segment or its checkpoint rolls progress back to the last completed
+/// checkpoint and costs `restart_cost`. The restart itself is served from
+/// surviving storage and is not re-crashed — the next crash query resumes
+/// after it. Returns the completion time, censored at the horizon when
+/// crashes never let the run finish.
+double checkpoint_makespan(const CheckpointParams& params,
+                           const machine::FaultModel& faults);
+
+/// Young's first-order optimal checkpoint interval sqrt(2 * C * MTBF).
+double young_interval(double checkpoint_cost, double mtbf);
+
+}  // namespace columbia::simio

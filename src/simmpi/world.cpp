@@ -722,4 +722,16 @@ double World::max_compute_seconds() const {
   return mx;
 }
 
+double World::mean_io_seconds() const {
+  double sum = 0.0;
+  for (const auto& r : ranks_) sum += r->io_seconds_;
+  return sum / static_cast<double>(ranks_.size());
+}
+
+double World::max_io_seconds() const {
+  double mx = 0.0;
+  for (const auto& r : ranks_) mx = std::max(mx, r->io_seconds_);
+  return mx;
+}
+
 }  // namespace columbia::simmpi

@@ -153,6 +153,12 @@ class Rank {
   double comm_seconds() const { return comm_seconds_; }
   /// Accumulated time spent in compute().
   double compute_seconds() const { return compute_seconds_; }
+  /// Accumulated time spent blocked in storage I/O (filled by simio's
+  /// rank-attributed file operations; simmpi itself never adds to it).
+  double io_seconds() const { return io_seconds_; }
+  /// Adds `seconds` of blocked I/O time (called by simio's File wrappers,
+  /// which also emit the matching SpanKind::Io span).
+  void note_io_seconds(double seconds) { io_seconds_ += seconds; }
 
  private:
   friend class World;
@@ -187,6 +193,7 @@ class Rank {
   int cpu_ = 0;
   double comm_seconds_ = 0.0;
   double compute_seconds_ = 0.0;
+  double io_seconds_ = 0.0;
   /// Count of messages this rank has sent; feeds the fault model's
   /// per-message verdict. Deliberately independent of the observer id
   /// space so `--check`/`--profile` cannot perturb fault draws.
@@ -278,6 +285,10 @@ class World {
   double mean_compute_seconds() const;
   /// Maximum over ranks of compute time (the critical path's work).
   double max_compute_seconds() const;
+  /// Mean over ranks of time blocked in storage I/O.
+  double mean_io_seconds() const;
+  /// Maximum over ranks of time blocked in storage I/O.
+  double max_io_seconds() const;
 
  private:
   sim::Task rank_main(Rank& r, const Program& program);

@@ -87,6 +87,30 @@ TEST(GoldenDeterminism, RegistryWithCheckProfileFaultsIsByteIdentical) {
   EXPECT_TRUE(pass1 == pass2) << first_divergence(pass1, pass2);
 }
 
+TEST(GoldenDeterminism, IoExperimentsSeqVsParallelAreByteIdentical) {
+  // The storage experiments tear filesystems down on pool threads (the
+  // global I/O stats publish path) and the NFS scenarios drive Network
+  // transfers from scenario closures — exactly the places where a
+  // parallel sweep could diverge from the sequential baseline. Each also
+  // regenerates under check + profile + faults like the full gate.
+  simfault::ScopedGlobalFaults faults(simfault::FaultSpec::uniform(42, 0.25));
+  for (const std::string id :
+       {"ext-io", "ext-checkpoint", "ext-btio", "ext-io-overlap"}) {
+    const auto* exp = core::find_experiment(id);
+    ASSERT_NE(exp, nullptr) << id;
+    simcheck::ScopedGlobalCheck check_on;
+    simprof::ScopedGlobalProfile profile_on;
+    const std::string seq = exp->run_exec(core::Exec::sequential()).render();
+    const std::string par = exp->run_exec(core::Exec::parallel()).render();
+    // Drain so the per-experiment collectors cannot leak across ids.
+    (void)simprof::drain_global_profile_report();
+    (void)simprof::drain_global_profile_trace();
+    (void)simcheck::drain_global_check_report();
+    EXPECT_TRUE(seq == par) << id << "\n" << first_divergence(seq, par);
+  }
+  (void)simfault::drain_global_fault_stats();
+}
+
 TEST(GoldenDeterminism, RegistryUnderFlowTransportIsByteIdentical) {
   // The same contract with the fluid network backend selected process-wide
   // (what `--transport flow` does): every experiment, still under
