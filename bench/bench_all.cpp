@@ -56,6 +56,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -152,6 +153,14 @@ struct FlowSpeedup {
   double wall_speedup() const {
     return event.best_seconds() / std::max(flow.best_seconds(), 1e-12);
   }
+  /// Which backend won this experiment's wall clock. The block reports
+  /// per-experiment direction because the answer is not uniform: fig5
+  /// favors flow while table6 regresses under it (fewer wire events, but
+  /// the solver re-fairs on every completion in table6's long overlapping
+  /// transfer mix).
+  const char* faster() const {
+    return wall_speedup() >= 1.0 ? "flow" : "event";
+  }
 };
 
 /// Times `exp` under the event backend, then the flow backend. The caller
@@ -241,8 +250,8 @@ int main(int argc, char** argv) {
   columbia::machine::TransportModel transport_model;
   {
     std::string terr;
-    if (!columbia::machine::parse_transport(opts.transport, transport_model,
-                                            terr)) {
+    if (!columbia::machine::parse_transport(opts.spec.transport,
+                                            transport_model, terr)) {
       std::fprintf(stderr, "bench_all: %s\n", terr.c_str());
       return 2;
     }
@@ -283,11 +292,12 @@ int main(int argc, char** argv) {
       speedups.push_back(measure_flow_speedup(*exp, repeat));
       const auto& fs = speedups.back();
       std::printf("  events %llu -> %llu (%.1fx fewer), best %.3f s -> "
-                  "%.3f s (%.2fx)\n",
+                  "%.3f s (%.2fx wall, %s faster; %.0f -> %.0f events/s)\n",
                   static_cast<unsigned long long>(fs.event.events),
                   static_cast<unsigned long long>(fs.flow.events),
                   fs.event_reduction(), fs.event.best_seconds(),
-                  fs.flow.best_seconds(), fs.wall_speedup());
+                  fs.flow.best_seconds(), fs.wall_speedup(), fs.faster(),
+                  fs.event.events_per_second, fs.flow.events_per_second);
     }
   }
   columbia::machine::set_global_transport(transport_model);
@@ -298,15 +308,15 @@ int main(int argc, char** argv) {
   // clean engine. Sequential only — schedule keys include the World
   // construction serial, which parallel execution would not keep stable.
   RaceTotals race;
-  if (opts.race_explore) {
+  if (opts.spec.race_explore) {
     std::printf("race-explore: %zu experiments, max %d execs each...\n",
-                registry.size(), opts.max_execs);
+                registry.size(), opts.spec.max_execs);
     for (const auto& exp : registry) {
       const auto scenario = [&exp] {
         return exp.run_exec(Exec::sequential()).render();
       };
       columbia::simrace::ExploreOptions ropts;
-      ropts.max_execs = opts.max_execs;
+      ropts.max_execs = opts.spec.max_execs;
       const auto result = columbia::simrace::explore(scenario, ropts);
       race.add(result);
       if (result.raced() || result.baseline_deadlocked) {
@@ -319,21 +329,29 @@ int main(int argc, char** argv) {
                 race.diverged);
   }
 
-  if (opts.check) columbia::simcheck::enable_global_check();
-  if (opts.profile) {
+  // RAII arming: each analyzer is on for exactly the scope of the timed
+  // passes. optional<Scoped*> because draining happens mid-function — the
+  // explicit reset() below is the disarm point, and an early exit (or an
+  // exception from a pass) can no longer leak a factory.
+  std::optional<columbia::simcheck::ScopedGlobalCheck> scoped_check;
+  std::optional<columbia::simprof::ScopedGlobalProfile> scoped_profile;
+  std::optional<columbia::simfault::ScopedGlobalFaults> scoped_faults;
+  if (opts.spec.check) scoped_check.emplace();
+  if (opts.spec.profile) {
     // Roll-up only: the summary embeds aggregate profiles, not timelines.
     columbia::simprof::ProfileOptions popts;
     popts.retain_timeline = false;
-    columbia::simprof::enable_global_profile(popts);
+    scoped_profile.emplace(popts);
   }
-  if (opts.faults) {
-    columbia::simfault::enable_global_faults(
-        columbia::simfault::FaultSpec::uniform(opts.fault_seed,
-                                               opts.fault_intensity));
+  if (opts.spec.faults) {
+    scoped_faults.emplace(columbia::simfault::FaultSpec::uniform(
+        opts.spec.fault_seed, opts.spec.fault_intensity));
   }
   // Always armed: storage accounting is a pure listener, and the "io"
-  // block is part of the schema-5 summary rather than an opt-in.
-  columbia::simio::enable_global_io_stats();
+  // block has been part of the summary since schema 5 rather than an
+  // opt-in.
+  std::optional<columbia::simio::ScopedGlobalIoStats> scoped_io;
+  scoped_io.emplace();
   PassResult seq, par;
   const bool want_seq = mode == "both" || mode == "seq";
   const bool want_par = mode == "both" || mode == "par";
@@ -354,7 +372,7 @@ int main(int argc, char** argv) {
 
   const columbia::simio::IoStats io_stats =
       columbia::simio::drain_global_io_stats();
-  columbia::simio::disable_global_io_stats();
+  scoped_io.reset();
   std::printf("io: %llu filesystems, %llu opens, %llu writes, %llu reads, "
               "%llu chunks\n",
               static_cast<unsigned long long>(io_stats.filesystems),
@@ -364,18 +382,21 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(io_stats.chunks));
 
   columbia::simcheck::CheckReport check_report;
-  if (opts.check) {
+  if (opts.spec.check) {
     check_report = columbia::simcheck::drain_global_check_report();
+    scoped_check.reset();
     std::fputs(check_report.render().c_str(), stderr);
   }
   columbia::simprof::ProfileReport profile_report;
-  if (opts.profile) {
+  if (opts.spec.profile) {
     profile_report = columbia::simprof::drain_global_profile_report();
+    scoped_profile.reset();
     std::fputs(profile_report.render().c_str(), stderr);
   }
   columbia::simfault::FaultStats fault_stats;
-  if (opts.faults) {
+  if (opts.spec.faults) {
     fault_stats = columbia::simfault::drain_global_fault_stats();
+    scoped_faults.reset();
     std::fprintf(stderr,
                  "faults: %llu worlds, %llu dropped, %llu retries, "
                  "%llu lost\n",
@@ -383,7 +404,6 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(fault_stats.messages_dropped),
                  static_cast<unsigned long long>(fault_stats.retries),
                  static_cast<unsigned long long>(fault_stats.messages_lost));
-    columbia::simfault::disable_global_faults();
   }
 
   bool identical = true;
@@ -427,17 +447,22 @@ int main(int argc, char** argv) {
          << columbia::bench::json_number(fs.event.best_seconds()) << ",\n";
       os << "        \"flow_best_seconds\": "
          << columbia::bench::json_number(fs.flow.best_seconds()) << ",\n";
+      os << "        \"event_events_per_second\": "
+         << columbia::bench::json_number(fs.event.events_per_second) << ",\n";
+      os << "        \"flow_events_per_second\": "
+         << columbia::bench::json_number(fs.flow.events_per_second) << ",\n";
       os << "        \"wall_speedup\": "
-         << columbia::bench::json_number(fs.wall_speedup()) << "\n";
+         << columbia::bench::json_number(fs.wall_speedup()) << ",\n";
+      os << "        \"faster\": \"" << fs.faster() << "\"\n";
       os << "      }" << (i + 1 < speedups.size() ? ",\n" : "\n");
     }
     os << "    ]\n  },\n";
   }
-  if (opts.faults) {
+  if (opts.spec.faults) {
     os << "  \"faults\": {\n";
-    os << "    \"seed\": " << opts.fault_seed << ",\n";
+    os << "    \"seed\": " << opts.spec.fault_seed << ",\n";
     os << "    \"intensity\": "
-       << columbia::bench::json_number(opts.fault_intensity) << ",\n";
+       << columbia::bench::json_number(opts.spec.fault_intensity) << ",\n";
     os << "    \"worlds\": " << fault_stats.worlds << ",\n";
     os << "    \"messages_dropped\": " << fault_stats.messages_dropped
        << ",\n";
@@ -445,9 +470,9 @@ int main(int argc, char** argv) {
     os << "    \"messages_lost\": " << fault_stats.messages_lost << "\n";
     os << "  },\n";
   }
-  if (opts.race_explore) {
+  if (opts.spec.race_explore) {
     os << "  \"race\": {\n";
-    os << "    \"max_execs\": " << opts.max_execs << ",\n";
+    os << "    \"max_execs\": " << opts.spec.max_execs << ",\n";
     os << "    \"explored\": " << race.explored << ",\n";
     os << "    \"pruned\": " << race.pruned << ",\n";
     os << "    \"infeasible\": " << race.infeasible << ",\n";
@@ -482,7 +507,7 @@ int main(int argc, char** argv) {
          << (i + 1 < seq.timings.size() ? ",\n" : "\n");
     }
     os << "    ]\n  }"
-       << (want_par || opts.check || opts.profile ? ",\n" : "\n");
+       << (want_par || opts.spec.check || opts.spec.profile ? ",\n" : "\n");
   }
   if (want_par) {
     os << "  \"parallel\": {\n";
@@ -493,7 +518,7 @@ int main(int argc, char** argv) {
        << columbia::bench::json_number(
               par.events / std::max(par.total_seconds, 1e-12))
        << "\n  }"
-       << (want_seq || opts.check || opts.profile ? ",\n" : "\n");
+       << (want_seq || opts.spec.check || opts.spec.profile ? ",\n" : "\n");
   }
   if (want_seq && want_par) {
     os << "  \"speedup\": "
@@ -501,13 +526,13 @@ int main(int argc, char** argv) {
               seq.total_seconds / std::max(par.total_seconds, 1e-12))
        << ",\n";
     os << "  \"reports_identical\": " << (identical ? "true" : "false")
-       << (opts.check || opts.profile ? ",\n" : "\n");
+       << (opts.spec.check || opts.spec.profile ? ",\n" : "\n");
   }
-  if (opts.check) {
+  if (opts.spec.check) {
     os << "  \"check\":\n" << check_report.to_json(2)
-       << (opts.profile ? ",\n" : "\n");
+       << (opts.spec.profile ? ",\n" : "\n");
   }
-  if (opts.profile) {
+  if (opts.spec.profile) {
     os << "  \"profile\":\n" << profile_report.to_json(2) << "\n";
   }
   os << "}\n";

@@ -36,7 +36,14 @@ namespace columbia::bench {
 ///       merged across every simio::Filesystem the timed passes
 ///       construct: filesystems/opens/writes/reads/chunks plus
 ///       bytes_written/bytes_read)
-inline constexpr int kBenchSummarySchemaVersion = 5;
+///   6 — adds the optional "serve" block (scenario-service load test:
+///       request/evaluation/cache-hit/coalesce counts, peak in-flight,
+///       requests_per_second, p50/p99 latency) written by `bench_serve`
+///       — which splices into an existing summary, so run it after
+///       bench_all — and extends each "flow_speedup" entry with
+///       event_events_per_second / flow_events_per_second and a per-
+///       experiment "faster" verdict ("event" or "flow")
+inline constexpr int kBenchSummarySchemaVersion = 6;
 
 /// Schema version of a serialized summary; version-1 files predate the
 /// key, so a missing key reads as 1. Malformed values read as 0.

@@ -1,0 +1,387 @@
+// bench_serve: load generator for the simserve scenario-evaluation
+// service. Drives the in-process Service (the same queue/cache/coalesce
+// machinery the daemon serves over TCP) with a mixed hot/cold request
+// stream from many client threads and reports throughput, cache
+// behavior, and latency percentiles.
+//
+//   $ ./bench_serve                          # defaults: 5000 requests
+//   $ ./bench_serve --requests 20000 --clients 64 --hot-ratio 0.5
+//   $ ./bench_serve --summary bench_results/BENCH_summary.json
+//
+// Hot requests draw from a small fixed set of cheap registry specs —
+// after the first evaluation each is a cache hit (or, early on, a
+// coalesced attach to the one in-flight run). Cold requests are made
+// genuinely distinct via the spec's `label` field (a client partition
+// key that participates in the canonical hash), so each costs a real
+// evaluation. Clients submit asynchronously, so the outstanding window
+// is the whole remaining stream — the "concurrent requests" the service
+// must sustain; the run fails (exit 1) if the peak in-flight count never
+// reaches --min-concurrency (default 1000).
+//
+// During the storm, duplicate hot requests usually land while the first
+// evaluation is still running and so attach as *coalesced* waiters
+// rather than cache hits. A second, smaller warm-replay phase re-sends
+// hot specs against the now-populated cache, so the serve block
+// demonstrates both duplicate-suppression mechanisms deterministically:
+// coalescing under the storm, cache hits once results exist.
+//
+// The results land in the "serve" block of BENCH_summary.json (schema 6).
+// bench_serve splices into an existing summary (bench_all rewrites the
+// file wholesale, so run bench_serve after bench_all, not before).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/run_options.hpp"
+#include "core/spec.hpp"
+#include "simserve/eval.hpp"
+#include "simserve/service.hpp"
+
+namespace {
+
+using columbia::core::ScenarioSpec;
+
+/// Cheap registry ids (sub-15 ms regenerations) so the benchmark
+/// measures the service, not the simulations.
+const char* kHotIds[] = {"table1", "fig8",  "ext-linpack",
+                         "ext-shmem", "table2", "sec42"};
+constexpr std::size_t kHotCount = sizeof(kHotIds) / sizeof(kHotIds[0]);
+
+struct Config {
+  int requests = 5000;
+  int clients = 32;
+  double hot_ratio = 0.7;
+  int jobs = 0;
+  std::uint64_t min_concurrency = 1000;
+  std::string summary = "bench_results/BENCH_summary.json";
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+/// Splices `block` (a complete `"serve": {...}` member) into the summary
+/// JSON right after the schema_version line, replacing any previous
+/// serve block, and stamps the schema version to the current one.
+std::string splice_serve_block(std::string summary, const std::string& block) {
+  // Drop an existing serve block (brace-balanced, including its comma).
+  const std::size_t at = summary.find("\"serve\":");
+  if (at != std::string::npos) {
+    std::size_t open = summary.find('{', at);
+    int depth = 0;
+    std::size_t end = open;
+    for (; end < summary.size(); ++end) {
+      if (summary[end] == '{') ++depth;
+      if (summary[end] == '}' && --depth == 0) break;
+    }
+    std::size_t stop = end + 1;
+    if (stop < summary.size() && summary[stop] == ',') ++stop;
+    while (stop < summary.size() && summary[stop] == '\n') ++stop;
+    std::size_t start = at;
+    while (start > 0 && summary[start - 1] == ' ') --start;
+    summary.erase(start, stop - start);
+  }
+  // Re-stamp the version: the spliced file is a schema-6 artifact.
+  // Pre-schema (version-1) files get the key added.
+  const std::string version_key = "\"schema_version\": ";
+  const std::string stamp =
+      version_key +
+      std::to_string(columbia::bench::kBenchSummarySchemaVersion);
+  std::size_t vat = summary.find(version_key);
+  if (vat != std::string::npos) {
+    std::size_t vend = vat + version_key.size();
+    while (vend < summary.size() && summary[vend] >= '0' &&
+           summary[vend] <= '9') {
+      ++vend;
+    }
+    summary.replace(vat, vend - vat, stamp);
+  } else {
+    const std::size_t brace = summary.find('{');
+    summary.insert(brace + 1, "\n  " + stamp + ",");
+    vat = summary.find(version_key);
+  }
+  // Insert after the schema_version line. In a minimal summary the
+  // version is the only member (no trailing comma): the comma then goes
+  // before the block instead of after it.
+  std::size_t line_end = summary.find('\n', vat);
+  const bool had_comma = line_end > 0 && summary[line_end - 1] == ',';
+  if (!had_comma) {
+    summary.insert(line_end, ",");
+    ++line_end;
+  }
+  summary.insert(line_end + 1, "  " + block + (had_comma ? ",\n" : "\n"));
+  return summary;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace columbia;
+
+  Config cfg;
+  core::RunOptionsParser parser("bench_serve", "[options]",
+                                core::RunOptionsParser::FlagSet::kBare);
+  auto int_flag = [&parser](const char* name, const char* doc, int* out,
+                            int min) {
+    parser.add_flag(name, "<n>", doc,
+                    [out, min, name](const std::string& v,
+                                     std::string& error) {
+                      char* end = nullptr;
+                      const long n = std::strtol(v.c_str(), &end, 10);
+                      if (end == v.c_str() || *end != '\0' || n < min) {
+                        error = std::string(name) + " expects an integer >= " +
+                                std::to_string(min);
+                        return false;
+                      }
+                      *out = static_cast<int>(n);
+                      return true;
+                    });
+  };
+  int_flag("--requests", "total scenario requests (default 5000)",
+           &cfg.requests, 1);
+  int_flag("--clients", "client threads submitting them (default 32)",
+           &cfg.clients, 1);
+  int_flag("--jobs", "evaluation worker threads (default: host CPUs)",
+           &cfg.jobs, 1);
+  int min_conc = static_cast<int>(cfg.min_concurrency);
+  int_flag("--min-concurrency",
+           "fail unless peak in-flight reaches this (default 1000)",
+           &min_conc, 0);
+  parser.add_flag("--hot-ratio", "<f>",
+                  "fraction of requests drawn from the hot spec set, in "
+                  "[0, 1] (default 0.7)",
+                  [&cfg](const std::string& v, std::string& error) {
+                    char* end = nullptr;
+                    const double f = std::strtod(v.c_str(), &end);
+                    if (end == v.c_str() || *end != '\0' || f < 0.0 ||
+                        f > 1.0) {
+                      error = "--hot-ratio expects a number in [0, 1]";
+                      return false;
+                    }
+                    cfg.hot_ratio = f;
+                    return true;
+                  });
+  parser.add_flag("--summary", "<path>",
+                  "BENCH_summary.json to splice the serve block into "
+                  "(default bench_results/BENCH_summary.json)",
+                  [&cfg](const std::string& v, std::string&) {
+                    cfg.summary = v;
+                    return true;
+                  });
+  core::RunOptions opts;
+  if (!parser.parse(argc, argv, opts)) return 2;
+  if (opts.help) return 0;
+  cfg.min_concurrency = static_cast<std::uint64_t>(min_conc);
+
+  simserve::Service::Options sopts;
+  sopts.jobs = cfg.jobs;
+  simserve::Service service(simserve::registry_eval(), sopts);
+
+  // The request stream, fixed up front: request i is hot when
+  // i % 1000 < hot_ratio * 1000 (deterministic interleaving — every
+  // client mixes hot and cold), rotating over the hot set / fresh cold
+  // labels. Cold specs reuse the hot ids but salt the label, so each is
+  // a distinct cache key evaluating a genuinely cheap experiment.
+  const int total = cfg.requests;
+  std::vector<ScenarioSpec> stream(static_cast<std::size_t>(total));
+  const int hot_per_mille = static_cast<int>(cfg.hot_ratio * 1000.0);
+  int cold_serial = 0;
+  int hot_serial = 0;
+  for (int i = 0; i < total; ++i) {
+    ScenarioSpec spec;
+    if (i % 1000 < hot_per_mille) {
+      spec.experiment = kHotIds[static_cast<std::size_t>(hot_serial++) %
+                                kHotCount];
+    } else {
+      spec.experiment = kHotIds[static_cast<std::size_t>(cold_serial) %
+                                kHotCount];
+      spec.label = "cold-" + std::to_string(cold_serial++);
+    }
+    stream[static_cast<std::size_t>(i)] = spec;
+  }
+
+  std::printf("bench_serve: %d requests, %d clients, hot ratio %.2f, "
+              "%zu hot specs, %d cold specs\n",
+              total, cfg.clients, cfg.hot_ratio, kHotCount, cold_serial);
+
+  std::vector<double> latency(static_cast<std::size_t>(total), 0.0);
+  std::atomic<int> next{0};
+  std::atomic<int> done{0};
+
+  // simlint:allow(nondet-source) — host benchmark wall clock, not
+  // simulation state.
+  const auto bench_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(cfg.clients));
+  for (int c = 0; c < cfg.clients; ++c) {
+    clients.emplace_back([&] {
+      for (int i = next.fetch_add(1); i < total; i = next.fetch_add(1)) {
+        const auto idx = static_cast<std::size_t>(i);
+        // simlint:allow(nondet-source) — see above
+        const auto t0 = std::chrono::steady_clock::now();
+        service.submit(stream[idx], [&, idx, t0](const simserve::Response&) {
+          // simlint:allow(nondet-source) — see above
+          const auto t1 = std::chrono::steady_clock::now();
+          latency[idx] = std::chrono::duration<double>(t1 - t0).count();
+          done.fetch_add(1);
+        });
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  service.drain();
+  // simlint:allow(nondet-source) — see above
+  const auto bench_end = std::chrono::steady_clock::now();
+  const double wall =
+      std::chrono::duration<double>(bench_end - bench_start).count();
+
+  if (done.load() != total) {
+    std::fprintf(stderr, "bench_serve: %d of %d responses arrived\n",
+                 done.load(), total);
+    return 1;
+  }
+
+  // Warm replay: the hot set is fully cached now, so every request in
+  // this phase is a deterministic cache hit (measured separately — it is
+  // the service's hot-path latency, not evaluation latency).
+  const int warm_total = std::max(1, total / 5);
+  std::vector<double> warm_latency(static_cast<std::size_t>(warm_total), 0.0);
+  std::atomic<int> warm_next{0};
+  std::atomic<int> warm_done{0};
+  std::atomic<int> warm_misses{0};
+  std::vector<std::thread> warm_clients;
+  warm_clients.reserve(static_cast<std::size_t>(cfg.clients));
+  for (int c = 0; c < cfg.clients; ++c) {
+    warm_clients.emplace_back([&] {
+      for (int i = warm_next.fetch_add(1); i < warm_total;
+           i = warm_next.fetch_add(1)) {
+        const auto idx = static_cast<std::size_t>(i);
+        ScenarioSpec spec;
+        spec.experiment = kHotIds[idx % kHotCount];
+        // simlint:allow(nondet-source) — see above
+        const auto t0 = std::chrono::steady_clock::now();
+        service.submit(spec,
+                       [&, idx, t0](const simserve::Response& response) {
+          // simlint:allow(nondet-source) — see above
+          const auto t1 = std::chrono::steady_clock::now();
+          warm_latency[idx] = std::chrono::duration<double>(t1 - t0).count();
+          if (!response.cached) warm_misses.fetch_add(1);
+          warm_done.fetch_add(1);
+        });
+      }
+    });
+  }
+  for (auto& t : warm_clients) t.join();
+  service.drain();
+  if (warm_done.load() != warm_total || warm_misses.load() != 0) {
+    std::fprintf(stderr,
+                 "bench_serve: warm replay expected %d cache hits, got %d "
+                 "responses with %d misses\n",
+                 warm_total, warm_done.load(), warm_misses.load());
+    return 1;
+  }
+
+  const simserve::ServiceStats stats = service.stats();
+  std::vector<double> sorted = latency;
+  std::sort(sorted.begin(), sorted.end());
+  const double p50 = percentile(sorted, 0.50);
+  const double p99 = percentile(sorted, 0.99);
+  const double rps = wall > 0.0 ? static_cast<double>(total) / wall : 0.0;
+  const double hit_rate =
+      stats.requests > 0
+          ? static_cast<double>(stats.cache_hits) /
+                static_cast<double>(stats.requests)
+          : 0.0;
+
+  std::printf("  wall %.3f s, %.0f requests/s\n", wall, rps);
+  std::printf("  evaluations %llu, cache hits %llu (%.1f%%), coalesced "
+              "%llu, cache entries %llu\n",
+              static_cast<unsigned long long>(stats.evaluations),
+              static_cast<unsigned long long>(stats.cache_hits),
+              100.0 * hit_rate,
+              static_cast<unsigned long long>(stats.coalesced),
+              static_cast<unsigned long long>(stats.cache_entries));
+  std::printf("  peak in-flight %llu (gate: >= %llu)\n",
+              static_cast<unsigned long long>(stats.peak_in_flight),
+              static_cast<unsigned long long>(cfg.min_concurrency));
+  std::printf("  latency p50 %.6f s, p99 %.6f s\n", p50, p99);
+  std::vector<double> warm_sorted = warm_latency;
+  std::sort(warm_sorted.begin(), warm_sorted.end());
+  const double warm_p50 = percentile(warm_sorted, 0.50);
+  std::printf("  warm replay: %d requests, all cache hits, p50 %.6f s\n",
+              warm_total, warm_p50);
+
+  std::ostringstream block;
+  block << "\"serve\": {\n";
+  block << "    \"requests\": " << total << ",\n";
+  block << "    \"clients\": " << cfg.clients << ",\n";
+  block << "    \"hot_ratio\": " << bench::json_number(cfg.hot_ratio)
+        << ",\n";
+  block << "    \"unique_specs\": "
+        << (kHotCount + static_cast<std::size_t>(cold_serial)) << ",\n";
+  block << "    \"evaluations\": " << stats.evaluations << ",\n";
+  block << "    \"cache_hits\": " << stats.cache_hits << ",\n";
+  block << "    \"cache_hit_rate\": " << bench::json_number(hit_rate)
+        << ",\n";
+  block << "    \"coalesced\": " << stats.coalesced << ",\n";
+  block << "    \"peak_in_flight\": " << stats.peak_in_flight << ",\n";
+  block << "    \"wall_seconds\": " << bench::json_number(wall) << ",\n";
+  block << "    \"requests_per_second\": " << bench::json_number(rps)
+        << ",\n";
+  block << "    \"p50_latency_seconds\": " << bench::json_number(p50)
+        << ",\n";
+  block << "    \"p99_latency_seconds\": " << bench::json_number(p99)
+        << ",\n";
+  block << "    \"warm_requests\": " << warm_total << ",\n";
+  block << "    \"warm_p50_latency_seconds\": "
+        << bench::json_number(warm_p50) << "\n";
+  block << "  }";
+
+  std::string summary;
+  {
+    std::ifstream in(cfg.summary);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      summary = buf.str();
+    }
+  }
+  if (summary.empty()) {
+    summary = "{\n  \"schema_version\": " +
+              std::to_string(bench::kBenchSummarySchemaVersion) + "\n}\n";
+  } else {
+    // Reader-side schema gate before touching someone else's summary.
+    bench::assert_summary_schema(summary);
+  }
+  summary = splice_serve_block(std::move(summary), block.str());
+  std::filesystem::create_directories(
+      std::filesystem::path(cfg.summary).parent_path());
+  if (!bench::write_file(cfg.summary, summary)) {
+    std::fprintf(stderr, "bench_serve: cannot write %s\n",
+                 cfg.summary.c_str());
+    return 1;
+  }
+  std::printf("  serve block -> %s\n", cfg.summary.c_str());
+
+  if (stats.peak_in_flight < cfg.min_concurrency) {
+    std::fprintf(stderr,
+                 "bench_serve: peak in-flight %llu below the %llu gate\n",
+                 static_cast<unsigned long long>(stats.peak_in_flight),
+                 static_cast<unsigned long long>(cfg.min_concurrency));
+    return 1;
+  }
+  return 0;
+}

@@ -24,11 +24,13 @@
 //                                       # all 20 Columbia boxes, 10240
 //                                       # CPUs (forces the flow backend)
 //
-// All flags parse through core::RunOptions (shared with bench_all);
-// unknown flags are hard errors. --check, --profile, and --faults
-// compose: the analyzers are pure listeners, so checked/profiled runs
-// produce byte-identical reports on stdout; analyzer output goes to
-// stderr and (for --profile) to the artifact directory.
+// Since the simserve redesign this binary is a thin client of the library
+// API: the shared RunOptionsParser fills a core::ScenarioSpec (the same
+// schema simserve requests use), each selected id binds one spec, and
+// core::Evaluator runs it — arming check/profile/faults through the
+// Scoped* RAII guards so no analyzer state leaks between ids or out of
+// the process. Stdout bytes per experiment are the Evaluator's report
+// bytes, which is exactly what simserve serves and caches.
 //
 // Exits non-zero on an unknown id, a --filter that matches nothing, or —
 // with --check — any communication-correctness diagnostic.
@@ -40,12 +42,9 @@
 #include <string>
 #include <vector>
 
+#include "core/evaluator.hpp"
 #include "core/experiment.hpp"
 #include "core/run_options.hpp"
-#include "machine/transport.hpp"
-#include "simcheck/checker.hpp"
-#include "simfault/global.hpp"
-#include "simprof/profiler.hpp"
 
 namespace {
 
@@ -69,33 +68,57 @@ bool write_file(const std::filesystem::path& path, const std::string& body) {
   return true;
 }
 
-/// Drains the per-experiment profiling window and writes the artifacts:
-/// <id>.trace.json (chrome://tracing), <id>.gantt.csv, <id>.comm.csv,
-/// <id>.profile.json; renders the roll-up to stderr.
-void export_profile(const std::string& id, const std::string& out_dir) {
+/// Writes the evaluation's profile artifacts: <id>.trace.json
+/// (chrome://tracing), <id>.gantt.csv, <id>.comm.csv, <id>.profile.json;
+/// renders the roll-up to stderr.
+void export_profile(const std::string& id,
+                    const columbia::core::EvalResult& result,
+                    const std::string& out_dir) {
   namespace fs = std::filesystem;
-  using namespace columbia::simprof;
-  const auto report = drain_global_profile_report();
-  const auto trace = drain_global_profile_trace();
   const fs::path dir(out_dir);
   const std::string base = sanitize_id(id);
-  write_file(dir / (base + ".profile.json"), report.to_json() + "\n");
-  if (trace.valid) {
-    write_file(dir / (base + ".trace.json"), trace.chrome_json());
-    write_file(dir / (base + ".gantt.csv"), trace.gantt_csv());
-    write_file(dir / (base + ".comm.csv"), trace.comm_csv());
+  write_file(dir / (base + ".profile.json"), result.profile_json + "\n");
+  if (result.trace_valid) {
+    write_file(dir / (base + ".trace.json"), result.trace_chrome_json);
+    write_file(dir / (base + ".gantt.csv"), result.trace_gantt_csv);
+    write_file(dir / (base + ".comm.csv"), result.trace_comm_csv);
   }
   std::fprintf(stderr, "--- profile: %s ---\n", id.c_str());
-  std::fputs(report.render().c_str(), stderr);
+  std::fputs(result.profile_report.c_str(), stderr);
 }
 
-void run_one(const columbia::core::Experiment& exp,
-             const columbia::core::Exec& exec, bool profile,
-             const std::string& out_dir) {
-  std::printf("### %s — %s\n### %s\n\n", exp.id.c_str(),
-              exp.paper_ref.c_str(), exp.title.c_str());
-  std::cout << exp.run_exec(exec).render() << "\n";
-  if (profile) export_profile(exp.id, out_dir);
+/// Shared per-experiment state threaded through the id and filter loops.
+struct RunState {
+  const columbia::core::RunOptions& opts;
+  const columbia::core::Evaluator evaluator;
+  std::string out_dir;
+  columbia::simfault::FaultStats fault_stats;  ///< merged across ids
+  bool check_failed = false;
+};
+
+/// Evaluates one id through the library API and prints the result bytes.
+/// Returns false on evaluation error (unknown id is caught earlier; this
+/// is e.g. a fault-induced deadlock).
+bool run_one(RunState& state, const std::string& id) {
+  using namespace columbia::core;
+  EvalOptions eopts;
+  eopts.exec = state.opts.exec;
+  eopts.retain_timeline = state.opts.spec.profile;
+  const EvalResult result =
+      state.evaluator.evaluate(state.opts.spec_for(id), eopts);
+  if (!result.ok) {
+    std::fprintf(stderr, "run_experiment: %s: %s\n", id.c_str(),
+                 result.error.c_str());
+    return false;
+  }
+  std::fputs(result.report.c_str(), stdout);
+  if (state.opts.spec.profile) export_profile(id, result, state.out_dir);
+  if (state.opts.spec.check) {
+    std::fputs(result.check_report.c_str(), stderr);
+    state.check_failed = state.check_failed || !result.check_clean;
+  }
+  if (state.opts.spec.faults) state.fault_stats.merge(result.fault_stats);
+  return true;
 }
 
 }  // namespace
@@ -107,15 +130,6 @@ int main(int argc, char** argv) {
   RunOptions opts;
   if (!parser.parse(argc, argv, opts)) return 2;
   if (opts.help) return 0;
-  {
-    columbia::machine::TransportModel tm;
-    std::string terr;
-    if (!columbia::machine::parse_transport(opts.transport, tm, terr)) {
-      std::fprintf(stderr, "run_experiment: %s\n", terr.c_str());
-      return 2;
-    }
-    columbia::machine::set_global_transport(tm);
-  }
   const std::string out_dir = opts.out.empty() ? "." : opts.out;
 
   if (opts.list || (opts.ids.empty() && opts.filters.empty())) {
@@ -125,7 +139,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (opts.profile) {
+  if (opts.spec.profile) {
     std::error_code ec;
     std::filesystem::create_directories(out_dir, ec);
     if (ec) {
@@ -133,30 +147,23 @@ int main(int argc, char** argv) {
                    out_dir.c_str(), ec.message().c_str());
       return 2;
     }
-    columbia::simprof::enable_global_profile();
   }
-  if (opts.check) columbia::simcheck::enable_global_check();
-  if (opts.faults) {
-    columbia::simfault::enable_global_faults(
-        columbia::simfault::FaultSpec::uniform(opts.fault_seed,
-                                               opts.fault_intensity));
-  }
+  RunState state{opts, Evaluator(), out_dir, {}, false};
   for (const auto& id : opts.ids) {
-    const auto* exp = find_experiment(id);
-    if (exp == nullptr) {
+    if (find_experiment(id) == nullptr) {
       std::fprintf(stderr, "unknown experiment id: %s (run with --list "
                            "for the registry)\n",
                    id.c_str());
       return 1;
     }
-    run_one(*exp, opts.exec, opts.profile, out_dir);
+    if (!run_one(state, id)) return 1;
   }
   for (const auto& needle : opts.filters) {
     int matched = 0;
     for (const auto& e : experiment_registry()) {
       if (e.id.find(needle) == std::string::npos) continue;
       ++matched;
-      run_one(e, opts.exec, opts.profile, out_dir);
+      if (!run_one(state, e.id)) return 1;
     }
     if (matched == 0) {
       std::fprintf(stderr, "--filter %s matched no experiment ids\n",
@@ -164,23 +171,17 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (opts.faults) {
-    const auto stats = columbia::simfault::drain_global_fault_stats();
+  if (opts.spec.faults) {
+    const auto& stats = state.fault_stats;
     std::fprintf(stderr,
                  "--- faults: seed %llu intensity %g — %llu worlds, "
                  "%llu dropped, %llu retries, %llu lost ---\n",
-                 static_cast<unsigned long long>(opts.fault_seed),
-                 opts.fault_intensity,
+                 static_cast<unsigned long long>(opts.spec.fault_seed),
+                 opts.spec.fault_intensity,
                  static_cast<unsigned long long>(stats.worlds),
                  static_cast<unsigned long long>(stats.messages_dropped),
                  static_cast<unsigned long long>(stats.retries),
                  static_cast<unsigned long long>(stats.messages_lost));
-    columbia::simfault::disable_global_faults();
   }
-  if (opts.check) {
-    const auto report = columbia::simcheck::drain_global_check_report();
-    std::fputs(report.render().c_str(), stderr);
-    if (!report.clean()) return 1;
-  }
-  return 0;
+  return state.check_failed ? 1 : 0;
 }

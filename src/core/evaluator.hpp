@@ -1,0 +1,98 @@
+#pragma once
+/// \file evaluator.hpp
+/// `Evaluator` — one ScenarioSpec in, one Result out, no leaked globals.
+///
+/// The library face of what run_experiment's main() used to hand-roll:
+/// resolve the spec's experiment against the registry, arm exactly the
+/// analyzers the spec asks for (via the Scoped* RAII guards, so an
+/// exception cannot leave a factory installed), run the sweep under the
+/// caller's Exec policy, and return the rendered report bytes plus the
+/// drained analyzer artifacts. The report bytes are byte-identical to
+/// what `run_experiment <id>` prints for the same spec — pinned by
+/// test_simserve — which is what makes results cacheable by spec hash.
+///
+/// Concurrency: the analyzers, the fault factory, and the transport
+/// default are process-global, so two evaluations that arm them cannot
+/// overlap. evaluate() serializes internally on a process-wide
+/// shared/exclusive lock: specs that touch no global state (no analyzers,
+/// transport matching the installed default) run concurrently under the
+/// shared side; everything else takes the exclusive side and restores the
+/// globals before returning. Callers never manage globals themselves.
+///
+/// Error handling: an unknown experiment id, a bad transport, or an
+/// exception escaping the sweep (e.g. a fault-induced deadlock) comes
+/// back as `ok == false` with the message in `error` — evaluate() itself
+/// does not throw, so a serving loop can keep going.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/scenario.hpp"
+#include "core/spec.hpp"
+#include "simfault/schedule.hpp"
+
+namespace columbia::core {
+
+/// Non-spec evaluation knobs: how to run, not what to run (none of this
+/// may change the result bytes).
+struct EvalOptions {
+  Exec exec;  ///< sequential (default) or host-parallel scenario sweep
+  /// Keep the representative world's full timeline for trace/Gantt/comm
+  /// export (run_experiment --profile --out). Off by default: servers
+  /// only ship the roll-up JSON.
+  bool retain_timeline = false;
+};
+
+/// Everything one evaluation produced. Strings are empty when the spec
+/// did not request the corresponding analyzer.
+struct EvalResult {
+  bool ok = false;
+  std::string error;  ///< set when !ok
+
+  std::uint64_t spec_hash = 0;
+  std::string report;  ///< byte-identical to run_experiment's stdout block
+
+  /// Engine events this evaluation processed (delta of the global
+  /// counter). Exact for exclusive evaluations; approximate when plain
+  /// evaluations overlap on the shared side.
+  std::uint64_t events = 0;
+  double wall_seconds = 0.0;  ///< host wall clock, for serving metrics only
+
+  // --check artifacts
+  std::string check_report;  ///< rendered text
+  std::string check_json;
+  bool check_clean = true;
+
+  // --profile artifacts
+  std::string profile_report;  ///< rendered text
+  std::string profile_json;
+  bool trace_valid = false;  ///< timeline artifacts below are populated
+  std::string trace_chrome_json;
+  std::string trace_gantt_csv;
+  std::string trace_comm_csv;
+
+  // --faults artifacts
+  simfault::FaultStats fault_stats;
+};
+
+class Evaluator {
+ public:
+  /// Evaluates `spec` and returns the result. Never throws; never leaves
+  /// process-global analyzer/fault/transport state modified.
+  ///
+  /// `spec.race_explore` is carried in the hash but not acted on here —
+  /// core sits below simrace, so ordering exploration belongs to the
+  /// layers that link it (simserve::Service, bench_all). They run it
+  /// under with_exclusive_globals().
+  EvalResult evaluate(const ScenarioSpec& spec,
+                      const EvalOptions& opts = {}) const;
+
+  /// Runs `fn` while holding the same exclusive lock evaluate() takes for
+  /// global-state specs — the hook for callers that must mutate process
+  /// globals themselves (simrace exploration installs its own check +
+  /// match-policy factories) without racing concurrent plain evaluations.
+  static void with_exclusive_globals(const std::function<void()>& fn);
+};
+
+}  // namespace columbia::core

@@ -108,26 +108,29 @@ RunOptionsParser::RunOptionsParser(std::string program, std::string usage_tail,
                       o.help = true;
                       return true;
                     }});
+  // The scenario surface: these write into RunOptions::spec, the same
+  // ScenarioSpec the simserve JSON schema fills — one source of truth.
   flags_.push_back({"--check", "",
                     "run with the simcheck MPI correctness analyzer", "check",
                     [](const std::string&, RunOptions& o, std::string&) {
-                      o.check = true;
+                      o.spec.check = true;
                       return true;
                     }});
   flags_.push_back({"--profile", "",
                     "run with the simprof critical-path profiler", "profile",
                     [](const std::string&, RunOptions& o, std::string&) {
-                      o.profile = true;
+                      o.spec.profile = true;
                       return true;
                     }});
   flags_.push_back(
       {"--faults", "<seed:intensity>",
        "inject seeded faults (intensity in [0,1]; 0 = clean run)", "faults",
        [](const std::string& v, RunOptions& o, std::string& err) {
-         if (!parse_fault_arg(v, o.fault_seed, o.fault_intensity, err)) {
+         if (!parse_fault_arg(v, o.spec.fault_seed, o.spec.fault_intensity,
+                              err)) {
            return false;
          }
-         o.faults = true;
+         o.spec.faults = true;
          return true;
        }});
   flags_.push_back(
@@ -139,7 +142,7 @@ RunOptionsParser::RunOptionsParser(std::string program, std::string usage_tail,
            err = "--transport expects 'event' or 'flow', got '" + v + "'";
            return false;
          }
-         o.transport = v;
+         o.spec.transport = v;
          return true;
        }});
 }
@@ -149,7 +152,7 @@ void RunOptionsParser::add_race_flags(bool with_replay) {
       {"--race-explore", "",
        "explore wildcard-receive orderings for divergent outcomes", "race",
        [](const std::string&, RunOptions& o, std::string&) {
-         o.race_explore = true;
+         o.spec.race_explore = true;
          return true;
        }});
   flags_.push_back(
@@ -163,7 +166,7 @@ void RunOptionsParser::add_race_flags(bool with_replay) {
            err = "--max-execs expects a positive integer, got '" + v + "'";
            return false;
          }
-         o.max_execs = static_cast<int>(n);
+         o.spec.max_execs = static_cast<int>(n);
          return true;
        }});
   if (with_replay) {

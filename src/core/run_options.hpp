@@ -9,9 +9,15 @@
 /// registers its extras (`add_flag`), `--help` text is generated from the
 /// table, and unknown flags or malformed values are hard errors.
 ///
-/// `--faults <seed:intensity>` only *parses* here (core does not depend on
-/// simfault); binaries hand the numbers to
-/// simfault::enable_global_faults(FaultSpec::uniform(seed, intensity)).
+/// Since the simserve redesign the parser is a *thin adapter over
+/// ScenarioSpec*: every scenario-affecting shared flag (--check,
+/// --profile, --faults, --transport, --race-explore, --max-execs) writes
+/// straight into `RunOptions::spec`, the same value type
+/// `ScenarioSpec::from_json` fills from a simserve request. One schema
+/// source — a flag without a spec field (or vice versa) cannot exist, so
+/// the CLI and the wire format cannot drift. Binary-level concerns that
+/// never affect result bytes (--list/--filter/--parallel/--jobs/--out,
+/// positionals, --replay) stay on RunOptions itself.
 
 #include <cstdint>
 #include <functional>
@@ -19,37 +25,33 @@
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "core/spec.hpp"
 
 namespace columbia::core {
 
 /// Parsed shared flags. Binary-specific flags land in the closures the
 /// binary registered instead.
 struct RunOptions {
+  /// The shared scenario surface: check/profile/faults/transport/race
+  /// flags land here (spec.experiment stays empty — the binary fills it
+  /// per selected id via spec_for()).
+  ScenarioSpec spec;
+
   Exec exec;                  ///< --parallel / --jobs N (jobs implies parallel)
   bool list = false;          ///< --list
-  bool check = false;         ///< --check
-  bool profile = false;       ///< --profile
   bool help = false;          ///< --help (help text already printed)
   std::string out;            ///< --out <path>
   std::vector<std::string> filters;  ///< --filter <substr>, repeatable
   std::vector<std::string> ids;      ///< positional arguments, argv order
-
-  bool faults = false;        ///< --faults <seed:intensity>
-  std::uint64_t fault_seed = 0;
-  double fault_intensity = 0.0;
-
-  /// --transport <event|flow>; validated at parse time (anything else is a
-  /// hard usage error). Core stays decoupled from machine: binaries hand
-  /// this to machine::set_global_transport().
-  std::string transport = "event";
-
-  /// Race-exploration surface (opt-in: a binary calls
-  /// RunOptionsParser::add_race_flags() to expose it). Core stays
-  /// decoupled from simrace the same way it is from simfault — it only
-  /// parses; simrace and bench_all act on the values.
-  bool race_explore = false;  ///< --race-explore
-  int max_execs = 64;         ///< --max-execs <n> (exploration budget)
   std::string replay;         ///< --replay <schedule-file>, simrace only
+
+  /// The parsed shared surface bound to one registry experiment: a copy
+  /// of `spec` with `experiment = id`, ready for core::Evaluator.
+  ScenarioSpec spec_for(const std::string& id) const {
+    ScenarioSpec s = spec;
+    s.experiment = id;
+    return s;
+  }
 
   /// True when `id` passes the --filter set (substring, any-of; an empty
   /// set passes everything).

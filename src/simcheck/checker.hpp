@@ -228,7 +228,14 @@ class Checker final : public simmpi::CommObserver {
 /// Installs the World observer factory and the OpenMP region validator:
 /// every World constructed afterwards is checked, and all results flow
 /// into one process-global report. Resets any previously drained state.
+///
+/// Deprecated as a raw pair since the simserve API redesign: an enable
+/// without its disable poisons every later run in the process, so new
+/// code holds a ScopedGlobalCheck (or goes through core::Evaluator,
+/// which does) instead of calling these directly.
+[[deprecated("hold a simcheck::ScopedGlobalCheck instead")]]
 void enable_global_check();
+[[deprecated("hold a simcheck::ScopedGlobalCheck instead")]]
 void disable_global_check();
 bool global_check_enabled();
 
@@ -247,8 +254,12 @@ std::vector<RaceDecision> drain_global_race_decisions();
 /// test bodies that enable and forget to disable poison every later run
 /// in the process (the footgun test_determinism exposed in PR 5).
 struct ScopedGlobalCheck {
+  // The one sanctioned caller of the deprecated raw pair.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   ScopedGlobalCheck() { enable_global_check(); }
   ~ScopedGlobalCheck() { disable_global_check(); }
+#pragma GCC diagnostic pop
   ScopedGlobalCheck(const ScopedGlobalCheck&) = delete;
   ScopedGlobalCheck& operator=(const ScopedGlobalCheck&) = delete;
 };

@@ -17,8 +17,14 @@ namespace columbia::simfault {
 
 /// Installs the global fault factory and resets the stats collector.
 /// Replaces any previously enabled spec.
+///
+/// Deprecated as a raw pair since the simserve API redesign: new code
+/// holds a ScopedGlobalFaults (or goes through core::Evaluator, which
+/// does) so no exit path can leak the factory.
+[[deprecated("hold a simfault::ScopedGlobalFaults instead")]]
 void enable_global_faults(const FaultSpec& spec);
 /// Clears the factory; Worlds constructed afterwards run clean.
+[[deprecated("hold a simfault::ScopedGlobalFaults instead")]]
 void disable_global_faults();
 bool global_faults_enabled();
 /// The spec passed to enable_global_faults (default-constructed when
@@ -30,10 +36,14 @@ FaultSpec global_fault_spec();
 /// cannot leak the factory into the next test. Mirrors
 /// simcheck::ScopedGlobalCheck / simprof::ScopedGlobalProfile.
 struct ScopedGlobalFaults {
+  // The one sanctioned caller of the deprecated raw pair.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   explicit ScopedGlobalFaults(const FaultSpec& spec) {
     enable_global_faults(spec);
   }
   ~ScopedGlobalFaults() { disable_global_faults(); }
+#pragma GCC diagnostic pop
   ScopedGlobalFaults(const ScopedGlobalFaults&) = delete;
   ScopedGlobalFaults& operator=(const ScopedGlobalFaults&) = delete;
 };

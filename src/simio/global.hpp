@@ -30,15 +30,24 @@ struct IoStats {
 
 /// Arms the collector (resetting it). Filesystems constructed while armed
 /// publish at destruction.
+///
+/// Deprecated as a raw pair since the simserve API redesign: new code
+/// holds a ScopedGlobalIoStats so no exit path can leak the collector.
+[[deprecated("hold a simio::ScopedGlobalIoStats instead")]]
 void enable_global_io_stats();
 /// Disarms the collector; filesystems constructed afterwards stay silent.
+[[deprecated("hold a simio::ScopedGlobalIoStats instead")]]
 void disable_global_io_stats();
 bool global_io_stats_enabled();
 
 /// RAII arm/disarm pair, mirroring simfault::ScopedGlobalFaults.
 struct ScopedGlobalIoStats {
+  // The one sanctioned caller of the deprecated raw pair.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   ScopedGlobalIoStats() { enable_global_io_stats(); }
   ~ScopedGlobalIoStats() { disable_global_io_stats(); }
+#pragma GCC diagnostic pop
   ScopedGlobalIoStats(const ScopedGlobalIoStats&) = delete;
   ScopedGlobalIoStats& operator=(const ScopedGlobalIoStats&) = delete;
 };

@@ -189,7 +189,13 @@ class Profiler final : public simmpi::CommObserver {
 /// process-global report. Resets any previously drained state. Composes
 /// with simcheck's enable_global_check (both factories' products receive
 /// events through the World's observer fan-out).
+///
+/// Deprecated as a raw pair since the simserve API redesign: new code
+/// holds a ScopedGlobalProfile (or goes through core::Evaluator, which
+/// does) so no exit path can leak the factory.
+[[deprecated("hold a simprof::ScopedGlobalProfile instead")]]
 void enable_global_profile(ProfileOptions opts = {});
+[[deprecated("hold a simprof::ScopedGlobalProfile instead")]]
 void disable_global_profile();
 bool global_profile_enabled();
 
@@ -198,10 +204,14 @@ bool global_profile_enabled();
 /// cannot leak the factory into the next test. Mirrors
 /// simcheck::ScopedGlobalCheck / simfault::ScopedGlobalFaults.
 struct ScopedGlobalProfile {
+  // The one sanctioned caller of the deprecated raw pair.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   explicit ScopedGlobalProfile(ProfileOptions opts = {}) {
     enable_global_profile(opts);
   }
   ~ScopedGlobalProfile() { disable_global_profile(); }
+#pragma GCC diagnostic pop
   ScopedGlobalProfile(const ScopedGlobalProfile&) = delete;
   ScopedGlobalProfile& operator=(const ScopedGlobalProfile&) = delete;
 };

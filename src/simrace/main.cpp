@@ -135,7 +135,7 @@ int main(int argc, char** argv) {
   {
     machine::TransportModel tm;
     std::string terr;
-    if (!machine::parse_transport(opts.transport, tm, terr)) {
+    if (!machine::parse_transport(opts.spec.transport, tm, terr)) {
       std::fprintf(stderr, "simrace: %s\n", terr.c_str());
       return 2;
     }
@@ -244,7 +244,7 @@ int main(int argc, char** argv) {
 
   bool any_race = false;
   simrace::ExploreOptions eopts;
-  eopts.max_execs = opts.max_execs;
+  eopts.max_execs = opts.spec.max_execs;
   for (const auto* exp : selected) {
     const auto result = simrace::explore(scenario_of(exp), eopts);
     std::fputs(result.render(exp->id).c_str(), stdout);

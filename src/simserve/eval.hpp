@@ -1,0 +1,28 @@
+#pragma once
+/// \file eval.hpp
+/// The registry-backed EvalFn: core::Evaluator plus simrace exploration.
+///
+/// Split from service.{hpp,cpp} so the queue/cache/coalescing machinery
+/// stays registry-free (the sanitizer test variants compile it with a
+/// stub evaluator); only binaries that actually serve the registry link
+/// this translation unit and its col_core/col_simrace dependencies.
+
+#include <string>
+#include <vector>
+
+#include "simserve/service.hpp"
+
+namespace columbia::simserve {
+
+/// An EvalFn over the experiment registry. Plain specs run through
+/// core::Evaluator (concurrently when nothing global is armed);
+/// race_explore specs additionally run the simrace wildcard-ordering
+/// exploration under Evaluator::with_exclusive_globals — the exploration
+/// installs process-global match-policy and check factories, which the
+/// Evaluator's lock is exactly the guard for.
+EvalFn registry_eval();
+
+/// Registry experiment ids, for the protocol's "list" op.
+std::vector<std::string> registry_ids();
+
+}  // namespace columbia::simserve

@@ -1,0 +1,81 @@
+#pragma once
+/// \file server.hpp
+/// simserve transports: an NDJSON stream session and the TCP daemon.
+///
+/// `serve_stream` is the whole protocol loop over any istream/ostream
+/// pair — it is simserve's `--stdin` pipe mode and what every TCP
+/// connection runs internally, so tests and CI drive the full daemon
+/// logic through plain string streams with no sockets involved.
+///
+/// `TcpServer` listens on a port (0 = ephemeral, the bound port is
+/// reported by `port()`), runs one session per connection on its own
+/// thread, and stops when any client sends {"op":"shutdown"} (or the
+/// owner calls stop()). Evaluation callbacks fire on pool workers, so
+/// each session serializes its writes with a mutex; responses to
+/// concurrent eval requests interleave in completion order, which the
+/// protocol's correlation ids exist for.
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "simserve/service.hpp"
+
+namespace columbia::simserve {
+
+/// Supplies the "list" op's payload; empty function → empty list (the
+/// sanitizer variants run registry-free).
+using ListFn = std::function<std::vector<std::string>()>;
+
+/// Runs the protocol over one NDJSON stream until EOF or a shutdown
+/// request. Drains in-flight evaluations before returning, so every
+/// accepted eval request gets its result line. Returns true when the
+/// session ended because a client requested shutdown.
+bool serve_stream(std::istream& in, std::ostream& out, Service& service,
+                  const ListFn& list_ids = {});
+
+class TcpServer {
+ public:
+  TcpServer(Service& service, ListFn list_ids = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral), starts the accept thread.
+  bool start(int port, std::string& error);
+
+  /// The bound port (valid after start succeeds).
+  int port() const { return port_; }
+
+  /// Blocks until a client requests shutdown or stop() is called.
+  void wait();
+
+  /// Stops accepting, closes every connection, joins all threads, and
+  /// drains the service. Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  void accept_loop();
+  void connection_loop(int fd, std::size_t index);
+
+  Service& service_;
+  ListFn list_ids_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex mutex_;  ///< guards connections_ / threads_ / shutdown_
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  std::vector<int> connection_fds_;
+  std::vector<std::thread> connection_threads_;
+};
+
+}  // namespace columbia::simserve

@@ -1,0 +1,134 @@
+#pragma once
+/// \file service.hpp
+/// simserve: the scenario-evaluation service core.
+///
+/// A `Service` turns the embeddable library API (core::ScenarioSpec →
+/// result bytes) into a persistent evaluation endpoint: requests are
+/// jobs on the shared host thread pool, completed results are cached by
+/// the spec's canonical hash, and duplicate in-flight specs *coalesce* —
+/// the second submission of a spec that is already evaluating attaches
+/// its callback to the running job instead of spawning another run. The
+/// determinism contract makes both optimizations sound: a spec is a pure
+/// function of its canonical bytes, so one evaluation's result is every
+/// requester's result, byte for byte.
+///
+/// The evaluation function itself is injected (`EvalFn`), for two
+/// reasons. Layering: the registry-backed evaluator (core::Evaluator,
+/// plus simrace exploration for race_explore specs) lives in eval.cpp so
+/// this file stays registry-free. Testing: the sanitizer variants compile
+/// the queue/cache/coalescing machinery with a stub evaluator and hammer
+/// it from many threads without paying for registry runs.
+///
+/// Thread safety: every public member is safe to call from any thread;
+/// callbacks run on pool workers (or inline on the submitting thread for
+/// cache hits) and must not call back into the Service while holding the
+/// caller's own locks on which a callback could also block.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/spec.hpp"
+
+namespace columbia::simserve {
+
+/// What evaluating one spec produced. A deliberately flat mirror of
+/// core::EvalResult (plus the race-exploration fields the service layer
+/// adds) so this header does not pull in the registry stack.
+struct EvalOutcome {
+  bool ok = false;
+  std::string error;        ///< set when !ok
+  std::string report;       ///< result bytes; run_experiment's stdout contract
+  std::uint64_t events = 0;
+  double wall_seconds = 0.0;
+  bool check_clean = true;  ///< meaningful when the spec armed simcheck
+  std::string check_json;   ///< "" unless spec.check
+  std::string profile_json; ///< "" unless spec.profile
+  int races = 0;            ///< confirmed divergences (race_explore specs)
+  std::string race_summary; ///< ExploreResult::render bytes, "" otherwise
+};
+
+/// The injected evaluator: spec in, outcome out. Must be pure in the
+/// spec (same spec → same outcome bytes) for caching and coalescing to
+/// be sound, and safe to invoke from multiple pool threads at once
+/// (core::Evaluator serializes its own global seams internally).
+using EvalFn = std::function<EvalOutcome(const core::ScenarioSpec&)>;
+
+/// One completed request: the outcome plus how the service satisfied it.
+struct Response {
+  std::uint64_t spec_hash = 0;
+  bool cached = false;     ///< served from the completed-result cache
+  bool coalesced = false;  ///< attached to an evaluation already in flight
+  /// Shared, immutable once published — coalesced requesters see the
+  /// same object the evaluating job produced.
+  std::shared_ptr<const EvalOutcome> outcome;
+};
+
+/// Monotonic service counters (drained never; `stats` snapshots).
+struct ServiceStats {
+  std::uint64_t requests = 0;     ///< submit() calls
+  std::uint64_t evaluations = 0;  ///< EvalFn invocations (true cache misses)
+  std::uint64_t cache_hits = 0;   ///< served from the result cache
+  std::uint64_t coalesced = 0;    ///< attached to an in-flight evaluation
+  std::uint64_t cache_entries = 0;   ///< current cache size (snapshot)
+  std::uint64_t in_flight = 0;       ///< submitted, not yet completed (snapshot)
+  std::uint64_t peak_in_flight = 0;  ///< high-water mark of in_flight
+};
+
+class Service {
+ public:
+  struct Options {
+    /// Evaluation parallelism: grows the shared pool to at least this
+    /// many workers (0 = leave the pool at its default size).
+    int jobs = 0;
+  };
+
+  explicit Service(EvalFn eval) : Service(std::move(eval), Options()) {}
+  Service(EvalFn eval, Options opts);
+  /// Drains: blocks until every submitted job has completed.
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  using Callback = std::function<void(const Response&)>;
+
+  /// Asynchronous evaluation. `done` is invoked exactly once — inline
+  /// (before submit returns) on a cache hit, on a pool worker otherwise.
+  void submit(const core::ScenarioSpec& spec, Callback done);
+
+  /// Synchronous wrapper: submit + wait for this one response. Must not
+  /// be called from a pool worker (the job it waits on needs a worker).
+  Response evaluate(const core::ScenarioSpec& spec);
+
+  /// Blocks until there are no in-flight jobs.
+  void drain();
+
+  ServiceStats stats() const;
+
+ private:
+  /// One evaluation in flight; duplicate submissions append to waiters.
+  struct InFlight {
+    core::ScenarioSpec spec;
+    std::vector<Callback> waiters;          ///< parallel to coalesced flags
+    std::vector<bool> waiter_coalesced;
+  };
+
+  void run_job(std::uint64_t hash);
+
+  EvalFn eval_;
+  mutable std::mutex mutex_;
+  std::condition_variable drained_cv_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const EvalOutcome>> cache_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<InFlight>> inflight_;
+  std::uint64_t in_flight_requests_ = 0;  ///< submitted, callback not yet run
+  ServiceStats stats_;
+};
+
+}  // namespace columbia::simserve

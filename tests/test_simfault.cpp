@@ -82,11 +82,11 @@ TEST(RunOptions, SharedFlags) {
                          opts));
   ASSERT_EQ(opts.filters.size(), 1u);
   EXPECT_EQ(opts.filters[0], "ext-");
-  EXPECT_TRUE(opts.check);
-  EXPECT_TRUE(opts.profile);
-  EXPECT_TRUE(opts.faults);
-  EXPECT_EQ(opts.fault_seed, 7u);
-  EXPECT_DOUBLE_EQ(opts.fault_intensity, 0.25);
+  EXPECT_TRUE(opts.spec.check);
+  EXPECT_TRUE(opts.spec.profile);
+  EXPECT_TRUE(opts.spec.faults);
+  EXPECT_EQ(opts.spec.fault_seed, 7u);
+  EXPECT_DOUBLE_EQ(opts.spec.fault_intensity, 0.25);
   EXPECT_EQ(opts.out, "dir");
   ASSERT_EQ(opts.ids.size(), 1u);
   EXPECT_EQ(opts.ids[0], "fig5");

@@ -395,19 +395,20 @@ TEST(Global, ProfileAndCheckComposeThroughObserverFanout) {
 }
 
 TEST(Global, DrainedTwiceIsEmptyAndDisableDetaches) {
-  enable_global_profile();
   {
-    Rig rig(2);
-    rig.world.run([](Rank& r) -> sim::CoTask<void> {
-      co_await r.allreduce(128.0);
-    });
+    ScopedGlobalProfile scoped;
+    {
+      Rig rig(2);
+      rig.world.run([](Rank& r) -> sim::CoTask<void> {
+        co_await r.allreduce(128.0);
+      });
+    }
+    ProfileReport first = drain_global_profile_report();
+    EXPECT_EQ(first.worlds.size(), 1u);
+    ProfileReport second = drain_global_profile_report();
+    EXPECT_EQ(second.worlds.size(), 0u);
   }
-  ProfileReport first = drain_global_profile_report();
-  EXPECT_EQ(first.worlds.size(), 1u);
-  ProfileReport second = drain_global_profile_report();
-  EXPECT_EQ(second.worlds.size(), 0u);
-  disable_global_profile();
-  // Worlds constructed after disable are not profiled.
+  // Worlds constructed after the guard disarms are not profiled.
   {
     Rig rig(2);
     rig.world.run([](Rank& r) -> sim::CoTask<void> {
