@@ -104,7 +104,7 @@ inline ExperimentTiming time_experiment(const core::Experiment& exp,
     // the simulated clocks inside the run stay (spec, seed)-pure.
     const auto t0 = std::chrono::steady_clock::now();
     auto report = exp.run_exec(exec);
-    const auto t1 = std::chrono::steady_clock::now();  // simlint:allow(nondet-source)
+    const auto t1 = std::chrono::steady_clock::now();  // simlint:allow(nondet-source) — same wall-time measurement
     t.wall_seconds.push_back(
         std::chrono::duration<double>(t1 - t0).count());
     if (i == 0 && first_report != nullptr) *first_report = std::move(report);

@@ -134,7 +134,15 @@ std::string escape(const std::string& raw) {
 }
 
 std::string quote(const std::string& raw) {
-  return "\"" + escape(raw) + "\"";
+  // Built up with += rather than operator+ chains: GCC 12 at -O3 raises a
+  // spurious -Wrestrict on `const char* + std::string&&`, which breaks
+  // COLUMBIA_WERROR builds.
+  std::string out;
+  out.reserve(raw.size() + 2);
+  out += '"';
+  out += escape(raw);
+  out += '"';
+  return out;
 }
 
 // --- Parser ------------------------------------------------------------------

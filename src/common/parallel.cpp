@@ -73,6 +73,8 @@ void ThreadPool::worker_loop() {
 bool ThreadPool::on_worker_thread() { return t_on_pool_worker; }
 
 int ThreadPool::default_jobs() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup; nothing
+  // in this process calls setenv, so there is no writer to race with.
   if (const char* env = std::getenv("COLUMBIA_JOBS")) {
     const int n = std::atoi(env);
     if (n > 0) return n;

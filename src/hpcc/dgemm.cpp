@@ -61,7 +61,7 @@ double dgemm_host_gflops(std::size_t n, int repetitions) {
   // feed the performance model; wall clock is the measurement itself.
   const auto t0 = std::chrono::steady_clock::now();
   for (int r = 0; r < repetitions; ++r) dgemm_blocked(a, b, c);
-  const auto t1 = std::chrono::steady_clock::now();  // simlint:allow(nondet-source)
+  const auto t1 = std::chrono::steady_clock::now();  // simlint:allow(nondet-source) — same calibration measurement
   const double secs = std::chrono::duration<double>(t1 - t0).count();
   const double flops =
       2.0 * static_cast<double>(n) * n * n * repetitions;

@@ -76,7 +76,7 @@ double stream_host_gbs(StreamOp op, std::size_t n, int repetitions) {
     // feed the performance model; wall clock is the measurement itself.
     const auto t0 = std::chrono::steady_clock::now();
     stream_apply(op, a, b, c, 3.0);
-    const auto t1 = std::chrono::steady_clock::now();  // simlint:allow(nondet-source)
+    const auto t1 = std::chrono::steady_clock::now();  // simlint:allow(nondet-source) — same calibration measurement
     const double secs = std::chrono::duration<double>(t1 - t0).count();
     const double gbs =
         stream_bytes_per_elem(op) * static_cast<double>(n) / secs / 1e9;

@@ -146,6 +146,7 @@ void Engine::reap_finished() {
   finished_.clear();
 }
 
+// simlint:seam(cross-rank-shared-mutable,nondet-interprocedural): the current-engine pointer is thread_local (one engine per host thread — exactly the PDES partition boundary), the event total is an atomic diagnostics counter, and the wall clock feeds only the events/sec perf counter; none of it is simulation state.
 void Engine::run() {
   Engine* prev = g_current_engine;
   g_current_engine = this;

@@ -528,6 +528,7 @@ void publish_global(const CheckReport& report) {
 }
 }  // namespace
 
+// simlint:seam(cross-rank-shared-mutable): mutex-ordered merge of this world's race report into the process-wide sink at teardown; the merge is commutative, so cross-rank completion order cannot change the published report.
 void Checker::publish() {
   if (!publish_globally_ || published_) return;
   published_ = true;

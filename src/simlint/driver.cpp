@@ -7,6 +7,10 @@
 #include <set>
 #include <sstream>
 
+#include "simlint/effects.hpp"
+#include "simlint/passes.hpp"
+#include "simlint/tokwalk.hpp"
+
 namespace columbia::simlint {
 
 namespace fs = std::filesystem;
@@ -73,6 +77,26 @@ class Suppressions {
   std::map<int, std::set<std::string>> by_line_;
 };
 
+/// Every `simlint:allow(...)` must justify itself: the comment text after
+/// the rule list is the rationale, and an empty one is a run error. (Doc
+/// prose that merely mentions the marker carries trailing words and
+/// passes; a real mute-button comment does not.)
+void check_allow_rationales(const std::string& label, const LexedFile& file,
+                            std::vector<std::string>& errors) {
+  for (const Comment& c : file.comments) {
+    const std::size_t at = c.text.find("simlint:allow(");
+    if (at == std::string::npos) continue;
+    const std::size_t close =
+        c.text.find(')', at + std::string("simlint:allow").size());
+    if (close == std::string::npos) continue;
+    if (trim_rationale(c.text.substr(close + 1)).empty()) {
+      errors.push_back(label + ":" + std::to_string(c.line) +
+                       ": simlint:allow needs a rationale after the rule "
+                       "list — say why the finding does not apply");
+    }
+  }
+}
+
 }  // namespace
 
 RunResult run(const DriverOptions& opts) {
@@ -118,11 +142,14 @@ RunResult run(const DriverOptions& opts) {
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  // Pass 1: lex everything and build the project index. Run the index
-  // twice so facts that depend on other facts (alias-typed declarations
-  // in a file lexed before the alias) settle regardless of file order.
+  // Pass 1: lex everything and build both project indices — the token-rule
+  // facts (ProjectIndex) and the effect summaries (EffectIndex). The rule
+  // index runs twice so facts that depend on other facts (alias-typed
+  // declarations in a file lexed before the alias) settle regardless of
+  // file order.
   std::vector<LexedFile> lexed(files.size());
   ProjectIndex index;
+  EffectIndex effects;
   for (std::size_t i = 0; i < files.size(); ++i) {
     std::string source;
     if (!read_file(files[i].second, source)) {
@@ -130,6 +157,8 @@ RunResult run(const DriverOptions& opts) {
       continue;
     }
     lexed[i] = lex(source);
+    collect_effects(files[i].first, lexed[i], effects);
+    check_allow_rationales(files[i].first, lexed[i], result.errors);
   }
   for (int pass = 0; pass < 2; ++pass) {
     for (const LexedFile& f : lexed) index_file(f, index);
@@ -137,8 +166,14 @@ RunResult run(const DriverOptions& opts) {
   // Close the wildcard-receive returner relation over call edges — the
   // cross-TU step: a helper in one file, its transitive callers in others.
   finalize_index(index);
+  // Close the effect summaries caller-ward over the resolved call graph
+  // (co_await edges included) and surface malformed-seam errors.
+  finalize_effects(effects);
+  result.errors.insert(result.errors.end(), effects.errors.begin(),
+                       effects.errors.end());
 
-  // Pass 2: analyze, then drop inline-suppressed and baselined findings.
+  // Pass 2: token rules per file, effect passes over the closed index,
+  // then one uniform filter: inline suppressions first, baseline second.
   std::set<std::string> baseline;
   if (!opts.baseline.empty()) {
     std::string text;
@@ -149,26 +184,40 @@ RunResult run(const DriverOptions& opts) {
       result.errors.push_back("cannot read baseline " + opts.baseline);
     }
   }
-  std::set<std::string> baseline_hit;
+  std::map<std::string, std::size_t> label_index;
+  std::vector<Suppressions> allows;
+  allows.reserve(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    label_index[files[i].first] = i;
+    allows.emplace_back(lexed[i]);
+  }
+  std::vector<Finding> raw;
   for (std::size_t i = 0; i < files.size(); ++i) {
     ++result.files_scanned;
-    const Suppressions allow(lexed[i]);
     for (Finding& f : analyze_file(files[i].first, lexed[i], index)) {
-      if (allow.covers(f.line, f.rule)) {
-        ++result.suppressed;
-        continue;
-      }
-      const std::string key =
-          f.file + ":" + std::to_string(f.line) + ":" + f.rule;
-      if (baseline.count(key) != 0) {
-        ++result.baselined;
-        baseline_hit.insert(key);
-        continue;
-      }
-      result.findings.push_back(std::move(f));
+      raw.push_back(std::move(f));
     }
   }
+  for (Finding& f : run_effect_passes(effects)) raw.push_back(std::move(f));
+
+  std::set<std::string> baseline_hit;
+  for (Finding& f : raw) {
+    const auto li = label_index.find(f.file);
+    if (li != label_index.end() && allows[li->second].covers(f.line, f.rule)) {
+      ++result.suppressed;
+      continue;
+    }
+    const std::string key =
+        f.file + ":" + std::to_string(f.line) + ":" + f.rule;
+    if (baseline.count(key) != 0) {
+      ++result.baselined;
+      baseline_hit.insert(key);
+      continue;
+    }
+    result.findings.push_back(std::move(f));
+  }
   std::sort(result.findings.begin(), result.findings.end());
+  result.pdes_readiness = pdes_readiness_json(effects);
   for (const std::string& entry : baseline) {
     if (baseline_hit.count(entry) == 0) result.stale_baseline.push_back(entry);
   }
@@ -235,6 +284,55 @@ std::string render_json(const RunResult& result) {
     os << (i ? ", " : "") << "\"" << json_escape(result.errors[i]) << "\"";
   }
   os << "]\n}\n";
+  return os.str();
+}
+
+std::string render_sarif(const RunResult& result) {
+  // Minimal SARIF 2.1.0: one run, the catalogue as tool.driver.rules, one
+  // result per finding with a single physical location. ruleIndex points
+  // into the rules array so viewers can show the summary inline.
+  const std::vector<RuleInfo>& rules = rule_catalogue();
+  std::map<std::string, std::size_t> rule_index;
+  for (std::size_t i = 0; i < rules.size(); ++i) rule_index[rules[i].id] = i;
+
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n"
+     << "          \"name\": \"simlint\",\n"
+     << "          \"informationUri\": "
+        "\"https://columbia.invalid/simlint\",\n"
+     << "          \"rules\": [";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    os << (i ? "," : "") << "\n            {\"id\": \"" << rules[i].id
+       << "\", \"shortDescription\": {\"text\": \""
+       << json_escape(rules[i].summary) << "\"}}";
+  }
+  os << "\n          ]\n        }\n      },\n      \"results\": [";
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& f = result.findings[i];
+    os << (i ? "," : "") << "\n        {\"ruleId\": \"" << f.rule << "\"";
+    const auto ri = rule_index.find(f.rule);
+    if (ri != rule_index.end()) {
+      os << ", \"ruleIndex\": " << ri->second;
+    }
+    os << ", \"level\": \"error\",\n         \"message\": {\"text\": \""
+       << json_escape(f.message) << "\"},\n         \"locations\": [{"
+       << "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+       << json_escape(f.file) << "\"}, \"region\": {\"startLine\": "
+       << f.line << "}}}]}";
+  }
+  os << (result.findings.empty() ? "" : "\n      ") << "],\n";
+  os << "      \"invocations\": [{\"executionSuccessful\": "
+     << (result.errors.empty() ? "true" : "false")
+     << ", \"toolExecutionNotifications\": [";
+  for (std::size_t i = 0; i < result.errors.size(); ++i) {
+    os << (i ? "," : "") << "\n        {\"level\": \"error\", \"message\": "
+       << "{\"text\": \"" << json_escape(result.errors[i]) << "\"}}";
+  }
+  os << (result.errors.empty() ? "" : "\n      ") << "]}]\n    }\n  ]\n}\n";
   return os.str();
 }
 

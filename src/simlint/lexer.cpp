@@ -79,13 +79,27 @@ LexedFile lex(std::string_view src) {
     // Preprocessor directive: only when '#' is the first non-whitespace
     // character on its line (which it is here: any earlier token on the
     // line would have consumed up to it). Skip to end of line, honoring
-    // backslash continuations; comments inside directives are rare enough
-    // to ignore.
+    // backslash continuations (LF and CRLF) and block comments — a
+    // newline inside `/* … */` does not end the directive.
     if (c == '#') {
       while (i < n) {
         if (src[i] == '\\' && peek(1) == '\n') {
           ++line;
           i += 2;
+          continue;
+        }
+        if (src[i] == '\\' && peek(1) == '\r' && peek(2) == '\n') {
+          ++line;
+          i += 3;
+          continue;
+        }
+        if (src[i] == '/' && peek(1) == '*') {
+          i += 2;
+          while (i < n && !(src[i] == '*' && peek(1) == '/')) {
+            if (src[i] == '\n') ++line;
+            ++i;
+          }
+          if (i < n) i += 2;  // closing */
           continue;
         }
         if (src[i] == '\n') break;  // leave \n for the whitespace branch
@@ -94,26 +108,42 @@ LexedFile lex(std::string_view src) {
       continue;
     }
 
-    // Raw string literal R"delim( ... )delim".
-    if (c == 'R' && peek(1) == '"') {
-      std::size_t j = i + 2;
-      std::string delim;
-      while (j < n && src[j] != '(' && src[j] != '"' && src[j] != '\n') {
-        delim += src[j++];
+    // Raw string literal R"delim( ... )delim", with or without an
+    // encoding prefix (u8R / uR / UR / LR). The delimiter may be any
+    // custom sequence up to the `(`; escapes inside are inert.
+    if (c == 'R' || c == 'u' || c == 'U' || c == 'L') {
+      std::size_t r = 0;  // offset of the 'R', when this is a raw prefix
+      if (c == 'R' && peek(1) == '"') r = 0;
+      else if ((c == 'u' || c == 'U' || c == 'L') && peek(1) == 'R' &&
+               peek(2) == '"') {
+        r = 1;
+      } else if (c == 'u' && peek(1) == '8' && peek(2) == 'R' &&
+                 peek(3) == '"') {
+        r = 2;
+      } else {
+        r = std::string::npos;
       }
-      if (j < n && src[j] == '(') {
-        const std::string closer = ")" + delim + "\"";
-        const std::size_t end = src.find(closer, j + 1);
-        const std::size_t stop = end == std::string_view::npos
-                                     ? n
-                                     : end + closer.size();
-        const std::string_view text = src.substr(i, stop - i);
-        out.tokens.push_back({TokKind::String, std::string(text), line});
-        bump_lines(text);
-        i = stop;
-        continue;
+      if (r != std::string::npos) {
+        std::size_t j = i + r + 2;  // past R"
+        std::string delim;
+        while (j < n && src[j] != '(' && src[j] != '"' && src[j] != '\n') {
+          delim += src[j++];
+        }
+        if (j < n && src[j] == '(') {
+          const std::string closer = ")" + delim + "\"";
+          const std::size_t end = src.find(closer, j + 1);
+          const std::size_t stop = end == std::string_view::npos
+                                       ? n
+                                       : end + closer.size();
+          const std::string_view text = src.substr(i, stop - i);
+          out.tokens.push_back({TokKind::String, std::string(text), line});
+          bump_lines(text);
+          i = stop;
+          continue;
+        }
       }
-      // Not actually a raw string ("R" identifier follows) — fall through.
+      // Not a raw string (plain identifier starting with R/u/U/L, or an
+      // ordinary prefixed literal like u8"…") — fall through.
     }
 
     // String / char literal (with escape handling).
@@ -150,7 +180,12 @@ LexedFile lex(std::string_view src) {
       std::size_t j = i + 1;
       while (j < n) {
         const char d = src[j];
-        if (ident_char(d) || d == '.' || d == '\'') {
+        if (d == '\'') {
+          // Digit separator (1'000'000): only when a digit/nondigit
+          // follows — `1'a'` is a number then a char literal.
+          if (j + 1 < n && ident_char(src[j + 1])) ++j;
+          else break;
+        } else if (ident_char(d) || d == '.') {
           ++j;
         } else if ((d == '+' || d == '-') &&
                    (src[j - 1] == 'e' || src[j - 1] == 'E' ||

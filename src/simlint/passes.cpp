@@ -1,0 +1,289 @@
+#include "simlint/passes.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace columbia::simlint {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// Handler-reachability for one pass: BFS over resolved call edges from
+/// every Task/CoTask handler, refusing to enter (or report) functions
+/// seam-annotated for `rule`. parent[i] reconstructs one witness chain;
+/// root[i] is the handler that first reached i. Deterministic: handlers
+/// in index order, callees in name order, targets in index order.
+struct Reach {
+  std::vector<std::size_t> parent;
+  std::vector<std::size_t> root;
+  std::vector<bool> visited;
+};
+
+Reach reach_from_handlers(const EffectIndex& index, const std::string& rule) {
+  Reach r;
+  r.parent.assign(index.functions.size(), kNone);
+  r.root.assign(index.functions.size(), kNone);
+  r.visited.assign(index.functions.size(), false);
+  std::vector<std::size_t> queue;
+  for (std::size_t i = 0; i < index.functions.size(); ++i) {
+    const FunctionSummary& fn = index.functions[i];
+    if (!fn.is_handler || fn.seamed_for(rule)) continue;
+    r.visited[i] = true;
+    r.root[i] = i;
+    queue.push_back(i);
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::size_t at = queue[head];
+    for (const std::string& callee : index.functions[at].callees) {
+      const auto it = index.by_name.find(callee);
+      if (it == index.by_name.end()) continue;
+      for (const std::size_t target : it->second) {
+        if (r.visited[target]) continue;
+        if (index.functions[target].seamed_for(rule)) continue;
+        r.visited[target] = true;
+        r.parent[target] = at;
+        r.root[target] = r.root[at];
+        queue.push_back(target);
+      }
+    }
+  }
+  return r;
+}
+
+/// "`handler` -> `hop` -> `sink`" witness text, elided in the middle when
+/// the chain is long.
+std::string witness_chain(const EffectIndex& index, const Reach& r,
+                          std::size_t sink) {
+  std::vector<std::string> names;
+  for (std::size_t at = sink; at != kNone; at = r.parent[at]) {
+    names.push_back(index.functions[at].qualified);
+    if (names.size() > 16) break;  // cycles cannot happen; belt and braces
+  }
+  std::reverse(names.begin(), names.end());
+  std::string out;
+  if (names.size() > 4) {
+    out = "`" + names.front() + "` -> ... -> `" + names[names.size() - 2] +
+          "` -> `" + names.back() + "`";
+  } else {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      out += (i ? " -> " : "") + ("`" + names[i] + "`");
+    }
+  }
+  return out;
+}
+
+bool host_side_label(const std::string& file) {
+  return file.rfind("tests/", 0) == 0 || file.rfind("bench/", 0) == 0 ||
+         file.rfind("examples/", 0) == 0;
+}
+
+void pass_cross_rank(const EffectIndex& index, std::vector<Finding>& out) {
+  const Reach r = reach_from_handlers(index, "cross-rank-shared-mutable");
+  for (std::size_t i = 0; i < index.functions.size(); ++i) {
+    if (!r.visited[i]) continue;
+    const FunctionSummary& fn = index.functions[i];
+    std::set<std::string> seen;
+    for (const GlobalUse& use : fn.global_uses) {
+      if (!seen.insert(use.name).second) continue;
+      const std::string kind =
+          use.local_static ? "function-local mutable static" : "process-global";
+      out.push_back(
+          {fn.file, use.line, "cross-rank-shared-mutable",
+           "`" + fn.qualified + "` " + (use.write ? "writes " : "reads ") +
+               kind + " `" + use.name +
+               "` and is reachable from an event handler (" +
+               witness_chain(index, r, i) +
+               ") — cross-rank shared mutable state blocks rank "
+               "partitioning (ROADMAP item 2); make it rank-local, guard "
+               "it, or sanction it with `simlint:seam("
+               "cross-rank-shared-mutable): <why>` on the definition"});
+    }
+  }
+}
+
+void pass_guard_discipline(const EffectIndex& index,
+                           std::vector<Finding>& out) {
+  for (const FunctionSummary& fn : index.functions) {
+    if (fn.deprecated_calls.empty()) continue;
+    if (fn.seamed_for("guard-discipline")) continue;
+    // The Scoped* guards own these toggles: their members are the one
+    // sanctioned caller.
+    if (fn.qualified.rfind("Scoped", 0) == 0) continue;
+    for (const EffectSite& site : fn.deprecated_calls) {
+      out.push_back(
+          {fn.file, site.line, "guard-discipline",
+           "`" + fn.qualified + "` calls deprecated `" + site.what +
+               "` directly — raw arming leaks analyzer state when an "
+               "exception unwinds past it; construct the matching Scoped* "
+               "RAII guard instead (or sanction with `simlint:seam("
+               "guard-discipline): <why>`)"});
+    }
+  }
+}
+
+void pass_lock_discipline(const EffectIndex& index,
+                          std::vector<Finding>& out) {
+  for (const FunctionSummary& fn : index.functions) {
+    if (fn.seamed_for("lock-discipline")) continue;
+    const bool guards = (fn.direct & kEffGuardScoped) != 0;
+    const bool excl = (fn.direct & kEffLockExclusive) != 0;
+    const bool shared = (fn.direct & kEffLockShared) != 0;
+    if (guards && !excl) {
+      // Host binaries' single-threaded startup and the test/bench/example
+      // drivers arm guards without the Evaluator lock by design: nothing
+      // runs concurrently with them.
+      if (fn.name == "main" || host_side_label(fn.file)) continue;
+      out.push_back(
+          {fn.file, fn.line, "lock-discipline",
+           "`" + fn.qualified +
+               "` constructs a Scoped* global guard without holding "
+               "core::Evaluator's exclusive globals lock — a concurrent "
+               "plain evaluation on the shared side would observe the "
+               "swapped globals; route through "
+               "Evaluator::with_exclusive_globals() (or sanction with "
+               "`simlint:seam(lock-discipline): <why>`)"});
+    }
+    if (shared && !excl && (fn.effects & kEffWritesGlobal) != 0) {
+      out.push_back(
+          {fn.file, fn.line, "lock-discipline",
+           "`" + fn.qualified +
+               "` holds the shared (read) side of the globals lock but "
+               "reaches a global write — writers must take the exclusive "
+               "side"});
+    }
+  }
+}
+
+void pass_nondet_interprocedural(const EffectIndex& index,
+                                 std::vector<Finding>& out) {
+  const Reach r = reach_from_handlers(index, "nondet-interprocedural");
+  for (std::size_t i = 0; i < index.functions.size(); ++i) {
+    if (!r.visited[i]) continue;
+    const FunctionSummary& fn = index.functions[i];
+    if (fn.nondet_sites.empty()) continue;
+    const EffectSite& site = fn.nondet_sites.front();
+    out.push_back(
+        {fn.file, site.line, "nondet-interprocedural",
+         "`" + fn.qualified + "` draws from `" + site.what +
+             "` and is reachable from an event handler (" +
+             witness_chain(index, r, i) +
+             ") — simulation results must be pure functions of (spec, "
+             "seed); plumb the run's Rng/virtual clock through, or "
+             "sanction with `simlint:seam(nondet-interprocedural): <why>`"});
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Subsystem of a root-relative label: `src/simmpi/world.cpp` -> simmpi,
+/// `tests/...` -> tests, anything else -> its first path component.
+std::string subsystem_of(const std::string& file) {
+  std::size_t start = 0;
+  if (file.rfind("src/", 0) == 0) start = 4;
+  const std::size_t slash = file.find('/', start);
+  if (slash == std::string::npos) return file.substr(start);
+  return file.substr(start, slash - start);
+}
+
+}  // namespace
+
+std::vector<Finding> run_effect_passes(const EffectIndex& index) {
+  std::vector<Finding> out;
+  pass_cross_rank(index, out);
+  pass_guard_discipline(index, out);
+  pass_lock_discipline(index, out);
+  pass_nondet_interprocedural(index, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string pdes_readiness_json(const EffectIndex& index) {
+  struct Sub {
+    int handlers = 0;
+    int functions = 0;
+    int rank_local = 0;
+    std::vector<const Finding*> blockers;
+    std::vector<const FunctionSummary*> seams;
+  };
+  std::map<std::string, Sub> subs;
+  for (const FunctionSummary& fn : index.functions) {
+    Sub& s = subs[subsystem_of(fn.file)];
+    ++s.functions;
+    if (fn.is_handler) ++s.handlers;
+    if (rank_local_only(fn.effects)) ++s.rank_local;
+    if (!fn.seam_rules.empty()) s.seams.push_back(&fn);
+  }
+  // Blockers are exactly the reachability passes' findings: what still
+  // stands between this tree and rank partitioning.
+  std::vector<Finding> blockers;
+  pass_cross_rank(index, blockers);
+  pass_nondet_interprocedural(index, blockers);
+  std::sort(blockers.begin(), blockers.end());
+  blockers.erase(std::unique(blockers.begin(), blockers.end()),
+                 blockers.end());
+  for (const Finding& f : blockers) {
+    subs[subsystem_of(f.file)].blockers.push_back(&f);
+  }
+
+  std::ostringstream os;
+  os << "{\n  \"schema_version\": 1,\n  \"report\": \"pdes-readiness\",\n";
+  os << "  \"roadmap_item\": 2,\n";
+  bool all_ready = true;
+  for (const auto& [name, s] : subs) {
+    if (!s.blockers.empty()) all_ready = false;
+  }
+  os << "  \"ready\": " << (all_ready ? "true" : "false") << ",\n";
+  os << "  \"subsystems\": [";
+  bool first = true;
+  for (const auto& [name, s] : subs) {
+    os << (first ? "" : ",") << "\n    {\"name\": \"" << json_escape(name)
+       << "\", \"functions\": " << s.functions
+       << ", \"handlers\": " << s.handlers
+       << ", \"rank_local_only\": " << s.rank_local
+       << ", \"ready\": " << (s.blockers.empty() ? "true" : "false")
+       << ",\n     \"blockers\": [";
+    for (std::size_t i = 0; i < s.blockers.size(); ++i) {
+      const Finding& f = *s.blockers[i];
+      os << (i ? "," : "") << "\n       {\"file\": \"" << json_escape(f.file)
+         << "\", \"line\": " << f.line << ", \"rule\": \"" << f.rule
+         << "\", \"detail\": \"" << json_escape(f.message) << "\"}";
+    }
+    os << (s.blockers.empty() ? "" : "\n     ") << "],\n     \"seams\": [";
+    for (std::size_t i = 0; i < s.seams.size(); ++i) {
+      const FunctionSummary& fn = *s.seams[i];
+      os << (i ? "," : "") << "\n       {\"symbol\": \""
+         << json_escape(fn.qualified) << "\", \"file\": \""
+         << json_escape(fn.file) << "\", \"line\": " << fn.line
+         << ", \"passes\": [";
+      bool frule = true;
+      for (const std::string& r : fn.seam_rules) {
+        os << (frule ? "" : ", ") << "\"" << json_escape(r) << "\"";
+        frule = false;
+      }
+      os << "], \"rationale\": \"" << json_escape(fn.seam_rationale)
+         << "\"}";
+    }
+    os << (s.seams.empty() ? "" : "\n     ") << "]}";
+    first = false;
+  }
+  os << (subs.empty() ? "" : "\n  ") << "]\n}\n";
+  return os.str();
+}
+
+}  // namespace columbia::simlint

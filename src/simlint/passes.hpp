@@ -1,0 +1,43 @@
+#pragma once
+/// \file passes.hpp
+/// The effect-pass family: findings derived from the closed effect
+/// summaries (effects.hpp), plus the pdes-readiness report.
+///
+///   cross-rank-shared-mutable  a function that touches a mutable
+///                              static/global is reachable from a
+///                              Task/CoTask event handler with no
+///                              simlint:seam on the path
+///   guard-discipline           deprecated enable_global_*/disable_global_*
+///                              called outside the defining Scoped* guard
+///   lock-discipline            a Scoped* guard constructed without
+///                              core::Evaluator's exclusive globals lock
+///                              (host-binary mains and tests/bench/examples
+///                              drive single-threaded and are exempt), or a
+///                              shared-lock path that reaches a global write
+///   nondet-interprocedural     a wall-clock/entropy source is reachable
+///                              from a handler through the call graph
+///
+/// Findings flow through the same schema, suppressions, and baseline as
+/// the token rules. The pdes-readiness report is not a rule: it is the
+/// per-subsystem certificate for ROADMAP item 2 — which symbols still
+/// block rank partitioning, and which seams have been sanctioned.
+
+#include <string>
+#include <vector>
+
+#include "simlint/effects.hpp"
+#include "simlint/rules.hpp"
+
+namespace columbia::simlint {
+
+/// Runs every effect pass over the finalized index. Findings come back
+/// sorted; the driver applies suppressions and the baseline.
+std::vector<Finding> run_effect_passes(const EffectIndex& index);
+
+/// The pdes-readiness JSON document: per-subsystem handler counts,
+/// blockers (cross-rank-shared-mutable + nondet-interprocedural sinks that
+/// are not seam-sanctioned, before inline suppressions — a suppressed
+/// blocker is still a blocker for partitioning), and the sanctioned seams.
+std::string pdes_readiness_json(const EffectIndex& index);
+
+}  // namespace columbia::simlint

@@ -4,11 +4,11 @@
 #include <cstddef>
 #include <map>
 
+#include "simlint/tokwalk.hpp"
+
 namespace columbia::simlint {
 
 namespace {
-
-constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 
 const std::vector<RuleInfo> kCatalogue = {
     {"coawait-in-condition",
@@ -40,130 +40,34 @@ const std::vector<RuleInfo> kCatalogue = {
      "branch condition reads the .source of a wildcard receive (directly "
      "or through a returner function, cross-TU) without a deterministic "
      "tie-break: the branch depends on arrival order"},
+    // Effect passes (interprocedural; see effects.hpp / passes.cpp). These
+    // run over the closed effect summaries, not one file's tokens.
+    {"cross-rank-shared-mutable",
+     "mutable static/global state reachable from a Task/CoTask event "
+     "handler without a Scoped* guard or a documented seam: rank "
+     "partitioning across host threads (ROADMAP item 2) would race on it"},
+    {"guard-discipline",
+     "deprecated enable_global_*/disable_global_* called outside the "
+     "defining Scoped* RAII guard: raw arming leaks analyzer state on "
+     "exceptions and bypasses the guard's restore contract"},
+    {"lock-discipline",
+     "Scoped* global guard constructed on a path that does not hold "
+     "core::Evaluator's exclusive globals lock: concurrent plain "
+     "evaluations on the shared side would observe the mutation"},
+    {"nondet-interprocedural",
+     "wall-clock/entropy source reachable from a Task/CoTask event "
+     "handler through the call graph: runs must be pure functions of "
+     "(spec, seed) even when the source hides behind helpers"},
 };
 
 // --------------------------------------------------------------------------
-// Token-walk helpers
+// Token-walk helpers shared with the effect engine live in tokwalk.hpp;
+// only the rule-local ones stay here.
 // --------------------------------------------------------------------------
-
-using Toks = std::vector<Token>;
-
-/// Index of the Punct matching `open` at `i`, or kNpos.
-std::size_t match_pair(const Toks& t, std::size_t i, const char* open,
-                       const char* close) {
-  int depth = 0;
-  for (std::size_t j = i; j < t.size(); ++j) {
-    if (t[j].is(open)) ++depth;
-    else if (t[j].is(close) && --depth == 0) return j;
-  }
-  return kNpos;
-}
-std::size_t match_paren(const Toks& t, std::size_t i) {
-  return match_pair(t, i, "(", ")");
-}
-std::size_t match_brace(const Toks& t, std::size_t i) {
-  return match_pair(t, i, "{", "}");
-}
-std::size_t match_bracket(const Toks& t, std::size_t i) {
-  return match_pair(t, i, "[", "]");
-}
-
-/// Matches the `>` closing the `<` at `i` (template argument list).
-/// `>>` closes two levels; `<`/`>` inside parentheses are comparisons and
-/// are ignored; `;`/`{`/`}` abort (it was a comparison, not a template).
-std::size_t match_angle(const Toks& t, std::size_t i) {
-  int depth = 0;
-  int parens = 0;
-  for (std::size_t j = i; j < t.size(); ++j) {
-    const Token& tok = t[j];
-    if (tok.is("(")) ++parens;
-    else if (tok.is(")")) --parens;
-    if (parens > 0) continue;
-    if (tok.is("<")) ++depth;
-    else if (tok.is(">")) {
-      if (--depth == 0) return j;
-    } else if (tok.is(">>")) {
-      depth -= 2;
-      if (depth <= 0) return j;
-    } else if (tok.is(";") || tok.is("{") || tok.is("}")) {
-      return kNpos;
-    }
-  }
-  return kNpos;
-}
-
-bool starts_with(const std::string& s, const char* prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
-bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
 
 bool is_unordered_kind(const std::string& s) {
   return s == "unordered_map" || s == "unordered_set" ||
          s == "unordered_multimap" || s == "unordered_multiset";
-}
-
-/// Span of a lambda body whose introducer `[` sits at `i`, or {kNpos,
-/// kNpos}. `has_ref_capture` reports a `&` in the capture list.
-struct LambdaShape {
-  std::size_t body_open = kNpos;
-  std::size_t body_close = kNpos;
-  bool has_ref_capture = false;
-};
-LambdaShape parse_lambda(const Toks& t, std::size_t i) {
-  LambdaShape shape;
-  const std::size_t close = match_bracket(t, i);
-  if (close == kNpos) return shape;
-  for (std::size_t j = i + 1; j < close; ++j) {
-    if (t[j].is("&")) shape.has_ref_capture = true;
-  }
-  std::size_t k = close + 1;
-  // Optional template parameter list, parameter list, and trailing
-  // specifiers (mutable / noexcept(...) / attributes / -> ReturnType).
-  if (k < t.size() && t[k].is("<")) {
-    const std::size_t a = match_angle(t, k);
-    if (a == kNpos) return shape;
-    k = a + 1;
-  }
-  if (k < t.size() && t[k].is("(")) {
-    const std::size_t p = match_paren(t, k);
-    if (p == kNpos) return shape;
-    k = p + 1;
-  }
-  while (k < t.size() && !t[k].is("{")) {
-    const Token& tok = t[k];
-    if (tok.kind == TokKind::Ident || tok.is("->") || tok.is("::") ||
-        tok.is("*") || tok.is("&")) {
-      ++k;
-    } else if (tok.is("(")) {
-      const std::size_t p = match_paren(t, k);
-      if (p == kNpos) return shape;
-      k = p + 1;
-    } else if (tok.is("<")) {
-      const std::size_t a = match_angle(t, k);
-      if (a == kNpos) return shape;
-      k = a + 1;
-    } else {
-      return shape;  // not a lambda with a body we understand
-    }
-  }
-  if (k >= t.size()) return shape;
-  const std::size_t b = match_brace(t, k);
-  if (b == kNpos) return shape;
-  shape.body_open = k;
-  shape.body_close = b;
-  return shape;
-}
-
-bool span_contains_ident(const Toks& t, std::size_t lo, std::size_t hi,
-                         const char* name) {
-  for (std::size_t j = lo; j < hi; ++j) {
-    if (t[j].ident(name)) return true;
-  }
-  return false;
 }
 
 // --------------------------------------------------------------------------
@@ -347,15 +251,9 @@ class Analyzer {
   // ---- coroutine-lambda-ref-capture --------------------------------------
   void rule_lambda_ref_capture() {
     for (std::size_t i = 0; i < t_.size(); ++i) {
-      if (!t_[i].is("[")) continue;
-      if (i + 1 < t_.size() && t_[i + 1].is("[")) continue;  // [[attribute]]
-      const Token* prev = prev_tok(i);
-      // After an identifier, `)`, or `]` a `[` is indexing, not a lambda.
-      if (prev != nullptr &&
-          (prev->kind == TokKind::Ident || prev->is(")") || prev->is("]")) &&
-          !prev->ident("return") && !prev->ident("case")) {
-        continue;
-      }
+      // After an identifier, `)`, or `]` a `[` is indexing, not a lambda —
+      // lambda_introducer (tokwalk.hpp) encodes that discrimination.
+      if (!lambda_introducer(t_, i)) continue;
       const LambdaShape shape = parse_lambda(t_, i);
       if (shape.body_open == kNpos || !shape.has_ref_capture) continue;
       const bool coroutine =
@@ -498,59 +396,17 @@ class Analyzer {
     if (ends_with(path_, "common/rng.hpp") || ends_with(path_, "common/rng.cpp")) {
       return;  // the one blessed home of entropy plumbing
     }
-    auto flag = [&](std::size_t i, const std::string& what) {
+    for (std::size_t i = 0; i < t_.size(); ++i) {
+      if (t_[i].kind != TokKind::Ident) continue;
+      std::string what;
+      bool is_rng = false;
+      if (!nondet_source_at(t_, i, what, is_rng)) continue;
       add(t_[i].line, "nondet-source",
           "nondeterminism source `" + what +
               "` outside common::Rng — runs must be pure functions of "
               "(spec, seed); draw from the run's Rng, or suppress "
               "(simlint:allow) for deliberate host-side wall-clock "
               "measurement");
-    };
-    for (std::size_t i = 0; i < t_.size(); ++i) {
-      if (t_[i].kind != TokKind::Ident) continue;
-      const std::string& name = t_[i].text;
-      const Token* prev = prev_tok(i);
-      const bool next_call = i + 1 < t_.size() && t_[i + 1].is("(");
-      const bool member = prev != nullptr && (prev->is(".") || prev->is("->"));
-      // Clock reads check before the namespace filter: the preceding
-      // qualifier is `chrono::`, which the std-only test below rejects.
-      if ((name == "steady_clock" || name == "system_clock" ||
-           name == "high_resolution_clock") &&
-          i + 2 < t_.size() && t_[i + 1].is("::") && t_[i + 2].ident("now")) {
-        flag(i, "std::chrono::" + name + "::now");
-        continue;
-      }
-      // `std::` / global-`::` qualification; `other_ns::` does not count.
-      bool qualified = false;
-      if (prev != nullptr && prev->is("::")) {
-        const Token* p2 = i >= 2 ? &t_[i - 2] : nullptr;
-        qualified = p2 == nullptr || p2->kind != TokKind::Ident ||
-                    p2->ident("std");
-        if (!qualified) continue;  // someone else's namespace entirely
-      }
-
-      if (name == "random_device") {
-        flag(i, "std::random_device");
-        continue;
-      }
-      const bool c_rand = name == "rand" || name == "srand" ||
-                          name == "rand_r" || name == "drand48" ||
-                          name == "lrand48" || name == "mrand48" ||
-                          name == "erand48";
-      const bool c_time = name == "gettimeofday" || name == "clock_gettime" ||
-                          name == "localtime" || name == "gmtime" ||
-                          name == "mktime";
-      if ((c_rand || c_time) && next_call && !member &&
-          (prev == nullptr || prev->kind != TokKind::Ident)) {
-        flag(i, name);
-        continue;
-      }
-      // `time`/`clock` are common member names here (ComputeModel::time);
-      // only the qualified C calls are banned.
-      if ((name == "time" || name == "clock") && next_call && qualified) {
-        flag(i, "std::" + name);
-        continue;
-      }
     }
   }
 

@@ -1,0 +1,229 @@
+#pragma once
+/// \file tokwalk.hpp
+/// Shared token-walk helpers for the simlint analyses.
+///
+/// Both the token-pattern rule engine (rules.cpp) and the interprocedural
+/// effect engine (effects.cpp) navigate the same lexer output: balanced
+/// pair matching, template-argument scanning, lambda shapes, and the
+/// nondeterminism-source matcher. Keeping one definition of each here is
+/// what guarantees the local `nondet-source` rule and the lifted
+/// `nondet-interprocedural` pass agree on what counts as entropy.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "simlint/lexer.hpp"
+
+namespace columbia::simlint {
+
+using Toks = std::vector<Token>;
+
+inline constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/// Index of the Punct matching `open` at `i`, or kNpos.
+inline std::size_t match_pair(const Toks& t, std::size_t i, const char* open,
+                              const char* close) {
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].is(open)) ++depth;
+    else if (t[j].is(close) && --depth == 0) return j;
+  }
+  return kNpos;
+}
+inline std::size_t match_paren(const Toks& t, std::size_t i) {
+  return match_pair(t, i, "(", ")");
+}
+inline std::size_t match_brace(const Toks& t, std::size_t i) {
+  return match_pair(t, i, "{", "}");
+}
+inline std::size_t match_bracket(const Toks& t, std::size_t i) {
+  return match_pair(t, i, "[", "]");
+}
+
+/// Matches the `>` closing the `<` at `i` (template argument list).
+/// `>>` closes two levels; `<`/`>` inside parentheses are comparisons and
+/// are ignored; `;`/`{`/`}` abort (it was a comparison, not a template).
+inline std::size_t match_angle(const Toks& t, std::size_t i) {
+  int depth = 0;
+  int parens = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    const Token& tok = t[j];
+    if (tok.is("(")) ++parens;
+    else if (tok.is(")")) --parens;
+    if (parens > 0) continue;
+    if (tok.is("<")) ++depth;
+    else if (tok.is(">")) {
+      if (--depth == 0) return j;
+    } else if (tok.is(">>")) {
+      depth -= 2;
+      if (depth <= 0) return j;
+    } else if (tok.is(";") || tok.is("{") || tok.is("}")) {
+      return kNpos;
+    }
+  }
+  return kNpos;
+}
+
+inline bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+inline bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Span of a lambda body whose introducer `[` sits at `i`, or {kNpos,
+/// kNpos}. `has_ref_capture` reports a `&` in the capture list.
+struct LambdaShape {
+  std::size_t body_open = kNpos;
+  std::size_t body_close = kNpos;
+  bool has_ref_capture = false;
+};
+inline LambdaShape parse_lambda(const Toks& t, std::size_t i) {
+  LambdaShape shape;
+  const std::size_t close = match_bracket(t, i);
+  if (close == kNpos) return shape;
+  for (std::size_t j = i + 1; j < close; ++j) {
+    if (t[j].is("&")) shape.has_ref_capture = true;
+  }
+  std::size_t k = close + 1;
+  // Optional template parameter list, parameter list, and trailing
+  // specifiers (mutable / noexcept(...) / attributes / -> ReturnType).
+  if (k < t.size() && t[k].is("<")) {
+    const std::size_t a = match_angle(t, k);
+    if (a == kNpos) return shape;
+    k = a + 1;
+  }
+  if (k < t.size() && t[k].is("(")) {
+    const std::size_t p = match_paren(t, k);
+    if (p == kNpos) return shape;
+    k = p + 1;
+  }
+  while (k < t.size() && !t[k].is("{")) {
+    const Token& tok = t[k];
+    if (tok.kind == TokKind::Ident || tok.is("->") || tok.is("::") ||
+        tok.is("*") || tok.is("&")) {
+      ++k;
+    } else if (tok.is("(")) {
+      const std::size_t p = match_paren(t, k);
+      if (p == kNpos) return shape;
+      k = p + 1;
+    } else if (tok.is("<")) {
+      const std::size_t a = match_angle(t, k);
+      if (a == kNpos) return shape;
+      k = a + 1;
+    } else {
+      return shape;  // not a lambda with a body we understand
+    }
+  }
+  if (k >= t.size()) return shape;
+  const std::size_t b = match_brace(t, k);
+  if (b == kNpos) return shape;
+  shape.body_open = k;
+  shape.body_close = b;
+  return shape;
+}
+
+/// True when the `[` at `i` introduces a lambda (not indexing, not an
+/// attribute). The same prev-token discrimination the ref-capture rule
+/// uses: after an identifier, `)`, or `]` a `[` is a subscript.
+inline bool lambda_introducer(const Toks& t, std::size_t i) {
+  if (!t[i].is("[")) return false;
+  if (i + 1 < t.size() && t[i + 1].is("[")) return false;  // [[attribute]]
+  if (i == 0) return true;
+  const Token& prev = t[i - 1];
+  if ((prev.kind == TokKind::Ident || prev.is(")") || prev.is("]")) &&
+      !prev.ident("return") && !prev.ident("case") && !prev.ident("co_return") &&
+      !prev.ident("co_yield")) {
+    return false;
+  }
+  return true;
+}
+
+inline bool span_contains_ident(const Toks& t, std::size_t lo, std::size_t hi,
+                                const char* name) {
+  for (std::size_t j = lo; j < hi; ++j) {
+    if (t[j].ident(name)) return true;
+  }
+  return false;
+}
+
+/// Nondeterminism-source matcher shared by the local `nondet-source` rule
+/// and the effect engine's wall-clock/rng inference. `i` must sit on an
+/// Ident; on a match, `what` names the source for messages and `is_rng`
+/// separates entropy (rand/random_device) from wall-clock reads.
+inline bool nondet_source_at(const Toks& t, std::size_t i, std::string& what,
+                             bool& is_rng) {
+  const std::string& name = t[i].text;
+  const Token* prev = i > 0 ? &t[i - 1] : nullptr;
+  const bool next_call = i + 1 < t.size() && t[i + 1].is("(");
+  const bool member = prev != nullptr && (prev->is(".") || prev->is("->"));
+  // Clock reads check before the namespace filter: the preceding
+  // qualifier is `chrono::`, which the std-only test below rejects.
+  if ((name == "steady_clock" || name == "system_clock" ||
+       name == "high_resolution_clock") &&
+      i + 2 < t.size() && t[i + 1].is("::") && t[i + 2].ident("now")) {
+    what = "std::chrono::" + name + "::now";
+    is_rng = false;
+    return true;
+  }
+  // `std::` / global-`::` qualification; `other_ns::` does not count.
+  bool qualified = false;
+  if (prev != nullptr && prev->is("::")) {
+    const Token* p2 = i >= 2 ? &t[i - 2] : nullptr;
+    qualified = p2 == nullptr || p2->kind != TokKind::Ident || p2->ident("std");
+    if (!qualified) return false;  // someone else's namespace entirely
+  }
+  if (name == "random_device") {
+    what = "std::random_device";
+    is_rng = true;
+    return true;
+  }
+  const bool c_rand = name == "rand" || name == "srand" || name == "rand_r" ||
+                      name == "drand48" || name == "lrand48" ||
+                      name == "mrand48" || name == "erand48";
+  const bool c_time = name == "gettimeofday" || name == "clock_gettime" ||
+                      name == "localtime" || name == "gmtime" ||
+                      name == "mktime";
+  if ((c_rand || c_time) && next_call && !member &&
+      (prev == nullptr || prev->kind != TokKind::Ident)) {
+    what = name;
+    is_rng = c_rand;
+    return true;
+  }
+  // `time`/`clock` are common member names here (ComputeModel::time);
+  // only the qualified C calls are banned.
+  if ((name == "time" || name == "clock") && next_call && qualified) {
+    what = "std::" + name;
+    is_rng = false;
+    return true;
+  }
+  return false;
+}
+
+/// Trims a seam/allow rationale: leading whitespace, `:`/`-` separators,
+/// the UTF-8 em/en dash, and trailing whitespace. What survives is the
+/// human justification; empty means the annotation gave none.
+inline std::string trim_rationale(std::string s) {
+  std::size_t k = 0;
+  while (k < s.size()) {
+    const unsigned char c = static_cast<unsigned char>(s[k]);
+    if (c == ' ' || c == '\t' || c == ':' || c == '-') {
+      ++k;
+      continue;
+    }
+    if (c == 0xE2 && k + 2 < s.size() &&
+        static_cast<unsigned char>(s[k + 1]) == 0x80) {
+      k += 3;  // em/en dash
+      continue;
+    }
+    break;
+  }
+  s.erase(0, k);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.pop_back();
+  return s;
+}
+
+}  // namespace columbia::simlint

@@ -308,6 +308,7 @@ std::uint64_t g_region_handle = 0;
 
 }  // namespace
 
+// simlint:seam(cross-rank-shared-mutable): mutex-ordered merge of this world's profile into the process-wide diagnostics sink at finalize; profiling output only, never read back into simulation state.
 void Profiler::on_finalize() {
   if (finalized_) return;
   finalized_ = true;

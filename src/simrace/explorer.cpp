@@ -91,6 +91,7 @@ struct ScopedMatchPolicyFactory {
 
 }  // namespace
 
+// simlint:seam(lock-discipline): the explorer replays scenarios one at a time on a single thread and owns the process's simulation globals for each scenario's duration; there is no concurrent evaluator to race with.
 RunOutcome run_under(const RaceScenario& scenario,
                      const ForcingSchedule& schedule) {
   RunOutcome out;

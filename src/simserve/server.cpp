@@ -123,6 +123,9 @@ TcpServer::~TcpServer() { stop(); }
 bool TcpServer::start(int port, std::string& error) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): start() runs once on the
+    // host thread before the accept loop spawns; errno is thread-local
+    // and the strerror buffer is consumed immediately.
     error = std::string("socket: ") + std::strerror(errno);
     return false;
   }
@@ -134,6 +137,7 @@ bool TcpServer::start(int port, std::string& error) {
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): same single-threaded setup
     error = std::string("bind: ") + std::strerror(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -143,6 +147,7 @@ bool TcpServer::start(int port, std::string& error) {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = static_cast<int>(ntohs(addr.sin_port));
   if (::listen(listen_fd_, 128) != 0) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): same single-threaded setup
     error = std::string("listen: ") + std::strerror(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;

@@ -1,0 +1,24 @@
+// Clean twin: the same handler -> relay -> helper shape, but the state
+// is rank-local (threaded through by reference), and the one genuine
+// global is sanctioned with a seam on its accessor's definition.
+
+namespace fixture {
+
+void bump(int& counter) { counter += 1; }
+
+void relay(int& counter) { bump(counter); }
+
+int g_debug_total = 0;
+
+// simlint:seam(cross-rank-shared-mutable): fixture — diagnostics counter sanctioned for the negative test.
+void seamed_bump() { g_debug_total += 1; }
+
+sim::CoTask<void> handler(simmpi::Rank& r) {
+  int local = 0;
+  relay(local);
+  seamed_bump();
+  co_await r.barrier();
+  co_return;
+}
+
+}  // namespace fixture

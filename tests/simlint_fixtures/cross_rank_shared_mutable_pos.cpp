@@ -1,0 +1,22 @@
+// Fixture: a CoTask handler reaches, through a plain relay hop, a helper
+// that mutates a process-global counter. The interprocedural pass must
+// anchor its finding at the mutation site in the helper, not at the
+// handler — the witness chain carries the connection.
+
+namespace fixture {
+
+int g_hits = 0;
+
+void bump() {
+  g_hits += 1;  // expect-lint: cross-rank-shared-mutable
+}
+
+void relay() { bump(); }
+
+sim::CoTask<void> handler(simmpi::Rank& r) {
+  relay();
+  co_await r.barrier();
+  co_return;
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Clean twin: the two sanctioned shapes. A Scoped* guard's own members
+// may call the toggles (they are the RAII owner), and everyone else
+// constructs the guard under the Evaluator's exclusive globals lock.
+
+namespace fixture {
+
+void run_once();
+
+struct ScopedCheckFixture {
+  ScopedCheckFixture() { simcheck::enable_global_check(); }
+  ~ScopedCheckFixture() { simcheck::disable_global_check(); }
+};
+
+void scoped_toggle() {
+  core::Evaluator::with_exclusive_globals([] {
+    simcheck::ScopedGlobalCheck check;
+    run_once();
+  });
+}
+
+}  // namespace fixture

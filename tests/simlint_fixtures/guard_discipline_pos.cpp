@@ -1,0 +1,15 @@
+// Fixture: raw calls to the deprecated enable_global_* / disable_global_*
+// toggles outside their owning Scoped* guard. An exception between the
+// two leaks armed analyzer state into the next run.
+
+namespace fixture {
+
+void run_once();
+
+void legacy_toggle() {
+  simcheck::enable_global_check();  // expect-lint: guard-discipline
+  run_once();
+  simcheck::disable_global_check();  // expect-lint: guard-discipline
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Clean twin: guards armed inside with_exclusive_globals, and a
+// shared-side reader that really only reads.
+
+namespace fixture {
+
+void evaluate_once();
+
+void swap_profile_locked() {
+  core::Evaluator::with_exclusive_globals([] {
+    simprof::ScopedGlobalProfile profile;
+    evaluate_once();
+  });
+}
+
+double read_path_pure(double x) {
+  std::shared_lock lock(core::Evaluator::globals_mutex());
+  return x * 2.0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: both halves of the lock rule. swap_profile_unlocked arms a
+// Scoped* global guard without the Evaluator's exclusive lock (a
+// concurrent shared-side evaluation would observe the swapped globals);
+// read_path_that_writes holds only the shared side yet reaches a global
+// write.
+
+namespace fixture {
+
+void evaluate_once();
+
+void swap_profile_unlocked() {  // expect-lint: lock-discipline
+  simprof::ScopedGlobalProfile profile;
+  evaluate_once();
+}
+
+int g_cache_epoch = 0;
+
+double read_path_that_writes() {  // expect-lint: lock-discipline
+  std::shared_lock lock(core::Evaluator::globals_mutex());
+  g_cache_epoch += 1;
+  return 0.0;
+}
+
+}  // namespace fixture

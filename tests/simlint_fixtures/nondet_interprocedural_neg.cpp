@@ -1,0 +1,22 @@
+// Clean twin: the handler draws from the run's own Rng (the sanctioned
+// source), and the one wall-clock read lives in a host-side helper no
+// handler reaches — only the local rule cares, and it is suppressed.
+#include <chrono>
+
+namespace fixture {
+
+double virtual_sample(common::Rng& rng) { return rng.uniform(); }
+
+sim::CoTask<void> handler(simmpi::Rank& r, common::Rng& rng) {
+  const double u = virtual_sample(rng);
+  (void)u;
+  co_await r.barrier();
+  co_return;
+}
+
+double host_elapsed() {
+  const auto t = std::chrono::steady_clock::now();  // simlint:allow(nondet-source) — fixture: host-side timing helper
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: a handler reaches a wall-clock read two hops down. The local
+// nondet-source finding at the site is suppressed (with its rationale),
+// which must NOT silence the interprocedural pass: reachability from a
+// handler makes the same site a determinism bug again.
+#include <chrono>
+
+namespace fixture {
+
+double wall_seconds() {
+  const auto t = std::chrono::steady_clock::now();  // simlint:allow(nondet-source) — fixture: the interprocedural pass is under test here  // expect-lint: nondet-interprocedural
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double relay() { return wall_seconds(); }
+
+sim::CoTask<void> handler(simmpi::Rank& r) {
+  const double t = relay();
+  (void)t;
+  co_await r.barrier();
+  co_return;
+}
+
+}  // namespace fixture

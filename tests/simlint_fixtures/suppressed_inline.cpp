@@ -1,11 +1,12 @@
 // Fixture: both suppression placements — trailing on the flagged line,
 // and a standalone comment covering the next code line (here with the
-// `all` wildcard). test_simlint expects zero findings, two suppressed.
+// `all` wildcard). Each carries a rationale, as the driver now demands.
+// test_simlint expects zero findings, two suppressed.
 #include <chrono>
 
 double wall_interval() {
-  const auto t0 = std::chrono::steady_clock::now();  // simlint:allow(nondet-source)
-  // simlint:allow(all)
+  const auto t0 = std::chrono::steady_clock::now();  // simlint:allow(nondet-source) — fixture: trailing placement
+  // simlint:allow(all) — fixture: standalone placement
   const auto t1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(t1 - t0).count();
 }

@@ -69,6 +69,10 @@ constexpr const char* kRuleFixtures[] = {
     "ordered_ptr_key",
     "impure_listener",
     "wildcard_order_sensitive",
+    "cross_rank_shared_mutable",
+    "guard_discipline",
+    "lock_discipline",
+    "nondet_interprocedural",
 };
 
 class RuleFixture : public ::testing::TestWithParam<const char*> {};
@@ -112,7 +116,7 @@ INSTANTIATE_TEST_SUITE_P(AllRules, RuleFixture,
                          });
 
 TEST(Catalogue, EveryRuleIsKnownAndHasBothFixtures) {
-  EXPECT_EQ(rule_catalogue().size(), 9u);
+  EXPECT_EQ(rule_catalogue().size(), 13u);
   for (const RuleInfo& rule : rule_catalogue()) {
     EXPECT_TRUE(known_rule(rule.id));
     EXPECT_FALSE(rule.summary.empty()) << rule.id;
@@ -158,6 +162,58 @@ TEST(Lexer, RawStringsLexAsOneToken) {
     if (t.kind == TokKind::String) ++strings;
   }
   EXPECT_EQ(strings, 1);
+}
+
+TEST(Lexer, CustomDelimiterAndPrefixedRawStrings) {
+  // The )" inside the literal must not close it — only )ab" does. The
+  // u8R-prefixed literal lexes as one String token, not ident + string.
+  const LexedFile f = lex(
+      "auto s = R\"ab(close )\" attempt)ab\";\n"
+      "auto t = u8R\"(payload)\";\n"
+      "auto u = LR\"x(^\\d+)x\";\n");
+  std::vector<std::string> strings;
+  for (const Token& t : f.tokens) {
+    if (t.kind == TokKind::String) strings.push_back(t.text);
+    EXPECT_FALSE(t.kind == TokKind::Ident && t.text == "u8R") << "prefix split";
+  }
+  ASSERT_EQ(strings.size(), 3u);
+  EXPECT_NE(strings[0].find("close )\" attempt"), std::string::npos);
+  EXPECT_EQ(strings[1], "u8R\"(payload)\"");
+  EXPECT_EQ(strings[2], "LR\"x(^\\d+)x\"");
+}
+
+TEST(Lexer, DigitSeparatorsStayInOneNumber) {
+  const LexedFile f = lex("long n = 1'000'000; char c = 'x';\n");
+  bool saw_number = false, saw_char = false;
+  for (const Token& t : f.tokens) {
+    if (t.kind == TokKind::Number) {
+      saw_number = true;
+      EXPECT_EQ(t.text, "1'000'000");
+    }
+    if (t.kind == TokKind::Char) {
+      saw_char = true;
+      EXPECT_EQ(t.text, "'x'");
+    }
+  }
+  EXPECT_TRUE(saw_number);
+  EXPECT_TRUE(saw_char) << "the separator handling must not eat 'x'";
+}
+
+TEST(Lexer, DirectiveSkipsCrlfContinuationsAndBlockComments) {
+  // Lines 1-2: a macro continued with \ followed by CRLF. Lines 3-4: a
+  // block comment inside a directive — its newline must not end the
+  // directive. Only line 5 carries tokens.
+  const LexedFile f = lex(
+      "#define A(x) \\\r\n"
+      "  ((x) + 1)\r\n"
+      "#define B /* spans\n"
+      "lines */ 2\n"
+      "int z;\n");
+  ASSERT_FALSE(f.tokens.empty());
+  for (const Token& t : f.tokens) {
+    EXPECT_EQ(t.line, 5) << "leaked directive token " << t.text;
+  }
+  EXPECT_TRUE(f.tokens[0].is("int"));
 }
 
 TEST(Suppressions, InlineAllowDropsFindingsAndCounts) {
